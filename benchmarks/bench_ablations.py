@@ -1,0 +1,155 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* Strict (A1/A2/A3) vs broad (P1/P2/P3) interpretations: how many
+  non-serializable histories from a mixed corpus each admits — the paper's
+  core quantitative argument for the broad reading.
+* Predicate locks vs item-only locks at SERIALIZABLE: the phantom scenarios
+  get through without predicate locking.
+* First-committer-wins vs first-writer-wins (SI vs Oracle Read Consistency)
+  and FCW switched off entirely: who loses updates.
+* Long vs short write locks (Degree 1 vs Degree 0): dirty writes and the
+  recoverability hazard.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.core.dependency import is_serializable
+from repro.core.isolation import (
+    ANSI_BROAD_LEVELS,
+    ANSI_STRICT_LEVELS,
+    IsolationLevelName,
+    Possibility,
+)
+from repro.analysis.matrix import default_history_corpus
+from repro.locking.policy import LockingPolicy, LockRule, policy_for
+from repro.locking.modes import LockDuration, LockMode
+from repro.testbed import engine_factory
+from repro.workloads.scenarios import evaluate_scenario, scenario_by_code
+
+
+def test_strict_vs_broad_interpretation(benchmark, print_report):
+    """Count non-serializable corpus histories admitted by each reading of
+    'ANOMALY SERIALIZABLE'."""
+    corpus = [h for h in default_history_corpus(seed=29, count=400)
+              if not is_serializable(h)]
+    strict = ANSI_STRICT_LEVELS[IsolationLevelName.ANOMALY_SERIALIZABLE]
+    broad = ANSI_BROAD_LEVELS[IsolationLevelName.ANOMALY_SERIALIZABLE]
+
+    def measure():
+        return (
+            sum(1 for h in corpus if strict.permits(h)),
+            sum(1 for h in corpus if broad.permits(h)),
+        )
+
+    admitted_strict, admitted_broad = benchmark(measure)
+    print_report(
+        "Non-serializable histories admitted by each interpretation "
+        f"(corpus: {len(corpus)} non-serializable histories)",
+        render_table(["Interpretation", "Admitted non-serializable histories"], [
+            ["strict (A1, A2, A3)", admitted_strict],
+            ["broad (P1, P2, P3)", admitted_broad],
+        ]),
+    )
+    # The broad reading is strictly more restrictive; neither closes the gap
+    # entirely (P0 and write skew remain), which is why Table 3 adds P0.
+    assert admitted_strict > admitted_broad
+    assert admitted_broad > 0
+
+
+def test_predicate_locks_vs_item_only_locks(benchmark, print_report):
+    """SERIALIZABLE without predicate locks degenerates to REPEATABLE READ for
+    the phantom scenarios."""
+    item_only = LockingPolicy(
+        level=IsolationLevelName.SERIALIZABLE,
+        item_read=LockRule(LockMode.SHARED, LockDuration.LONG),
+        predicate_read=None,
+        write=LockRule(LockMode.EXCLUSIVE, LockDuration.LONG),
+        cursor_read=LockRule(LockMode.SHARED, LockDuration.LONG),
+    )
+    phantom = scenario_by_code("P3")
+
+    def measure():
+        with_predicates = evaluate_scenario(
+            phantom, engine_factory(IsolationLevelName.SERIALIZABLE))
+        without_predicates = evaluate_scenario(
+            phantom, engine_factory(IsolationLevelName.SERIALIZABLE, policy=item_only))
+        return with_predicates, without_predicates
+
+    with_predicates, without_predicates = benchmark(measure)
+    print_report(
+        "Phantom (P3) scenario outcome at SERIALIZABLE",
+        render_table(["Configuration", "P3"], [
+            ["with predicate locks (Table 2)", str(with_predicates)],
+            ["item locks only (ablation)", str(without_predicates)],
+        ]),
+    )
+    assert with_predicates is Possibility.NOT_POSSIBLE
+    assert without_predicates is Possibility.POSSIBLE
+
+
+def test_first_committer_wins_vs_first_writer_wins(benchmark, print_report):
+    """Lost updates (P4) under SI, SI without FCW, and Oracle Read Consistency."""
+    lost_update = scenario_by_code("P4")
+    cursor_lost_update = scenario_by_code("P4C")
+
+    def measure():
+        return {
+            "Snapshot Isolation (first-committer-wins)": (
+                evaluate_scenario(lost_update,
+                                  engine_factory(IsolationLevelName.SNAPSHOT_ISOLATION)),
+                evaluate_scenario(cursor_lost_update,
+                                  engine_factory(IsolationLevelName.SNAPSHOT_ISOLATION)),
+            ),
+            "Snapshot reads, FCW disabled (ablation)": (
+                evaluate_scenario(lost_update,
+                                  engine_factory(IsolationLevelName.SNAPSHOT_ISOLATION,
+                                                 first_committer_wins=False)),
+                evaluate_scenario(cursor_lost_update,
+                                  engine_factory(IsolationLevelName.SNAPSHOT_ISOLATION,
+                                                 first_committer_wins=False)),
+            ),
+            "Oracle Read Consistency (first-writer-wins)": (
+                evaluate_scenario(lost_update,
+                                  engine_factory(IsolationLevelName.ORACLE_READ_CONSISTENCY)),
+                evaluate_scenario(cursor_lost_update,
+                                  engine_factory(IsolationLevelName.ORACLE_READ_CONSISTENCY)),
+            ),
+        }
+
+    results = benchmark(measure)
+    rows = [[name, str(p4), str(p4c)] for name, (p4, p4c) in results.items()]
+    print_report(
+        "Lost updates: committer-wins vs writer-wins vs no protection",
+        render_table(["Engine", "P4 Lost Update", "P4C Cursor Lost Update"], rows),
+    )
+    p4_si, p4c_si = results["Snapshot Isolation (first-committer-wins)"]
+    p4_nofcw, _ = results["Snapshot reads, FCW disabled (ablation)"]
+    p4_orc, p4c_orc = results["Oracle Read Consistency (first-writer-wins)"]
+    assert p4_si is Possibility.NOT_POSSIBLE and p4c_si is Possibility.NOT_POSSIBLE
+    assert p4_nofcw is Possibility.POSSIBLE          # the protection really is FCW
+    assert p4_orc is not Possibility.NOT_POSSIBLE    # paper: ORC allows general P4
+    assert p4c_orc is Possibility.NOT_POSSIBLE       # paper: ORC disallows P4C
+
+
+def test_long_vs_short_write_locks(benchmark, print_report):
+    """Degree 0's short write locks re-admit dirty writes (and break recovery)."""
+    dirty_write = scenario_by_code("P0")
+
+    def measure():
+        return (
+            evaluate_scenario(dirty_write, engine_factory(IsolationLevelName.DEGREE_0)),
+            evaluate_scenario(dirty_write,
+                              engine_factory(IsolationLevelName.READ_UNCOMMITTED)),
+        )
+
+    degree0, degree1 = benchmark(measure)
+    print_report(
+        "Dirty writes (P0) under short vs long write locks",
+        render_table(["Configuration", "P0"], [
+            ["Degree 0 (short write locks)", str(degree0)],
+            ["Degree 1 / READ UNCOMMITTED (long write locks)", str(degree1)],
+        ]),
+    )
+    assert degree0 is Possibility.POSSIBLE
+    assert degree1 is Possibility.NOT_POSSIBLE

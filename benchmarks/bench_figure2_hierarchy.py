@@ -1,0 +1,59 @@
+"""Figure 2 — the isolation hierarchy lattice.
+
+Recomputes the partial order of isolation levels from engine behaviour (the
+variant-manifestation profiles) and checks it against the paper's Figure 2:
+every drawn edge must come out "strictly weaker below", and REPEATABLE READ
+vs Snapshot Isolation must come out incomparable, differentiated by exactly
+the phenomena the figure names (P3/A3 on one side, A5B on the other).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hierarchy_check import (
+    level_profiles,
+    profile_relation,
+    verify_figure2_edges,
+)
+from repro.analysis.report import render_table
+from repro.core.hierarchy import FIGURE_2_EDGES, Relation
+from repro.core.isolation import IsolationLevelName
+
+LEVELS = sorted(
+    {edge.lower for edge in FIGURE_2_EDGES} | {edge.higher for edge in FIGURE_2_EDGES},
+    key=lambda level: level.value,
+)
+
+
+def test_figure2_edges(benchmark, print_report):
+    profiles = benchmark(lambda: level_profiles(LEVELS))
+    checks = verify_figure2_edges(profiles)
+    rows = [
+        [check.edge.lower.value, check.edge.higher.value,
+         ", ".join(check.edge.differentiators), check.observed.value,
+         "ok" if check.holds else "FAIL"]
+        for check in checks
+    ]
+    print_report(
+        "Figure 2 edges (lower « higher), annotated with differentiating phenomena",
+        render_table(["Lower level", "Higher level", "Paper's annotation",
+                      "Observed relation", "Verdict"], rows),
+    )
+    assert all(check.holds for check in checks), rows
+
+
+def test_figure2_repeatable_read_vs_snapshot_isolation(benchmark, print_report):
+    profiles = benchmark(lambda: level_profiles(
+        [IsolationLevelName.REPEATABLE_READ, IsolationLevelName.SNAPSHOT_ISOLATION]))
+    rr = profiles[IsolationLevelName.REPEATABLE_READ]
+    si = profiles[IsolationLevelName.SNAPSHOT_ISOLATION]
+    relation = profile_relation(rr, si)
+    rows = [
+        ["only REPEATABLE READ admits", ", ".join(sorted(f"{c}/{v}" for c, v in rr - si))],
+        ["only Snapshot Isolation admits", ", ".join(sorted(f"{c}/{v}" for c, v in si - rr))],
+        ["relation", relation.value],
+    ]
+    print_report("Remark 9 (the 'incomparable' corner of Figure 2)",
+                 render_table(["", "value"], rows))
+    assert relation is Relation.INCOMPARABLE
+    assert any(code == "P3" for code, _ in rr - si)
+    assert any(code == "A5B" for code, _ in si - rr)

@@ -1,0 +1,97 @@
+"""Table 2 — Degrees of consistency and locking isolation levels.
+
+Two checks:
+
+* The lock scope / mode / duration table itself (what each level's policy
+  requires), rendered exactly in Table 2's layout.
+* The behavioural consequence the paper derives from it (Remark 2): each
+  locking engine, run over every anomaly scenario, forbids at least what the
+  same-named phenomenon-based ANSI level forbids — locking levels are at least
+  as strong as their ANSI counterparts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.matrix import compute_table4_row
+from repro.analysis.report import render_table
+from repro.core.isolation import IsolationLevelName, Possibility
+from repro.locking.policy import POLICIES
+from repro.testbed import engine_factory
+
+LOCKING_ORDER = (
+    IsolationLevelName.DEGREE_0,
+    IsolationLevelName.READ_UNCOMMITTED,
+    IsolationLevelName.READ_COMMITTED,
+    IsolationLevelName.CURSOR_STABILITY,
+    IsolationLevelName.REPEATABLE_READ,
+    IsolationLevelName.SERIALIZABLE,
+)
+
+#: The phenomena each ANSI (Table 1/Table 3) level forbids, used for Remark 2.
+ANSI_FORBIDS = {
+    IsolationLevelName.READ_UNCOMMITTED: ("P0",),
+    IsolationLevelName.READ_COMMITTED: ("P0", "P1"),
+    IsolationLevelName.REPEATABLE_READ: ("P0", "P1", "P2"),
+    IsolationLevelName.SERIALIZABLE: ("P0", "P1", "P2", "P3"),
+}
+
+
+def test_table2_lock_rules(benchmark, print_report):
+    """Render Table 2 from the policies and check its structural properties."""
+
+    def build_rows():
+        rows = []
+        for level in LOCKING_ORDER:
+            policy = POLICIES[level]
+            description = policy.describe()
+            rows.append([
+                level.value,
+                description["item read"],
+                description["predicate read"],
+                description["cursor read"],
+                description["write"],
+            ])
+        return rows
+
+    rows = benchmark(build_rows)
+    print_report(
+        "Table 2: lock requirements per locking isolation level",
+        render_table(
+            ["Level", "Item read locks", "Predicate read locks", "Cursor read locks",
+             "Write locks"],
+            rows),
+    )
+    # Structural facts from Table 2.
+    by_level = {row[0]: row for row in rows}
+    assert by_level["Degree 0"][4] == "X short"
+    for level in LOCKING_ORDER[1:]:
+        assert by_level[level.value][4] == "X long"
+    assert by_level["SERIALIZABLE"][2] == "S long"
+    assert by_level["REPEATABLE READ"][2] == "S short"
+    assert by_level["Cursor Stability"][3] == "S cursor"
+
+
+def test_remark2_locking_levels_are_at_least_as_strong(benchmark, print_report):
+    """Remark 2: each locking level forbids (behaviourally) everything its
+    phenomenon-based counterpart forbids."""
+
+    def measure():
+        return {
+            level: compute_table4_row(engine_factory(level))
+            for level in ANSI_FORBIDS
+        }
+
+    rows = benchmark(measure)
+    table = [
+        [level.value, ", ".join(ANSI_FORBIDS[level]),
+         ", ".join(code for code, cell in rows[level].items()
+                   if cell is Possibility.NOT_POSSIBLE)]
+        for level in ANSI_FORBIDS
+    ]
+    print_report(
+        "Remark 2: phenomena forbidden by ANSI definition vs locking engine",
+        render_table(["Level", "ANSI forbids", "Locking engine prevents"], table),
+    )
+    for level, forbidden in ANSI_FORBIDS.items():
+        for code in forbidden:
+            assert rows[level][code] is Possibility.NOT_POSSIBLE, (level, code)

@@ -1,0 +1,54 @@
+"""Table 3 — the corrected phenomenon-based levels (P0–P3), and Remark 6.
+
+Two checks:
+
+* Regenerate Table 3 over a history corpus: for every corrected level and
+  every phenomenon, a "Possible" cell must be achievable by some admitted
+  history and a "Not Possible" cell must never be.
+* Remark 6 (the locking levels of Table 2 and the phenomenon-based levels of
+  Table 3 are equivalent): for each of the four levels, the behavioural
+  anomaly row produced by the locking *engine*, restricted to the P0–P3
+  columns, must equal the declarative Table 3 row.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.matrix import compute_phenomenon_table, compute_table4_row, default_history_corpus
+from repro.analysis.report import matrix_matches, render_possibility_matrix
+from repro.core.isolation import CORRECTED_LEVELS, IsolationLevelName, TABLE_3
+from repro.testbed import engine_factory
+
+CORPUS = default_history_corpus(seed=13, count=250)
+
+PHENOMENA = ("P0", "P1", "P2", "P3")
+
+
+def test_table3_corrected_definitions(benchmark, print_report):
+    measured = benchmark(
+        lambda: compute_phenomenon_table(CORRECTED_LEVELS, PHENOMENA, CORPUS))
+    ok, mismatches = matrix_matches(TABLE_3, measured)
+    print_report(
+        "Table 3 (corrected definitions, measured over the history corpus)",
+        render_possibility_matrix(measured, PHENOMENA),
+    )
+    assert ok, "\n".join(mismatches)
+
+
+def test_remark6_locking_engines_realize_table3(benchmark, print_report):
+    """Running the Table 2 locking engines over the anomaly scenarios and
+    keeping only the P0–P3 columns reproduces Table 3 cell for cell."""
+
+    def behavioural_table3():
+        table = {}
+        for level in TABLE_3:
+            row = compute_table4_row(engine_factory(level))
+            table[level] = {code: row[code] for code in PHENOMENA}
+        return table
+
+    measured = benchmark(behavioural_table3)
+    ok, mismatches = matrix_matches(TABLE_3, measured)
+    print_report(
+        "Remark 6: Table 3 as realized by the locking engines",
+        render_possibility_matrix(measured, PHENOMENA),
+    )
+    assert ok, "\n".join(mismatches)

@@ -1,0 +1,57 @@
+"""Table 4 — the headline result: isolation types characterized by the anomalies they allow.
+
+Runs every anomaly scenario (P0, P1, P4C, P4, P2, P3, A5A, A5B) against every
+engine (Locking READ UNCOMMITTED through SERIALIZABLE, Cursor Stability, and
+Snapshot Isolation), aggregates the per-variant outcomes into Possible /
+Not Possible / Sometimes Possible, and compares the resulting matrix to the
+paper's Table 4 cell for cell.  The two extension rows (GLPT Degree 0 and
+Oracle Read Consistency) are reported alongside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.matrix import (
+    EXPECTED_TABLE_4,
+    EXTENSION_EXPECTATIONS,
+    TABLE_4_COLUMNS,
+    TABLE_4_LEVELS,
+    compute_table4,
+    compute_table4_row,
+)
+from repro.analysis.report import matrix_matches, render_comparison, render_possibility_matrix
+from repro.testbed import engine_factory
+
+
+def test_table4_full_matrix(benchmark, print_report):
+    measured = benchmark(compute_table4)
+    ok, mismatches = matrix_matches(EXPECTED_TABLE_4, measured)
+    print_report(
+        "Table 4: paper (expected) vs measured — mismatching cells would be marked '!'",
+        render_comparison(EXPECTED_TABLE_4, measured, TABLE_4_COLUMNS),
+    )
+    assert ok, "\n".join(mismatches)
+
+
+@pytest.mark.parametrize("level", sorted(EXTENSION_EXPECTATIONS, key=lambda l: l.value),
+                         ids=lambda level: level.value)
+def test_table4_extension_rows(benchmark, print_report, level):
+    measured = benchmark(lambda: compute_table4_row(engine_factory(level)))
+    print_report(
+        f"Table 4 extension row: {level.value}",
+        render_possibility_matrix({level: measured}, TABLE_4_COLUMNS),
+    )
+    assert measured == EXTENSION_EXPECTATIONS[level]
+
+
+def test_table4_snapshot_isolation_row_alone(benchmark, print_report):
+    """The row the paper spends Section 4.2 on, timed in isolation."""
+    from repro.core.isolation import IsolationLevelName
+    level = IsolationLevelName.SNAPSHOT_ISOLATION
+    measured = benchmark(lambda: compute_table4_row(engine_factory(level)))
+    print_report(
+        "Snapshot Isolation row",
+        render_possibility_matrix({level: measured}, TABLE_4_COLUMNS),
+    )
+    assert measured == EXPECTED_TABLE_4[level]

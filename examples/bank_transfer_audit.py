@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The paper's Section 3 argument, end to end: histories H1 and H2.
+
+The example replays the inconsistent-analysis interleavings of histories H1
+(dirty read) and H2 (fuzzy read / read skew) against every isolation engine,
+shows which engines let the audit see a broken total, and then analyses the
+literal paper histories with the phenomenon detectors to demonstrate why the
+strict ANSI interpretations (A1/A2) fail to rule them out.
+
+    python examples/bank_transfer_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import IsolationLevelName, Database
+from repro.core.catalog import by_name
+from repro.core.dependency import is_serializable
+from repro.core.phenomena import detect_all
+from repro.engine.programs import Commit, ReadItem, TransactionProgram, WriteItem
+from repro.engine.scheduler import ScheduleRunner
+from repro.testbed import make_engine
+
+LEVELS = (
+    IsolationLevelName.READ_UNCOMMITTED,
+    IsolationLevelName.READ_COMMITTED,
+    IsolationLevelName.REPEATABLE_READ,
+    IsolationLevelName.SERIALIZABLE,
+    IsolationLevelName.SNAPSHOT_ISOLATION,
+    IsolationLevelName.ORACLE_READ_CONSISTENCY,
+)
+
+
+def bank() -> Database:
+    database = Database()
+    database.set_item("x", 50)
+    database.set_item("y", 50)
+    return database
+
+
+def h1_programs():
+    """T1 transfers 40 from x to y; T2 audits.  Interleaved as in history H1."""
+    transfer = TransactionProgram(1, [
+        ReadItem("x"),
+        WriteItem("x", lambda ctx: ctx["x"] - 40),
+        ReadItem("y"),
+        WriteItem("y", lambda ctx: ctx["y"] + 40),
+        Commit(),
+    ], label="transfer")
+    audit = TransactionProgram(2, [
+        ReadItem("x", into="seen_x"),
+        ReadItem("y", into="seen_y"),
+        Commit(),
+    ], label="audit")
+    return [transfer, audit], [1, 1, 2, 2, 2, 1, 1, 1]
+
+
+def h2_programs():
+    """T2 transfers 40 from x to y; T1 audits around it (history H2)."""
+    audit = TransactionProgram(1, [
+        ReadItem("x", into="seen_x"),
+        ReadItem("y", into="seen_y"),
+        Commit(),
+    ], label="audit")
+    transfer = TransactionProgram(2, [
+        ReadItem("x"),
+        WriteItem("x", lambda ctx: ctx["x"] - 40),
+        ReadItem("y"),
+        WriteItem("y", lambda ctx: ctx["y"] + 40),
+        Commit(),
+    ], label="transfer")
+    return [audit, transfer], [1, 2, 2, 2, 2, 2, 1, 1]
+
+
+def replay(name, build):
+    print(f"\n=== {name}: what does the audit see under each engine? ===")
+    for level in LEVELS:
+        programs, interleaving = build()
+        engine = make_engine(bank(), level)
+        outcome = ScheduleRunner(engine, programs, interleaving).run()
+        audit_txn = 2 if name == "H1" else 1
+        seen_x = outcome.observed(audit_txn, "seen_x")
+        seen_y = outcome.observed(audit_txn, "seen_y")
+        total = None if seen_x is None or seen_y is None else seen_x + seen_y
+        verdict = "ok" if total == 100 else "INCONSISTENT"
+        print(f"  {level.value:28s} audit total = {total!s:5s} ({verdict}); "
+              f"blocked={outcome.blocked_events}, "
+              f"aborts={sorted(t for t in outcome.statuses if outcome.aborted(t))}")
+
+
+def analyse_paper_histories():
+    print("\n=== The literal paper histories, through the detectors ===")
+    for name in ("H1", "H2"):
+        entry = by_name(name)
+        history = entry.history
+        found = sorted(code for code, occ in detect_all(history).items() if occ)
+        print(f"  {name}: {history.to_shorthand()}")
+        print(f"      serializable: {is_serializable(history)}")
+        print(f"      phenomena detected: {', '.join(found)}")
+        print(f"      note: none of the strict anomalies A1/A2/A3 occur, yet the "
+              f"history is not serializable — the paper's case for the broad "
+              f"interpretations.")
+
+
+def main() -> None:
+    replay("H1", h1_programs)
+    replay("H2", h2_programs)
+    analyse_paper_histories()
+
+
+if __name__ == "__main__":
+    main()

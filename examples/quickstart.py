@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: open sessions at different isolation levels and watch them differ.
+
+Runs the same two-transaction interaction — a writer transferring money while
+a reader audits the accounts — under Locking SERIALIZABLE, Locking READ
+UNCOMMITTED, and Snapshot Isolation, using the high-level ``Session`` API.
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, IsolationLevelName, Session
+from repro.testbed import WouldBlock
+
+
+def fresh_bank() -> Database:
+    """Two accounts, 50 each; every transfer should preserve the total of 100."""
+    database = Database()
+    database.set_item("checking", 50)
+    database.set_item("savings", 50)
+    return database
+
+
+def audit_during_transfer(level: IsolationLevelName) -> None:
+    print(f"\n--- {level.value} ---")
+    session = Session(fresh_bank(), level)
+
+    transfer = session.begin()
+    audit = session.begin()
+
+    # The transfer withdraws from checking first...
+    transfer.write("checking", transfer.read("checking") - 40)
+
+    # ...and while it is still in flight, the audit reads both balances.
+    try:
+        seen_checking = audit.read("checking")
+        seen_savings = audit.read("savings")
+        total = seen_checking + seen_savings
+        verdict = "consistent" if total == 100 else "INCONSISTENT (dirty read!)"
+        print(f"audit sees checking={seen_checking} savings={seen_savings} "
+              f"-> total={total} ({verdict})")
+        audit.commit()
+    except WouldBlock as blocked:
+        print(f"audit blocks until the transfer finishes: {blocked}")
+        audit.abort()
+
+    # The transfer completes either way.
+    transfer.write("savings", transfer.read("savings") + 40)
+    transfer.commit()
+    print(f"final state: {session.database.items()}")
+
+
+def main() -> None:
+    print("Quickstart: one in-flight transfer, one concurrent audit.")
+    audit_during_transfer(IsolationLevelName.READ_UNCOMMITTED)   # sees total 60
+    audit_during_transfer(IsolationLevelName.SERIALIZABLE)       # blocks
+    audit_during_transfer(IsolationLevelName.SNAPSHOT_ISOLATION)  # sees old snapshot, total 100
+
+
+if __name__ == "__main__":
+    main()

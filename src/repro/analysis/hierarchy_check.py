@@ -1,0 +1,158 @@
+"""Empirical verification of the isolation hierarchy (Figure 2 and Remarks 1–10).
+
+The paper orders isolation levels by the non-serializable histories they
+admit.  For the engine-defined levels we approximate "the histories a level
+admits" by the *variant manifestation profile*: the set of anomaly-scenario
+variants whose bad outcome the engine lets through
+(:func:`repro.analysis.matrix.variant_manifestation_profile`).  A level that
+admits a strict superset of another level's variants is strictly weaker.
+
+This reproduces the paper's qualitative results:
+
+* Remark 1: Locking RU « RC « RR « SERIALIZABLE.
+* Remark 7: READ COMMITTED « Cursor Stability « REPEATABLE READ.
+* Remark 8: READ COMMITTED « Snapshot Isolation.
+* Remark 9: REPEATABLE READ »« Snapshot Isolation (each admits a variant the
+  other forbids: the reread phantom vs write skew).
+* Remark 10: ANOMALY SERIALIZABLE « Snapshot Isolation (the Table 1
+  definition, forbidding only A1–A3, admits far more than SI does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.hierarchy import FIGURE_2_EDGES, REMARKS, Figure2Edge, Relation
+from ..core.isolation import (
+    ANSI_STRICT_LEVELS,
+    IsolationLevelName,
+    PhenomenonBasedLevel,
+    Possibility,
+)
+from .matrix import (
+    ALL_SCENARIOS,
+    phenomenon_level_profile,
+    variant_manifestation_profile,
+)
+
+__all__ = [
+    "Profile",
+    "profile_relation",
+    "level_profiles",
+    "EdgeCheck",
+    "verify_figure2_edges",
+    "RemarkCheck",
+    "verify_remarks",
+]
+
+Profile = FrozenSet[Tuple[str, str]]
+
+
+def profile_relation(first: Profile, second: Profile) -> Relation:
+    """Order two levels by the anomaly variants they admit.
+
+    Admitting *more* variants means being *weaker* (the level allows more
+    non-serializable behaviour), so a strict superset on the first side means
+    ``first « second``.
+    """
+    if first == second:
+        return Relation.EQUIVALENT
+    if first > second:
+        return Relation.WEAKER
+    if first < second:
+        return Relation.STRONGER
+    return Relation.INCOMPARABLE
+
+
+def level_profiles(levels: Sequence[IsolationLevelName],
+                   scenarios=ALL_SCENARIOS) -> Dict[IsolationLevelName, Profile]:
+    """The variant manifestation profile of every requested engine level."""
+    return {
+        level: frozenset(variant_manifestation_profile(level, scenarios))
+        for level in levels
+    }
+
+
+@dataclass(frozen=True)
+class EdgeCheck:
+    """The empirical verdict for one Figure 2 edge."""
+
+    edge: Figure2Edge
+    observed: Relation
+    holds: bool
+    lower_only: Profile
+    higher_only: Profile
+
+
+def verify_figure2_edges(profiles: Optional[Mapping[IsolationLevelName, Profile]] = None,
+                         ) -> List[EdgeCheck]:
+    """Check every ``lower « higher`` edge of Figure 2 against engine behaviour."""
+    needed = {edge.lower for edge in FIGURE_2_EDGES} | {edge.higher for edge in FIGURE_2_EDGES}
+    if profiles is None:
+        profiles = level_profiles(sorted(needed, key=lambda level: level.value))
+    checks: List[EdgeCheck] = []
+    for edge in FIGURE_2_EDGES:
+        lower = profiles[edge.lower]
+        higher = profiles[edge.higher]
+        observed = profile_relation(lower, higher)
+        checks.append(EdgeCheck(
+            edge=edge,
+            observed=observed,
+            holds=observed is Relation.WEAKER,
+            lower_only=frozenset(lower - higher),
+            higher_only=frozenset(higher - lower),
+        ))
+    return checks
+
+
+@dataclass(frozen=True)
+class RemarkCheck:
+    """The empirical verdict for one of the paper's numbered remarks."""
+
+    remark: int
+    first: IsolationLevelName
+    second: IsolationLevelName
+    expected: Relation
+    observed: Relation
+
+    @property
+    def holds(self) -> bool:
+        return self.observed is self.expected
+
+    def describe(self) -> str:
+        return (
+            f"Remark {self.remark}: {self.first.value} {self.expected.value} "
+            f"{self.second.value} — observed {self.observed.value}"
+        )
+
+
+def _profile_for(level: IsolationLevelName,
+                 cache: Dict[IsolationLevelName, Profile]) -> Profile:
+    if level in cache:
+        return cache[level]
+    if level is IsolationLevelName.ANOMALY_SERIALIZABLE:
+        definition = ANSI_STRICT_LEVELS[IsolationLevelName.ANOMALY_SERIALIZABLE]
+        profile = frozenset(phenomenon_level_profile(definition))
+    else:
+        profile = frozenset(variant_manifestation_profile(level))
+    cache[level] = profile
+    return profile
+
+
+def verify_remarks(remarks=REMARKS) -> List[RemarkCheck]:
+    """Verify every ordering remark of the paper empirically."""
+    cache: Dict[IsolationLevelName, Profile] = {}
+    checks: List[RemarkCheck] = []
+    for remark, first, expected, second in remarks:
+        first_profile = _profile_for(first, cache)
+        second_profile = _profile_for(second, cache)
+        observed = profile_relation(first_profile, second_profile)
+        checks.append(RemarkCheck(
+            remark=remark,
+            first=first,
+            second=second,
+            expected=expected,
+            observed=observed,
+        ))
+    return checks

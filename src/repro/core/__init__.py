@@ -1,0 +1,108 @@
+"""Core formalism of the paper: histories, phenomena, isolation levels, hierarchy.
+
+This package contains the paper's primary contribution in executable form:
+
+* :mod:`repro.core.operations` / :mod:`repro.core.history` — the action and
+  history model, with a parser for the paper's shorthand notation.
+* :mod:`repro.core.dependency` — dependency graphs and conflict
+  serializability (Section 2.1).
+* :mod:`repro.core.phenomena` — detectors for P0–P4, P4C, A1–A3, A5A, A5B.
+* :mod:`repro.core.isolation` — the phenomenon-based isolation level
+  definitions of Tables 1 and 3.
+* :mod:`repro.core.hierarchy` — the weaker/stronger/incomparable relations and
+  the Figure 2 lattice.
+* :mod:`repro.core.mv_analysis` — multiversion history analysis and the MV→SV
+  mapping used to place Snapshot Isolation (Section 4.2).
+* :mod:`repro.core.catalog` — the paper's named example histories H1–H5,
+  H1.SI, and the dirty-write examples.
+"""
+
+from .operations import (
+    Operation,
+    OperationKind,
+    WriteAction,
+    abort,
+    commit,
+    cursor_read,
+    cursor_write,
+    predicate_read,
+    predicate_write,
+    read,
+    write,
+)
+from .history import History, HistoryError, parse_history
+from .dependency import (
+    DependencyEdge,
+    DependencyGraph,
+    build_dependency_graph,
+    equivalent_serial_orders,
+    histories_equivalent,
+    is_serializable,
+)
+from .phenomena import (
+    ALL_PHENOMENA,
+    BROAD_PHENOMENA,
+    STRICT_ANOMALIES,
+    Occurrence,
+    Phenomenon,
+    by_code,
+    detect_all,
+)
+from .isolation import (
+    ANSI_BROAD_LEVELS,
+    ANSI_STRICT_LEVELS,
+    CORRECTED_LEVELS,
+    DEGREE_0,
+    IsolationLevelName,
+    PhenomenonBasedLevel,
+    Possibility,
+    TABLE_1,
+    TABLE_3,
+    TRUE_SERIALIZABLE,
+    level_by_name,
+)
+from .hierarchy import (
+    FIGURE_2_EDGES,
+    FIGURE_2_INCOMPARABLE,
+    REMARKS,
+    ComparisonResult,
+    Figure2Edge,
+    Relation,
+    compare_levels,
+    declared_order,
+    is_declared_weaker,
+)
+from .mv_analysis import (
+    mv_is_serializable,
+    mv_serialization_graph,
+    mv_to_sv,
+    reads_from,
+    same_dataflow,
+)
+from .catalog import CATALOG, PaperHistory, by_name
+
+__all__ = [
+    # operations / history
+    "Operation", "OperationKind", "WriteAction", "read", "write", "cursor_read",
+    "cursor_write", "predicate_read", "predicate_write", "commit", "abort",
+    "History", "HistoryError", "parse_history",
+    # dependency
+    "DependencyEdge", "DependencyGraph", "build_dependency_graph",
+    "equivalent_serial_orders", "histories_equivalent", "is_serializable",
+    # phenomena
+    "ALL_PHENOMENA", "BROAD_PHENOMENA", "STRICT_ANOMALIES", "Occurrence",
+    "Phenomenon", "by_code", "detect_all",
+    # isolation
+    "ANSI_BROAD_LEVELS", "ANSI_STRICT_LEVELS", "CORRECTED_LEVELS", "DEGREE_0",
+    "IsolationLevelName", "PhenomenonBasedLevel", "Possibility", "TABLE_1",
+    "TABLE_3", "TRUE_SERIALIZABLE", "level_by_name",
+    # hierarchy
+    "FIGURE_2_EDGES", "FIGURE_2_INCOMPARABLE", "REMARKS", "ComparisonResult",
+    "Figure2Edge", "Relation", "compare_levels", "declared_order",
+    "is_declared_weaker",
+    # mv analysis
+    "mv_is_serializable", "mv_serialization_graph", "mv_to_sv", "reads_from",
+    "same_dataflow",
+    # catalog
+    "CATALOG", "PaperHistory", "by_name",
+]

@@ -1,0 +1,214 @@
+"""The isolation hierarchy: weaker / stronger / equivalent / incomparable.
+
+Section 3 (Definition before Remark 1) defines the ordering used throughout
+the paper:
+
+* L1 is **weaker** than L2 (``L1 « L2``) when every non-serializable history
+  allowed by L2 is also allowed by L1, and at least one non-serializable
+  history allowed by L1 is forbidden by L2.
+* L1 and L2 are **equivalent** (``L1 == L2``) when they allow exactly the same
+  non-serializable histories.
+* L1 and L2 are **incomparable** (``L1 »« L2``) when each allows a
+  non-serializable history the other forbids.
+
+Levels are compared *only* on the non-serializable histories they admit.
+
+This module provides both the *empirical* comparison (evaluate two levels over
+a corpus of histories) and the *declared* lattice of Figure 2 with its
+annotated edges, plus the specific Remarks (1, 7, 8, 9, 10) as data so the
+benchmarks can verify them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .dependency import is_serializable
+from .history import History
+from .isolation import IsolationLevelName
+
+__all__ = [
+    "Relation",
+    "compare_levels",
+    "ComparisonResult",
+    "Figure2Edge",
+    "FIGURE_2_EDGES",
+    "FIGURE_2_INCOMPARABLE",
+    "REMARKS",
+    "declared_order",
+    "is_declared_weaker",
+]
+
+#: A level, for comparison purposes, is anything that can say whether it
+#: permits a history.
+Admits = Callable[[History], bool]
+
+
+class Relation(enum.Enum):
+    """The outcome of comparing two isolation levels."""
+
+    WEAKER = "«"          # first is weaker than second
+    STRONGER = "»"        # first is stronger than second
+    EQUIVALENT = "=="
+    INCOMPARABLE = "»«"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """The result of an empirical comparison over a history corpus."""
+
+    relation: Relation
+    #: Non-serializable histories permitted by the first level but not the second.
+    only_first: Tuple[History, ...]
+    #: Non-serializable histories permitted by the second level but not the first.
+    only_second: Tuple[History, ...]
+    #: How many non-serializable histories from the corpus both levels permit.
+    shared: int
+
+    def witnesses(self) -> Dict[str, List[str]]:
+        """Shorthand renderings of the distinguishing histories."""
+        return {
+            "only_first": [h.to_shorthand() for h in self.only_first],
+            "only_second": [h.to_shorthand() for h in self.only_second],
+        }
+
+
+def _admits(level: object) -> Admits:
+    """Accept either a callable or an object exposing ``permits(history)``."""
+    if callable(level) and not hasattr(level, "permits"):
+        return level  # type: ignore[return-value]
+    return level.permits  # type: ignore[union-attr]
+
+
+def compare_levels(first: object, second: object,
+                   corpus: Iterable[History]) -> ComparisonResult:
+    """Compare two isolation levels over a corpus of histories.
+
+    Only the non-serializable histories of the corpus matter (per the paper's
+    definition); serializable histories are ignored.  The result is relative
+    to the corpus: a richer corpus can only refine EQUIVALENT into one of the
+    other relations, never the reverse.
+    """
+    first_admits = _admits(first)
+    second_admits = _admits(second)
+    only_first: List[History] = []
+    only_second: List[History] = []
+    shared = 0
+    for history in corpus:
+        if is_serializable(history):
+            continue
+        allowed_first = first_admits(history)
+        allowed_second = second_admits(history)
+        if allowed_first and allowed_second:
+            shared += 1
+        elif allowed_first and not allowed_second:
+            only_first.append(history)
+        elif allowed_second and not allowed_first:
+            only_second.append(history)
+    if only_first and only_second:
+        relation = Relation.INCOMPARABLE
+    elif only_first:
+        relation = Relation.WEAKER
+    elif only_second:
+        relation = Relation.STRONGER
+    else:
+        relation = Relation.EQUIVALENT
+    return ComparisonResult(
+        relation=relation,
+        only_first=tuple(only_first),
+        only_second=tuple(only_second),
+        shared=shared,
+    )
+
+
+# -- Figure 2: the declared lattice -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure2Edge:
+    """An edge of Figure 2: ``lower « higher``, annotated with the phenomena
+    (or anomalies) that differentiate the two levels."""
+
+    lower: IsolationLevelName
+    higher: IsolationLevelName
+    differentiators: Tuple[str, ...]
+
+
+#: The edges of Figure 2 (with the ANSI levels already strengthened per
+#: Remark 5 / Table 3).  ``lower « higher`` along every edge.
+FIGURE_2_EDGES: Tuple[Figure2Edge, ...] = (
+    Figure2Edge(IsolationLevelName.DEGREE_0,
+                IsolationLevelName.READ_UNCOMMITTED, ("P0",)),
+    Figure2Edge(IsolationLevelName.READ_UNCOMMITTED,
+                IsolationLevelName.READ_COMMITTED, ("P1",)),
+    Figure2Edge(IsolationLevelName.READ_COMMITTED,
+                IsolationLevelName.CURSOR_STABILITY, ("P4C",)),
+    Figure2Edge(IsolationLevelName.READ_COMMITTED,
+                IsolationLevelName.ORACLE_READ_CONSISTENCY, ("P4C",)),
+    Figure2Edge(IsolationLevelName.CURSOR_STABILITY,
+                IsolationLevelName.REPEATABLE_READ, ("P2", "P4")),
+    Figure2Edge(IsolationLevelName.ORACLE_READ_CONSISTENCY,
+                IsolationLevelName.SNAPSHOT_ISOLATION, ("A3", "A5A", "P4")),
+    Figure2Edge(IsolationLevelName.REPEATABLE_READ,
+                IsolationLevelName.SERIALIZABLE, ("P3",)),
+    Figure2Edge(IsolationLevelName.SNAPSHOT_ISOLATION,
+                IsolationLevelName.SERIALIZABLE, ("A5B",)),
+)
+
+#: Pairs of levels Figure 2 leaves unordered (each admits histories the other
+#: forbids).  Remark 9 states REPEATABLE READ »« Snapshot Isolation.
+FIGURE_2_INCOMPARABLE: Tuple[Tuple[IsolationLevelName, IsolationLevelName], ...] = (
+    (IsolationLevelName.REPEATABLE_READ, IsolationLevelName.SNAPSHOT_ISOLATION),
+    (IsolationLevelName.CURSOR_STABILITY, IsolationLevelName.ORACLE_READ_CONSISTENCY),
+    (IsolationLevelName.CURSOR_STABILITY, IsolationLevelName.SNAPSHOT_ISOLATION),
+    (IsolationLevelName.ORACLE_READ_CONSISTENCY, IsolationLevelName.REPEATABLE_READ),
+)
+
+#: The numbered remarks about level ordering, as (remark number, lower, relation, higher).
+REMARKS: Tuple[Tuple[int, IsolationLevelName, Relation, IsolationLevelName], ...] = (
+    (1, IsolationLevelName.READ_UNCOMMITTED, Relation.WEAKER, IsolationLevelName.READ_COMMITTED),
+    (1, IsolationLevelName.READ_COMMITTED, Relation.WEAKER, IsolationLevelName.REPEATABLE_READ),
+    (1, IsolationLevelName.REPEATABLE_READ, Relation.WEAKER, IsolationLevelName.SERIALIZABLE),
+    (7, IsolationLevelName.READ_COMMITTED, Relation.WEAKER, IsolationLevelName.CURSOR_STABILITY),
+    (7, IsolationLevelName.CURSOR_STABILITY, Relation.WEAKER, IsolationLevelName.REPEATABLE_READ),
+    (8, IsolationLevelName.READ_COMMITTED, Relation.WEAKER, IsolationLevelName.SNAPSHOT_ISOLATION),
+    (9, IsolationLevelName.REPEATABLE_READ, Relation.INCOMPARABLE, IsolationLevelName.SNAPSHOT_ISOLATION),
+    (10, IsolationLevelName.ANOMALY_SERIALIZABLE, Relation.WEAKER, IsolationLevelName.SNAPSHOT_ISOLATION),
+)
+
+
+def _reachable(start: IsolationLevelName,
+               edges: Sequence[Figure2Edge]) -> Set[IsolationLevelName]:
+    """Levels reachable from ``start`` by following ``lower -> higher`` edges."""
+    frontier = [start]
+    seen: Set[IsolationLevelName] = set()
+    while frontier:
+        node = frontier.pop()
+        for edge in edges:
+            if edge.lower is node and edge.higher not in seen:
+                seen.add(edge.higher)
+                frontier.append(edge.higher)
+    return seen
+
+
+def is_declared_weaker(lower: IsolationLevelName,
+                       higher: IsolationLevelName) -> bool:
+    """True when Figure 2 declares ``lower « higher`` (transitively)."""
+    return higher in _reachable(lower, FIGURE_2_EDGES)
+
+
+def declared_order(first: IsolationLevelName,
+                   second: IsolationLevelName) -> Relation:
+    """The relation Figure 2 declares between two levels."""
+    if first is second:
+        return Relation.EQUIVALENT
+    if is_declared_weaker(first, second):
+        return Relation.WEAKER
+    if is_declared_weaker(second, first):
+        return Relation.STRONGER
+    return Relation.INCOMPARABLE

@@ -1,0 +1,252 @@
+"""Multiversion history analysis: reads-from, MV serialization graphs, MV→SV mapping.
+
+Section 4.2 of the paper places Snapshot Isolation in the isolation hierarchy
+by mapping multiversion (MV) histories to single-valued (SV) histories while
+preserving dataflow dependencies — "the only rigorous touchstone needed".
+The worked example is history H1.SI, whose dataflows are serializable, mapping
+to the serializable SV history H1.SI.SV.
+
+This module provides:
+
+* :func:`reads_from` — the reads-from relation of a history (works for both MV
+  histories, where reads name the version they see, and SV histories, where a
+  read sees the most recent preceding write).
+* :func:`mv_serialization_graph` — a multiversion serialization graph built
+  from the declared version order; acyclicity implies the MV history is
+  equivalent to a serial one-copy history.
+* :func:`mv_to_sv` — the paper's MV→SV mapping: each committed transaction's
+  snapshot reads are placed at its start point and its writes just before its
+  commit, reproducing H1.SI → H1.SI.SV.
+* :func:`same_dataflow` — checks that an MV history and an SV history have the
+  same reads-from relation and the same final writes (view equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .dependency import DependencyEdge, DependencyGraph
+from .history import History
+from .operations import Operation, OperationKind
+
+__all__ = [
+    "ReadsFromEntry",
+    "reads_from",
+    "mv_serialization_graph",
+    "mv_is_serializable",
+    "mv_to_sv",
+    "final_writers",
+    "same_dataflow",
+]
+
+
+@dataclass(frozen=True)
+class ReadsFromEntry:
+    """One entry of the reads-from relation.
+
+    ``writer`` is ``None`` when the read sees the initial database state
+    (version 0 in the paper's notation, or no preceding write in an SV
+    history).
+    """
+
+    reader: int
+    item: str
+    writer: Optional[int]
+    read_index: int
+
+
+def _version_writers(history: History) -> Dict[Tuple[str, int], int]:
+    """Map (item, version) to the transaction that wrote that version."""
+    writers: Dict[Tuple[str, int], int] = {}
+    for op in history:
+        if op.is_write and op.item is not None and op.version is not None:
+            writers[(op.item, op.version)] = op.txn
+    return writers
+
+
+def reads_from(history: History) -> List[ReadsFromEntry]:
+    """The reads-from relation of a history.
+
+    For multiversion histories (any operation carries a version) a read of
+    ``x<v>`` reads from the transaction that wrote version ``v`` of ``x``, or
+    from the initial state when no transaction in the history wrote it.  For
+    single-version histories a read sees the most recent preceding write of
+    the same item by any transaction (its own writes included), or the initial
+    state.
+    """
+    entries: List[ReadsFromEntry] = []
+    if history.is_multiversion():
+        writers = _version_writers(history)
+        for index, op in enumerate(history):
+            if not op.is_read or op.item is None:
+                continue
+            writer = writers.get((op.item, op.version)) if op.version is not None else None
+            entries.append(ReadsFromEntry(op.txn, op.item, writer, index))
+        return entries
+
+    last_writer: Dict[str, int] = {}
+    for index, op in enumerate(history):
+        if op.is_read and op.item is not None:
+            entries.append(
+                ReadsFromEntry(op.txn, op.item, last_writer.get(op.item), index)
+            )
+        if op.is_write and op.item is not None:
+            last_writer[op.item] = op.txn
+    return entries
+
+
+def mv_serialization_graph(history: History) -> DependencyGraph:
+    """The multiversion serialization graph of a committed MV history.
+
+    Nodes are the committed transactions.  Edges follow the standard MVSG
+    construction for the version order given by the version subscripts:
+
+    * ``wr``: the writer of a version precedes every committed reader of it.
+    * ``ww``: the writer of an earlier version of an item precedes the writer
+      of a later version.
+    * ``rw``: a committed reader of version ``m`` of an item precedes the
+      writer of any later version ``n > m``.
+    """
+    committed = history.committed_transactions()
+    writers = _version_writers(history)
+    nodes = [txn for txn in history.transactions() if txn in committed]
+    edges: List[DependencyEdge] = []
+    seen: set = set()
+
+    def add_edge(source: int, target: int, kind: str, item: str,
+                 source_op: Operation, target_op: Operation) -> None:
+        if source == target or source not in committed or target not in committed:
+            return
+        key = (source, target, kind, item)
+        if key in seen:
+            return
+        seen.add(key)
+        edges.append(DependencyEdge(source, target, kind, item, source_op, target_op))
+
+    # wr and rw edges from reads.
+    for index, op in enumerate(history):
+        if not op.is_read or op.item is None or op.version is None:
+            continue
+        if op.txn not in committed:
+            continue
+        writer = writers.get((op.item, op.version))
+        if writer is not None:
+            writer_op = _find_write(history, writer, op.item, op.version)
+            add_edge(writer, op.txn, "wr", op.item, writer_op, op)
+        for (item, version), other_writer in writers.items():
+            if item != op.item or version <= op.version:
+                continue
+            other_op = _find_write(history, other_writer, item, version)
+            add_edge(op.txn, other_writer, "rw", item, op, other_op)
+
+    # ww edges from the version order.
+    per_item: Dict[str, List[Tuple[int, int]]] = {}
+    for (item, version), writer in writers.items():
+        per_item.setdefault(item, []).append((version, writer))
+    for item, versions in per_item.items():
+        ordered = sorted(versions)
+        for (earlier_version, earlier_writer), (later_version, later_writer) in zip(
+                ordered, ordered[1:]):
+            earlier_op = _find_write(history, earlier_writer, item, earlier_version)
+            later_op = _find_write(history, later_writer, item, later_version)
+            add_edge(earlier_writer, later_writer, "ww", item, earlier_op, later_op)
+
+    return DependencyGraph(nodes, edges)
+
+
+def _find_write(history: History, txn: int, item: str, version: int) -> Operation:
+    for op in history:
+        if op.txn == txn and op.is_write and op.item == item and op.version == version:
+            return op
+    raise ValueError(f"no write of {item}{version} by T{txn} in history")
+
+
+def mv_is_serializable(history: History) -> bool:
+    """True when the MV serialization graph of the history is acyclic."""
+    return mv_serialization_graph(history).is_acyclic()
+
+
+def mv_to_sv(history: History) -> History:
+    """Map a multiversion history to a single-valued history (Section 4.2).
+
+    Each transaction's reads of *foreign* versions (versions it did not write
+    itself, including the initial state) are placed at the transaction's start
+    point; its writes, reads of its own versions, and terminal operation are
+    placed at its commit (or abort) point.  Ties keep the original relative
+    order.  This reproduces the paper's H1.SI → H1.SI.SV example.
+    """
+    events: List[Tuple[int, int, List[Operation]]] = []
+    for order, txn in enumerate(history.transactions()):
+        ops = history.operations_of(txn)
+        own_versions = {
+            (op.item, op.version) for op in ops if op.is_write and op.version is not None
+        }
+        snapshot_reads: List[Operation] = []
+        commit_block: List[Operation] = []
+        for op in ops:
+            stripped = _strip_version(op)
+            if op.is_read and (op.item, op.version) not in own_versions:
+                snapshot_reads.append(stripped)
+            elif op.is_terminal:
+                commit_block.append(stripped)
+            else:
+                commit_block.append(stripped)
+        start_time = history.index_of(ops[0])
+        terminal_index = history.terminal_index(txn)
+        commit_time = terminal_index if terminal_index is not None else len(history) + order
+        events.append((start_time, order, snapshot_reads))
+        events.append((commit_time, order, commit_block))
+    events.sort(key=lambda event: (event[0], event[1]))
+    operations: List[Operation] = []
+    for _, _, block in events:
+        operations.extend(block)
+    suffix = ".SV"
+    name = f"{history.name}{suffix}" if history.name else None
+    return History(operations, name=name)
+
+
+def _strip_version(op: Operation) -> Operation:
+    """Drop the version subscript from an operation (for the SV rendering)."""
+    if op.version is None:
+        return op
+    return Operation(op.kind, op.txn, item=op.item, value=op.value,
+                     predicate=op.predicate, write_action=op.write_action)
+
+
+def final_writers(history: History) -> Dict[str, Optional[int]]:
+    """The transaction whose committed write is last for each item."""
+    committed = history.committed_transactions()
+    result: Dict[str, Optional[int]] = {}
+    if history.is_multiversion():
+        writers = _version_writers(history)
+        per_item: Dict[str, List[Tuple[int, int]]] = {}
+        for (item, version), writer in writers.items():
+            if writer in committed:
+                per_item.setdefault(item, []).append((version, writer))
+        for item, versions in per_item.items():
+            result[item] = max(versions)[1] if versions else None
+        return result
+    for op in history:
+        if op.is_write and op.item is not None and op.txn in committed:
+            result[op.item] = op.txn
+    return result
+
+
+def same_dataflow(mv_history: History, sv_history: History) -> bool:
+    """View equivalence: same reads-from relation and same final writers.
+
+    The reads-from relations are compared as sets of (reader, item, writer)
+    triples, ignoring read positions, and only for committed readers.
+    """
+    def dataflow(history: History) -> set:
+        committed = history.committed_transactions()
+        return {
+            (entry.reader, entry.item, entry.writer)
+            for entry in reads_from(history)
+            if entry.reader in committed
+        }
+
+    if dataflow(mv_history) != dataflow(sv_history):
+        return False
+    return final_writers(mv_history) == final_writers(sv_history)

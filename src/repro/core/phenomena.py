@@ -1,0 +1,642 @@
+"""Phenomenon and anomaly detectors (P0–P4, P4C, A1–A3, A5A, A5B).
+
+The paper's central move is to distinguish *strict* interpretations of the
+ANSI phenomena (A1, A2, A3 — actual anomalies that have already produced a
+wrong result) from *broad* interpretations (P1, P2, P3 — patterns that might
+lead to an anomaly), to add the Dirty Write phenomenon P0, and to introduce
+the multiversion-era anomalies P4 (Lost Update), P4C (Cursor Lost Update),
+A5A (Read Skew) and A5B (Write Skew).
+
+Every detector in this module pattern-matches a :class:`~repro.core.history.History`
+and reports *occurrences* — the concrete operations that instantiate the
+forbidden subsequence — so that tests, the anomaly matrix (Table 4), and the
+hierarchy analysis (Figure 2) can all reuse the same machinery.
+
+Interpretation notes
+--------------------
+* For the broad phenomena (P0–P3) the trailing ``(c1 or a1)`` in the paper's
+  final definitions (Remark 5) only says that T1 terminates *after* the
+  interfering action.  A history prefix in which T1 has not yet terminated
+  still exhibits the dangerous pattern, so we report a match in that case too.
+* P3's corrected definition covers any write (insert, update, or delete)
+  affecting the predicate once it has been read, not just inserts.
+* A5B (Write Skew) is matched in its symmetric form: two committed
+  transactions each read an item the other subsequently writes.  This is the
+  generalisation the paper's prose describes ("T1 reads x and y ... then a T2
+  reads x and y, writes x, and commits.  Then T1 writes y.") and it matches
+  history H5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .history import History
+from .operations import Operation, OperationKind
+
+__all__ = [
+    "Occurrence",
+    "Phenomenon",
+    "P0_DIRTY_WRITE",
+    "P1_DIRTY_READ",
+    "P2_FUZZY_READ",
+    "P3_PHANTOM",
+    "A1_DIRTY_READ_STRICT",
+    "A2_FUZZY_READ_STRICT",
+    "A3_PHANTOM_STRICT",
+    "P4_LOST_UPDATE",
+    "P4C_CURSOR_LOST_UPDATE",
+    "A5A_READ_SKEW",
+    "A5B_WRITE_SKEW",
+    "ALL_PHENOMENA",
+    "BROAD_PHENOMENA",
+    "STRICT_ANOMALIES",
+    "by_code",
+    "detect_all",
+]
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """A concrete instantiation of a phenomenon inside a history."""
+
+    phenomenon: str
+    transactions: Tuple[int, ...]
+    items: Tuple[str, ...]
+    indices: Tuple[int, ...]
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.phenomenon}: {self.description}"
+
+
+class Phenomenon:
+    """Base class for a named phenomenon / anomaly detector."""
+
+    #: Short code used in the paper ("P0", "A5B", ...).
+    code: str = ""
+    #: Human-readable name ("Dirty Write", "Write Skew", ...).
+    name: str = ""
+    #: "broad" for phenomena (P*), "strict" for anomalies (A*).
+    interpretation: str = "broad"
+
+    def find(self, history: History) -> List[Occurrence]:
+        """All occurrences of the phenomenon in the history."""
+        raise NotImplementedError
+
+    def occurs_in(self, history: History) -> bool:
+        """True when the phenomenon occurs at least once."""
+        return bool(self.find(history))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.code} {self.name}>"
+
+    # -- shared helpers --------------------------------------------------------
+
+    @staticmethod
+    def _before_terminal(history: History, txn: int, index: int) -> bool:
+        """True when ``index`` precedes the terminal of ``txn`` (or txn is open)."""
+        terminal = history.terminal_index(txn)
+        return terminal is None or index < terminal
+
+
+def _item_reads(history: History) -> List[Tuple[int, Operation]]:
+    return [
+        (i, op)
+        for i, op in enumerate(history)
+        if op.kind in (OperationKind.READ, OperationKind.CURSOR_READ)
+    ]
+
+
+def _item_writes(history: History) -> List[Tuple[int, Operation]]:
+    return [
+        (i, op)
+        for i, op in enumerate(history)
+        if op.kind in (OperationKind.WRITE, OperationKind.CURSOR_WRITE,
+                       OperationKind.PREDICATE_WRITE) and op.item is not None
+    ]
+
+
+class DirtyWrite(Phenomenon):
+    """P0: ``w1[x]...w2[x]...(c1 or a1)``.
+
+    T2 writes a data item that T1 has written and T1 has not yet terminated.
+    The paper argues (Remark 3) that *every* isolation level must forbid this,
+    both because constraints between items can be violated and because
+    before-image recovery becomes impossible.
+    """
+
+    code = "P0"
+    name = "Dirty Write"
+    interpretation = "broad"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        writes = _item_writes(history)
+        for i, first in writes:
+            for j, second in writes:
+                if j <= i or first.txn == second.txn or first.item != second.item:
+                    continue
+                if self._before_terminal(history, first.txn, j):
+                    occurrences.append(Occurrence(
+                        phenomenon=self.code,
+                        transactions=(first.txn, second.txn),
+                        items=(first.item,),
+                        indices=(i, j),
+                        description=(
+                            f"T{second.txn} overwrites {first.item} while "
+                            f"T{first.txn}'s write is uncommitted"
+                        ),
+                    ))
+        return occurrences
+
+
+class DirtyRead(Phenomenon):
+    """P1: ``w1[x]...r2[x]...(c1 or a1)``.
+
+    T2 reads a data item that T1 has modified before T1 commits or aborts.
+    The broad interpretation forbids the pattern regardless of how the
+    transactions eventually terminate — this is what rules out the
+    inconsistent-analysis history H1.
+    """
+
+    code = "P1"
+    name = "Dirty Read"
+    interpretation = "broad"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        writes = _item_writes(history)
+        reads = _item_reads(history)
+        for i, write_op in writes:
+            for j, read_op in reads:
+                if j <= i or write_op.txn == read_op.txn or write_op.item != read_op.item:
+                    continue
+                if self._before_terminal(history, write_op.txn, j):
+                    occurrences.append(Occurrence(
+                        phenomenon=self.code,
+                        transactions=(write_op.txn, read_op.txn),
+                        items=(write_op.item,),
+                        indices=(i, j),
+                        description=(
+                            f"T{read_op.txn} reads {write_op.item} written by "
+                            f"uncommitted T{write_op.txn}"
+                        ),
+                    ))
+        return occurrences
+
+
+class FuzzyRead(Phenomenon):
+    """P2: ``r1[x]...w2[x]...(c1 or a1)``.
+
+    T2 modifies a data item that T1 has read while T1 is still active.  This
+    broad interpretation (rather than the strict A2, which requires T1 to
+    reread the item) is needed to rule out history H2.
+    """
+
+    code = "P2"
+    name = "Fuzzy Read (Non-repeatable Read)"
+    interpretation = "broad"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        reads = _item_reads(history)
+        writes = _item_writes(history)
+        for i, read_op in reads:
+            for j, write_op in writes:
+                if j <= i or read_op.txn == write_op.txn or read_op.item != write_op.item:
+                    continue
+                if self._before_terminal(history, read_op.txn, j):
+                    occurrences.append(Occurrence(
+                        phenomenon=self.code,
+                        transactions=(read_op.txn, write_op.txn),
+                        items=(read_op.item,),
+                        indices=(i, j),
+                        description=(
+                            f"T{write_op.txn} writes {read_op.item} after T{read_op.txn} "
+                            f"read it and before T{read_op.txn} terminated"
+                        ),
+                    ))
+        return occurrences
+
+
+class Phantom(Phenomenon):
+    """P3: ``r1[P]...w2[y in P]...(c1 or a1)``.
+
+    T1 reads the set of items satisfying a predicate; T2 then performs a
+    write (insert, update, or delete) affecting that predicate's extent while
+    T1 is still active.  Note the corrected definition covers *any* write, not
+    only the inserts that the ANSI English text mentions.
+    """
+
+    code = "P3"
+    name = "Phantom"
+    interpretation = "broad"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        predicate_reads = [
+            (i, op) for i, op in enumerate(history)
+            if op.kind is OperationKind.PREDICATE_READ
+        ]
+        predicate_writes = [
+            (i, op) for i, op in enumerate(history)
+            if op.is_write and op.predicate is not None
+        ]
+        for i, read_op in predicate_reads:
+            for j, write_op in predicate_writes:
+                if j <= i or read_op.txn == write_op.txn:
+                    continue
+                if read_op.predicate != write_op.predicate:
+                    continue
+                if self._before_terminal(history, read_op.txn, j):
+                    occurrences.append(Occurrence(
+                        phenomenon=self.code,
+                        transactions=(read_op.txn, write_op.txn),
+                        items=tuple(filter(None, [write_op.item])),
+                        indices=(i, j),
+                        description=(
+                            f"T{write_op.txn} changes the extent of predicate "
+                            f"{read_op.predicate} read by active T{read_op.txn}"
+                        ),
+                    ))
+        return occurrences
+
+
+class DirtyReadStrict(Phenomenon):
+    """A1: ``w1[x]...r2[x]...(a1 and c2 in either order)``.
+
+    The strict (anomaly) interpretation of Dirty Read: T2 actually commits
+    having read data that T1 then aborts.  Section 3 shows this is too weak —
+    history H1 is non-serializable yet contains no A1.
+    """
+
+    code = "A1"
+    name = "Dirty Read (strict)"
+    interpretation = "strict"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        writes = _item_writes(history)
+        reads = _item_reads(history)
+        for i, write_op in writes:
+            if not history.aborts(write_op.txn):
+                continue
+            abort_index = history.terminal_index(write_op.txn)
+            for j, read_op in reads:
+                if j <= i or read_op.txn == write_op.txn or read_op.item != write_op.item:
+                    continue
+                if not history.commits(read_op.txn):
+                    continue
+                # The read must happen while T1's write is still uncommitted.
+                if abort_index is not None and j > abort_index:
+                    continue
+                occurrences.append(Occurrence(
+                    phenomenon=self.code,
+                    transactions=(write_op.txn, read_op.txn),
+                    items=(write_op.item,),
+                    indices=(i, j),
+                    description=(
+                        f"T{read_op.txn} committed after reading {write_op.item} "
+                        f"written by T{write_op.txn}, which aborted"
+                    ),
+                ))
+        return occurrences
+
+
+class FuzzyReadStrict(Phenomenon):
+    """A2: ``r1[x]...w2[x]...c2...r1[x]...c1``.
+
+    The strict Non-repeatable Read: T1 reads an item twice, with a committed
+    update by T2 in between, and T1 commits.
+    """
+
+    code = "A2"
+    name = "Fuzzy Read (strict)"
+    interpretation = "strict"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        reads = _item_reads(history)
+        writes = _item_writes(history)
+        for i, first_read in reads:
+            if not history.commits(first_read.txn):
+                continue
+            for j, write_op in writes:
+                if j <= i or write_op.txn == first_read.txn or write_op.item != first_read.item:
+                    continue
+                commit_index = history.terminal_index(write_op.txn)
+                if not history.commits(write_op.txn) or commit_index is None or commit_index < j:
+                    continue
+                for k, second_read in reads:
+                    if k <= commit_index:
+                        continue
+                    if second_read.txn != first_read.txn or second_read.item != first_read.item:
+                        continue
+                    occurrences.append(Occurrence(
+                        phenomenon=self.code,
+                        transactions=(first_read.txn, write_op.txn),
+                        items=(first_read.item,),
+                        indices=(i, j, k),
+                        description=(
+                            f"T{first_read.txn} reread {first_read.item} after a "
+                            f"committed update by T{write_op.txn}"
+                        ),
+                    ))
+        return occurrences
+
+
+class PhantomStrict(Phenomenon):
+    """A3: ``r1[P]...w2[y in P]...c2...r1[P]...c1``.
+
+    The strict Phantom: T1 evaluates the same predicate twice and sees a
+    different set because of a committed write by T2 in between.
+    """
+
+    code = "A3"
+    name = "Phantom (strict)"
+    interpretation = "strict"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        predicate_reads = [
+            (i, op) for i, op in enumerate(history)
+            if op.kind is OperationKind.PREDICATE_READ
+        ]
+        predicate_writes = [
+            (i, op) for i, op in enumerate(history)
+            if op.is_write and op.predicate is not None
+        ]
+        for i, first_read in predicate_reads:
+            if not history.commits(first_read.txn):
+                continue
+            for j, write_op in predicate_writes:
+                if j <= i or write_op.txn == first_read.txn:
+                    continue
+                if write_op.predicate != first_read.predicate:
+                    continue
+                commit_index = history.terminal_index(write_op.txn)
+                if not history.commits(write_op.txn) or commit_index is None or commit_index < j:
+                    continue
+                for k, second_read in predicate_reads:
+                    if k <= commit_index:
+                        continue
+                    if second_read.txn != first_read.txn:
+                        continue
+                    if second_read.predicate != first_read.predicate:
+                        continue
+                    occurrences.append(Occurrence(
+                        phenomenon=self.code,
+                        transactions=(first_read.txn, write_op.txn),
+                        items=tuple(filter(None, [write_op.item])),
+                        indices=(i, j, k),
+                        description=(
+                            f"T{first_read.txn} re-evaluated predicate "
+                            f"{first_read.predicate} after a committed change by "
+                            f"T{write_op.txn}"
+                        ),
+                    ))
+        return occurrences
+
+
+class LostUpdate(Phenomenon):
+    """P4: ``r1[x]...w2[x]...w1[x]...c1``.
+
+    T1 reads an item, T2 updates it, then T1 (based on its stale read) updates
+    it and commits — T2's update is lost.  Section 4.1 uses P4 to place Cursor
+    Stability strictly between READ COMMITTED and REPEATABLE READ.
+    """
+
+    code = "P4"
+    name = "Lost Update"
+    interpretation = "broad"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        reads = _item_reads(history)
+        writes = _item_writes(history)
+        for i, read_op in reads:
+            if not history.commits(read_op.txn):
+                continue
+            for j, other_write in writes:
+                if j <= i or other_write.txn == read_op.txn or other_write.item != read_op.item:
+                    continue
+                for k, own_write in writes:
+                    if k <= j or own_write.txn != read_op.txn or own_write.item != read_op.item:
+                        continue
+                    occurrences.append(Occurrence(
+                        phenomenon=self.code,
+                        transactions=(read_op.txn, other_write.txn),
+                        items=(read_op.item,),
+                        indices=(i, j, k),
+                        description=(
+                            f"T{read_op.txn} overwrote {read_op.item} based on a read "
+                            f"that predates T{other_write.txn}'s update"
+                        ),
+                    ))
+        return occurrences
+
+
+class CursorLostUpdate(Phenomenon):
+    """P4C: ``rc1[x]...w2[x]...w1[x]...c1``.
+
+    The cursor form of Lost Update.  Cursor Stability holds a lock on the
+    current row of a cursor, so a read through a cursor followed by a write of
+    the same row cannot be interleaved with another transaction's write.
+    """
+
+    code = "P4C"
+    name = "Cursor Lost Update"
+    interpretation = "broad"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        cursor_reads = [
+            (i, op) for i, op in enumerate(history)
+            if op.kind is OperationKind.CURSOR_READ
+        ]
+        writes = _item_writes(history)
+        for i, read_op in cursor_reads:
+            if not history.commits(read_op.txn):
+                continue
+            for j, other_write in writes:
+                if j <= i or other_write.txn == read_op.txn or other_write.item != read_op.item:
+                    continue
+                for k, own_write in writes:
+                    if k <= j or own_write.txn != read_op.txn or own_write.item != read_op.item:
+                        continue
+                    occurrences.append(Occurrence(
+                        phenomenon=self.code,
+                        transactions=(read_op.txn, other_write.txn),
+                        items=(read_op.item,),
+                        indices=(i, j, k),
+                        description=(
+                            f"T{read_op.txn} lost T{other_write.txn}'s update to "
+                            f"{read_op.item} read through a cursor"
+                        ),
+                    ))
+        return occurrences
+
+
+class ReadSkew(Phenomenon):
+    """A5A: ``r1[x]...w2[x]...w2[y]...c2...r1[y]...(c1 or a1)`` with x ≠ y.
+
+    T1 reads x; T2 then updates both x and y and commits; T1 then reads y and
+    sees a state in which a constraint between x and y may not hold
+    (inconsistent analysis across two items).
+    """
+
+    code = "A5A"
+    name = "Read Skew"
+    interpretation = "strict"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        reads = _item_reads(history)
+        writes = _item_writes(history)
+        for i, first_read in reads:
+            for j, write_x in writes:
+                if j <= i or write_x.txn == first_read.txn or write_x.item != first_read.item:
+                    continue
+                if not history.commits(write_x.txn):
+                    continue
+                commit_index = history.terminal_index(write_x.txn)
+                if commit_index is None or commit_index < j:
+                    continue
+                for k, write_y in writes:
+                    if write_y.txn != write_x.txn or write_y.item == write_x.item:
+                        continue
+                    if not (i < k < commit_index or i < j < commit_index):
+                        continue
+                    for m, second_read in reads:
+                        if m <= commit_index or second_read.txn != first_read.txn:
+                            continue
+                        if second_read.item != write_y.item:
+                            continue
+                        occurrences.append(Occurrence(
+                            phenomenon=self.code,
+                            transactions=(first_read.txn, write_x.txn),
+                            items=(first_read.item, write_y.item),
+                            indices=(i, j, k, m),
+                            description=(
+                                f"T{first_read.txn} read {first_read.item} before and "
+                                f"{write_y.item} after T{write_x.txn}'s committed update "
+                                f"of both"
+                            ),
+                        ))
+        return occurrences
+
+
+class WriteSkew(Phenomenon):
+    """A5B: ``r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2 occur)`` with x ≠ y.
+
+    Each of two committed transactions reads an item that the other writes
+    afterwards.  Each preserves a constraint over {x, y} in isolation, but the
+    interleaving can violate it (history H5).  Snapshot Isolation admits A5B;
+    REPEATABLE READ does not (Remark 9).
+    """
+
+    code = "A5B"
+    name = "Write Skew"
+    interpretation = "strict"
+
+    def find(self, history: History) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        reads = _item_reads(history)
+        writes = _item_writes(history)
+        committed = history.committed_transactions()
+        for i, read_x in reads:
+            if read_x.txn not in committed:
+                continue
+            for j, write_x in writes:
+                if j <= i or write_x.txn == read_x.txn or write_x.item != read_x.item:
+                    continue
+                if write_x.txn not in committed:
+                    continue
+                t1, t2 = read_x.txn, write_x.txn
+                # Now look for the mirror-image dependency on a different item.
+                for k, read_y in reads:
+                    if read_y.txn != t2 or read_y.item == read_x.item:
+                        continue
+                    for m, write_y in writes:
+                        if m <= k or write_y.txn != t1 or write_y.item != read_y.item:
+                            continue
+                        occurrences.append(Occurrence(
+                            phenomenon=self.code,
+                            transactions=(t1, t2),
+                            items=(read_x.item, read_y.item),
+                            indices=(i, j, k, m),
+                            description=(
+                                f"T{t1} and T{t2} each read one of "
+                                f"{{{read_x.item}, {read_y.item}}} and wrote the other"
+                            ),
+                        ))
+        return occurrences
+
+
+# -- registry ---------------------------------------------------------------------
+
+P0_DIRTY_WRITE = DirtyWrite()
+P1_DIRTY_READ = DirtyRead()
+P2_FUZZY_READ = FuzzyRead()
+P3_PHANTOM = Phantom()
+A1_DIRTY_READ_STRICT = DirtyReadStrict()
+A2_FUZZY_READ_STRICT = FuzzyReadStrict()
+A3_PHANTOM_STRICT = PhantomStrict()
+P4_LOST_UPDATE = LostUpdate()
+P4C_CURSOR_LOST_UPDATE = CursorLostUpdate()
+A5A_READ_SKEW = ReadSkew()
+A5B_WRITE_SKEW = WriteSkew()
+
+#: Every detector defined by the paper, keyed by its code.
+ALL_PHENOMENA: Dict[str, Phenomenon] = {
+    detector.code: detector
+    for detector in (
+        P0_DIRTY_WRITE,
+        P1_DIRTY_READ,
+        P2_FUZZY_READ,
+        P3_PHANTOM,
+        A1_DIRTY_READ_STRICT,
+        A2_FUZZY_READ_STRICT,
+        A3_PHANTOM_STRICT,
+        P4_LOST_UPDATE,
+        P4C_CURSOR_LOST_UPDATE,
+        A5A_READ_SKEW,
+        A5B_WRITE_SKEW,
+    )
+}
+
+#: The broad phenomena of Remark 5 (plus P4/P4C used for the intermediate levels).
+BROAD_PHENOMENA: Tuple[Phenomenon, ...] = (
+    P0_DIRTY_WRITE, P1_DIRTY_READ, P2_FUZZY_READ, P3_PHANTOM,
+    P4_LOST_UPDATE, P4C_CURSOR_LOST_UPDATE,
+)
+
+#: The strict anomalies (ANSI A1–A3 and the constraint-violation anomalies A5A/A5B).
+STRICT_ANOMALIES: Tuple[Phenomenon, ...] = (
+    A1_DIRTY_READ_STRICT, A2_FUZZY_READ_STRICT, A3_PHANTOM_STRICT,
+    A5A_READ_SKEW, A5B_WRITE_SKEW,
+)
+
+
+def by_code(code: str) -> Phenomenon:
+    """Look up a detector by its paper code (case-insensitive)."""
+    try:
+        return ALL_PHENOMENA[code.upper()]
+    except KeyError:
+        raise KeyError(f"unknown phenomenon code: {code!r}") from None
+
+
+def detect_all(history: History,
+               codes: Optional[Iterable[str]] = None) -> Dict[str, List[Occurrence]]:
+    """Run every (or the selected) detectors over a history.
+
+    Returns a mapping from phenomenon code to the list of occurrences (which
+    may be empty).  Useful for building the anomaly matrices of Tables 1 and 4.
+    """
+    selected = (
+        [by_code(code) for code in codes] if codes is not None
+        else list(ALL_PHENOMENA.values())
+    )
+    return {detector.code: detector.find(history) for detector in selected}

@@ -1,0 +1,30 @@
+"""Execution machinery: engine interface, programs, schedule runner, outcomes."""
+
+from .interface import Engine, EngineError, OpResult, OpStatus, TransactionState
+from .outcomes import ExecutionOutcome, StepTrace
+from .programs import (
+    Abort,
+    CloseCursor,
+    Commit,
+    CursorUpdate,
+    DeleteRow,
+    Fetch,
+    InsertRow,
+    OpenCursor,
+    ReadItem,
+    SelectPredicate,
+    Step,
+    TransactionProgram,
+    UpdateRow,
+    WriteItem,
+)
+from .scheduler import ScheduleRunner, run_schedule
+
+__all__ = [
+    "Engine", "EngineError", "OpResult", "OpStatus", "TransactionState",
+    "ExecutionOutcome", "StepTrace",
+    "Abort", "CloseCursor", "Commit", "CursorUpdate", "DeleteRow", "Fetch",
+    "InsertRow", "OpenCursor", "ReadItem", "SelectPredicate", "Step",
+    "TransactionProgram", "UpdateRow", "WriteItem",
+    "ScheduleRunner", "run_schedule",
+]

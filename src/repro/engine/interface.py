@@ -1,0 +1,223 @@
+"""The concurrency-control engine interface shared by locking and MVCC engines.
+
+Every isolation level in the paper is realized as an *engine*: an object that
+accepts the actions of concurrently executing transactions (reads, writes,
+predicate selects, cursor fetches, commits, aborts) against a shared
+:class:`~repro.storage.database.Database` and decides, action by action,
+whether the action proceeds, blocks, or forces the transaction to abort.
+
+The interface is deliberately non-blocking in the threading sense: an action
+that cannot proceed returns :attr:`OpStatus.BLOCKED` together with the set of
+transactions it is waiting on, and the
+:class:`~repro.engine.scheduler.ScheduleRunner` decides when to retry it.
+That keeps the whole system deterministic (anomalies are properties of logical
+interleavings, not of wall-clock races) while still exercising the same
+decision logic a real scheduler would.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional
+
+from ..core.isolation import IsolationLevelName
+from ..storage.database import Database
+from ..storage.predicates import Predicate
+from ..storage.rows import Row
+
+__all__ = ["OpStatus", "OpResult", "TransactionState", "Engine", "EngineError"]
+
+
+class EngineError(RuntimeError):
+    """Raised for protocol violations (acting on an unknown or finished txn, ...)."""
+
+
+class OpStatus(enum.Enum):
+    """The outcome of submitting one action to an engine."""
+
+    OK = "ok"
+    BLOCKED = "blocked"
+    ABORTED = "aborted"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Result of one action.
+
+    ``value`` carries the value read (for reads / selects / fetches).
+    ``blockers`` names the transactions a BLOCKED action waits on.
+    ``version`` optionally records which version a multiversion read saw,
+    so that realized histories can be rendered as MV histories.
+    """
+
+    status: OpStatus
+    value: Any = None
+    blockers: FrozenSet[int] = frozenset()
+    reason: str = ""
+    version: Optional[int] = None
+    #: For cursor operations: the item the cursor is currently positioned on,
+    #: so the schedule runner can record ``rc``/``wc`` history operations.
+    item: Optional[str] = None
+
+    @classmethod
+    def ok(cls, value: Any = None, version: Optional[int] = None,
+           item: Optional[str] = None) -> "OpResult":
+        return cls(OpStatus.OK, value=value, version=version, item=item)
+
+    @classmethod
+    def blocked(cls, blockers: Iterable[int], reason: str = "") -> "OpResult":
+        return cls(OpStatus.BLOCKED, blockers=frozenset(blockers), reason=reason)
+
+    @classmethod
+    def aborted(cls, reason: str) -> "OpResult":
+        return cls(OpStatus.ABORTED, reason=reason)
+
+    @property
+    def is_ok(self) -> bool:
+        return self.status is OpStatus.OK
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.status is OpStatus.BLOCKED
+
+    @property
+    def is_aborted(self) -> bool:
+        return self.status is OpStatus.ABORTED
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle of a transaction inside an engine."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Engine:
+    """Base class for concurrency-control engines.
+
+    Subclasses implement one isolation level (or a family selected by a
+    policy).  All mutating entry points must be tolerant of being called with
+    an already-aborted transaction: they return an ABORTED result rather than
+    raising, because the schedule runner may race a program step against an
+    engine-initiated abort (deadlock victim, first-committer-wins failure).
+    """
+
+    #: A short display name, e.g. "Locking READ COMMITTED" or "Snapshot Isolation".
+    name: str = "engine"
+    #: The isolation level this engine implements.
+    level: IsolationLevelName = IsolationLevelName.SERIALIZABLE
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._states: Dict[int, TransactionState] = {}
+        self._abort_reasons: Dict[int, str] = {}
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def begin(self, txn: int) -> None:
+        """Register a new transaction."""
+        if txn in self._states and self._states[txn] is TransactionState.ACTIVE:
+            raise EngineError(f"transaction T{txn} already active")
+        self._states[txn] = TransactionState.ACTIVE
+
+    def commit(self, txn: int) -> OpResult:
+        """Attempt to commit; may return BLOCKED or ABORTED."""
+        raise NotImplementedError
+
+    def abort(self, txn: int, reason: str = "voluntary abort") -> OpResult:
+        """Abort a transaction, rolling back its effects."""
+        raise NotImplementedError
+
+    # -- data actions -----------------------------------------------------------------
+
+    def read(self, txn: int, item: str) -> OpResult:
+        """Read a named data item."""
+        raise NotImplementedError
+
+    def write(self, txn: int, item: str, value: Any) -> OpResult:
+        """Write a named data item."""
+        raise NotImplementedError
+
+    def select(self, txn: int, predicate: Predicate) -> OpResult:
+        """Read the set of rows satisfying a predicate (value = list of Rows)."""
+        raise NotImplementedError
+
+    def insert(self, txn: int, table: str, row: Row) -> OpResult:
+        """Insert a row into a table."""
+        raise NotImplementedError
+
+    def update_row(self, txn: int, table: str, key: str, changes: Dict[str, Any]) -> OpResult:
+        """Update attributes of an existing row."""
+        raise NotImplementedError
+
+    def delete_row(self, txn: int, table: str, key: str) -> OpResult:
+        """Delete a row."""
+        raise NotImplementedError
+
+    # -- cursor actions (Section 4.1) ----------------------------------------------------
+
+    def open_cursor(self, txn: int, cursor: str, items: List[str]) -> OpResult:
+        """Open a cursor ranging over a list of named items."""
+        raise NotImplementedError
+
+    def fetch(self, txn: int, cursor: str) -> OpResult:
+        """Advance the cursor to its next item and read it (the paper's ``rc``)."""
+        raise NotImplementedError
+
+    def cursor_update(self, txn: int, cursor: str, value: Any) -> OpResult:
+        """Write the current item of the cursor (the paper's ``wc``)."""
+        raise NotImplementedError
+
+    def close_cursor(self, txn: int, cursor: str) -> OpResult:
+        """Close a cursor, releasing any cursor-held locks."""
+        raise NotImplementedError
+
+    # -- bookkeeping shared by subclasses ---------------------------------------------------
+
+    def state_of(self, txn: int) -> TransactionState:
+        """The lifecycle state of a transaction."""
+        try:
+            return self._states[txn]
+        except KeyError:
+            raise EngineError(f"unknown transaction T{txn}") from None
+
+    def abort_reason(self, txn: int) -> Optional[str]:
+        """Why a transaction was aborted, when it was."""
+        return self._abort_reasons.get(txn)
+
+    def active_transactions(self) -> List[int]:
+        """Transactions currently active."""
+        return [
+            txn for txn, state in self._states.items()
+            if state is TransactionState.ACTIVE
+        ]
+
+    def is_active(self, txn: int) -> bool:
+        """True when the transaction has begun and not yet terminated."""
+        return self._states.get(txn) is TransactionState.ACTIVE
+
+    def _require_active(self, txn: int) -> Optional[OpResult]:
+        """Shared guard: a non-active transaction gets an ABORTED/errored result."""
+        state = self._states.get(txn)
+        if state is TransactionState.ACTIVE:
+            return None
+        if state is TransactionState.ABORTED:
+            return OpResult.aborted(self._abort_reasons.get(txn, "transaction aborted"))
+        if state is TransactionState.COMMITTED:
+            raise EngineError(f"transaction T{txn} already committed")
+        raise EngineError(f"transaction T{txn} never began")
+
+    def _mark_committed(self, txn: int) -> None:
+        self._states[txn] = TransactionState.COMMITTED
+
+    def _mark_aborted(self, txn: int, reason: str) -> None:
+        self._states[txn] = TransactionState.ABORTED
+        self._abort_reasons[txn] = reason

@@ -1,0 +1,107 @@
+"""Execution outcomes: everything a scenario needs to decide whether an anomaly occurred.
+
+Running a set of transaction programs under an engine produces an
+:class:`ExecutionOutcome`: the realized history (the actions that actually
+executed, in order), the final state of every transaction, the values each
+transaction observed, the final database, and the blocking / deadlock
+statistics.  Scenario ``manifests`` predicates and the performance benchmarks
+all consume this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.history import History
+from ..locking.deadlock import Deadlock
+from ..storage.database import Database
+from .interface import OpStatus, TransactionState
+
+__all__ = ["StepTrace", "ExecutionOutcome"]
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """One attempt at executing one step of one program."""
+
+    txn: int
+    step: str
+    status: OpStatus
+    value: Any = None
+    reason: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"T{self.txn} {self.step} -> {self.status.value}"
+
+
+@dataclass
+class ExecutionOutcome:
+    """The result of driving a set of programs to completion under an engine."""
+
+    #: Name of the engine that produced the outcome.
+    engine_name: str
+    #: The realized history: only actions that actually executed, in execution order.
+    history: History
+    #: Final lifecycle state per transaction.
+    statuses: Dict[int, TransactionState]
+    #: Per-transaction context: the values bound by ReadItem/Fetch/Select steps.
+    contexts: Dict[int, Dict[str, Any]]
+    #: The shared database after the run.
+    database: Database
+    #: Why each aborted transaction aborted.
+    abort_reasons: Dict[int, str] = field(default_factory=dict)
+    #: Number of step attempts that came back BLOCKED.
+    blocked_events: int = 0
+    #: Deadlocks detected (victim aborted for each).
+    deadlocks: List[Deadlock] = field(default_factory=list)
+    #: Every step attempt, in order (for debugging and fine-grained assertions).
+    traces: List[StepTrace] = field(default_factory=list)
+    #: True when the runner had to give up (no progress, no deadlock) — this
+    #: indicates a bug in an engine or a program and is asserted against in tests.
+    stalled: bool = False
+
+    # -- convenience queries --------------------------------------------------------
+
+    def committed(self, txn: int) -> bool:
+        """True when the transaction committed."""
+        return self.statuses.get(txn) is TransactionState.COMMITTED
+
+    def aborted(self, txn: int) -> bool:
+        """True when the transaction aborted (voluntarily or not)."""
+        return self.statuses.get(txn) is TransactionState.ABORTED
+
+    def all_committed(self, *txns: int) -> bool:
+        """True when every listed transaction (or every transaction) committed."""
+        targets = txns or tuple(self.statuses)
+        return all(self.committed(txn) for txn in targets)
+
+    def committed_transactions(self) -> List[int]:
+        """The transactions that committed."""
+        return [txn for txn in self.statuses if self.committed(txn)]
+
+    def observed(self, txn: int, variable: str, default: Any = None) -> Any:
+        """The value a transaction bound to a context variable, if any."""
+        return self.contexts.get(txn, {}).get(variable, default)
+
+    def reads_observed(self, txn: int) -> Dict[str, Any]:
+        """All context bindings of a transaction."""
+        return dict(self.contexts.get(txn, {}))
+
+    def blocked(self) -> bool:
+        """True when any step attempt was ever blocked."""
+        return self.blocked_events > 0
+
+    def deadlocked(self) -> bool:
+        """True when at least one deadlock was detected."""
+        return bool(self.deadlocks)
+
+    def summary(self) -> str:
+        """A one-line, human-readable summary (used by examples)."""
+        states = ", ".join(
+            f"T{txn}={state.value}" for txn, state in sorted(self.statuses.items())
+        )
+        return (
+            f"[{self.engine_name}] {states}; blocked={self.blocked_events}; "
+            f"deadlocks={len(self.deadlocks)}; history={self.history.to_shorthand()}"
+        )

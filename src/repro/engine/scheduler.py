@@ -1,0 +1,257 @@
+"""The schedule runner: deterministic interleaved execution of transaction programs.
+
+The runner is the reproduction's stand-in for "several clients hitting the
+database at once".  It takes an engine, a set of
+:class:`~repro.engine.programs.TransactionProgram` objects, and an optional
+*interleaving* — a sequence of transaction ids saying whose step should be
+attempted next — and drives every program to completion:
+
+* A step whose engine call returns OK advances that program's program counter
+  and is recorded into the realized history.
+* A BLOCKED step leaves the program counter where it is; the blocking
+  transactions are recorded in the waits-for graph and the step is retried the
+  next time the transaction is scheduled.
+* Deadlocks are detected on the waits-for graph after every blocked attempt;
+  the victim is aborted through the engine and its remaining steps are skipped.
+* An ABORTED result (engine-initiated: first-committer-wins failure, cursor
+  conflict, deadlock victim) terminates that program immediately.
+
+After the explicit interleaving is exhausted, remaining steps are drained
+round-robin, so an interleaving only needs to pin down the order of the
+*interesting* prefix of the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.history import History
+from ..core.operations import Operation, OperationKind
+from ..locking.deadlock import Deadlock, WaitsForGraph
+from .interface import Engine, OpResult, OpStatus, TransactionState
+from .outcomes import ExecutionOutcome, StepTrace
+from .programs import (
+    Abort,
+    Commit,
+    CursorUpdate,
+    DeleteRow,
+    Fetch,
+    InsertRow,
+    ReadItem,
+    SelectPredicate,
+    Step,
+    TransactionProgram,
+    UpdateRow,
+    WriteItem,
+)
+
+__all__ = ["ScheduleRunner", "run_schedule"]
+
+
+@dataclass
+class _ProgramState:
+    """The runner's bookkeeping for one program."""
+
+    program: TransactionProgram
+    counter: int = 0
+    finished: bool = False
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def txn(self) -> int:
+        return self.program.txn
+
+    @property
+    def current_step(self) -> Step:
+        return self.program.steps[self.counter]
+
+    @property
+    def exhausted(self) -> bool:
+        return self.counter >= len(self.program.steps)
+
+
+class ScheduleRunner:
+    """Drives a set of programs through an engine under a chosen interleaving."""
+
+    def __init__(self, engine: Engine, programs: Sequence[TransactionProgram],
+                 interleaving: Optional[Sequence[int]] = None,
+                 max_attempts: Optional[int] = None):
+        if not programs:
+            raise ValueError("at least one transaction program is required")
+        txns = [program.txn for program in programs]
+        if len(set(txns)) != len(txns):
+            raise ValueError("transaction identifiers must be unique")
+        self.engine = engine
+        self._states = {program.txn: _ProgramState(program) for program in programs}
+        self._order = list(txns)
+        self._interleaving = list(interleaving) if interleaving is not None else []
+        total_steps = sum(len(program) for program in programs)
+        self._max_attempts = max_attempts or (total_steps * 20 + 100)
+        self._waits = WaitsForGraph()
+        self._operations: List[Operation] = []
+        self._traces: List[StepTrace] = []
+        self._blocked_events = 0
+        self._deadlocks: List[Deadlock] = []
+        self._abort_reasons: Dict[int, str] = {}
+        self._stalled = False
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self) -> ExecutionOutcome:
+        """Execute every program to completion and return the outcome."""
+        for state in self._states.values():
+            self.engine.begin(state.txn)
+
+        attempts = 0
+        # Phase 1: the explicit interleaving.
+        for txn in self._interleaving:
+            if attempts >= self._max_attempts:
+                break
+            attempts += self._attempt(txn)
+
+        # Phase 2: drain remaining work round-robin until done or stuck.
+        while not self._all_finished() and attempts < self._max_attempts:
+            progressed = False
+            for txn in self._order:
+                if attempts >= self._max_attempts:
+                    break
+                made = self._attempt(txn)
+                attempts += made
+                if made and not self._is_blocked_state(txn):
+                    progressed = True
+            if not progressed:
+                if not self._resolve_deadlock():
+                    self._stalled = True
+                    break
+
+        return self._build_outcome()
+
+    # -- single-step execution -----------------------------------------------------------
+
+    def _attempt(self, txn: int) -> int:
+        """Try to execute the next step of a transaction.  Returns 1 if an
+        engine call was made (whatever its outcome), 0 if nothing to do."""
+        state = self._states.get(txn)
+        if state is None or state.finished or state.exhausted:
+            return 0
+        step = state.current_step
+        result = step.perform(self.engine, txn, state.context)
+        self._traces.append(
+            StepTrace(txn, step.describe(), result.status, result.value, result.reason)
+        )
+
+        if result.is_blocked:
+            self._blocked_events += 1
+            self._waits.set_waits(txn, result.blockers)
+            self._resolve_deadlock()
+            return 1
+
+        self._waits.clear_waits(txn)
+
+        if result.is_aborted:
+            self._record_abort(txn, result.reason or "engine abort")
+            state.finished = True
+            self._waits.remove_transaction(txn)
+            return 1
+
+        # OK: record the realized operation and advance.
+        operation = self._to_operation(txn, step, result)
+        if operation is not None:
+            self._operations.append(operation)
+        state.counter += 1
+        if isinstance(step, (Commit, Abort)) or state.exhausted:
+            state.finished = True
+            self._waits.remove_transaction(txn)
+            if isinstance(step, Abort):
+                self._abort_reasons.setdefault(txn, "program abort")
+        return 1
+
+    def _is_blocked_state(self, txn: int) -> bool:
+        return txn in self._waits.waiting()
+
+    def _resolve_deadlock(self) -> bool:
+        """Detect a deadlock and abort its victim.  Returns True if one was broken."""
+        deadlock = self._waits.detect()
+        if deadlock is None:
+            return False
+        self._deadlocks.append(deadlock)
+        victim = deadlock.victim
+        self.engine.abort(victim, reason="deadlock victim")
+        self._record_abort(victim, "deadlock victim")
+        state = self._states.get(victim)
+        if state is not None:
+            state.finished = True
+        self._waits.remove_transaction(victim)
+        return True
+
+    def _record_abort(self, txn: int, reason: str) -> None:
+        self._abort_reasons[txn] = reason
+        already_terminated = any(
+            op.txn == txn and op.is_terminal for op in self._operations
+        )
+        if not already_terminated:
+            self._operations.append(Operation(OperationKind.ABORT, txn))
+
+    # -- translation to history operations --------------------------------------------------
+
+    def _to_operation(self, txn: int, step: Step, result: OpResult) -> Optional[Operation]:
+        """Map a completed step to the history operation it realizes."""
+        if isinstance(step, ReadItem):
+            return Operation(OperationKind.READ, txn, item=step.item,
+                             value=result.value, version=result.version)
+        if isinstance(step, WriteItem):
+            return Operation(OperationKind.WRITE, txn, item=step.item,
+                             value=result.value, version=result.version)
+        if isinstance(step, SelectPredicate):
+            return Operation(OperationKind.PREDICATE_READ, txn,
+                             predicate=step.predicate.name)
+        if isinstance(step, InsertRow):
+            return Operation(OperationKind.WRITE, txn, item=result.item,
+                             version=result.version)
+        if isinstance(step, (UpdateRow, DeleteRow)):
+            return Operation(OperationKind.WRITE, txn,
+                             item=f"{step.table}/{step.key}", version=result.version)
+        if isinstance(step, Fetch):
+            return Operation(OperationKind.CURSOR_READ, txn, item=result.item,
+                             value=result.value, version=result.version)
+        if isinstance(step, CursorUpdate):
+            return Operation(OperationKind.CURSOR_WRITE, txn, item=result.item,
+                             value=result.value, version=result.version)
+        if isinstance(step, Commit):
+            return Operation(OperationKind.COMMIT, txn)
+        if isinstance(step, Abort):
+            return Operation(OperationKind.ABORT, txn)
+        # OpenCursor / CloseCursor do not appear in histories.
+        return None
+
+    # -- finishing -----------------------------------------------------------------------------
+
+    def _all_finished(self) -> bool:
+        return all(state.finished or state.exhausted for state in self._states.values())
+
+    def _build_outcome(self) -> ExecutionOutcome:
+        statuses: Dict[int, TransactionState] = {}
+        for txn in self._order:
+            try:
+                statuses[txn] = self.engine.state_of(txn)
+            except Exception:  # pragma: no cover - defensive
+                statuses[txn] = TransactionState.ACTIVE
+        return ExecutionOutcome(
+            engine_name=self.engine.name,
+            history=History(self._operations),
+            statuses=statuses,
+            contexts={txn: dict(state.context) for txn, state in self._states.items()},
+            database=self.engine.database,
+            abort_reasons=dict(self._abort_reasons),
+            blocked_events=self._blocked_events,
+            deadlocks=list(self._deadlocks),
+            traces=list(self._traces),
+            stalled=self._stalled,
+        )
+
+
+def run_schedule(engine: Engine, programs: Sequence[TransactionProgram],
+                 interleaving: Optional[Sequence[int]] = None) -> ExecutionOutcome:
+    """Convenience wrapper: build a :class:`ScheduleRunner` and run it."""
+    return ScheduleRunner(engine, programs, interleaving).run()

@@ -1,0 +1,24 @@
+"""Lock-based concurrency control: Table 2 of the paper."""
+
+from .modes import (
+    ItemTarget,
+    LockDuration,
+    LockMode,
+    LockTarget,
+    PredicateTarget,
+    RowTarget,
+    modes_conflict,
+)
+from .lock_manager import HeldLock, LockManager, LockRequestResult
+from .deadlock import Deadlock, WaitsForGraph
+from .policy import POLICIES, LockRule, LockingPolicy, policy_for
+from .engine import CursorState, LockingEngine
+
+__all__ = [
+    "ItemTarget", "LockDuration", "LockMode", "LockTarget", "PredicateTarget",
+    "RowTarget", "modes_conflict",
+    "HeldLock", "LockManager", "LockRequestResult",
+    "Deadlock", "WaitsForGraph",
+    "POLICIES", "LockRule", "LockingPolicy", "policy_for",
+    "CursorState", "LockingEngine",
+]

@@ -1,0 +1,190 @@
+"""The lock manager: granted-lock table, conflict detection, upgrades.
+
+"If a transaction holds a lock, and another transaction requests a conflicting
+lock, then the new lock request is not granted until the former transaction's
+conflicting lock has been released." (Section 2.3.)
+
+The manager is deliberately *non-queueing*: a conflicting request returns a
+:class:`LockRequestResult` naming the blocking transactions, and the schedule
+runner is responsible for retrying the operation later and for feeding the
+waits-for graph used by deadlock detection.  This keeps the manager a pure
+state machine over the granted-lock table, which makes it easy to test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .modes import (
+    ItemTarget,
+    LockDuration,
+    LockMode,
+    LockTarget,
+    PredicateTarget,
+    RowTarget,
+    modes_conflict,
+)
+
+__all__ = ["HeldLock", "LockRequestResult", "LockManager"]
+
+
+@dataclass
+class HeldLock:
+    """One granted lock."""
+
+    txn: int
+    target: LockTarget
+    mode: LockMode
+    duration: LockDuration
+    #: For CURSOR-duration locks, the cursor that holds the lock.
+    cursor: Optional[str] = None
+
+    def describe(self) -> str:
+        """Human-readable rendering for diagnostics."""
+        extra = f" via cursor {self.cursor}" if self.cursor else ""
+        return f"T{self.txn} {self.mode}-{self.duration} on {self.target}{extra}"
+
+
+@dataclass(frozen=True)
+class LockRequestResult:
+    """Outcome of a lock request."""
+
+    granted: bool
+    #: Transactions holding conflicting locks (empty when granted).
+    blockers: FrozenSet[int] = frozenset()
+
+    @classmethod
+    def ok(cls) -> "LockRequestResult":
+        return cls(granted=True)
+
+    @classmethod
+    def blocked(cls, blockers: Iterable[int]) -> "LockRequestResult":
+        return cls(granted=False, blockers=frozenset(blockers))
+
+
+class LockManager:
+    """Tracks granted locks and answers (non-blocking) lock requests."""
+
+    def __init__(self) -> None:
+        self._locks: List[HeldLock] = []
+        #: Cumulative count of requests that came back blocked (for benchmarks).
+        self.blocked_requests = 0
+
+    # -- queries ----------------------------------------------------------------
+
+    def locks_of(self, txn: int) -> List[HeldLock]:
+        """All locks currently held by a transaction."""
+        return [lock for lock in self._locks if lock.txn == txn]
+
+    def holders(self, target: LockTarget, mode: LockMode = LockMode.SHARED) -> Set[int]:
+        """Transactions holding locks that would conflict with (target, mode)."""
+        return {
+            lock.txn
+            for lock in self._locks
+            if lock.target.overlaps(target) and modes_conflict(lock.mode, mode)
+        }
+
+    def held_by(self, txn: int, target: LockTarget,
+                minimum: LockMode = LockMode.SHARED) -> bool:
+        """True when the transaction already holds a sufficient lock on the target."""
+        for lock in self._locks:
+            if lock.txn != txn or lock.target.key() != target.key():
+                continue
+            if minimum is LockMode.SHARED or lock.mode is LockMode.EXCLUSIVE:
+                return True
+        return False
+
+    def all_locks(self) -> List[HeldLock]:
+        """Every granted lock (a copy)."""
+        return list(self._locks)
+
+    # -- acquisition ---------------------------------------------------------------
+
+    def request(self, txn: int, target: LockTarget, mode: LockMode,
+                duration: LockDuration, cursor: Optional[str] = None) -> LockRequestResult:
+        """Request a lock.
+
+        Grants immediately when no *other* transaction holds a conflicting
+        lock; otherwise reports the blockers.  A transaction's own locks never
+        block it — re-requests and Share→Exclusive upgrades are handled by
+        strengthening the existing entry.
+        """
+        blockers = {
+            lock.txn
+            for lock in self._locks
+            if lock.txn != txn
+            and lock.target.overlaps(target)
+            and modes_conflict(lock.mode, mode)
+        }
+        if blockers:
+            self.blocked_requests += 1
+            return LockRequestResult.blocked(blockers)
+
+        existing = self._find(txn, target)
+        if existing is not None:
+            # Upgrade mode and extend duration rather than duplicating.
+            if mode is LockMode.EXCLUSIVE:
+                existing.mode = LockMode.EXCLUSIVE
+            existing.duration = _stronger_duration(existing.duration, duration)
+            if cursor is not None:
+                existing.cursor = cursor
+            return LockRequestResult.ok()
+
+        self._locks.append(HeldLock(txn, target, mode, duration, cursor))
+        return LockRequestResult.ok()
+
+    def _find(self, txn: int, target: LockTarget) -> Optional[HeldLock]:
+        for lock in self._locks:
+            if lock.txn == txn and lock.target.key() == target.key():
+                return lock
+        return None
+
+    # -- release -------------------------------------------------------------------------
+
+    def release(self, txn: int, target: LockTarget) -> None:
+        """Release one transaction's lock on a specific target (if held)."""
+        self._locks = [
+            lock for lock in self._locks
+            if not (lock.txn == txn and lock.target.key() == target.key())
+        ]
+
+    def release_short(self, txn: int) -> None:
+        """Release every SHORT-duration lock held by a transaction.
+
+        The engines call this after each action completes, which is what
+        "short duration" means in Table 2.
+        """
+        self._locks = [
+            lock for lock in self._locks
+            if not (lock.txn == txn and lock.duration is LockDuration.SHORT)
+        ]
+
+    def release_cursor(self, txn: int, cursor: str) -> None:
+        """Release CURSOR-duration locks held through a specific cursor.
+
+        Called when the cursor moves to another row or closes.  Locks that
+        were upgraded to LONG (e.g. because the fetched row was updated) are
+        not affected.
+        """
+        self._locks = [
+            lock for lock in self._locks
+            if not (
+                lock.txn == txn
+                and lock.duration is LockDuration.CURSOR
+                and lock.cursor == cursor
+            )
+        ]
+
+    def release_all(self, txn: int) -> None:
+        """Release every lock of a transaction (at commit or abort)."""
+        self._locks = [lock for lock in self._locks if lock.txn != txn]
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+
+def _stronger_duration(current: LockDuration, requested: LockDuration) -> LockDuration:
+    """Keep the longer of two durations when re-requesting a held lock."""
+    order = {LockDuration.SHORT: 0, LockDuration.CURSOR: 1, LockDuration.LONG: 2}
+    return current if order[current] >= order[requested] else requested

@@ -1,0 +1,149 @@
+"""Lock modes, durations, and lock targets (items, rows, predicates).
+
+Table 2 of the paper characterizes each locking isolation level by three
+dimensions of its locks: *scope* (data items vs predicates), *mode* (Read /
+Share vs Write / Exclusive), and *duration* (short — released when the action
+completes — vs long — held until commit or abort).  Cursor Stability adds a
+fourth duration: a read lock held while the item is the *current of cursor*.
+
+This module defines those vocabularies plus the lock-target hierarchy used by
+the lock manager.  Targets know how to detect overlap with each other,
+including the phantom-aware overlap between a row write and a predicate lock
+(Section 2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..storage.predicates import Predicate
+from ..storage.rows import Row
+
+__all__ = [
+    "LockMode",
+    "LockDuration",
+    "LockTarget",
+    "ItemTarget",
+    "RowTarget",
+    "PredicateTarget",
+    "modes_conflict",
+]
+
+
+class LockMode(enum.Enum):
+    """Share (read) or Exclusive (write)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class LockDuration(enum.Enum):
+    """How long a lock is held.
+
+    * ``SHORT`` — released as soon as the action completes.
+    * ``LONG`` — held until the transaction commits or aborts.
+    * ``CURSOR`` — held while the locked item is the current row of an open
+      cursor (Cursor Stability, Section 4.1); released when the cursor moves
+      on or closes.
+    """
+
+    SHORT = "short"
+    LONG = "long"
+    CURSOR = "cursor"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def modes_conflict(first: LockMode, second: LockMode) -> bool:
+    """Two locks by *different* transactions conflict unless both are Shared."""
+    return first is LockMode.EXCLUSIVE or second is LockMode.EXCLUSIVE
+
+
+class LockTarget:
+    """Base class for the thing a lock covers."""
+
+    def overlaps(self, other: "LockTarget") -> bool:
+        """True when the two targets can cover a common (possibly phantom) item."""
+        raise NotImplementedError
+
+    def key(self) -> Any:
+        """A hashable identity used to recognise re-requests of the same target."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ItemTarget(LockTarget):
+    """A lock on a named scalar data item (the paper's ``x``, ``y``, ``z``)."""
+
+    name: str
+
+    def overlaps(self, other: LockTarget) -> bool:
+        if isinstance(other, ItemTarget):
+            return self.name == other.name
+        return False
+
+    def key(self) -> Any:
+        return ("item", self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class RowTarget(LockTarget):
+    """A lock on one row of a table.
+
+    ``before`` and ``after`` carry the row images around a write so that
+    predicate locks can apply the paper's "would cause to satisfy" test.  For
+    pure reads both images are the row as read.
+    """
+
+    table: str
+    row_key: str
+    before: Optional[Row] = None
+    after: Optional[Row] = None
+
+    def overlaps(self, other: LockTarget) -> bool:
+        if isinstance(other, RowTarget):
+            return self.table == other.table and self.row_key == other.row_key
+        if isinstance(other, PredicateTarget):
+            return other.overlaps(self)
+        return False
+
+    def key(self) -> Any:
+        return ("row", self.table, self.row_key)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}/{self.row_key}"
+
+
+@dataclass(frozen=True)
+class PredicateTarget(LockTarget):
+    """A lock on every item (present or phantom) satisfying a predicate."""
+
+    predicate: Predicate
+
+    def overlaps(self, other: LockTarget) -> bool:
+        if isinstance(other, PredicateTarget):
+            return self.predicate.may_overlap(other.predicate)
+        if isinstance(other, RowTarget):
+            if other.table != self.predicate.table:
+                return False
+            before, after = other.before, other.after
+            if before is None and after is None:
+                # No image information: be conservative, same table may overlap.
+                return True
+            return self.predicate.covers_write(other.table, before, after)
+        return False
+
+    def key(self) -> Any:
+        return ("predicate", self.predicate.table, self.predicate.name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return str(self.predicate)

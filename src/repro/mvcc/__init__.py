@@ -1,0 +1,13 @@
+"""Multiversion concurrency control: Snapshot Isolation and Read Consistency."""
+
+from .timestamps import TimestampAuthority
+from .version_store import ItemVersion, RowVersion, VersionStore
+from .snapshot import SnapshotIsolationEngine
+from .read_consistency import ReadConsistencyEngine
+
+__all__ = [
+    "TimestampAuthority",
+    "ItemVersion", "RowVersion", "VersionStore",
+    "SnapshotIsolationEngine",
+    "ReadConsistencyEngine",
+]

@@ -1,0 +1,32 @@
+"""Timestamp authority for the multiversion engines.
+
+Section 4.2: a Snapshot Isolation transaction reads from the committed state
+as of its *Start-Timestamp* and, when it is ready to commit, receives a
+*Commit-Timestamp* "larger than any existing Start-Timestamp or
+Commit-Timestamp".  A single monotonic counter provides both: the current
+value is the latest commit timestamp (new transactions adopt it as their start
+timestamp), and committing bumps it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TimestampAuthority"]
+
+
+class TimestampAuthority:
+    """A monotonic logical clock shared by the transactions of one engine."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._clock = start
+
+    def now(self) -> int:
+        """The latest commit timestamp issued so far (0 = initial state)."""
+        return self._clock
+
+    def next_commit(self) -> int:
+        """Issue a new commit timestamp, larger than everything issued before."""
+        self._clock += 1
+        return self._clock
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TimestampAuthority now={self._clock}>"

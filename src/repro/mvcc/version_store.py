@@ -1,0 +1,124 @@
+"""The multiversion store: committed versions of items and rows, by timestamp.
+
+"At any time, each data item might have multiple versions, created by active
+and committed transactions.  Reads by a transaction must choose the
+appropriate version." (Section 4.2.)  This store keeps, for every named item
+and every table row, the list of *committed* versions in commit-timestamp
+order; uncommitted writes live in the owning transaction's private write set
+inside the engine and are only installed here at commit.
+
+The store is initialized from a :class:`~repro.storage.database.Database`
+snapshot at timestamp 0, and the engines keep the database's "committed tip"
+in sync when they install new versions, so that constraint checks and final-
+state assertions work uniformly across locking and multiversion engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..storage.database import Database
+from ..storage.rows import Row
+
+__all__ = ["ItemVersion", "RowVersion", "VersionStore"]
+
+
+@dataclass(frozen=True)
+class ItemVersion:
+    """One committed version of a named item."""
+
+    value: Any
+    commit_ts: int
+    txn: Optional[int]  # None for the initial database state
+
+
+@dataclass(frozen=True)
+class RowVersion:
+    """One committed version of a table row (``row is None`` means deleted/absent)."""
+
+    row: Optional[Row]
+    commit_ts: int
+    txn: Optional[int]
+
+
+class VersionStore:
+    """Committed version chains for items and rows."""
+
+    def __init__(self, database: Database):
+        self._items: Dict[str, List[ItemVersion]] = {}
+        self._rows: Dict[Tuple[str, str], List[RowVersion]] = {}
+        self._tables: Dict[str, set] = {}
+        for name, value in database.items().items():
+            self._items[name] = [ItemVersion(value, 0, None)]
+        for table_name, table in database.tables().items():
+            self._tables[table_name] = set()
+            for row in table:
+                self._rows[(table_name, row.key)] = [RowVersion(row.copy(), 0, None)]
+                self._tables[table_name].add(row.key)
+
+    # -- items --------------------------------------------------------------------
+
+    def read_item(self, item: str, as_of: int) -> Tuple[Any, Optional[int]]:
+        """The value of an item visible at a timestamp, and its version index.
+
+        Returns ``(None, None)`` when the item has no version visible at the
+        timestamp (it never existed, or was created later).
+        """
+        versions = self._items.get(item, [])
+        visible_index: Optional[int] = None
+        for index, version in enumerate(versions):
+            if version.commit_ts <= as_of:
+                visible_index = index
+        if visible_index is None:
+            return None, None
+        return versions[visible_index].value, visible_index
+
+    def install_item(self, item: str, value: Any, commit_ts: int, txn: int) -> None:
+        """Append a new committed version of an item."""
+        self._items.setdefault(item, []).append(ItemVersion(value, commit_ts, txn))
+
+    def item_modified_since(self, item: str, since_ts: int) -> bool:
+        """True when some transaction committed a new version after ``since_ts``."""
+        return any(v.commit_ts > since_ts for v in self._items.get(item, []))
+
+    def item_versions(self, item: str) -> List[ItemVersion]:
+        """The full committed version chain of an item (oldest first)."""
+        return list(self._items.get(item, []))
+
+    # -- rows -----------------------------------------------------------------------
+
+    def visible_row(self, table: str, key: str, as_of: int) -> Optional[Row]:
+        """The row version visible at a timestamp (None when absent/deleted)."""
+        versions = self._rows.get((table, key), [])
+        visible: Optional[RowVersion] = None
+        for version in versions:
+            if version.commit_ts <= as_of:
+                visible = version
+        if visible is None or visible.row is None:
+            return None
+        return visible.row.copy()
+
+    def visible_rows(self, table: str, as_of: int) -> List[Row]:
+        """All rows of a table visible at a timestamp."""
+        rows: List[Row] = []
+        for key in sorted(self._tables.get(table, set())):
+            row = self.visible_row(table, key, as_of)
+            if row is not None:
+                rows.append(row)
+        return rows
+
+    def install_row(self, table: str, key: str, row: Optional[Row],
+                    commit_ts: int, txn: int) -> None:
+        """Append a new committed row version (``row=None`` records a delete)."""
+        stored = row.copy() if row is not None else None
+        self._rows.setdefault((table, key), []).append(RowVersion(stored, commit_ts, txn))
+        self._tables.setdefault(table, set()).add(key)
+
+    def row_modified_since(self, table: str, key: str, since_ts: int) -> bool:
+        """True when the row got a new committed version after ``since_ts``."""
+        return any(v.commit_ts > since_ts for v in self._rows.get((table, key), []))
+
+    def row_keys(self, table: str) -> List[str]:
+        """Every key that has ever had a version in the table."""
+        return sorted(self._tables.get(table, set()))

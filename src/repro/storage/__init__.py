@@ -1,0 +1,23 @@
+"""Storage substrate: items, rows, tables, predicates, constraints, recovery."""
+
+from .rows import Row, Table
+from .predicates import Predicate, attribute_equals, attribute_between, whole_table
+from .constraints import (
+    Constraint,
+    items_equal,
+    items_sum_at_least,
+    items_sum_equals,
+    predicate_count_matches_item,
+    predicate_sum_at_most,
+)
+from .database import Database, DatabaseSnapshot
+from .recovery import UndoLog, UndoRecord
+
+__all__ = [
+    "Row", "Table",
+    "Predicate", "attribute_equals", "attribute_between", "whole_table",
+    "Constraint", "items_equal", "items_sum_equals", "items_sum_at_least",
+    "predicate_count_matches_item", "predicate_sum_at_most",
+    "Database", "DatabaseSnapshot",
+    "UndoLog", "UndoRecord",
+]

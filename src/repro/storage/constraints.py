@@ -1,0 +1,109 @@
+"""Database constraints: the invariant predicate C(DB) of Section 4.2.
+
+The paper motivates Dirty Write (P0) and Write Skew (A5B) through constraints
+between data items: "Individual databases satisfy constraints over multiple
+data items ... Together they form the database invariant constraint predicate,
+C(DB)."  A transaction that reads or produces a state violating C(DB) suffers
+a constraint-violation anomaly (called *inconsistent analysis* in [DAT]).
+
+This module provides a small constraint framework plus factories for the
+constraints used by the paper's scenarios: ``x == y`` (the dirty-write
+example), ``x + y == total`` (the bank-transfer histories H1/H2),
+``x + y >= bound`` (the write-skew history H5), and predicate-extent/count
+consistency (the phantom history H3 and the task-hours example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .database import Database
+
+__all__ = [
+    "Constraint",
+    "items_equal",
+    "items_sum_equals",
+    "items_sum_at_least",
+    "predicate_count_matches_item",
+    "predicate_sum_at_most",
+]
+
+Check = Callable[["Database"], bool]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named invariant over the whole database."""
+
+    name: str
+    check: Check
+    description: str = ""
+
+    def holds(self, database: "Database") -> bool:
+        """True when the database currently satisfies the constraint."""
+        return bool(self.check(database))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def items_equal(first: str, second: str) -> Constraint:
+    """``first == second`` — the constraint of the paper's P0 example."""
+    return Constraint(
+        name=f"{first} == {second}",
+        check=lambda db: db.get_item(first) == db.get_item(second),
+        description="Dirty writes can interleave the two updates and break equality.",
+    )
+
+
+def items_sum_equals(items: Sequence[str], total: float) -> Constraint:
+    """``sum(items) == total`` — the bank-balance invariant of H1/H2."""
+    names = tuple(items)
+    return Constraint(
+        name=f"sum({', '.join(names)}) == {total}",
+        check=lambda db: sum(db.get_item(name, 0) for name in names) == total,
+        description="Transfers preserve the total; inconsistent analysis sees otherwise.",
+    )
+
+
+def items_sum_at_least(items: Sequence[str], bound: float) -> Constraint:
+    """``sum(items) >= bound`` — the write-skew invariant of H5 (bound 0)."""
+    names = tuple(items)
+    return Constraint(
+        name=f"sum({', '.join(names)}) >= {bound}",
+        check=lambda db: sum(db.get_item(name, 0) for name in names) >= bound,
+        description="Each transaction preserves the bound alone; write skew breaks it.",
+    )
+
+
+def predicate_count_matches_item(predicate, counter_item: str) -> Constraint:
+    """``count(rows matching predicate) == counter_item`` — the H3 invariant.
+
+    History H3 keeps a separate count ``z`` of active employees; the phantom
+    insert updates the count but T1's earlier predicate read no longer agrees
+    with it.
+    """
+    return Constraint(
+        name=f"count({predicate.name}) == {counter_item}",
+        check=lambda db: len(db.select(predicate)) == db.get_item(counter_item, 0),
+        description="A materialized count must match the predicate's extent.",
+    )
+
+
+def predicate_sum_at_most(predicate, attribute: str, bound: float) -> Constraint:
+    """``sum(attribute over rows matching predicate) <= bound``.
+
+    This is the Section 4.2 task-hours constraint ("a set of job tasks
+    determined by a predicate cannot have a sum of hours greater than 8")
+    that Snapshot Isolation fails to protect, because two transactions can
+    insert *different* rows and First-Committer-Wins never fires.
+    """
+    return Constraint(
+        name=f"sum({attribute} over {predicate.name}) <= {bound}",
+        check=lambda db: sum(
+            row.get(attribute, 0) for row in db.select(predicate)
+        ) <= bound,
+        description="Disjoint inserts under SI can overshoot the bound (P3).",
+    )

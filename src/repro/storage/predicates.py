@@ -1,0 +1,129 @@
+"""Predicates: ``<search condition>`` objects with phantom-aware coverage tests.
+
+Section 2.3 of the paper: a predicate lock on a ``<search condition>`` is
+effectively a lock on *all* data items satisfying the condition — including
+phantom items not currently in the database but that would satisfy the
+predicate if they were inserted, or if current items were updated to satisfy
+it.  Two predicate locks conflict if one is a write lock and there is a
+(possibly phantom) data item covered by both.
+
+A :class:`Predicate` here is a named, callable row condition bound to a table.
+Coverage of a concrete write is decided by testing the row's before-image and
+after-image against the condition, which is exactly the "would cause to
+satisfy" test the paper describes.  Predicate/predicate conflict falls back to
+a conservative same-table test unless both predicates expose attribute
+intervals that provably do not overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .rows import Row
+
+__all__ = ["Predicate", "attribute_equals", "attribute_between", "whole_table"]
+
+Condition = Callable[[Row], bool]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A named search condition over one table.
+
+    Attributes
+    ----------
+    name:
+        A label used in histories and lock tables (``"P"`` in the paper).
+    table:
+        The table the predicate ranges over.
+    condition:
+        A callable deciding whether a row satisfies the predicate.
+    attribute_ranges:
+        Optional map from attribute name to an inclusive ``(low, high)``
+        interval.  When two predicates on the same table both provide ranges
+        for some common attribute and the intervals are disjoint, the
+        predicates provably cannot cover a common (phantom) row, so their
+        locks do not conflict.  Without this information, conflicts are
+        decided conservatively (same table ⇒ possible overlap).
+    """
+
+    name: str
+    table: str
+    condition: Condition
+    attribute_ranges: Tuple[Tuple[str, Tuple[Any, Any]], ...] = ()
+
+    # -- row coverage -----------------------------------------------------------
+
+    def matches(self, row: Row) -> bool:
+        """True when the row currently satisfies the search condition."""
+        return bool(self.condition(row))
+
+    def covers_write(self, table: str, before: Optional[Row], after: Optional[Row]) -> bool:
+        """True when a write is covered by this predicate's (phantom-aware) scope.
+
+        ``before`` is the row image before the write (None for an insert) and
+        ``after`` the image after it (None for a delete).  The write is covered
+        when either image satisfies the condition — i.e. the write removes a
+        row from the predicate's extent, adds one to it, or modifies one
+        inside it.
+        """
+        if table != self.table:
+            return False
+        if before is not None and self.matches(before):
+            return True
+        if after is not None and self.matches(after):
+            return True
+        return False
+
+    # -- predicate/predicate overlap ----------------------------------------------
+
+    def may_overlap(self, other: "Predicate") -> bool:
+        """Conservative test for a common (possibly phantom) covered item.
+
+        Different tables never overlap.  If both predicates declare a range
+        for some shared attribute and those ranges are disjoint, they cannot
+        overlap.  Otherwise we must assume they may.
+        """
+        if self.table != other.table:
+            return False
+        mine = dict(self.attribute_ranges)
+        theirs = dict(other.attribute_ranges)
+        for attribute, (low, high) in mine.items():
+            if attribute not in theirs:
+                continue
+            other_low, other_high = theirs[attribute]
+            if high < other_low or other_high < low:
+                return False
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.table})"
+
+
+def attribute_equals(name: str, table: str, attribute: str, value: Any) -> Predicate:
+    """A predicate selecting rows whose ``attribute`` equals ``value``."""
+    return Predicate(
+        name=name,
+        table=table,
+        condition=lambda row: row.get(attribute) == value,
+        attribute_ranges=((attribute, (value, value)),),
+    )
+
+
+def attribute_between(name: str, table: str, attribute: str,
+                      low: Any, high: Any) -> Predicate:
+    """A predicate selecting rows with ``low <= attribute <= high``."""
+    return Predicate(
+        name=name,
+        table=table,
+        condition=lambda row: (
+            row.get(attribute) is not None and low <= row.get(attribute) <= high
+        ),
+        attribute_ranges=((attribute, (low, high)),),
+    )
+
+
+def whole_table(name: str, table: str) -> Predicate:
+    """A predicate covering every (present or phantom) row of a table."""
+    return Predicate(name=name, table=table, condition=lambda row: True)

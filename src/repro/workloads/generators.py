@@ -1,0 +1,150 @@
+"""Randomized workload generation: histories for the hierarchy analysis and
+transaction programs for the Snapshot-Isolation-vs-locking benchmarks.
+
+Two kinds of artifacts are generated, both fully deterministic given a seed:
+
+* **Histories** (:func:`random_history`, :func:`history_corpus`) — syntactic
+  interleavings of reads/writes/commits/aborts over a small item space.  These
+  feed the phenomenon-based analyses: the Table 1 / Table 3 matrices and the
+  empirical level comparisons of Figure 2, where what matters is the *space of
+  possible histories*, not any particular engine execution.
+* **Programs** (:func:`random_programs`, :func:`contention_workload`) — sets of
+  read/write transaction programs with controllable contention, used to drive
+  the engines and measure blocking and abort behaviour (the Section 4.2/4.3
+  performance discussion).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.history import History
+from ..core.operations import Operation, OperationKind
+from ..engine.programs import Commit, ReadItem, TransactionProgram, WriteItem
+from ..storage.database import Database
+
+__all__ = [
+    "random_history",
+    "history_corpus",
+    "random_programs",
+    "contention_workload",
+    "uniform_database",
+]
+
+
+def random_history(rng: random.Random, transactions: int = 3, items: int = 3,
+                   operations_per_transaction: int = 3,
+                   abort_probability: float = 0.1,
+                   write_probability: float = 0.5) -> History:
+    """One random complete single-version history.
+
+    Each transaction performs a random sequence of reads and writes over a
+    shared item space, then commits or aborts.  The per-transaction sequences
+    are interleaved uniformly at random.
+    """
+    item_names = [chr(ord("x") + i) if i < 3 else f"v{i}" for i in range(items)]
+    per_txn: Dict[int, List[Operation]] = {}
+    for txn in range(1, transactions + 1):
+        ops: List[Operation] = []
+        for _ in range(operations_per_transaction):
+            item = rng.choice(item_names)
+            if rng.random() < write_probability:
+                ops.append(Operation(OperationKind.WRITE, txn, item=item))
+            else:
+                ops.append(Operation(OperationKind.READ, txn, item=item))
+        terminal = (OperationKind.ABORT if rng.random() < abort_probability
+                    else OperationKind.COMMIT)
+        ops.append(Operation(terminal, txn))
+        per_txn[txn] = ops
+
+    # Interleave: repeatedly pick a transaction that still has operations left.
+    merged: List[Operation] = []
+    remaining = {txn: list(ops) for txn, ops in per_txn.items()}
+    while remaining:
+        txn = rng.choice(sorted(remaining))
+        merged.append(remaining[txn].pop(0))
+        if not remaining[txn]:
+            del remaining[txn]
+    return History(merged)
+
+
+def history_corpus(seed: int = 0, count: int = 200, transactions: int = 3,
+                   items: int = 3, operations_per_transaction: int = 3,
+                   abort_probability: float = 0.1,
+                   write_probability: float = 0.5) -> List[History]:
+    """A reproducible corpus of random histories (plus nothing else).
+
+    The analyses that use this corpus typically concatenate it with the
+    catalogued paper histories so that the known distinguishing examples (H1,
+    H2, H3, H4, H5) are always present.
+    """
+    rng = random.Random(seed)
+    return [
+        random_history(rng, transactions, items, operations_per_transaction,
+                       abort_probability, write_probability)
+        for _ in range(count)
+    ]
+
+
+def uniform_database(items: int = 10, initial_value: float = 100) -> Database:
+    """A database of ``items`` accounts, each holding ``initial_value``."""
+    database = Database()
+    for index in range(items):
+        database.set_item(f"a{index}", initial_value)
+    return database
+
+
+def random_programs(rng: random.Random, transactions: int = 8, items: int = 10,
+                    operations_per_transaction: int = 4,
+                    read_only_fraction: float = 0.5,
+                    hot_items: Optional[int] = None) -> List[TransactionProgram]:
+    """Random read/write transaction programs over the :func:`uniform_database` items.
+
+    ``read_only_fraction`` of the transactions only read; the rest perform
+    read-modify-write increments.  ``hot_items`` restricts the writers to the
+    first N items, which is how the contention benchmarks dial contention up
+    and down.
+    """
+    item_names = [f"a{index}" for index in range(items)]
+    hot = item_names[: hot_items or items]
+    programs: List[TransactionProgram] = []
+    for txn in range(1, transactions + 1):
+        read_only = rng.random() < read_only_fraction
+        steps = []
+        pool = item_names if read_only else hot
+        for _ in range(operations_per_transaction):
+            item = rng.choice(pool)
+            if read_only:
+                steps.append(ReadItem(item, into=f"{item}_seen"))
+            else:
+                steps.append(ReadItem(item))
+                steps.append(
+                    WriteItem(item, (lambda name: (lambda ctx: ctx[name] + 1))(item))
+                )
+        steps.append(Commit())
+        label = "reader" if read_only else "writer"
+        programs.append(TransactionProgram(txn, steps, label=f"{label}-{txn}"))
+    return programs
+
+
+def contention_workload(seed: int, transactions: int, items: int,
+                        hot_items: int, read_only_fraction: float,
+                        operations_per_transaction: int = 3,
+                        ) -> Tuple[Database, List[TransactionProgram], List[int]]:
+    """Database + programs + a random interleaving for the contention benchmarks."""
+    rng = random.Random(seed)
+    database = uniform_database(items)
+    programs = random_programs(
+        rng,
+        transactions=transactions,
+        items=items,
+        operations_per_transaction=operations_per_transaction,
+        read_only_fraction=read_only_fraction,
+        hot_items=hot_items,
+    )
+    slots: List[int] = []
+    for program in programs:
+        slots.extend([program.txn] * len(program.steps))
+    rng.shuffle(slots)
+    return database, programs, slots

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.rows import Row
+
+
+@pytest.fixture
+def bank_database() -> Database:
+    """Two accounts whose balances sum to 100 (the H1/H2 setting)."""
+    database = Database()
+    database.set_item("x", 50)
+    database.set_item("y", 50)
+    return database
+
+
+@pytest.fixture
+def employees_database() -> Database:
+    """A small employees table plus a materialized active-employee count."""
+    database = Database()
+    database.create_table("employees", [
+        Row("e1", {"name": "Ada", "active": True}),
+        Row("e2", {"name": "Grace", "active": True}),
+        Row("e3", {"name": "Edsger", "active": False}),
+    ])
+    database.set_item("z", 2)
+    return database
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random source."""
+    return random.Random(12345)

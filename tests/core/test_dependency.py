@@ -1,0 +1,109 @@
+"""Unit tests for dependency graphs and serializability (repro.core.dependency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependency import (
+    build_dependency_graph,
+    equivalent_serial_orders,
+    histories_equivalent,
+    is_serializable,
+)
+from repro.core.history import parse_history
+
+
+class TestDependencyGraph:
+    def test_serial_history_has_acyclic_graph(self):
+        history = parse_history("r1[x] w1[x] c1 r2[x] w2[x] c2")
+        graph = build_dependency_graph(history)
+        assert graph.is_acyclic()
+        assert graph.topological_order() == [1, 2]
+
+    def test_edges_are_labelled_by_kind(self):
+        history = parse_history("w1[x] c1 r2[x] w2[x] c2")
+        graph = build_dependency_graph(history)
+        kinds = {edge.kind for edge in graph.edges_between(1, 2)}
+        assert kinds == {"wr", "ww"}
+
+    def test_rw_edge_detected(self):
+        history = parse_history("r1[x] c1 w2[x] c2")
+        graph = build_dependency_graph(history)
+        assert {edge.kind for edge in graph.edges_between(1, 2)} == {"rw"}
+
+    def test_cycle_is_reported(self):
+        history = parse_history("r1[x] r2[y] w2[x] w1[y] c1 c2")
+        graph = build_dependency_graph(history)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+        assert graph.topological_order() is None
+
+    def test_only_committed_transactions_are_nodes(self):
+        history = parse_history("w1[x] r2[x] a1 c2")
+        graph = build_dependency_graph(history)
+        assert graph.nodes == [2]
+        assert not graph.edges
+
+    def test_uncommitted_included_when_requested(self):
+        history = parse_history("w1[x] r2[x] c2")
+        graph = build_dependency_graph(history, committed_only=False)
+        assert set(graph.nodes) == {1, 2}
+        assert graph.edges_between(1, 2)
+
+    def test_all_topological_orders(self):
+        history = parse_history("r1[x] c1 r2[y] c2")
+        graph = build_dependency_graph(history)
+        orders = graph.all_topological_orders()
+        assert sorted(orders) == [[1, 2], [2, 1]]
+
+
+class TestSerializability:
+    @pytest.mark.parametrize("name, text, expected", [
+        ("H1", "r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1", False),
+        ("H2", "r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1", False),
+        ("H4", "r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1", False),
+        ("H5", "r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2", False),
+        ("serial", "r1[x] w1[y] c1 r2[y] w2[x] c2", True),
+        ("read-only overlap", "r1[x] r2[x] c1 c2", True),
+    ])
+    def test_paper_and_simple_histories(self, name, text, expected):
+        assert is_serializable(parse_history(text, name=name)) is expected
+
+    def test_phantom_history_h3_is_not_serializable(self):
+        history = parse_history("r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1")
+        assert not is_serializable(history)
+
+    def test_equivalent_serial_orders_for_serializable_history(self):
+        history = parse_history("r1[x] r2[x] w1[y] c1 c2")
+        orders = equivalent_serial_orders(history)
+        assert [1, 2] in orders or [2, 1] in orders
+        assert orders  # at least one witness order exists
+
+
+class TestEquivalence:
+    def test_history_equivalent_to_itself(self):
+        history = parse_history("r1[x] w2[x] c1 c2")
+        assert histories_equivalent(history, history)
+
+    def test_reordering_non_conflicting_ops_preserves_equivalence(self):
+        first = parse_history("r1[x] w2[y] c1 c2")
+        second = parse_history("w2[y] r1[x] c2 c1")
+        assert histories_equivalent(first, second)
+
+    def test_reordering_conflicting_ops_breaks_equivalence(self):
+        first = parse_history("w1[x] w2[x] c1 c2")
+        second = parse_history("w2[x] w1[x] c2 c1")
+        assert not histories_equivalent(first, second)
+
+    def test_different_committed_sets_are_not_equivalent(self):
+        first = parse_history("w1[x] c1 w2[y] c2")
+        second = parse_history("w1[x] c1 w2[y] a2")
+        assert not histories_equivalent(first, second)
+
+    def test_paper_mapping_h1si_sv_is_equivalent_to_serial_t2_t1(self):
+        mapped = parse_history(
+            "r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1")
+        serial = parse_history(
+            "r2[x=50] r2[y=50] c2 r1[x=50] r1[y=50] w1[x=10] w1[y=90] c1")
+        assert histories_equivalent(mapped, serial)

@@ -1,0 +1,130 @@
+"""Unit tests for the hierarchy relations and the declared Figure 2 lattice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import CATALOG
+from repro.core.hierarchy import (
+    FIGURE_2_EDGES,
+    FIGURE_2_INCOMPARABLE,
+    REMARKS,
+    Relation,
+    compare_levels,
+    declared_order,
+    is_declared_weaker,
+)
+from repro.core.history import parse_history
+from repro.core.isolation import (
+    ANSI_STRICT_LEVELS,
+    CORRECTED_LEVELS,
+    IsolationLevelName,
+)
+from repro.workloads.generators import history_corpus
+
+
+def _corpus():
+    catalogue = [entry.history for entry in CATALOG.values() if not entry.multiversion]
+    return catalogue + history_corpus(seed=11, count=150)
+
+
+class TestCompareLevels:
+    def test_corrected_levels_form_a_chain(self):
+        corpus = _corpus()
+        ru = CORRECTED_LEVELS[IsolationLevelName.READ_UNCOMMITTED]
+        rc = CORRECTED_LEVELS[IsolationLevelName.READ_COMMITTED]
+        rr = CORRECTED_LEVELS[IsolationLevelName.REPEATABLE_READ]
+        ser = CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE]
+        assert compare_levels(ru, rc, corpus).relation is Relation.WEAKER
+        assert compare_levels(rc, rr, corpus).relation is Relation.WEAKER
+        assert compare_levels(rr, ser, corpus).relation is Relation.WEAKER
+
+    def test_comparison_is_antisymmetric(self):
+        corpus = _corpus()
+        rc = CORRECTED_LEVELS[IsolationLevelName.READ_COMMITTED]
+        ser = CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE]
+        assert compare_levels(ser, rc, corpus).relation is Relation.STRONGER
+
+    def test_level_is_equivalent_to_itself(self):
+        corpus = _corpus()
+        rc = CORRECTED_LEVELS[IsolationLevelName.READ_COMMITTED]
+        assert compare_levels(rc, rc, corpus).relation is Relation.EQUIVALENT
+
+    def test_anomaly_serializable_weaker_than_true_serializability(self):
+        """The crux of Section 3: forbidding A1-A3 does not give serializability."""
+        corpus = _corpus()
+        anomaly_ser = ANSI_STRICT_LEVELS[IsolationLevelName.ANOMALY_SERIALIZABLE]
+        corrected_ser = CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE]
+        result = compare_levels(anomaly_ser, corrected_ser, corpus)
+        assert result.relation is Relation.WEAKER
+        # H1 and H3 are among the witnesses separating them.
+        witnesses = {history.name for history in result.only_first}
+        assert {"H1", "H3"} & witnesses
+
+    def test_serializable_histories_are_ignored(self):
+        serial_only = [parse_history("r1[x] c1 r2[x] c2")]
+        rc = CORRECTED_LEVELS[IsolationLevelName.READ_COMMITTED]
+        ser = CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE]
+        assert compare_levels(rc, ser, serial_only).relation is Relation.EQUIVALENT
+
+    def test_callable_levels_are_accepted(self):
+        corpus = _corpus()
+        permissive = lambda history: True  # noqa: E731 - deliberately tiny
+        ser = CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE]
+        assert compare_levels(permissive, ser, corpus).relation is Relation.WEAKER
+
+    def test_witnesses_are_rendered(self):
+        corpus = _corpus()
+        ru = CORRECTED_LEVELS[IsolationLevelName.READ_UNCOMMITTED]
+        rc = CORRECTED_LEVELS[IsolationLevelName.READ_COMMITTED]
+        result = compare_levels(ru, rc, corpus)
+        rendered = result.witnesses()
+        assert rendered["only_first"]
+        assert not rendered["only_second"]
+
+
+class TestDeclaredLattice:
+    def test_every_edge_orders_lower_below_higher(self):
+        for edge in FIGURE_2_EDGES:
+            assert is_declared_weaker(edge.lower, edge.higher)
+            assert not is_declared_weaker(edge.higher, edge.lower)
+
+    def test_transitive_ordering(self):
+        assert is_declared_weaker(IsolationLevelName.DEGREE_0,
+                                  IsolationLevelName.SERIALIZABLE)
+        assert is_declared_weaker(IsolationLevelName.READ_COMMITTED,
+                                  IsolationLevelName.SERIALIZABLE)
+
+    def test_declared_order_directions(self):
+        assert declared_order(IsolationLevelName.READ_COMMITTED,
+                              IsolationLevelName.REPEATABLE_READ) is Relation.WEAKER
+        assert declared_order(IsolationLevelName.REPEATABLE_READ,
+                              IsolationLevelName.READ_COMMITTED) is Relation.STRONGER
+        assert declared_order(IsolationLevelName.SERIALIZABLE,
+                              IsolationLevelName.SERIALIZABLE) is Relation.EQUIVALENT
+
+    def test_repeatable_read_and_snapshot_are_incomparable(self):
+        assert declared_order(IsolationLevelName.REPEATABLE_READ,
+                              IsolationLevelName.SNAPSHOT_ISOLATION) is Relation.INCOMPARABLE
+        assert (IsolationLevelName.REPEATABLE_READ,
+                IsolationLevelName.SNAPSHOT_ISOLATION) in FIGURE_2_INCOMPARABLE
+
+    def test_edges_are_annotated_with_phenomena(self):
+        annotations = {edge.lower: edge.differentiators for edge in FIGURE_2_EDGES}
+        assert annotations[IsolationLevelName.DEGREE_0] == ("P0",)
+        assert annotations[IsolationLevelName.READ_UNCOMMITTED] == ("P1",)
+        assert annotations[IsolationLevelName.REPEATABLE_READ] == ("P3",)
+
+    def test_remarks_reference_known_levels(self):
+        for _, lower, relation, higher in REMARKS:
+            assert isinstance(lower, IsolationLevelName)
+            assert isinstance(higher, IsolationLevelName)
+            assert relation in (Relation.WEAKER, Relation.INCOMPARABLE)
+
+    def test_remark_1_chain_is_declared(self):
+        assert is_declared_weaker(IsolationLevelName.READ_UNCOMMITTED,
+                                  IsolationLevelName.READ_COMMITTED)
+        assert is_declared_weaker(IsolationLevelName.READ_COMMITTED,
+                                  IsolationLevelName.REPEATABLE_READ)
+        assert is_declared_weaker(IsolationLevelName.REPEATABLE_READ,
+                                  IsolationLevelName.SERIALIZABLE)

@@ -1,0 +1,170 @@
+"""Unit tests for histories and the shorthand parser (repro.core.history)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import History, HistoryError, parse_history
+from repro.core.operations import OperationKind, WriteAction, commit, read, write
+
+
+class TestParser:
+    def test_parse_simple_history(self):
+        history = parse_history("r1[x] w1[x] c1")
+        assert len(history) == 3
+        assert history[0].kind is OperationKind.READ
+        assert history[1].kind is OperationKind.WRITE
+        assert history[2].kind is OperationKind.COMMIT
+        assert all(op.txn == 1 for op in history)
+
+    def test_parse_values(self):
+        history = parse_history("r1[x=50] w1[x=10] c1")
+        assert history[0].value == 50
+        assert history[1].value == 10
+
+    def test_parse_negative_values(self):
+        history = parse_history("w1[y=-40] c1")
+        assert history[0].value == -40
+
+    def test_parse_h1_from_the_paper(self):
+        text = "r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1"
+        history = parse_history(text, name="H1")
+        assert history.name == "H1"
+        assert history.transactions() == [1, 2]
+        assert history.to_shorthand() == text
+
+    def test_parse_ellipses_are_ignored(self):
+        history = parse_history("w1[x]...r2[x]...c1")
+        assert len(history) == 3
+
+    def test_parse_cursor_operations(self):
+        history = parse_history("rc1[x] w2[x] wc1[x] c1")
+        assert history[0].kind is OperationKind.CURSOR_READ
+        assert history[2].kind is OperationKind.CURSOR_WRITE
+
+    def test_parse_predicate_read(self):
+        history = parse_history("r1[P] c1")
+        assert history[0].kind is OperationKind.PREDICATE_READ
+        assert history[0].predicate == "P"
+
+    def test_parse_predicate_insert(self):
+        history = parse_history("w2[insert y to P] c2")
+        op = history[0]
+        assert op.kind is OperationKind.PREDICATE_WRITE
+        assert op.item == "y"
+        assert op.predicate == "P"
+        assert op.write_action is WriteAction.INSERT
+
+    def test_parse_predicate_update_and_delete(self):
+        update = parse_history("w2[y in P] c2")[0]
+        assert update.write_action is WriteAction.UPDATE
+        delete = parse_history("w2[delete y from P] c2")[0]
+        assert delete.write_action is WriteAction.DELETE
+
+    def test_parse_multiversion_history(self):
+        history = parse_history("r1[x0=50] w1[x1=10] c1", multiversion=True)
+        assert history[0].item == "x"
+        assert history[0].version == 0
+        assert history[1].version == 1
+        assert history.is_multiversion()
+
+    def test_versions_not_split_without_flag(self):
+        history = parse_history("r1[x0=50] c1")
+        assert history[0].item == "x0"
+        assert history[0].version is None
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(HistoryError):
+            parse_history("r1[x] %%% c1")
+
+    def test_parse_rejects_read_without_item(self):
+        with pytest.raises(HistoryError):
+            parse_history("r1 c1")
+
+    def test_empty_text_yields_empty_history(self):
+        assert len(parse_history("   ")) == 0
+
+    def test_round_trip_through_shorthand(self):
+        text = "r1[x=50] w1[x=10] r2[x=10] c2 a1"
+        assert parse_history(parse_history(text).to_shorthand()).to_shorthand() == text
+
+
+class TestHistoryValidation:
+    def test_operations_after_commit_are_rejected(self):
+        with pytest.raises(HistoryError):
+            History([write(1, "x"), commit(1), read(1, "x")])
+
+    def test_operations_after_abort_are_rejected(self):
+        with pytest.raises(HistoryError):
+            parse_history("w1[x] a1 r1[x]")
+
+
+class TestHistoryQueries:
+    def test_transaction_listing(self):
+        history = parse_history("r1[x] r2[y] r3[z] c2 c1 c3")
+        assert history.transactions() == [1, 2, 3]
+        assert history.committed_transactions() == {1, 2, 3}
+
+    def test_active_and_aborted(self):
+        history = parse_history("w1[x] r2[x] a1")
+        assert history.aborted_transactions() == {1}
+        assert history.active_transactions() == {2}
+        assert not history.is_complete()
+
+    def test_terminal_index(self):
+        history = parse_history("w1[x] r2[x] c2 c1")
+        assert history.terminal_index(1) == 3
+        assert history.terminal_index(2) == 2
+        assert parse_history("w1[x]").terminal_index(1) is None
+
+    def test_items_and_predicates(self):
+        history = parse_history("r1[P] w2[insert y to P] r2[z] c2 c1")
+        assert history.items() == {"y", "z"}
+        assert history.predicates() == {"P"}
+
+    def test_reads_and_writes_of_item(self):
+        history = parse_history("r1[x] w2[x] rc3[x] wc3[x] c1 c2 c3")
+        assert [index for index, _ in history.reads_of("x")] == [0, 2]
+        assert [index for index, _ in history.writes_of("x")] == [1, 3]
+
+    def test_operations_of_transaction(self):
+        history = parse_history("r1[x] r2[y] w1[x] c1 c2")
+        assert len(history.operations_of(1)) == 3
+        assert len(history.operations_of(2)) == 2
+
+    def test_committed_projection_drops_uncommitted(self):
+        history = parse_history("w1[x] r2[x] a1 c2")
+        projection = history.committed_projection()
+        assert projection.transactions() == [2]
+        assert all(op.txn == 2 for op in projection)
+
+    def test_slicing_and_concatenation(self):
+        history = parse_history("r1[x] w1[x] c1")
+        assert len(history[:2]) == 2
+        combined = history[:2] + parse_history("c1")
+        assert combined.to_shorthand() == "r1[x] w1[x] c1"
+
+    def test_final_written_values(self):
+        history = parse_history("w1[x=10] w2[x=20] c2 c1")
+        # Both committed; the later write wins.
+        assert history.final_written_values() == {"x": 20}
+
+
+class TestSerialHistories:
+    def test_serial_history_is_detected(self):
+        history = parse_history("r1[x] w1[x] c1 r2[x] c2")
+        assert history.is_serial()
+        assert history.serial_order() == [1, 2]
+
+    def test_interleaved_history_is_not_serial(self):
+        history = parse_history("r1[x] r2[y] c1 c2")
+        assert not history.is_serial()
+        assert history.serial_order() is None
+
+    def test_conflicting_pairs_on_h1(self):
+        history = parse_history(
+            "r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
+        pairs = history.conflicting_pairs()
+        described = {(earlier.txn, later.txn, earlier.item) for _, _, earlier, later in pairs}
+        assert (1, 2, "x") in described  # w1[x] before r2[x]
+        assert (2, 1, "y") in described  # r2[y] before w1[y]

@@ -1,0 +1,138 @@
+"""Unit tests for the phenomenon-based isolation levels (repro.core.isolation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import parse_history
+from repro.core.isolation import (
+    ANSI_BROAD_LEVELS,
+    ANSI_STRICT_LEVELS,
+    CORRECTED_LEVELS,
+    DEGREE_0,
+    IsolationLevelName,
+    Possibility,
+    TABLE_1,
+    TABLE_3,
+    TRUE_SERIALIZABLE,
+    level_by_name,
+)
+
+H1 = parse_history("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
+H2 = parse_history("r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1")
+H3 = parse_history("r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1")
+DIRTY_WRITE = parse_history("w1[x=1] w2[x=2] w2[y=2] c2 w1[y=1] c1")
+
+
+class TestStrictAnsiLevels:
+    """The paper's Section 3 argument: the strict levels are too weak."""
+
+    def test_anomaly_serializable_admits_h1_h2_h3(self):
+        level = ANSI_STRICT_LEVELS[IsolationLevelName.ANOMALY_SERIALIZABLE]
+        assert level.permits(H1)
+        assert level.permits(H2)
+        assert level.permits(H3)
+
+    def test_but_none_of_them_is_serializable(self):
+        for history in (H1, H2, H3):
+            assert not TRUE_SERIALIZABLE.permits(history)
+
+    def test_strict_read_committed_rejects_actual_a1(self):
+        level = ANSI_STRICT_LEVELS[IsolationLevelName.ANSI_READ_COMMITTED]
+        assert not level.permits(parse_history("w1[x] r2[x] c2 a1"))
+
+    def test_no_strict_level_rejects_dirty_writes(self):
+        for level in ANSI_STRICT_LEVELS.values():
+            assert level.permits(DIRTY_WRITE)
+
+
+class TestBroadAnsiLevels:
+    def test_broad_read_committed_rejects_h1(self):
+        level = ANSI_BROAD_LEVELS[IsolationLevelName.ANSI_READ_COMMITTED]
+        assert not level.permits(H1)
+
+    def test_broad_repeatable_read_rejects_h2(self):
+        level = ANSI_BROAD_LEVELS[IsolationLevelName.ANSI_REPEATABLE_READ]
+        assert not level.permits(H2)
+
+    def test_broad_anomaly_serializable_rejects_h3(self):
+        level = ANSI_BROAD_LEVELS[IsolationLevelName.ANOMALY_SERIALIZABLE]
+        assert not level.permits(H3)
+
+    def test_broad_levels_still_miss_dirty_writes(self):
+        level = ANSI_BROAD_LEVELS[IsolationLevelName.ANOMALY_SERIALIZABLE]
+        assert level.permits(DIRTY_WRITE)
+
+
+class TestCorrectedLevels:
+    def test_every_corrected_level_forbids_p0(self):
+        for level in CORRECTED_LEVELS.values():
+            assert level.forbids("P0")
+            assert not level.permits(DIRTY_WRITE)
+
+    def test_degree_0_allows_dirty_writes(self):
+        assert DEGREE_0.permits(DIRTY_WRITE)
+
+    def test_forbidden_sets_are_nested(self):
+        ru = CORRECTED_LEVELS[IsolationLevelName.READ_UNCOMMITTED]
+        rc = CORRECTED_LEVELS[IsolationLevelName.READ_COMMITTED]
+        rr = CORRECTED_LEVELS[IsolationLevelName.REPEATABLE_READ]
+        ser = CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE]
+        assert set(ru.forbidden) < set(rc.forbidden) < set(rr.forbidden) < set(ser.forbidden)
+
+    def test_violations_name_the_offending_phenomena(self):
+        ser = CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE]
+        assert ser.violations(H1) == ["P1"]
+        assert ser.violations(H3) == ["P3"]
+
+    def test_serializable_level_rejects_all_paper_counterexamples(self):
+        ser = CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE]
+        for history in (H1, H2, H3, DIRTY_WRITE):
+            assert not ser.permits(history)
+
+    def test_serializable_level_permits_serial_histories(self):
+        serial = parse_history("r1[x] w1[y] c1 r2[y] w2[x] c2")
+        assert CORRECTED_LEVELS[IsolationLevelName.SERIALIZABLE].permits(serial)
+
+
+class TestDeclaredTables:
+    def test_table1_shape(self):
+        assert set(TABLE_1) == {
+            IsolationLevelName.ANSI_READ_UNCOMMITTED,
+            IsolationLevelName.ANSI_READ_COMMITTED,
+            IsolationLevelName.ANSI_REPEATABLE_READ,
+            IsolationLevelName.ANOMALY_SERIALIZABLE,
+        }
+        for row in TABLE_1.values():
+            assert set(row) == {"P1", "P2", "P3"}
+
+    def test_table3_adds_p0_everywhere(self):
+        for row in TABLE_3.values():
+            assert row["P0"] is Possibility.NOT_POSSIBLE
+
+    def test_table_cells_match_forbidden_sets(self):
+        for name, row in TABLE_3.items():
+            level = CORRECTED_LEVELS[name]
+            for code, cell in row.items():
+                assert level.forbids(code) == (cell is Possibility.NOT_POSSIBLE)
+
+
+class TestLevelLookup:
+    def test_lookup_by_interpretation(self):
+        strict = level_by_name(IsolationLevelName.ANSI_READ_COMMITTED, "strict")
+        broad = level_by_name(IsolationLevelName.ANSI_READ_COMMITTED, "broad")
+        corrected = level_by_name(IsolationLevelName.READ_COMMITTED, "corrected")
+        assert strict.forbidden == ("A1",)
+        assert broad.forbidden == ("P1",)
+        assert corrected.forbidden == ("P0", "P1")
+
+    def test_degree0_lookup(self):
+        assert level_by_name(IsolationLevelName.DEGREE_0) is DEGREE_0
+
+    def test_unknown_interpretation_raises(self):
+        with pytest.raises(ValueError):
+            level_by_name(IsolationLevelName.READ_COMMITTED, "bogus")
+
+    def test_missing_level_raises(self):
+        with pytest.raises(KeyError):
+            level_by_name(IsolationLevelName.SNAPSHOT_ISOLATION, "corrected")

@@ -1,0 +1,118 @@
+"""Unit tests for multiversion history analysis (repro.core.mv_analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import H1_SI, H1_SI_SV
+from repro.core.dependency import is_serializable
+from repro.core.history import parse_history
+from repro.core.mv_analysis import (
+    final_writers,
+    mv_is_serializable,
+    mv_serialization_graph,
+    mv_to_sv,
+    reads_from,
+    same_dataflow,
+)
+
+
+class TestReadsFrom:
+    def test_single_version_reads_from_latest_preceding_write(self):
+        history = parse_history("w1[x] c1 r2[x] c2")
+        entries = reads_from(history)
+        assert len(entries) == 1
+        assert entries[0].reader == 2
+        assert entries[0].writer == 1
+
+    def test_single_version_read_of_initial_state(self):
+        history = parse_history("r1[x] c1")
+        assert reads_from(history)[0].writer is None
+
+    def test_multiversion_reads_follow_version_subscripts(self):
+        history = parse_history("w1[x1=10] r2[x0=50] c2 c1", multiversion=True)
+        entries = reads_from(history)
+        assert entries[0].reader == 2
+        # x0 was written by nobody in this history: it is the initial state.
+        assert entries[0].writer is None
+
+    def test_multiversion_read_of_installed_version(self):
+        history = parse_history("w1[x1=10] c1 r2[x1=10] c2", multiversion=True)
+        assert reads_from(history)[0].writer == 1
+
+
+class TestMvSerializationGraph:
+    def test_h1si_graph_is_acyclic(self):
+        assert mv_is_serializable(H1_SI.history)
+
+    def test_h1_single_version_is_cyclic_but_h1si_is_not(self):
+        """The paper's point: the same action sequence is non-serializable as
+        a single-version history but serializable under SI's version choices."""
+        h1 = parse_history(
+            "r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
+        assert not is_serializable(h1)
+        assert mv_is_serializable(H1_SI.history)
+
+    def test_rw_edge_from_reading_an_overwritten_version(self):
+        history = parse_history("r1[x0] w2[x1] c2 c1", multiversion=True)
+        graph = mv_serialization_graph(history)
+        assert graph.edge_set() == {(1, 2)}
+
+    def test_ww_edges_follow_version_order(self):
+        history = parse_history("w1[x1] c1 w2[x2] c2", multiversion=True)
+        graph = mv_serialization_graph(history)
+        kinds = {edge.kind for edge in graph.edges_between(1, 2)}
+        assert "ww" in kinds
+
+    def test_write_skew_remains_non_serializable_even_as_an_mv_history(self):
+        """H5 under SI's version choices: each transaction reads the initial
+        versions and writes a new version of a different item.  The MVSG is
+        cyclic — SI admits the history even though it is not serializable,
+        which is exactly the paper's point about write skew (A5B)."""
+        h5_mv = parse_history(
+            "r1[x0] r1[y0] r2[x0] r2[y0] w1[y1] w2[x1] c1 c2", multiversion=True)
+        assert not mv_is_serializable(h5_mv)
+        graph = mv_serialization_graph(h5_mv)
+        # Both rw edges exist: T1 read x0 overwritten by T2, and vice versa.
+        assert (1, 2) in graph.edge_set()
+        assert (2, 1) in graph.edge_set()
+        assert not graph.is_acyclic()
+
+    def test_aborted_transactions_are_excluded(self):
+        history = parse_history("w1[x1] a1 r2[x0] c2", multiversion=True)
+        graph = mv_serialization_graph(history)
+        assert graph.nodes == [2]
+
+
+class TestMvToSv:
+    def test_paper_mapping_h1si_to_h1si_sv(self):
+        mapped = mv_to_sv(H1_SI.history)
+        assert mapped.to_shorthand() == H1_SI_SV.history.to_shorthand()
+
+    def test_mapped_history_is_serializable(self):
+        assert is_serializable(mv_to_sv(H1_SI.history))
+
+    def test_mapping_preserves_dataflow(self):
+        assert same_dataflow(H1_SI.history, mv_to_sv(H1_SI.history))
+
+    def test_mapping_strips_versions(self):
+        mapped = mv_to_sv(H1_SI.history)
+        assert not mapped.is_multiversion()
+
+    def test_mapping_keeps_commit_order(self):
+        mapped = mv_to_sv(H1_SI.history)
+        assert mapped.terminal_index(2) < mapped.terminal_index(1)
+
+
+class TestDataflowEquivalence:
+    def test_h1si_and_h1si_sv_have_same_dataflow(self):
+        assert same_dataflow(H1_SI.history, H1_SI_SV.history)
+
+    def test_final_writers_match(self):
+        assert final_writers(H1_SI.history) == final_writers(H1_SI_SV.history)
+        assert final_writers(H1_SI.history) == {"x": 1, "y": 1}
+
+    def test_different_dataflow_is_detected(self):
+        mv = parse_history("w1[x1=10] c1 r2[x1=10] c2", multiversion=True)
+        sv_wrong = parse_history("r2[x=50] c2 w1[x=10] c1")
+        assert not same_dataflow(mv, sv_wrong)

@@ -1,0 +1,144 @@
+"""Unit tests for the operation model (repro.core.operations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import (
+    Operation,
+    OperationKind,
+    WriteAction,
+    abort,
+    commit,
+    cursor_read,
+    cursor_write,
+    predicate_read,
+    predicate_write,
+    read,
+    write,
+)
+
+
+class TestOperationKind:
+    def test_read_kinds_are_reads(self):
+        assert OperationKind.READ.is_read
+        assert OperationKind.CURSOR_READ.is_read
+        assert OperationKind.PREDICATE_READ.is_read
+        assert not OperationKind.WRITE.is_read
+
+    def test_write_kinds_are_writes(self):
+        assert OperationKind.WRITE.is_write
+        assert OperationKind.CURSOR_WRITE.is_write
+        assert OperationKind.PREDICATE_WRITE.is_write
+        assert not OperationKind.READ.is_write
+
+    def test_terminal_kinds(self):
+        assert OperationKind.COMMIT.is_terminal
+        assert OperationKind.ABORT.is_terminal
+        assert not OperationKind.READ.is_terminal
+
+    def test_data_access_excludes_terminals(self):
+        assert OperationKind.READ.is_data_access
+        assert OperationKind.WRITE.is_data_access
+        assert not OperationKind.COMMIT.is_data_access
+
+    def test_predicate_and_cursor_flags(self):
+        assert OperationKind.PREDICATE_READ.uses_predicate
+        assert not OperationKind.READ.uses_predicate
+        assert OperationKind.CURSOR_WRITE.uses_cursor
+        assert not OperationKind.WRITE.uses_cursor
+
+
+class TestOperationConstruction:
+    def test_read_requires_item(self):
+        with pytest.raises(ValueError):
+            Operation(OperationKind.READ, 1)
+
+    def test_commit_rejects_item(self):
+        with pytest.raises(ValueError):
+            Operation(OperationKind.COMMIT, 1, item="x")
+
+    def test_predicate_read_requires_predicate(self):
+        with pytest.raises(ValueError):
+            Operation(OperationKind.PREDICATE_READ, 1)
+
+    def test_constructors_build_expected_kinds(self):
+        assert read(1, "x").kind is OperationKind.READ
+        assert write(1, "x").kind is OperationKind.WRITE
+        assert cursor_read(1, "x").kind is OperationKind.CURSOR_READ
+        assert cursor_write(1, "x").kind is OperationKind.CURSOR_WRITE
+        assert predicate_read(1, "P").kind is OperationKind.PREDICATE_READ
+        assert predicate_write(1, "y", "P").kind is OperationKind.PREDICATE_WRITE
+        assert commit(1).kind is OperationKind.COMMIT
+        assert abort(1).kind is OperationKind.ABORT
+
+    def test_operations_are_frozen(self):
+        op = read(1, "x")
+        with pytest.raises(AttributeError):
+            op.item = "y"  # type: ignore[misc]
+
+
+class TestConflicts:
+    def test_same_transaction_never_conflicts(self):
+        assert not write(1, "x").conflicts_with(read(1, "x"))
+
+    def test_read_read_never_conflicts(self):
+        assert not read(1, "x").conflicts_with(read(2, "x"))
+
+    def test_write_read_same_item_conflicts(self):
+        assert write(1, "x").conflicts_with(read(2, "x"))
+        assert read(1, "x").conflicts_with(write(2, "x"))
+
+    def test_write_write_same_item_conflicts(self):
+        assert write(1, "x").conflicts_with(write(2, "x"))
+
+    def test_different_items_do_not_conflict(self):
+        assert not write(1, "x").conflicts_with(write(2, "y"))
+
+    def test_terminal_operations_never_conflict(self):
+        assert not commit(1).conflicts_with(write(2, "x"))
+        assert not write(1, "x").conflicts_with(abort(2))
+
+    def test_predicate_read_conflicts_with_predicate_write(self):
+        pred_read = predicate_read(1, "P")
+        pred_write = predicate_write(2, "y", "P", WriteAction.INSERT)
+        assert pred_read.conflicts_with(pred_write)
+        assert pred_write.conflicts_with(pred_read)
+
+    def test_predicate_read_does_not_conflict_with_other_predicate(self):
+        assert not predicate_read(1, "P").conflicts_with(predicate_write(2, "y", "Q"))
+
+    def test_cursor_ops_conflict_like_item_ops(self):
+        assert cursor_read(1, "x").conflicts_with(write(2, "x"))
+        assert cursor_write(1, "x").conflicts_with(cursor_read(2, "x"))
+
+
+class TestShorthandRendering:
+    def test_plain_read_write(self):
+        assert read(1, "x").to_shorthand() == "r1[x]"
+        assert write(2, "y").to_shorthand() == "w2[y]"
+
+    def test_valued_operations(self):
+        assert read(1, "x", value=50).to_shorthand() == "r1[x=50]"
+        assert write(1, "x", value=10).to_shorthand() == "w1[x=10]"
+
+    def test_versioned_operations(self):
+        assert read(1, "x", value=50, version=0).to_shorthand() == "r1[x0=50]"
+        assert write(1, "x", version=1).to_shorthand() == "w1[x1]"
+
+    def test_cursor_operations(self):
+        assert cursor_read(1, "x").to_shorthand() == "rc1[x]"
+        assert cursor_write(1, "x").to_shorthand() == "wc1[x]"
+
+    def test_predicate_operations(self):
+        assert predicate_read(1, "P").to_shorthand() == "r1[P]"
+        insert = predicate_write(2, "y", "P", WriteAction.INSERT)
+        assert insert.to_shorthand() == "w2[insert y to P]"
+        delete = predicate_write(2, "y", "P", WriteAction.DELETE)
+        assert delete.to_shorthand() == "w2[delete y from P]"
+        update = predicate_write(2, "y", "P", WriteAction.UPDATE)
+        assert update.to_shorthand() == "w2[y in P]"
+
+    def test_terminals(self):
+        assert commit(3).to_shorthand() == "c3"
+        assert abort(4).to_shorthand() == "a4"

@@ -1,0 +1,218 @@
+"""Unit tests for the phenomenon and anomaly detectors (repro.core.phenomena).
+
+Most of the interesting cases come straight from the paper: H1 violates P1 but
+none of the strict anomalies; H2 violates P2 (and shows read skew) without any
+dirty read; H3 is a phantom that A3 misses; H4 is the lost update; H5 the
+write skew.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import parse_history
+from repro.core.phenomena import (
+    ALL_PHENOMENA,
+    A1_DIRTY_READ_STRICT,
+    A2_FUZZY_READ_STRICT,
+    A3_PHANTOM_STRICT,
+    A5A_READ_SKEW,
+    A5B_WRITE_SKEW,
+    P0_DIRTY_WRITE,
+    P1_DIRTY_READ,
+    P2_FUZZY_READ,
+    P3_PHANTOM,
+    P4_LOST_UPDATE,
+    P4C_CURSOR_LOST_UPDATE,
+    by_code,
+    detect_all,
+)
+
+H1 = parse_history("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
+H2 = parse_history("r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1")
+H3 = parse_history("r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1")
+H4 = parse_history("r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1")
+H5 = parse_history("r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2")
+
+
+class TestDirtyWriteP0:
+    def test_overlapping_writes_are_detected(self):
+        history = parse_history("w1[x] w2[x] c2 c1")
+        occurrences = P0_DIRTY_WRITE.find(history)
+        assert occurrences
+        assert occurrences[0].transactions == (1, 2)
+
+    def test_write_after_commit_is_not_dirty(self):
+        history = parse_history("w1[x] c1 w2[x] c2")
+        assert not P0_DIRTY_WRITE.occurs_in(history)
+
+    def test_paper_constraint_example(self):
+        history = parse_history("w1[x=1] w2[x=2] w2[y=2] c2 w1[y=1] c1")
+        assert P0_DIRTY_WRITE.occurs_in(history)
+
+    def test_same_transaction_rewrites_are_fine(self):
+        history = parse_history("w1[x] w1[x] c1")
+        assert not P0_DIRTY_WRITE.occurs_in(history)
+
+    def test_open_transaction_still_counts(self):
+        # T1 has not terminated yet; the dangerous pattern already happened.
+        history = parse_history("w1[x] w2[x] c2")
+        assert P0_DIRTY_WRITE.occurs_in(history)
+
+
+class TestDirtyReadP1A1:
+    def test_h1_violates_p1_but_not_a1(self):
+        assert P1_DIRTY_READ.occurs_in(H1)
+        assert not A1_DIRTY_READ_STRICT.occurs_in(H1)
+
+    def test_a1_requires_abort_and_commit(self):
+        aborting = parse_history("w1[x] r2[x] c2 a1")
+        assert A1_DIRTY_READ_STRICT.occurs_in(aborting)
+        assert P1_DIRTY_READ.occurs_in(aborting)
+
+    def test_read_after_commit_is_clean(self):
+        history = parse_history("w1[x] c1 r2[x] c2")
+        assert not P1_DIRTY_READ.occurs_in(history)
+        assert not A1_DIRTY_READ_STRICT.occurs_in(history)
+
+    def test_a1_not_triggered_when_writer_commits(self):
+        history = parse_history("w1[x] r2[x] c2 c1")
+        assert not A1_DIRTY_READ_STRICT.occurs_in(history)
+        assert P1_DIRTY_READ.occurs_in(history)
+
+    def test_a1_not_triggered_when_reader_aborts(self):
+        history = parse_history("w1[x] r2[x] a2 a1")
+        assert not A1_DIRTY_READ_STRICT.occurs_in(history)
+
+
+class TestFuzzyReadP2A2:
+    def test_h2_violates_p2_but_not_a2_or_p1(self):
+        assert P2_FUZZY_READ.occurs_in(H2)
+        assert not A2_FUZZY_READ_STRICT.occurs_in(H2)
+        assert not P1_DIRTY_READ.occurs_in(H2)
+
+    def test_a2_requires_a_reread(self):
+        rereading = parse_history("r1[x] w2[x] c2 r1[x] c1")
+        assert A2_FUZZY_READ_STRICT.occurs_in(rereading)
+        assert P2_FUZZY_READ.occurs_in(rereading)
+
+    def test_write_after_reader_commit_is_fine(self):
+        history = parse_history("r1[x] c1 w2[x] c2")
+        assert not P2_FUZZY_READ.occurs_in(history)
+
+    def test_a2_requires_writer_commit_before_reread(self):
+        history = parse_history("r1[x] w2[x] r1[x] c1 c2")
+        assert not A2_FUZZY_READ_STRICT.occurs_in(history)
+        assert P2_FUZZY_READ.occurs_in(history)
+
+
+class TestPhantomP3A3:
+    def test_h3_violates_p3_but_not_a3(self):
+        assert P3_PHANTOM.occurs_in(H3)
+        assert not A3_PHANTOM_STRICT.occurs_in(H3)
+
+    def test_a3_requires_predicate_reread(self):
+        history = parse_history("r1[P] w2[insert y to P] c2 r1[P] c1")
+        assert A3_PHANTOM_STRICT.occurs_in(history)
+        assert P3_PHANTOM.occurs_in(history)
+
+    def test_p3_covers_updates_and_deletes_not_just_inserts(self):
+        update = parse_history("r1[P] w2[y in P] c2 c1")
+        delete = parse_history("r1[P] w2[delete y from P] c2 c1")
+        assert P3_PHANTOM.occurs_in(update)
+        assert P3_PHANTOM.occurs_in(delete)
+
+    def test_write_to_other_predicate_is_not_a_phantom(self):
+        history = parse_history("r1[P] w2[insert y to Q] c2 c1")
+        assert not P3_PHANTOM.occurs_in(history)
+
+    def test_predicate_write_after_reader_commit_is_fine(self):
+        history = parse_history("r1[P] c1 w2[insert y to P] c2")
+        assert not P3_PHANTOM.occurs_in(history)
+
+
+class TestLostUpdateP4:
+    def test_h4_is_a_lost_update(self):
+        assert P4_LOST_UPDATE.occurs_in(H4)
+
+    def test_requires_reader_to_write_and_commit(self):
+        no_own_write = parse_history("r1[x] w2[x] c2 c1")
+        assert not P4_LOST_UPDATE.occurs_in(no_own_write)
+        aborting = parse_history("r1[x] w2[x] c2 w1[x] a1")
+        assert not P4_LOST_UPDATE.occurs_in(aborting)
+
+    def test_h4_avoids_p0_and_p1(self):
+        assert not P0_DIRTY_WRITE.occurs_in(H4)
+        assert not P1_DIRTY_READ.occurs_in(H4)
+
+
+class TestCursorLostUpdateP4C:
+    def test_cursor_pattern_is_detected(self):
+        history = parse_history("rc1[x] w2[x] wc1[x] c1 c2")
+        assert P4C_CURSOR_LOST_UPDATE.occurs_in(history)
+
+    def test_plain_reads_do_not_trigger_p4c(self):
+        assert not P4C_CURSOR_LOST_UPDATE.occurs_in(H4)
+
+    def test_cursor_write_before_other_write_is_fine(self):
+        history = parse_history("rc1[x] wc1[x] c1 w2[x] c2")
+        assert not P4C_CURSOR_LOST_UPDATE.occurs_in(history)
+
+
+class TestReadSkewA5A:
+    def test_h2_exhibits_read_skew(self):
+        assert A5A_READ_SKEW.occurs_in(H2)
+
+    def test_classic_read_skew_pattern(self):
+        history = parse_history("r1[x] w2[x] w2[y] c2 r1[y] c1")
+        assert A5A_READ_SKEW.occurs_in(history)
+
+    def test_single_item_fuzzy_read_is_not_read_skew(self):
+        history = parse_history("r1[x] w2[x] c2 r1[x] c1")
+        assert not A5A_READ_SKEW.occurs_in(history)
+
+    def test_read_before_commit_not_read_skew(self):
+        history = parse_history("r1[x] w2[x] w2[y] r1[y] c2 c1")
+        assert not A5A_READ_SKEW.occurs_in(history)
+
+
+class TestWriteSkewA5B:
+    def test_h5_exhibits_write_skew(self):
+        assert A5B_WRITE_SKEW.occurs_in(H5)
+
+    def test_h5_avoids_lost_update_and_read_skew(self):
+        assert not P4_LOST_UPDATE.occurs_in(H5)
+        assert not A5A_READ_SKEW.occurs_in(H5)
+        assert not P0_DIRTY_WRITE.occurs_in(H5)
+        assert not P1_DIRTY_READ.occurs_in(H5)
+
+    def test_requires_both_commits(self):
+        history = parse_history("r1[x] r2[y] w1[y] w2[x] c1 a2")
+        assert not A5B_WRITE_SKEW.occurs_in(history)
+
+    def test_disjoint_items_are_not_write_skew(self):
+        history = parse_history("r1[x] r2[y] w1[x] w2[y] c1 c2")
+        assert not A5B_WRITE_SKEW.occurs_in(history)
+
+
+class TestRegistry:
+    def test_every_paper_code_is_registered(self):
+        for code in ("P0", "P1", "P2", "P3", "P4", "P4C", "A1", "A2", "A3", "A5A", "A5B"):
+            assert by_code(code).code == code
+
+    def test_lookup_is_case_insensitive(self):
+        assert by_code("a5b") is A5B_WRITE_SKEW
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            by_code("P9")
+
+    def test_detect_all_runs_every_detector(self):
+        results = detect_all(H1)
+        assert set(results) == set(ALL_PHENOMENA)
+        assert results["P1"] and not results["A1"]
+
+    def test_detect_all_with_selected_codes(self):
+        results = detect_all(H4, codes=["P4", "P0"])
+        assert set(results) == {"P4", "P0"}
+        assert results["P4"] and not results["P0"]

@@ -1,0 +1,112 @@
+"""Unit tests for transaction programs and steps (repro.engine.programs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.isolation import IsolationLevelName
+from repro.engine.programs import (
+    Abort,
+    CloseCursor,
+    Commit,
+    CursorUpdate,
+    DeleteRow,
+    Fetch,
+    InsertRow,
+    OpenCursor,
+    ReadItem,
+    SelectPredicate,
+    TransactionProgram,
+    UpdateRow,
+    WriteItem,
+)
+from repro.locking.engine import LockingEngine
+from repro.storage.database import Database
+from repro.storage.predicates import attribute_equals
+from repro.storage.rows import Row
+
+
+def _engine() -> LockingEngine:
+    database = Database()
+    database.set_item("x", 100)
+    database.create_table("employees", [Row("e1", {"active": True})])
+    engine = LockingEngine(database, level=IsolationLevelName.SERIALIZABLE)
+    engine.begin(1)
+    return engine
+
+
+class TestSteps:
+    def test_read_binds_into_context(self):
+        engine = _engine()
+        context = {}
+        ReadItem("x", into="balance").perform(engine, 1, context)
+        assert context["balance"] == 100
+
+    def test_read_defaults_binding_to_item_name(self):
+        engine = _engine()
+        context = {}
+        ReadItem("x").perform(engine, 1, context)
+        assert context["x"] == 100
+
+    def test_write_literal_and_computed_values(self):
+        engine = _engine()
+        context = {"x": 100}
+        WriteItem("x", 5).perform(engine, 1, context)
+        assert engine.database.get_item("x") == 5
+        WriteItem("x", lambda ctx: ctx["x"] + 30).perform(engine, 1, context)
+        assert engine.database.get_item("x") == 130
+
+    def test_select_binds_matching_rows(self):
+        engine = _engine()
+        predicate = attribute_equals("Active", "employees", "active", True)
+        context = {}
+        SelectPredicate(predicate, into="active").perform(engine, 1, context)
+        assert [row.key for row in context["active"]] == ["e1"]
+
+    def test_insert_update_delete_rows(self):
+        engine = _engine()
+        context = {}
+        InsertRow("employees", Row("e2", {"active": False})).perform(engine, 1, context)
+        UpdateRow("employees", "e2", {"active": True}).perform(engine, 1, context)
+        assert engine.database.table("employees").get("e2").get("active") is True
+        DeleteRow("employees", "e2").perform(engine, 1, context)
+        assert not engine.database.table("employees").has("e2")
+
+    def test_insert_rejects_non_rows(self):
+        engine = _engine()
+        with pytest.raises(TypeError):
+            InsertRow("employees", {"not": "a row"}).perform(engine, 1, {})
+
+    def test_cursor_steps(self):
+        engine = _engine()
+        context = {}
+        OpenCursor("c", ["x"]).perform(engine, 1, context)
+        Fetch("c", into="seen").perform(engine, 1, context)
+        assert context["seen"] == 100
+        CursorUpdate("c", lambda ctx: ctx["seen"] + 1).perform(engine, 1, context)
+        assert engine.database.get_item("x") == 101
+        CloseCursor("c").perform(engine, 1, context)
+
+    def test_commit_and_abort(self):
+        engine = _engine()
+        assert Commit().perform(engine, 1, {}).is_ok
+        other = _engine()
+        assert Abort().perform(other, 1, {}).is_ok
+
+    def test_describe_is_informative(self):
+        assert "x" in ReadItem("x").describe()
+        assert "commit" == Commit().describe()
+        assert "employees" in InsertRow("employees", Row("e9")).describe()
+
+
+class TestTransactionProgram:
+    def test_requires_at_least_one_step(self):
+        with pytest.raises(ValueError):
+            TransactionProgram(1, [])
+
+    def test_display_name_defaults_to_txn_id(self):
+        assert TransactionProgram(3, [Commit()]).display_name == "T3"
+        assert TransactionProgram(3, [Commit()], label="audit").display_name == "audit"
+
+    def test_len_counts_steps(self):
+        assert len(TransactionProgram(1, [ReadItem("x"), Commit()])) == 2

@@ -1,0 +1,129 @@
+"""Unit tests for the testbed facade (repro.testbed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.isolation import IsolationLevelName
+from repro.engine.interface import Engine
+from repro.locking.engine import LockingEngine
+from repro.mvcc.read_consistency import ReadConsistencyEngine
+from repro.mvcc.snapshot import SnapshotIsolationEngine
+from repro.storage.database import Database
+from repro.storage.predicates import whole_table
+from repro.storage.rows import Row
+from repro.testbed import (
+    ALL_ENGINE_LEVELS,
+    LOCKING_LEVELS,
+    Session,
+    TransactionAborted,
+    WouldBlock,
+    engine_factory,
+    make_engine,
+    run_programs,
+)
+from repro.engine.programs import Commit, ReadItem, TransactionProgram, WriteItem
+
+
+def _database() -> Database:
+    database = Database()
+    database.set_item("x", 50)
+    database.create_table("tasks", [Row("t1", {"hours": 3})])
+    return database
+
+
+class TestMakeEngine:
+    def test_every_level_builds_an_engine(self):
+        for level in ALL_ENGINE_LEVELS:
+            engine = make_engine(_database(), level)
+            assert isinstance(engine, Engine)
+            assert engine.level is level
+
+    def test_locking_levels_build_locking_engines(self):
+        for level in LOCKING_LEVELS:
+            assert isinstance(make_engine(_database(), level), LockingEngine)
+
+    def test_mvcc_levels_build_mvcc_engines(self):
+        assert isinstance(
+            make_engine(_database(), IsolationLevelName.SNAPSHOT_ISOLATION),
+            SnapshotIsolationEngine)
+        assert isinstance(
+            make_engine(_database(), IsolationLevelName.ORACLE_READ_CONSISTENCY),
+            ReadConsistencyEngine)
+
+    def test_options_are_forwarded(self):
+        engine = make_engine(_database(), IsolationLevelName.SNAPSHOT_ISOLATION,
+                             first_committer_wins=False)
+        assert engine.first_committer_wins is False
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            make_engine(_database(), IsolationLevelName.ANOMALY_SERIALIZABLE)
+
+    def test_engine_factory_builds_fresh_engines(self):
+        factory = engine_factory(IsolationLevelName.SERIALIZABLE)
+        first, second = factory(_database()), factory(_database())
+        assert first is not second
+
+
+class TestRunPrograms:
+    def test_runs_programs_under_requested_level(self):
+        outcome = run_programs(_database(), IsolationLevelName.SERIALIZABLE, [
+            TransactionProgram(1, [ReadItem("x"), WriteItem("x", 1), Commit()]),
+        ])
+        assert outcome.committed(1)
+        assert outcome.engine_name == "Locking SERIALIZABLE"
+
+
+class TestSession:
+    def test_basic_read_write_commit(self):
+        session = Session(_database(), IsolationLevelName.SERIALIZABLE)
+        txn = session.begin()
+        assert txn.read("x") == 50
+        txn.write("x", 75)
+        txn.commit()
+        assert session.database.get_item("x") == 75
+
+    def test_snapshot_isolation_sessions_see_their_snapshot(self):
+        session = Session(_database(), IsolationLevelName.SNAPSHOT_ISOLATION)
+        reader = session.begin()
+        writer = session.begin()
+        writer.write("x", 99)
+        writer.commit()
+        assert reader.read("x") == 50  # snapshot taken before the writer committed
+
+    def test_blocked_operation_raises_wouldblock(self):
+        session = Session(_database(), IsolationLevelName.SERIALIZABLE)
+        writer = session.begin()
+        writer.write("x", 99)
+        reader = session.begin()
+        with pytest.raises(WouldBlock):
+            reader.read("x")
+
+    def test_first_committer_wins_raises_transaction_aborted(self):
+        session = Session(_database(), IsolationLevelName.SNAPSHOT_ISOLATION)
+        first = session.begin()
+        second = session.begin()
+        first.write("x", 1)
+        second.write("x", 2)
+        first.commit()
+        with pytest.raises(TransactionAborted):
+            second.commit()
+
+    def test_row_operations_through_the_session(self):
+        session = Session(_database(), IsolationLevelName.SERIALIZABLE)
+        txn = session.begin()
+        txn.insert("tasks", Row("t2", {"hours": 2}))
+        txn.update_row("tasks", "t1", hours=4)
+        rows = txn.select(whole_table("All", "tasks"))
+        assert {row.key for row in rows} == {"t1", "t2"}
+        txn.delete_row("tasks", "t2")
+        txn.commit()
+        assert not session.database.table("tasks").has("t2")
+
+    def test_abort_rolls_back(self):
+        session = Session(_database(), IsolationLevelName.SERIALIZABLE)
+        txn = session.begin()
+        txn.write("x", 1)
+        txn.abort()
+        assert session.database.get_item("x") == 50

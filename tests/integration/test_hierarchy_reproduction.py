@@ -1,0 +1,69 @@
+"""Integration test: Figure 2 and the paper's ordering remarks.
+
+Every ``lower « higher`` edge of Figure 2 must come out WEAKER when the two
+engines' variant-manifestation profiles are compared, and every numbered
+remark (1, 7, 8, 9, 10) must hold — including the incomparability of
+REPEATABLE READ and Snapshot Isolation (Remark 9).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hierarchy_check import (
+    level_profiles,
+    profile_relation,
+    verify_figure2_edges,
+    verify_remarks,
+)
+from repro.core.hierarchy import FIGURE_2_EDGES, Relation
+from repro.core.isolation import IsolationLevelName
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    levels = sorted(
+        {edge.lower for edge in FIGURE_2_EDGES} | {edge.higher for edge in FIGURE_2_EDGES},
+        key=lambda level: level.value,
+    )
+    return level_profiles(levels)
+
+
+def test_every_figure2_edge_holds(profiles):
+    checks = verify_figure2_edges(profiles)
+    failing = [check for check in checks if not check.holds]
+    assert not failing, [
+        (check.edge.lower.value, check.edge.higher.value, check.observed.value)
+        for check in failing
+    ]
+
+
+def test_edges_are_strict_not_equivalences(profiles):
+    for check in verify_figure2_edges(profiles):
+        assert check.lower_only, (
+            f"{check.edge.lower.value} should admit something "
+            f"{check.edge.higher.value} forbids"
+        )
+
+
+def test_remark9_repeatable_read_incomparable_with_snapshot(profiles):
+    rr = profiles[IsolationLevelName.REPEATABLE_READ]
+    si = profiles[IsolationLevelName.SNAPSHOT_ISOLATION]
+    assert profile_relation(rr, si) is Relation.INCOMPARABLE
+    # The differentiators are exactly the ones the paper names: phantoms for
+    # REPEATABLE READ, write skew for Snapshot Isolation.
+    assert any(code == "P3" for code, _ in rr - si)
+    assert any(code == "A5B" for code, _ in si - rr)
+
+
+def test_all_numbered_remarks_hold():
+    checks = verify_remarks()
+    failing = [check.describe() for check in checks if not check.holds]
+    assert not failing, failing
+
+
+def test_remark8_snapshot_is_strictly_stronger_than_read_committed(profiles):
+    rc = profiles[IsolationLevelName.READ_COMMITTED]
+    si = profiles[IsolationLevelName.SNAPSHOT_ISOLATION]
+    assert profile_relation(rc, si) is Relation.WEAKER
+    assert si < rc

@@ -1,0 +1,170 @@
+"""Integration tests: the paper's concrete histories, replayed on the engines.
+
+Each test takes one of the paper's worked examples and checks that the engines
+do to it exactly what the paper says they would: the locking SERIALIZABLE
+scheduler prevents the H1 inconsistent analysis, Snapshot Isolation turns H1
+into the serializable H1.SI dataflow, the H4 lost update dies by deadlock
+under REPEATABLE READ and by first-committer-wins under SI, and so on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependency import is_serializable
+from repro.core.isolation import IsolationLevelName
+from repro.core.phenomena import P1_DIRTY_READ, P4_LOST_UPDATE
+from repro.engine.programs import Commit, ReadItem, TransactionProgram, WriteItem
+from repro.engine.scheduler import ScheduleRunner
+from repro.storage.database import Database
+from repro.testbed import make_engine
+
+
+def _bank() -> Database:
+    database = Database()
+    database.set_item("x", 50)
+    database.set_item("y", 50)
+    return database
+
+
+def _h1_programs():
+    """T1 transfers 40 from x to y; T2 audits both balances."""
+    return [
+        TransactionProgram(1, [
+            ReadItem("x"),
+            WriteItem("x", lambda ctx: ctx["x"] - 40),
+            ReadItem("y"),
+            WriteItem("y", lambda ctx: ctx["y"] + 40),
+            Commit(),
+        ]),
+        TransactionProgram(2, [
+            ReadItem("x", into="seen_x"),
+            ReadItem("y", into="seen_y"),
+            Commit(),
+        ]),
+    ]
+
+
+H1_INTERLEAVING = [1, 1, 2, 2, 2, 1, 1, 1]
+
+
+class TestH1InconsistentAnalysis:
+    def test_read_uncommitted_reproduces_h1(self):
+        engine = make_engine(_bank(), IsolationLevelName.READ_UNCOMMITTED)
+        outcome = ScheduleRunner(engine, _h1_programs(), H1_INTERLEAVING).run()
+        assert outcome.observed(2, "seen_x") + outcome.observed(2, "seen_y") == 60
+        assert P1_DIRTY_READ.occurs_in(outcome.history)
+        assert not is_serializable(outcome.history)
+
+    def test_locking_serializable_prevents_the_anomaly(self):
+        engine = make_engine(_bank(), IsolationLevelName.SERIALIZABLE)
+        outcome = ScheduleRunner(engine, _h1_programs(), H1_INTERLEAVING).run()
+        assert outcome.observed(2, "seen_x") + outcome.observed(2, "seen_y") == 100
+        assert is_serializable(outcome.history)
+
+    def test_snapshot_isolation_gives_the_h1si_dataflow(self):
+        """Under SI the audit reads the old committed versions (x0, y0): the
+        total is 100 and the realized history is serializable — the paper's
+        H1.SI observation."""
+        engine = make_engine(_bank(), IsolationLevelName.SNAPSHOT_ISOLATION)
+        outcome = ScheduleRunner(engine, _h1_programs(), H1_INTERLEAVING).run()
+        assert outcome.observed(2, "seen_x") == 50
+        assert outcome.observed(2, "seen_y") == 50
+        assert outcome.all_committed(1, 2)
+        # The audit's reads carry version 0 — the snapshot of the initial state.
+        audit_reads = [op for op in outcome.history if op.txn == 2 and op.is_read]
+        assert all(op.version == 0 for op in audit_reads)
+
+
+class TestH4LostUpdate:
+    def _programs(self):
+        return [
+            TransactionProgram(1, [
+                ReadItem("x"), WriteItem("x", lambda ctx: ctx["x"] + 30), Commit(),
+            ]),
+            TransactionProgram(2, [
+                ReadItem("x"), WriteItem("x", lambda ctx: ctx["x"] + 20), Commit(),
+            ]),
+        ]
+
+    def _database(self):
+        database = Database()
+        database.set_item("x", 100)
+        return database
+
+    INTERLEAVING = [1, 2, 2, 2, 1, 1]
+
+    def test_read_committed_loses_an_update(self):
+        engine = make_engine(self._database(), IsolationLevelName.READ_COMMITTED)
+        outcome = ScheduleRunner(engine, self._programs(), self.INTERLEAVING).run()
+        assert outcome.all_committed(1, 2)
+        assert outcome.database.get_item("x") == 130
+        assert P4_LOST_UPDATE.occurs_in(outcome.history)
+
+    def test_repeatable_read_resolves_it_by_deadlock(self):
+        engine = make_engine(self._database(), IsolationLevelName.REPEATABLE_READ)
+        outcome = ScheduleRunner(engine, self._programs(), self.INTERLEAVING).run()
+        assert outcome.deadlocked()
+        assert outcome.database.get_item("x") in (120, 130)
+        assert not P4_LOST_UPDATE.occurs_in(outcome.history)
+
+    def test_snapshot_isolation_resolves_it_by_first_committer_wins(self):
+        engine = make_engine(self._database(), IsolationLevelName.SNAPSHOT_ISOLATION)
+        outcome = ScheduleRunner(engine, self._programs(), self.INTERLEAVING).run()
+        assert outcome.committed(2) and outcome.aborted(1)
+        assert outcome.database.get_item("x") == 120
+        assert engine.fcw_aborts == 1
+
+
+class TestH5WriteSkew:
+    def _programs(self):
+        return [
+            TransactionProgram(1, [
+                ReadItem("x"), ReadItem("y"), WriteItem("y", -40), Commit(),
+            ]),
+            TransactionProgram(2, [
+                ReadItem("x"), ReadItem("y"), WriteItem("x", -40), Commit(),
+            ]),
+        ]
+
+    INTERLEAVING = [1, 1, 2, 2, 1, 2, 1, 2]
+
+    def test_snapshot_isolation_admits_write_skew(self):
+        engine = make_engine(_bank(), IsolationLevelName.SNAPSHOT_ISOLATION)
+        outcome = ScheduleRunner(engine, self._programs(), self.INTERLEAVING).run()
+        assert outcome.all_committed(1, 2)
+        assert outcome.database.get_item("x") + outcome.database.get_item("y") == -80
+
+    def test_repeatable_read_prevents_it(self):
+        engine = make_engine(_bank(), IsolationLevelName.REPEATABLE_READ)
+        outcome = ScheduleRunner(engine, self._programs(), self.INTERLEAVING).run()
+        assert outcome.database.get_item("x") + outcome.database.get_item("y") >= 0
+
+    def test_locking_serializable_prevents_it(self):
+        engine = make_engine(_bank(), IsolationLevelName.SERIALIZABLE)
+        outcome = ScheduleRunner(engine, self._programs(), self.INTERLEAVING).run()
+        assert outcome.database.get_item("x") + outcome.database.get_item("y") >= 0
+
+
+class TestDirtyWriteConstraintExample:
+    def test_degree0_breaks_the_constraint_and_degree1_does_not(self):
+        programs = [
+            TransactionProgram(1, [WriteItem("x", 1), WriteItem("y", 1), Commit()]),
+            TransactionProgram(2, [WriteItem("x", 2), WriteItem("y", 2), Commit()]),
+        ]
+        interleaving = [1, 2, 2, 2, 1, 1]
+
+        def run(level):
+            database = Database()
+            database.set_item("x", 0)
+            database.set_item("y", 0)
+            engine = make_engine(database, level)
+            return ScheduleRunner(engine, [
+                TransactionProgram(p.txn, list(p.steps)) for p in programs
+            ], interleaving).run()
+
+        degree0 = run(IsolationLevelName.DEGREE_0)
+        assert degree0.database.get_item("x") != degree0.database.get_item("y")
+
+        degree1 = run(IsolationLevelName.READ_UNCOMMITTED)
+        assert degree1.database.get_item("x") == degree1.database.get_item("y")

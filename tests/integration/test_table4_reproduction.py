@@ -1,0 +1,45 @@
+"""Integration test: the full Table 4 reproduction.
+
+This is the headline result: running every anomaly scenario against every
+engine must reproduce the paper's Table 4 cell for cell, and the two extension
+rows (Degree 0, Oracle Read Consistency) must match our documented
+expectations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.matrix import (
+    EXPECTED_TABLE_4,
+    EXTENSION_EXPECTATIONS,
+    TABLE_4_COLUMNS,
+    TABLE_4_LEVELS,
+    compute_table4_row,
+)
+from repro.analysis.report import matrix_matches, render_comparison
+from repro.core.isolation import IsolationLevelName
+from repro.testbed import engine_factory
+
+
+@pytest.mark.parametrize("level", TABLE_4_LEVELS, ids=lambda level: level.value)
+def test_table4_row_matches_the_paper(level):
+    measured = compute_table4_row(engine_factory(level))
+    expected = EXPECTED_TABLE_4[level]
+    assert measured == expected, render_comparison(
+        {level: expected}, {level: measured}, TABLE_4_COLUMNS)
+
+
+@pytest.mark.parametrize("level", sorted(EXTENSION_EXPECTATIONS, key=lambda l: l.value),
+                         ids=lambda level: level.value)
+def test_extension_rows_match_their_documented_expectations(level):
+    measured = compute_table4_row(engine_factory(level))
+    assert measured == EXTENSION_EXPECTATIONS[level]
+
+
+def test_full_matrix_has_no_mismatches():
+    measured = {
+        level: compute_table4_row(engine_factory(level)) for level in TABLE_4_LEVELS
+    }
+    ok, mismatches = matrix_matches(EXPECTED_TABLE_4, measured)
+    assert ok, "\n".join(mismatches)

@@ -1,0 +1,75 @@
+"""Unit tests for deadlock detection (repro.locking.deadlock)."""
+
+from __future__ import annotations
+
+from repro.locking.deadlock import WaitsForGraph
+
+
+class TestWaitsForGraph:
+    def test_no_cycle_in_a_chain(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {2})
+        graph.set_waits(2, {3})
+        assert graph.find_cycle() is None
+        assert graph.detect() is None
+
+    def test_two_transaction_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {2})
+        graph.set_waits(2, {1})
+        cycle = graph.find_cycle()
+        assert cycle is not None and set(cycle) == {1, 2}
+
+    def test_three_transaction_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {2})
+        graph.set_waits(2, {3})
+        graph.set_waits(3, {1})
+        deadlock = graph.detect()
+        assert deadlock is not None
+        assert set(deadlock.cycle) == {1, 2, 3}
+
+    def test_default_victim_is_the_youngest(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {5})
+        graph.set_waits(5, {1})
+        assert graph.detect().victim == 5
+
+    def test_custom_victim_policy(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {2})
+        graph.set_waits(2, {1})
+        assert graph.detect(victim_chooser=min).victim == 1
+
+    def test_set_waits_replaces_previous_edges(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {2})
+        graph.set_waits(1, {3})
+        assert graph.waits_on(1) == {3}
+
+    def test_clear_waits_breaks_the_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {2})
+        graph.set_waits(2, {1})
+        graph.clear_waits(1)
+        assert graph.find_cycle() is None
+
+    def test_remove_transaction_clears_incoming_and_outgoing_edges(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {2})
+        graph.set_waits(2, {1})
+        graph.remove_transaction(2)
+        assert graph.find_cycle() is None
+        assert graph.waiting() == set()
+
+    def test_self_wait_is_ignored(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {1})
+        assert graph.waiting() == set()
+        assert graph.find_cycle() is None
+
+    def test_waiting_lists_blocked_transactions(self):
+        graph = WaitsForGraph()
+        graph.set_waits(1, {2, 3})
+        assert graph.waiting() == {1}
+        assert graph.waits_on(1) == {2, 3}

@@ -1,0 +1,143 @@
+"""Unit tests for the lock manager (repro.locking.lock_manager)."""
+
+from __future__ import annotations
+
+from repro.locking.lock_manager import LockManager
+from repro.locking.modes import (
+    ItemTarget,
+    LockDuration,
+    LockMode,
+    PredicateTarget,
+    RowTarget,
+)
+from repro.storage.predicates import attribute_equals
+from repro.storage.rows import Row
+
+X = ItemTarget("x")
+Y = ItemTarget("y")
+ACTIVE = attribute_equals("Active", "employees", "active", True)
+
+
+class TestGrantAndConflict:
+    def test_first_request_is_granted(self):
+        manager = LockManager()
+        assert manager.request(1, X, LockMode.SHARED, LockDuration.LONG).granted
+
+    def test_shared_locks_are_compatible(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.SHARED, LockDuration.LONG)
+        assert manager.request(2, X, LockMode.SHARED, LockDuration.LONG).granted
+
+    def test_exclusive_blocks_other_readers_and_writers(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.EXCLUSIVE, LockDuration.LONG)
+        read = manager.request(2, X, LockMode.SHARED, LockDuration.SHORT)
+        write = manager.request(2, X, LockMode.EXCLUSIVE, LockDuration.LONG)
+        assert not read.granted and read.blockers == {1}
+        assert not write.granted and write.blockers == {1}
+        assert manager.blocked_requests == 2
+
+    def test_conflicts_only_on_overlapping_targets(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.EXCLUSIVE, LockDuration.LONG)
+        assert manager.request(2, Y, LockMode.EXCLUSIVE, LockDuration.LONG).granted
+
+    def test_own_lock_never_blocks(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.EXCLUSIVE, LockDuration.LONG)
+        assert manager.request(1, X, LockMode.SHARED, LockDuration.SHORT).granted
+        assert len(manager.locks_of(1)) == 1  # no duplicates
+
+
+class TestUpgrades:
+    def test_shared_to_exclusive_upgrade_when_alone(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.SHARED, LockDuration.LONG)
+        assert manager.request(1, X, LockMode.EXCLUSIVE, LockDuration.LONG).granted
+        assert manager.held_by(1, X, LockMode.EXCLUSIVE)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.SHARED, LockDuration.LONG)
+        manager.request(2, X, LockMode.SHARED, LockDuration.LONG)
+        result = manager.request(1, X, LockMode.EXCLUSIVE, LockDuration.LONG)
+        assert not result.granted and result.blockers == {2}
+
+    def test_duration_is_extended_not_shortened(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.SHARED, LockDuration.LONG)
+        manager.request(1, X, LockMode.SHARED, LockDuration.SHORT)
+        manager.release_short(1)
+        assert manager.held_by(1, X)  # the long lock survived
+
+
+class TestRelease:
+    def test_release_all_frees_blockers(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.EXCLUSIVE, LockDuration.LONG)
+        manager.release_all(1)
+        assert manager.request(2, X, LockMode.EXCLUSIVE, LockDuration.LONG).granted
+
+    def test_release_short_only_releases_short_locks(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.SHARED, LockDuration.SHORT)
+        manager.request(1, Y, LockMode.EXCLUSIVE, LockDuration.LONG)
+        manager.release_short(1)
+        assert not manager.held_by(1, X)
+        assert manager.held_by(1, Y)
+
+    def test_release_specific_target(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.SHARED, LockDuration.LONG)
+        manager.release(1, X)
+        assert not manager.held_by(1, X)
+
+    def test_release_cursor_only_affects_that_cursor(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.SHARED, LockDuration.CURSOR, cursor="c1")
+        manager.request(1, Y, LockMode.SHARED, LockDuration.CURSOR, cursor="c2")
+        manager.release_cursor(1, "c1")
+        assert not manager.held_by(1, X)
+        assert manager.held_by(1, Y)
+
+    def test_cursor_lock_upgraded_to_long_survives_cursor_release(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.SHARED, LockDuration.CURSOR, cursor="c1")
+        manager.request(1, X, LockMode.EXCLUSIVE, LockDuration.LONG)
+        manager.release_cursor(1, "c1")
+        assert manager.held_by(1, X, LockMode.EXCLUSIVE)
+
+
+class TestPredicateLocks:
+    def test_predicate_lock_blocks_covered_row_write(self):
+        manager = LockManager()
+        manager.request(1, PredicateTarget(ACTIVE), LockMode.SHARED, LockDuration.LONG)
+        insert = RowTarget("employees", "e9", before=None,
+                           after=Row("e9", {"active": True}))
+        result = manager.request(2, insert, LockMode.EXCLUSIVE, LockDuration.LONG)
+        assert not result.granted and result.blockers == {1}
+
+    def test_predicate_lock_allows_uncovered_row_write(self):
+        manager = LockManager()
+        manager.request(1, PredicateTarget(ACTIVE), LockMode.SHARED, LockDuration.LONG)
+        insert = RowTarget("employees", "e9", before=None,
+                           after=Row("e9", {"active": False}))
+        assert manager.request(2, insert, LockMode.EXCLUSIVE, LockDuration.LONG).granted
+
+    def test_row_write_lock_blocks_later_predicate_read(self):
+        manager = LockManager()
+        update = RowTarget("employees", "e1",
+                           before=Row("e1", {"active": True}),
+                           after=Row("e1", {"active": False}))
+        manager.request(1, update, LockMode.EXCLUSIVE, LockDuration.LONG)
+        result = manager.request(2, PredicateTarget(ACTIVE), LockMode.SHARED,
+                                 LockDuration.LONG)
+        assert not result.granted and result.blockers == {1}
+
+    def test_holders_reports_conflicting_transactions(self):
+        manager = LockManager()
+        manager.request(1, X, LockMode.EXCLUSIVE, LockDuration.LONG)
+        manager.request(2, Y, LockMode.EXCLUSIVE, LockDuration.LONG)
+        assert manager.holders(X, LockMode.SHARED) == {1}
+        assert manager.holders(Y, LockMode.EXCLUSIVE) == {2}
+        assert len(manager.all_locks()) == 2

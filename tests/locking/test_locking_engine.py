@@ -1,0 +1,238 @@
+"""Unit tests for the locking engine (repro.locking.engine).
+
+These exercise the engine directly (without the schedule runner) so that
+blocking, lock release, undo, and cursor behaviour can be asserted one call at
+a time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.isolation import IsolationLevelName
+from repro.engine.interface import EngineError, OpStatus, TransactionState
+from repro.locking.engine import LockingEngine
+from repro.storage.database import Database
+from repro.storage.predicates import attribute_equals
+from repro.storage.rows import Row
+
+
+def _database() -> Database:
+    database = Database()
+    database.set_item("x", 50)
+    database.set_item("y", 50)
+    database.create_table("employees", [
+        Row("e1", {"active": True}), Row("e2", {"active": False}),
+    ])
+    return database
+
+
+ACTIVE = attribute_equals("Active", "employees", "active", True)
+
+
+def _engine(level=IsolationLevelName.SERIALIZABLE) -> LockingEngine:
+    return LockingEngine(_database(), level=level)
+
+
+class TestBasicReadWrite:
+    def test_read_returns_current_value(self):
+        engine = _engine()
+        engine.begin(1)
+        assert engine.read(1, "x").value == 50
+
+    def test_write_applies_in_place(self):
+        engine = _engine()
+        engine.begin(1)
+        engine.write(1, "x", 99)
+        assert engine.database.get_item("x") == 99
+
+    def test_commit_releases_locks(self):
+        engine = _engine()
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 99)
+        assert engine.write(2, "x", 100).is_blocked
+        engine.commit(1)
+        assert engine.write(2, "x", 100).is_ok
+
+    def test_abort_restores_before_images(self):
+        engine = _engine()
+        engine.begin(1)
+        engine.write(1, "x", 99)
+        engine.abort(1)
+        assert engine.database.get_item("x") == 50
+        assert engine.state_of(1) is TransactionState.ABORTED
+
+    def test_operations_after_abort_report_aborted(self):
+        engine = _engine()
+        engine.begin(1)
+        engine.abort(1, reason="test")
+        assert engine.read(1, "x").is_aborted
+        assert engine.abort_reason(1) == "test"
+
+    def test_operations_after_commit_raise(self):
+        engine = _engine()
+        engine.begin(1)
+        engine.commit(1)
+        with pytest.raises(EngineError):
+            engine.read(1, "x")
+
+    def test_unknown_transaction_raises(self):
+        engine = _engine()
+        with pytest.raises(EngineError):
+            engine.read(99, "x")
+
+    def test_double_begin_rejected(self):
+        engine = _engine()
+        engine.begin(1)
+        with pytest.raises(EngineError):
+            engine.begin(1)
+
+
+class TestBlockingByLevel:
+    def test_serializable_readers_block_on_writers(self):
+        engine = _engine(IsolationLevelName.SERIALIZABLE)
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 99)
+        result = engine.read(2, "x")
+        assert result.is_blocked and result.blockers == frozenset({1})
+
+    def test_read_uncommitted_readers_see_dirty_data(self):
+        engine = _engine(IsolationLevelName.READ_UNCOMMITTED)
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 99)
+        assert engine.read(2, "x").value == 99  # dirty read
+
+    def test_read_committed_releases_read_locks_immediately(self):
+        engine = _engine(IsolationLevelName.READ_COMMITTED)
+        engine.begin(1)
+        engine.begin(2)
+        engine.read(1, "x")
+        assert engine.write(2, "x", 99).is_ok  # short read lock already gone
+
+    def test_repeatable_read_holds_read_locks(self):
+        engine = _engine(IsolationLevelName.REPEATABLE_READ)
+        engine.begin(1)
+        engine.begin(2)
+        engine.read(1, "x")
+        assert engine.write(2, "x", 99).is_blocked
+
+    def test_degree0_allows_dirty_writes(self):
+        engine = _engine(IsolationLevelName.DEGREE_0)
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 1)
+        assert engine.write(2, "x", 2).is_ok
+
+
+class TestPredicatesAndRows:
+    def test_select_returns_matching_row_copies(self):
+        engine = _engine()
+        engine.begin(1)
+        rows = engine.select(1, ACTIVE).value
+        assert [row.key for row in rows] == ["e1"]
+        rows[0].set("active", False)
+        assert engine.database.table("employees").get("e1").get("active") is True
+
+    def test_serializable_predicate_lock_blocks_covered_insert(self):
+        engine = _engine(IsolationLevelName.SERIALIZABLE)
+        engine.begin(1)
+        engine.begin(2)
+        engine.select(1, ACTIVE)
+        blocked = engine.insert(2, "employees", Row("e9", {"active": True}))
+        assert blocked.is_blocked
+
+    def test_serializable_predicate_lock_allows_uncovered_insert(self):
+        engine = _engine(IsolationLevelName.SERIALIZABLE)
+        engine.begin(1)
+        engine.begin(2)
+        engine.select(1, ACTIVE)
+        allowed = engine.insert(2, "employees", Row("e9", {"active": False}))
+        assert allowed.is_ok
+
+    def test_repeatable_read_predicate_lock_is_short(self):
+        engine = _engine(IsolationLevelName.REPEATABLE_READ)
+        engine.begin(1)
+        engine.begin(2)
+        engine.select(1, ACTIVE)
+        assert engine.insert(2, "employees", Row("e9", {"active": True})).is_ok
+
+    def test_update_and_delete_roll_back_on_abort(self):
+        engine = _engine()
+        engine.begin(1)
+        engine.update_row(1, "employees", "e1", {"active": False})
+        engine.delete_row(1, "employees", "e2")
+        engine.abort(1)
+        table = engine.database.table("employees")
+        assert table.get("e1").get("active") is True
+        assert table.has("e2")
+
+    def test_update_of_missing_row_is_an_error_result(self):
+        engine = _engine()
+        engine.begin(1)
+        assert engine.update_row(1, "employees", "nope", {"active": False}).is_aborted
+        assert engine.delete_row(1, "employees", "nope").is_aborted
+
+    def test_insert_rolls_back_on_abort(self):
+        engine = _engine()
+        engine.begin(1)
+        engine.insert(1, "employees", Row("e9", {"active": True}))
+        engine.abort(1)
+        assert not engine.database.table("employees").has("e9")
+
+
+class TestCursors:
+    def test_fetch_walks_the_item_list(self):
+        engine = _engine(IsolationLevelName.CURSOR_STABILITY)
+        engine.begin(1)
+        engine.open_cursor(1, "c", ["x", "y"])
+        assert engine.fetch(1, "c").value == 50
+        assert engine.fetch(1, "c").item == "y"
+        assert engine.fetch(1, "c").is_aborted  # exhausted
+
+    def test_cursor_stability_holds_lock_on_current_row_only(self):
+        engine = _engine(IsolationLevelName.CURSOR_STABILITY)
+        engine.begin(1)
+        engine.begin(2)
+        engine.open_cursor(1, "c", ["x", "y"])
+        engine.fetch(1, "c")                       # current is x
+        assert engine.write(2, "x", 99).is_blocked  # x is protected
+        engine.fetch(1, "c")                        # cursor moves to y
+        assert engine.write(2, "x", 99).is_ok       # x is released
+        assert engine.write(2, "y", 99).is_blocked  # y now protected
+
+    def test_close_cursor_releases_the_lock(self):
+        engine = _engine(IsolationLevelName.CURSOR_STABILITY)
+        engine.begin(1)
+        engine.begin(2)
+        engine.open_cursor(1, "c", ["x"])
+        engine.fetch(1, "c")
+        engine.close_cursor(1, "c")
+        assert engine.write(2, "x", 99).is_ok
+
+    def test_cursor_update_writes_current_item(self):
+        engine = _engine(IsolationLevelName.CURSOR_STABILITY)
+        engine.begin(1)
+        engine.open_cursor(1, "c", ["x"])
+        engine.fetch(1, "c")
+        engine.cursor_update(1, "c", 123)
+        assert engine.database.get_item("x") == 123
+
+    def test_cursor_update_before_fetch_is_an_error_result(self):
+        engine = _engine(IsolationLevelName.CURSOR_STABILITY)
+        engine.begin(1)
+        engine.open_cursor(1, "c", ["x"])
+        assert engine.cursor_update(1, "c", 1).is_aborted
+
+    def test_unknown_cursor_raises(self):
+        engine = _engine(IsolationLevelName.CURSOR_STABILITY)
+        engine.begin(1)
+        with pytest.raises(EngineError):
+            engine.fetch(1, "nope")
+
+    def test_open_cursor_with_no_items_is_rejected(self):
+        engine = _engine(IsolationLevelName.CURSOR_STABILITY)
+        engine.begin(1)
+        assert engine.open_cursor(1, "c", []).is_aborted

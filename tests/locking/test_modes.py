@@ -1,0 +1,79 @@
+"""Unit tests for lock modes and lock targets (repro.locking.modes)."""
+
+from __future__ import annotations
+
+from repro.locking.modes import (
+    ItemTarget,
+    LockDuration,
+    LockMode,
+    PredicateTarget,
+    RowTarget,
+    modes_conflict,
+)
+from repro.storage.predicates import attribute_equals
+from repro.storage.rows import Row
+
+ACTIVE = attribute_equals("Active", "employees", "active", True)
+
+
+class TestModeConflicts:
+    def test_shared_shared_compatible(self):
+        assert not modes_conflict(LockMode.SHARED, LockMode.SHARED)
+
+    def test_any_exclusive_conflicts(self):
+        assert modes_conflict(LockMode.SHARED, LockMode.EXCLUSIVE)
+        assert modes_conflict(LockMode.EXCLUSIVE, LockMode.SHARED)
+        assert modes_conflict(LockMode.EXCLUSIVE, LockMode.EXCLUSIVE)
+
+
+class TestItemTargets:
+    def test_same_item_overlaps(self):
+        assert ItemTarget("x").overlaps(ItemTarget("x"))
+        assert not ItemTarget("x").overlaps(ItemTarget("y"))
+
+    def test_item_never_overlaps_rows_or_predicates(self):
+        assert not ItemTarget("x").overlaps(RowTarget("employees", "e1"))
+        assert not ItemTarget("x").overlaps(PredicateTarget(ACTIVE))
+
+    def test_keys_identify_targets(self):
+        assert ItemTarget("x").key() == ItemTarget("x").key()
+        assert ItemTarget("x").key() != ItemTarget("y").key()
+
+
+class TestRowTargets:
+    def test_same_row_overlaps(self):
+        assert RowTarget("employees", "e1").overlaps(RowTarget("employees", "e1"))
+        assert not RowTarget("employees", "e1").overlaps(RowTarget("employees", "e2"))
+        assert not RowTarget("employees", "e1").overlaps(RowTarget("tasks", "e1"))
+
+    def test_row_vs_predicate_uses_coverage(self):
+        covered = RowTarget("employees", "e9", before=None,
+                            after=Row("e9", {"active": True}))
+        uncovered = RowTarget("employees", "e9", before=None,
+                              after=Row("e9", {"active": False}))
+        assert covered.overlaps(PredicateTarget(ACTIVE))
+        assert not uncovered.overlaps(PredicateTarget(ACTIVE))
+
+    def test_row_without_images_is_conservative(self):
+        bare = RowTarget("employees", "e9")
+        assert bare.overlaps(PredicateTarget(ACTIVE))
+        other_table = RowTarget("tasks", "t1")
+        assert not other_table.overlaps(PredicateTarget(ACTIVE))
+
+
+class TestPredicateTargets:
+    def test_predicate_vs_predicate_same_table(self):
+        other = attribute_equals("Inactive", "employees", "active", False)
+        assert not PredicateTarget(ACTIVE).overlaps(PredicateTarget(other))
+        again = attribute_equals("Active2", "employees", "active", True)
+        assert PredicateTarget(ACTIVE).overlaps(PredicateTarget(again))
+
+    def test_predicate_covers_row_leaving_extent(self):
+        leaving = RowTarget("employees", "e1",
+                            before=Row("e1", {"active": True}),
+                            after=Row("e1", {"active": False}))
+        assert PredicateTarget(ACTIVE).overlaps(leaving)
+
+    def test_durations_are_distinct(self):
+        assert LockDuration.SHORT is not LockDuration.LONG
+        assert {LockDuration.SHORT, LockDuration.LONG, LockDuration.CURSOR}

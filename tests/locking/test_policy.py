@@ -1,0 +1,76 @@
+"""Unit tests for the Table 2 locking policies (repro.locking.policy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.isolation import IsolationLevelName
+from repro.locking.modes import LockDuration, LockMode
+from repro.locking.policy import POLICIES, policy_for
+
+
+class TestTable2Policies:
+    def test_every_locking_level_has_a_policy(self):
+        for level in (IsolationLevelName.DEGREE_0,
+                      IsolationLevelName.READ_UNCOMMITTED,
+                      IsolationLevelName.READ_COMMITTED,
+                      IsolationLevelName.CURSOR_STABILITY,
+                      IsolationLevelName.REPEATABLE_READ,
+                      IsolationLevelName.SERIALIZABLE):
+            assert policy_for(level).level is level
+
+    def test_non_locking_levels_have_no_policy(self):
+        with pytest.raises(KeyError):
+            policy_for(IsolationLevelName.SNAPSHOT_ISOLATION)
+
+    def test_degree0_takes_only_short_write_locks(self):
+        policy = policy_for(IsolationLevelName.DEGREE_0)
+        assert policy.item_read is None
+        assert policy.predicate_read is None
+        assert policy.write.duration is LockDuration.SHORT
+
+    def test_read_uncommitted_has_long_write_locks_but_no_read_locks(self):
+        policy = policy_for(IsolationLevelName.READ_UNCOMMITTED)
+        assert policy.item_read is None
+        assert policy.write.duration is LockDuration.LONG
+
+    def test_read_committed_uses_short_read_locks(self):
+        policy = policy_for(IsolationLevelName.READ_COMMITTED)
+        assert policy.item_read.duration is LockDuration.SHORT
+        assert policy.predicate_read.duration is LockDuration.SHORT
+
+    def test_cursor_stability_holds_the_current_of_cursor(self):
+        policy = policy_for(IsolationLevelName.CURSOR_STABILITY)
+        assert policy.cursor_read.duration is LockDuration.CURSOR
+        assert policy.item_read.duration is LockDuration.SHORT
+
+    def test_repeatable_read_long_item_but_short_predicate_locks(self):
+        policy = policy_for(IsolationLevelName.REPEATABLE_READ)
+        assert policy.item_read.duration is LockDuration.LONG
+        assert policy.predicate_read.duration is LockDuration.SHORT
+
+    def test_serializable_holds_everything_long(self):
+        policy = policy_for(IsolationLevelName.SERIALIZABLE)
+        assert policy.item_read.duration is LockDuration.LONG
+        assert policy.predicate_read.duration is LockDuration.LONG
+        assert policy.write.duration is LockDuration.LONG
+
+    def test_every_level_above_degree0_holds_long_write_locks(self):
+        for level, policy in POLICIES.items():
+            if level is IsolationLevelName.DEGREE_0:
+                continue
+            assert policy.write.mode is LockMode.EXCLUSIVE
+            assert policy.write.duration is LockDuration.LONG
+
+    def test_all_read_rules_are_shared_mode(self):
+        for policy in POLICIES.values():
+            for rule in (policy.item_read, policy.predicate_read, policy.cursor_read):
+                if rule is not None:
+                    assert rule.mode is LockMode.SHARED
+
+    def test_describe_renders_every_action(self):
+        description = policy_for(IsolationLevelName.SERIALIZABLE).describe()
+        assert set(description) == {"item read", "predicate read", "cursor read", "write"}
+        assert description["write"] == "X long"
+        none_description = policy_for(IsolationLevelName.DEGREE_0).describe()
+        assert none_description["item read"] == "none required"

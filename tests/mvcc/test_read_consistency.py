@@ -1,0 +1,144 @@
+"""Unit tests for the Oracle-style Read Consistency engine (repro.mvcc.read_consistency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mvcc.read_consistency import ReadConsistencyEngine
+from repro.storage.database import Database
+from repro.storage.predicates import whole_table
+from repro.storage.rows import Row
+
+
+def _database() -> Database:
+    database = Database()
+    database.set_item("x", 100)
+    database.set_item("y", 50)
+    database.create_table("tasks", [Row("t1", {"hours": 3})])
+    return database
+
+
+class TestStatementLevelSnapshots:
+    def test_each_read_sees_the_latest_committed_state(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        assert engine.read(1, "x").value == 100
+        engine.write(2, "x", 120)
+        engine.commit(2)
+        # Unlike Snapshot Isolation, the next statement sees the new value.
+        assert engine.read(1, "x").value == 120
+
+    def test_uncommitted_writes_of_others_stay_invisible(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(2, "x", 120)
+        assert engine.read(1, "x").value == 100
+
+    def test_transaction_reads_its_own_buffered_writes(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.write(1, "x", 120)
+        assert engine.read(1, "x").value == 120
+
+    def test_select_uses_statement_timestamp(self):
+        engine = ReadConsistencyEngine(_database())
+        all_tasks = whole_table("All", "tasks")
+        engine.begin(1)
+        engine.begin(2)
+        assert len(engine.select(1, all_tasks).value) == 1
+        engine.insert(2, "tasks", Row("t2", {"hours": 1}))
+        engine.commit(2)
+        assert len(engine.select(1, all_tasks).value) == 2
+
+
+class TestFirstWriterWins:
+    def test_writers_block_on_writers(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 110)
+        result = engine.write(2, "x", 120)
+        assert result.is_blocked and result.blockers == frozenset({1})
+
+    def test_commit_releases_write_locks(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 110)
+        engine.commit(1)
+        assert engine.write(2, "x", 120).is_ok
+
+    def test_lost_update_is_possible_with_plain_reads(self):
+        """The paper: Read Consistency allows general lost updates (P4)."""
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        seen = engine.read(1, "x").value           # 100
+        engine.write(2, "x", 120)
+        engine.commit(2)
+        engine.write(1, "x", seen + 30)            # overwrites 120 with 130
+        engine.commit(1)
+        assert engine.database.get_item("x") == 130
+
+    def test_dirty_writes_are_impossible(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 1)
+        assert engine.write(2, "x", 2).is_blocked
+
+    def test_row_writes_take_locks_too(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.update_row(1, "tasks", "t1", {"hours": 5})
+        assert engine.update_row(2, "tasks", "t1", {"hours": 6}).is_blocked
+
+    def test_duplicate_insert_rejected(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        assert engine.insert(1, "tasks", Row("t1", {"hours": 9})).is_aborted
+
+
+class TestCursorBehaviour:
+    def test_cursor_members_are_as_of_open(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.open_cursor(1, "c", ["x"])
+        engine.begin(2)
+        engine.write(2, "x", 120)
+        engine.commit(2)
+        assert engine.fetch(1, "c").value == 100   # still the open-time value
+
+    def test_cursor_lost_update_is_prevented(self):
+        """The paper: Read Consistency disallows P4C."""
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.open_cursor(1, "c", ["x"])
+        engine.fetch(1, "c")
+        engine.begin(2)
+        engine.write(2, "x", 120)
+        engine.commit(2)
+        result = engine.cursor_update(1, "c", 130)
+        assert result.is_aborted
+        assert engine.database.get_item("x") == 120
+
+    def test_cursor_update_without_conflict_succeeds(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.open_cursor(1, "c", ["x"])
+        engine.fetch(1, "c")
+        engine.cursor_update(1, "c", 130)
+        engine.commit(1)
+        assert engine.database.get_item("x") == 130
+
+    def test_abort_releases_locks_and_discards_writes(self):
+        engine = ReadConsistencyEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 110)
+        engine.abort(1)
+        assert engine.database.get_item("x") == 100
+        assert engine.write(2, "x", 120).is_ok

@@ -1,0 +1,197 @@
+"""Unit tests for the Snapshot Isolation engine (repro.mvcc.snapshot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.interface import TransactionState
+from repro.mvcc.snapshot import SnapshotIsolationEngine
+from repro.storage.database import Database
+from repro.storage.predicates import attribute_equals, whole_table
+from repro.storage.rows import Row
+
+
+def _database() -> Database:
+    database = Database()
+    database.set_item("x", 50)
+    database.set_item("y", 50)
+    database.create_table("tasks", [Row("t1", {"hours": 3}), Row("t2", {"hours": 4})])
+    return database
+
+
+class TestSnapshotReads:
+    def test_reads_never_block_and_see_the_snapshot(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 10)           # buffered, invisible to T2
+        assert engine.read(2, "x").value == 50
+
+    def test_transaction_reads_its_own_writes(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.write(1, "x", 10)
+        assert engine.read(1, "x").value == 10
+
+    def test_snapshot_is_fixed_at_start(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(2, "x", 99)
+        engine.commit(2)
+        # T1 started before T2 committed: it keeps seeing 50.
+        assert engine.read(1, "x").value == 50
+
+    def test_later_transactions_see_committed_changes(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.write(1, "x", 99)
+        engine.commit(1)
+        engine.begin(2)
+        assert engine.read(2, "x").value == 99
+
+    def test_read_reports_version_index(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        assert engine.read(1, "x").version == 0
+
+
+class TestFirstCommitterWins:
+    def test_second_committer_aborts(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 60)
+        engine.write(2, "x", 70)
+        assert engine.commit(2).is_ok
+        result = engine.commit(1)
+        assert result.is_aborted
+        assert "first-committer-wins" in result.reason
+        assert engine.state_of(1) is TransactionState.ABORTED
+        assert engine.fcw_aborts == 1
+        assert engine.database.get_item("x") == 70
+
+    def test_disjoint_write_sets_both_commit(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 60)
+        engine.write(2, "y", 70)
+        assert engine.commit(1).is_ok
+        assert engine.commit(2).is_ok
+
+    def test_write_skew_is_admitted(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.read(1, "x"), engine.read(1, "y")
+        engine.read(2, "x"), engine.read(2, "y")
+        engine.write(1, "y", -40)
+        engine.write(2, "x", -40)
+        assert engine.commit(1).is_ok
+        assert engine.commit(2).is_ok
+        assert engine.database.get_item("x") + engine.database.get_item("y") < 0
+
+    def test_fcw_can_be_disabled_for_the_ablation(self):
+        engine = SnapshotIsolationEngine(_database(), first_committer_wins=False)
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 60)
+        engine.write(2, "x", 70)
+        assert engine.commit(2).is_ok
+        assert engine.commit(1).is_ok            # lost update slips through
+        assert engine.database.get_item("x") == 60
+
+    def test_serial_rerun_after_abort_succeeds(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(1, "x", 60)
+        engine.write(2, "x", 70)
+        engine.commit(2)
+        engine.commit(1)  # aborted by FCW
+        engine.begin(3)
+        engine.write(3, "x", 80)
+        assert engine.commit(3).is_ok
+        assert engine.database.get_item("x") == 80
+
+
+class TestRowsAndPredicates:
+    ALL = whole_table("AllTasks", "tasks")
+
+    def test_select_sees_snapshot_plus_own_inserts(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.insert(1, "tasks", Row("t3", {"hours": 1}))
+        assert len(engine.select(1, self.ALL).value) == 3
+        assert len(engine.select(2, self.ALL).value) == 2
+
+    def test_concurrent_disjoint_inserts_both_commit(self):
+        """Section 4.2: the task-hours constraint can be violated under SI."""
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.insert(1, "tasks", Row("t3", {"hours": 1}))
+        engine.insert(2, "tasks", Row("t4", {"hours": 1}))
+        assert engine.commit(1).is_ok
+        assert engine.commit(2).is_ok
+        total = sum(row.get("hours") for row in engine.database.table("tasks"))
+        assert total == 9  # > 8: the phantom the paper warns about
+
+    def test_conflicting_row_updates_trigger_fcw(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.update_row(1, "tasks", "t1", {"hours": 5})
+        engine.update_row(2, "tasks", "t1", {"hours": 6})
+        assert engine.commit(1).is_ok
+        assert engine.commit(2).is_aborted
+
+    def test_duplicate_insert_is_rejected(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        assert engine.insert(1, "tasks", Row("t1", {"hours": 9})).is_aborted
+
+    def test_delete_and_update_of_missing_row(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        assert engine.update_row(1, "tasks", "nope", {"hours": 1}).is_aborted
+        assert engine.delete_row(1, "tasks", "nope").is_aborted
+
+    def test_delete_hides_row_from_own_select_and_commits(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.delete_row(1, "tasks", "t1")
+        assert len(engine.select(1, self.ALL).value) == 1
+        engine.commit(1)
+        assert not engine.database.table("tasks").has("t1")
+
+
+class TestSnapshotCursors:
+    def test_fetch_reads_from_the_snapshot(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.begin(2)
+        engine.write(2, "x", 99)
+        engine.commit(2)
+        engine.open_cursor(1, "c", ["x"])
+        assert engine.fetch(1, "c").value == 50
+
+    def test_cursor_update_is_subject_to_fcw(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.open_cursor(1, "c", ["x"])
+        engine.fetch(1, "c")
+        engine.begin(2)
+        engine.write(2, "x", 99)
+        engine.commit(2)
+        engine.cursor_update(1, "c", 123)
+        assert engine.commit(1).is_aborted
+
+    def test_voluntary_abort_discards_writes(self):
+        engine = SnapshotIsolationEngine(_database())
+        engine.begin(1)
+        engine.write(1, "x", 99)
+        engine.abort(1)
+        assert engine.database.get_item("x") == 50

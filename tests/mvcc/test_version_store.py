@@ -1,0 +1,108 @@
+"""Unit tests for timestamps and the multiversion store (repro.mvcc)."""
+
+from __future__ import annotations
+
+from repro.mvcc.timestamps import TimestampAuthority
+from repro.mvcc.version_store import VersionStore
+from repro.storage.database import Database
+from repro.storage.rows import Row
+
+
+def _database() -> Database:
+    database = Database()
+    database.set_item("x", 50)
+    database.create_table("employees", [Row("e1", {"active": True})])
+    return database
+
+
+class TestTimestampAuthority:
+    def test_starts_at_zero_and_increments(self):
+        clock = TimestampAuthority()
+        assert clock.now() == 0
+        assert clock.next_commit() == 1
+        assert clock.next_commit() == 2
+        assert clock.now() == 2
+
+    def test_custom_start(self):
+        assert TimestampAuthority(start=10).now() == 10
+
+
+class TestItemVersions:
+    def test_initial_state_is_version_zero(self):
+        store = VersionStore(_database())
+        value, version = store.read_item("x", 0)
+        assert value == 50 and version == 0
+
+    def test_later_snapshots_see_later_versions(self):
+        store = VersionStore(_database())
+        store.install_item("x", 99, commit_ts=1, txn=7)
+        assert store.read_item("x", 0) == (50, 0)
+        assert store.read_item("x", 1) == (99, 1)
+        assert store.read_item("x", 5) == (99, 1)
+
+    def test_unknown_item_is_invisible(self):
+        store = VersionStore(_database())
+        assert store.read_item("nope", 3) == (None, None)
+
+    def test_item_created_later_is_invisible_to_old_snapshots(self):
+        store = VersionStore(_database())
+        store.install_item("new", 1, commit_ts=2, txn=7)
+        assert store.read_item("new", 1) == (None, None)
+        assert store.read_item("new", 2) == (1, 0)
+
+    def test_item_modified_since(self):
+        store = VersionStore(_database())
+        assert not store.item_modified_since("x", 0)
+        store.install_item("x", 99, commit_ts=3, txn=7)
+        assert store.item_modified_since("x", 0)
+        assert store.item_modified_since("x", 2)
+        assert not store.item_modified_since("x", 3)
+
+    def test_version_chain_is_exposed(self):
+        store = VersionStore(_database())
+        store.install_item("x", 99, commit_ts=1, txn=7)
+        chain = store.item_versions("x")
+        assert [version.value for version in chain] == [50, 99]
+        assert chain[1].txn == 7
+
+
+class TestRowVersions:
+    def test_initial_rows_visible_at_zero(self):
+        store = VersionStore(_database())
+        row = store.visible_row("employees", "e1", 0)
+        assert row is not None and row.get("active") is True
+
+    def test_row_update_creates_new_version(self):
+        store = VersionStore(_database())
+        store.install_row("employees", "e1", Row("e1", {"active": False}), 1, txn=7)
+        assert store.visible_row("employees", "e1", 0).get("active") is True
+        assert store.visible_row("employees", "e1", 1).get("active") is False
+
+    def test_row_delete_hides_the_row(self):
+        store = VersionStore(_database())
+        store.install_row("employees", "e1", None, 1, txn=7)
+        assert store.visible_row("employees", "e1", 0) is not None
+        assert store.visible_row("employees", "e1", 1) is None
+
+    def test_insert_only_visible_after_commit_ts(self):
+        store = VersionStore(_database())
+        store.install_row("employees", "e2", Row("e2", {"active": True}), 2, txn=7)
+        assert [row.key for row in store.visible_rows("employees", 1)] == ["e1"]
+        assert [row.key for row in store.visible_rows("employees", 2)] == ["e1", "e2"]
+
+    def test_row_modified_since(self):
+        store = VersionStore(_database())
+        assert not store.row_modified_since("employees", "e1", 0)
+        store.install_row("employees", "e1", Row("e1", {"active": False}), 4, txn=7)
+        assert store.row_modified_since("employees", "e1", 0)
+        assert not store.row_modified_since("employees", "e1", 4)
+
+    def test_visible_rows_returns_copies(self):
+        store = VersionStore(_database())
+        store.visible_rows("employees", 0)[0].set("active", False)
+        assert store.visible_row("employees", "e1", 0).get("active") is True
+
+    def test_row_keys_accumulate(self):
+        store = VersionStore(_database())
+        store.install_row("employees", "e5", Row("e5", {}), 1, txn=7)
+        assert store.row_keys("employees") == ["e1", "e5"]

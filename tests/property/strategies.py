@@ -1,0 +1,55 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import strategies as st
+
+from repro.core.history import History
+from repro.core.operations import Operation, OperationKind
+
+ITEMS = ("x", "y", "z")
+
+
+@st.composite
+def transaction_bodies(draw, max_ops: int = 4):
+    """Per-transaction operation bodies: a few reads/writes then commit/abort."""
+    transactions = draw(st.integers(min_value=1, max_value=3))
+    bodies: List[List[Operation]] = []
+    for txn in range(1, transactions + 1):
+        length = draw(st.integers(min_value=1, max_value=max_ops))
+        ops: List[Operation] = []
+        for _ in range(length):
+            item = draw(st.sampled_from(ITEMS))
+            kind = draw(st.sampled_from((OperationKind.READ, OperationKind.WRITE)))
+            ops.append(Operation(kind, txn, item=item))
+        terminal = draw(st.sampled_from((OperationKind.COMMIT, OperationKind.COMMIT,
+                                         OperationKind.COMMIT, OperationKind.ABORT)))
+        ops.append(Operation(terminal, txn))
+        bodies.append(ops)
+    return bodies
+
+
+@st.composite
+def histories(draw, max_ops: int = 4) -> History:
+    """Random complete histories: random interleavings of random transactions."""
+    bodies = draw(transaction_bodies(max_ops=max_ops))
+    remaining = [list(body) for body in bodies]
+    merged: List[Operation] = []
+    while any(remaining):
+        candidates = [index for index, body in enumerate(remaining) if body]
+        choice = draw(st.sampled_from(candidates))
+        merged.append(remaining[choice].pop(0))
+    return History(merged)
+
+
+@st.composite
+def serial_histories(draw, max_ops: int = 4) -> History:
+    """Histories that execute transactions strictly one after another."""
+    bodies = draw(transaction_bodies(max_ops=max_ops))
+    order = draw(st.permutations(range(len(bodies))))
+    merged: List[Operation] = []
+    for index in order:
+        merged.extend(bodies[index])
+    return History(merged)

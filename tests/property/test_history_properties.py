@@ -1,0 +1,89 @@
+"""Property-based tests over histories, the parser, and the dependency graph."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.dependency import (
+    build_dependency_graph,
+    histories_equivalent,
+    is_serializable,
+)
+from repro.core.history import parse_history
+from repro.core.phenomena import ALL_PHENOMENA, detect_all
+
+from .strategies import histories, serial_histories
+
+COMMON_SETTINGS = settings(max_examples=120, deadline=None)
+
+
+@COMMON_SETTINGS
+@given(histories())
+def test_shorthand_round_trips(history):
+    """Parsing a rendered history reproduces it exactly."""
+    assert parse_history(history.to_shorthand()) == history
+
+
+@COMMON_SETTINGS
+@given(serial_histories())
+def test_serial_histories_are_serializable(history):
+    """The Serializability Theorem's easy direction: serial ⇒ serializable."""
+    assert history.is_serial()
+    assert is_serializable(history)
+
+
+@COMMON_SETTINGS
+@given(serial_histories())
+def test_serial_histories_exhibit_no_phenomena(history):
+    """None of the paper's phenomena can occur in a serial history (Section 2.2)."""
+    occurrences = detect_all(history)
+    assert all(not found for found in occurrences.values()), occurrences
+
+
+@COMMON_SETTINGS
+@given(histories())
+def test_dependency_graph_nodes_are_committed_transactions(history):
+    graph = build_dependency_graph(history)
+    assert set(graph.nodes) == history.committed_transactions()
+    for edge in graph.edges:
+        assert edge.source in graph.nodes and edge.target in graph.nodes
+        assert edge.source != edge.target
+
+
+@COMMON_SETTINGS
+@given(histories())
+def test_serializable_histories_have_a_witness_serial_order(history):
+    graph = build_dependency_graph(history)
+    if graph.is_acyclic():
+        order = graph.topological_order()
+        assert order is not None
+        assert set(order) == set(graph.nodes)
+    else:
+        assert graph.topological_order() is None
+
+
+@COMMON_SETTINGS
+@given(histories())
+def test_equivalence_is_reflexive(history):
+    assert histories_equivalent(history, history)
+
+
+@COMMON_SETTINGS
+@given(histories())
+def test_committed_projection_preserves_serializability_verdict(history):
+    """Serializability is defined over committed transactions only, so the
+    projection must give the same verdict as the original history."""
+    assert is_serializable(history) == is_serializable(history.committed_projection())
+
+
+@COMMON_SETTINGS
+@given(histories())
+def test_detectors_report_occurrences_with_valid_indices(history):
+    for code, occurrences in detect_all(history).items():
+        detector = ALL_PHENOMENA[code]
+        assert detector.occurs_in(history) == bool(occurrences)
+        for occurrence in occurrences:
+            assert occurrence.phenomenon == code
+            for index in occurrence.indices:
+                assert 0 <= index < len(history)
+            assert len(set(occurrence.transactions)) == len(occurrence.transactions)

@@ -1,0 +1,145 @@
+"""Property-based tests for the multiversion substrate.
+
+Invariants under test:
+
+* Version-store visibility is monotone and stable: what a snapshot timestamp
+  sees never changes when later versions are installed, and a read at
+  timestamp t sees the version with the largest commit timestamp <= t.
+* Snapshot Isolation serial equivalence for disjoint writers: any interleaving
+  of transactions whose write sets do not overlap commits them all and yields
+  the same final state as running them serially.
+* First-Committer-Wins safety: for any interleaving, at most one of two
+  transactions writing the same item commits (unless one committed before the
+  other began), so committed write sets never overlap in time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mvcc.snapshot import SnapshotIsolationEngine
+from repro.mvcc.version_store import VersionStore
+from repro.storage.database import Database
+
+COMMON_SETTINGS = settings(max_examples=80, deadline=None)
+
+ITEMS = ("x", "y", "z")
+
+
+@st.composite
+def version_installs(draw) -> List[Tuple[str, int, int]]:
+    """A sequence of (item, value, commit_ts) with strictly increasing timestamps."""
+    count = draw(st.integers(min_value=0, max_value=8))
+    installs: List[Tuple[str, int, int]] = []
+    ts = 0
+    for _ in range(count):
+        ts += draw(st.integers(min_value=1, max_value=3))
+        item = draw(st.sampled_from(ITEMS))
+        value = draw(st.integers(min_value=-100, max_value=100))
+        installs.append((item, value, ts))
+    return installs
+
+
+def _base_database() -> Database:
+    database = Database()
+    for item in ITEMS:
+        database.set_item(item, 0)
+    return database
+
+
+@COMMON_SETTINGS
+@given(version_installs(), st.integers(min_value=0, max_value=30))
+def test_version_store_reads_latest_version_at_or_before_timestamp(installs, as_of):
+    store = VersionStore(_base_database())
+    for txn, (item, value, ts) in enumerate(installs, start=1):
+        store.install_item(item, value, ts, txn)
+    for item in ITEMS:
+        expected = 0
+        for installed_item, value, ts in installs:
+            if installed_item == item and ts <= as_of:
+                expected = value
+        observed, _ = store.read_item(item, as_of)
+        assert observed == expected
+
+
+@COMMON_SETTINGS
+@given(version_installs(), st.integers(min_value=0, max_value=10))
+def test_snapshot_visibility_is_stable_under_later_installs(installs, snapshot_ts):
+    """Installing more versions never changes what an earlier snapshot sees."""
+    store = VersionStore(_base_database())
+    observed_before: Dict[str, object] = {}
+    midpoint = len(installs) // 2
+    for txn, (item, value, ts) in enumerate(installs[:midpoint], start=1):
+        store.install_item(item, value, ts, txn)
+    for item in ITEMS:
+        observed_before[item] = store.read_item(item, snapshot_ts)[0]
+    for txn, (item, value, ts) in enumerate(installs[midpoint:], start=midpoint + 1):
+        store.install_item(item, value, ts, txn)
+    for item in ITEMS:
+        later_installs_before_snapshot = [
+            ts for (i, _, ts) in installs[midpoint:] if i == item and ts <= snapshot_ts
+        ]
+        if not later_installs_before_snapshot:
+            assert store.read_item(item, snapshot_ts)[0] == observed_before[item]
+
+
+@st.composite
+def disjoint_write_sets(draw) -> List[List[Tuple[str, int]]]:
+    """Write sets for up to three transactions over pairwise-distinct items."""
+    assignment = draw(st.permutations(ITEMS))
+    transactions = draw(st.integers(min_value=1, max_value=3))
+    write_sets: List[List[Tuple[str, int]]] = []
+    for index in range(transactions):
+        value = draw(st.integers(min_value=-50, max_value=50))
+        write_sets.append([(assignment[index], value)])
+    return write_sets
+
+
+@COMMON_SETTINGS
+@given(disjoint_write_sets(), st.randoms(use_true_random=False))
+def test_disjoint_writers_all_commit_and_match_serial_execution(write_sets, rng):
+    """Under SI, transactions with disjoint write sets never abort, and the
+    final state equals a serial execution of the same transactions."""
+    engine = SnapshotIsolationEngine(_base_database())
+    for txn in range(1, len(write_sets) + 1):
+        engine.begin(txn)
+    pending = {txn: list(writes) for txn, writes in enumerate(write_sets, start=1)}
+    order = [txn for txn, writes in pending.items() for _ in writes]
+    rng.shuffle(order)
+    for txn in order:
+        item, value = pending[txn].pop(0)
+        assert engine.write(txn, item, value).is_ok
+    commit_order = sorted(pending)
+    rng.shuffle(commit_order)
+    for txn in commit_order:
+        assert engine.commit(txn).is_ok
+
+    serial = _base_database()
+    for txn, writes in enumerate(write_sets, start=1):
+        for item, value in writes:
+            serial.set_item(item, value)
+    assert engine.database.items() == serial.items()
+
+
+@COMMON_SETTINGS
+@given(st.lists(st.sampled_from(ITEMS), min_size=1, max_size=3, unique=True),
+       st.integers(min_value=2, max_value=4))
+def test_first_committer_wins_admits_exactly_one_overlapping_writer(items, writers):
+    """All writers share the same write set and the same snapshot: exactly one
+    of them commits, the rest are aborted by First-Committer-Wins."""
+    engine = SnapshotIsolationEngine(_base_database())
+    for txn in range(1, writers + 1):
+        engine.begin(txn)
+    for txn in range(1, writers + 1):
+        for item in items:
+            engine.write(txn, item, txn)
+    outcomes = [engine.commit(txn) for txn in range(1, writers + 1)]
+    committed = [index + 1 for index, result in enumerate(outcomes) if result.is_ok]
+    assert len(committed) == 1
+    assert engine.fcw_aborts == writers - 1
+    winner = committed[0]
+    for item in items:
+        assert engine.database.get_item(item) == winner

@@ -1,0 +1,82 @@
+"""Unit tests for the constraint factories (repro.storage.constraints)."""
+
+from __future__ import annotations
+
+from repro.storage.constraints import (
+    items_equal,
+    items_sum_at_least,
+    items_sum_equals,
+    predicate_count_matches_item,
+    predicate_sum_at_most,
+)
+from repro.storage.database import Database
+from repro.storage.predicates import attribute_equals, whole_table
+from repro.storage.rows import Row
+
+
+def _bank() -> Database:
+    database = Database()
+    database.set_item("x", 50)
+    database.set_item("y", 50)
+    return database
+
+
+class TestItemConstraints:
+    def test_items_equal(self):
+        database = Database()
+        database.set_item("x", 1)
+        database.set_item("y", 1)
+        constraint = items_equal("x", "y")
+        assert constraint.holds(database)
+        database.set_item("y", 2)
+        assert not constraint.holds(database)
+
+    def test_items_sum_equals(self):
+        database = _bank()
+        constraint = items_sum_equals(("x", "y"), 100)
+        assert constraint.holds(database)
+        database.set_item("x", 10)
+        assert not constraint.holds(database)
+
+    def test_items_sum_at_least(self):
+        database = _bank()
+        constraint = items_sum_at_least(("x", "y"), 0)
+        assert constraint.holds(database)
+        database.set_item("x", -40)
+        database.set_item("y", -40)
+        assert not constraint.holds(database)
+
+    def test_missing_items_count_as_zero(self):
+        constraint = items_sum_equals(("x", "y"), 0)
+        assert constraint.holds(Database())
+
+
+class TestPredicateConstraints:
+    def test_count_matches_item(self):
+        database = Database()
+        database.create_table("employees", [
+            Row("e1", {"active": True}), Row("e2", {"active": True}),
+        ])
+        database.set_item("z", 2)
+        active = attribute_equals("Active", "employees", "active", True)
+        constraint = predicate_count_matches_item(active, "z")
+        assert constraint.holds(database)
+        database.table("employees").insert(Row("e3", {"active": True}))
+        assert not constraint.holds(database)
+        database.set_item("z", 3)
+        assert constraint.holds(database)
+
+    def test_predicate_sum_at_most(self):
+        database = Database()
+        database.create_table("tasks", [Row("t1", {"hours": 3}), Row("t2", {"hours": 4})])
+        constraint = predicate_sum_at_most(whole_table("All", "tasks"), "hours", 8)
+        assert constraint.holds(database)
+        database.table("tasks").insert(Row("t3", {"hours": 1}))
+        assert constraint.holds(database)
+        database.table("tasks").insert(Row("t4", {"hours": 1}))
+        assert not constraint.holds(database)
+
+    def test_constraint_names_are_informative(self):
+        constraint = items_equal("x", "y")
+        assert "x" in constraint.name and "y" in constraint.name
+        assert str(constraint) == constraint.name

@@ -1,0 +1,111 @@
+"""Unit tests for the in-memory database (repro.storage.database)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.constraints import items_sum_equals
+from repro.storage.database import Database
+from repro.storage.predicates import attribute_equals
+from repro.storage.rows import Row
+
+
+class TestItems:
+    def test_set_get_delete(self):
+        database = Database()
+        database.set_item("x", 50)
+        assert database.get_item("x") == 50
+        assert database.has_item("x")
+        database.delete_item("x")
+        assert not database.has_item("x")
+        assert database.get_item("x", "missing") == "missing"
+
+    def test_items_returns_a_copy(self):
+        database = Database()
+        database.set_item("x", 1)
+        snapshot = database.items()
+        snapshot["x"] = 99
+        assert database.get_item("x") == 1
+
+
+class TestTables:
+    def test_create_and_select(self):
+        database = Database()
+        database.create_table("employees", [Row("e1", {"active": True}),
+                                            Row("e2", {"active": False})])
+        active = attribute_equals("Active", "employees", "active", True)
+        assert [row.key for row in database.select(active)] == ["e1"]
+
+    def test_duplicate_table_rejected(self):
+        database = Database()
+        database.create_table("t")
+        with pytest.raises(KeyError):
+            database.create_table("t")
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            Database().table("nope")
+
+    def test_has_table(self):
+        database = Database()
+        database.create_table("t")
+        assert database.has_table("t")
+        assert not database.has_table("u")
+
+
+class TestConstraints:
+    def test_constraint_checking(self):
+        database = Database()
+        database.set_item("x", 50)
+        database.set_item("y", 50)
+        database.add_constraint(items_sum_equals(("x", "y"), 100))
+        assert database.constraints_hold()
+        database.set_item("x", 10)
+        assert not database.constraints_hold()
+        assert len(database.violated_constraints()) == 1
+
+    def test_constraints_listing(self):
+        database = Database()
+        constraint = items_sum_equals(("x", "y"), 0)
+        database.add_constraint(constraint)
+        assert database.constraints == [constraint]
+
+
+class TestSnapshots:
+    def test_snapshot_and_restore(self):
+        database = Database()
+        database.set_item("x", 50)
+        database.create_table("t", [Row("a", {"v": 1})])
+        snapshot = database.snapshot()
+        database.set_item("x", 99)
+        database.table("t").update("a", v=2)
+        database.restore(snapshot)
+        assert database.get_item("x") == 50
+        assert database.table("t").get("a").get("v") == 1
+
+    def test_snapshots_compare_by_value(self):
+        database = Database()
+        database.set_item("x", 1)
+        first = database.snapshot()
+        second = database.snapshot()
+        assert first == second
+        database.set_item("x", 2)
+        assert database.snapshot() != first
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        database = Database()
+        database.create_table("t", [Row("a", {"v": [1]})])
+        snapshot = database.snapshot()
+        database.table("t").get("a").get("v").append(2)
+        assert snapshot.tables["t"].get("a").get("v") == [1]
+
+    def test_clone_is_independent_but_keeps_constraints(self):
+        database = Database()
+        database.set_item("x", 1)
+        database.set_item("y", 1)
+        database.add_constraint(items_sum_equals(("x", "y"), 2))
+        clone = database.clone()
+        clone.set_item("x", 5)
+        assert database.get_item("x") == 1
+        assert not clone.constraints_hold()
+        assert database.constraints_hold()

@@ -1,0 +1,94 @@
+"""Unit tests for predicates and phantom-aware coverage (repro.storage.predicates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.predicates import (
+    Predicate,
+    attribute_between,
+    attribute_equals,
+    whole_table,
+)
+from repro.storage.rows import Row
+
+
+ACTIVE = attribute_equals("Active", "employees", "active", True)
+HOURS_SMALL = attribute_between("Small", "tasks", "hours", 0, 4)
+
+
+class TestMatching:
+    def test_attribute_equals(self):
+        assert ACTIVE.matches(Row("e1", {"active": True}))
+        assert not ACTIVE.matches(Row("e2", {"active": False}))
+        assert not ACTIVE.matches(Row("e3", {}))
+
+    def test_attribute_between(self):
+        assert HOURS_SMALL.matches(Row("t1", {"hours": 4}))
+        assert not HOURS_SMALL.matches(Row("t2", {"hours": 5}))
+        assert not HOURS_SMALL.matches(Row("t3", {}))
+
+    def test_whole_table_matches_everything(self):
+        predicate = whole_table("All", "tasks")
+        assert predicate.matches(Row("anything", {}))
+
+
+class TestWriteCoverage:
+    """The paper's 'would cause to satisfy' test (Section 2.3)."""
+
+    def test_insert_into_predicate_is_covered(self):
+        assert ACTIVE.covers_write("employees", None, Row("e9", {"active": True}))
+
+    def test_insert_outside_predicate_is_not_covered(self):
+        assert not ACTIVE.covers_write("employees", None, Row("e9", {"active": False}))
+
+    def test_update_entering_the_predicate_is_covered(self):
+        before = Row("e1", {"active": False})
+        after = Row("e1", {"active": True})
+        assert ACTIVE.covers_write("employees", before, after)
+
+    def test_update_leaving_the_predicate_is_covered(self):
+        before = Row("e1", {"active": True})
+        after = Row("e1", {"active": False})
+        assert ACTIVE.covers_write("employees", before, after)
+
+    def test_delete_of_covered_row_is_covered(self):
+        assert ACTIVE.covers_write("employees", Row("e1", {"active": True}), None)
+
+    def test_unrelated_update_is_not_covered(self):
+        before = Row("e1", {"active": False, "name": "a"})
+        after = Row("e1", {"active": False, "name": "b"})
+        assert not ACTIVE.covers_write("employees", before, after)
+
+    def test_other_table_is_never_covered(self):
+        assert not ACTIVE.covers_write("tasks", None, Row("t1", {"active": True}))
+
+
+class TestPredicateOverlap:
+    def test_different_tables_never_overlap(self):
+        assert not ACTIVE.may_overlap(HOURS_SMALL)
+
+    def test_same_table_without_ranges_is_conservative(self):
+        free_form = Predicate("Custom", "employees", lambda row: row.get("name") == "Ada")
+        assert ACTIVE.may_overlap(free_form)
+        assert free_form.may_overlap(ACTIVE)
+
+    def test_disjoint_ranges_do_not_overlap(self):
+        low = attribute_between("Low", "tasks", "hours", 0, 3)
+        high = attribute_between("High", "tasks", "hours", 5, 9)
+        assert not low.may_overlap(high)
+        assert not high.may_overlap(low)
+
+    def test_touching_ranges_overlap(self):
+        low = attribute_between("Low", "tasks", "hours", 0, 5)
+        high = attribute_between("High", "tasks", "hours", 5, 9)
+        assert low.may_overlap(high)
+
+    def test_equal_value_predicates_overlap_on_same_value(self):
+        active_again = attribute_equals("Active2", "employees", "active", True)
+        inactive = attribute_equals("Inactive", "employees", "active", False)
+        assert ACTIVE.may_overlap(active_again)
+        assert not ACTIVE.may_overlap(inactive)
+
+    def test_whole_table_overlaps_with_anything_in_table(self):
+        assert whole_table("All", "employees").may_overlap(ACTIVE)

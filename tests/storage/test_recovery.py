@@ -1,0 +1,126 @@
+"""Unit tests for before-image recovery (repro.storage.recovery).
+
+Includes the paper's Section 3 demonstration of why Dirty Writes break
+before-image recovery: undoing w1[x] after w2[x] wipes out T2's update.
+"""
+
+from __future__ import annotations
+
+from repro.storage.database import Database
+from repro.storage.recovery import UndoLog
+from repro.storage.rows import Row
+
+
+def _db_with_item() -> Database:
+    database = Database()
+    database.set_item("x", 50)
+    return database
+
+
+class TestItemUndo:
+    def test_undo_restores_before_image(self):
+        database = _db_with_item()
+        log = UndoLog()
+        log.record_item(1, database, "x")
+        database.set_item("x", 10)
+        log.undo(1, database)
+        assert database.get_item("x") == 50
+
+    def test_undo_applies_in_reverse_order(self):
+        database = _db_with_item()
+        log = UndoLog()
+        log.record_item(1, database, "x")
+        database.set_item("x", 10)
+        log.record_item(1, database, "x")
+        database.set_item("x", 20)
+        log.undo(1, database)
+        assert database.get_item("x") == 50
+
+    def test_undo_of_new_item_removes_it(self):
+        database = Database()
+        log = UndoLog()
+        log.record_item(1, database, "brand_new")
+        database.set_item("brand_new", 1)
+        log.undo(1, database)
+        assert not database.has_item("brand_new")
+
+    def test_forget_discards_records(self):
+        database = _db_with_item()
+        log = UndoLog()
+        log.record_item(1, database, "x")
+        database.set_item("x", 10)
+        log.forget(1)
+        log.undo(1, database)  # nothing left to undo
+        assert database.get_item("x") == 10
+
+    def test_undo_is_per_transaction(self):
+        database = _db_with_item()
+        database.set_item("y", 5)
+        log = UndoLog()
+        log.record_item(1, database, "x")
+        database.set_item("x", 10)
+        log.record_item(2, database, "y")
+        database.set_item("y", 6)
+        log.undo(1, database)
+        assert database.get_item("x") == 50
+        assert database.get_item("y") == 6
+
+
+class TestRowUndo:
+    def test_undo_insert_deletes_the_row(self):
+        database = Database()
+        database.create_table("t")
+        log = UndoLog()
+        log.record_row_insert(1, "t", "a")
+        database.table("t").insert(Row("a", {"v": 1}))
+        log.undo(1, database)
+        assert not database.table("t").has("a")
+
+    def test_undo_update_restores_attributes(self):
+        database = Database()
+        database.create_table("t", [Row("a", {"v": 1})])
+        log = UndoLog()
+        log.record_row_update(1, "t", database.table("t").get("a"))
+        database.table("t").update("a", v=99)
+        log.undo(1, database)
+        assert database.table("t").get("a").get("v") == 1
+
+    def test_undo_delete_reinserts_the_row(self):
+        database = Database()
+        database.create_table("t", [Row("a", {"v": 1})])
+        log = UndoLog()
+        log.record_row_delete(1, "t", database.table("t").get("a"))
+        database.table("t").delete("a")
+        log.undo(1, database)
+        assert database.table("t").get("a").get("v") == 1
+
+
+class TestDirtyWriteRecoveryHazard:
+    def test_undoing_a_dirty_write_wipes_out_the_other_update(self):
+        """The paper's w1[x] w2[x] a1 example: restoring T1's before-image
+        destroys T2's update — the reason P0 must be forbidden at every level."""
+        database = _db_with_item()
+        log = UndoLog()
+        # w1[x=10]
+        log.record_item(1, database, "x")
+        database.set_item("x", 10)
+        # w2[x=20] — a dirty write over T1's uncommitted value.
+        log.record_item(2, database, "x")
+        database.set_item("x", 20)
+        # a1: restore T1's before-image of 50...
+        log.undo(1, database)
+        # ...and T2's update (20) is gone, even though T2 never aborted.
+        assert database.get_item("x") == 50
+        # Worse, if T2 now aborts, its before-image (10) resurrects T1's
+        # aborted write.
+        log.undo(2, database)
+        assert database.get_item("x") == 10
+
+    def test_record_counts(self):
+        database = _db_with_item()
+        log = UndoLog()
+        log.record_item(1, database, "x")
+        log.record_item(2, database, "x")
+        assert len(log) == 2
+        assert len(log.records_of(1)) == 1
+        assert log.records_of(1)[0].describe()

@@ -1,0 +1,90 @@
+"""Unit tests for rows and tables (repro.storage.rows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.rows import Row, Table
+
+
+class TestRow:
+    def test_attribute_access(self):
+        row = Row("e1", {"name": "Ada", "active": True})
+        assert row.get("name") == "Ada"
+        assert row["active"] is True
+        assert "name" in row
+        assert row.get("missing", 0) == 0
+
+    def test_set_and_setitem(self):
+        row = Row("e1")
+        row.set("hours", 3)
+        row["hours"] = 4
+        assert row.get("hours") == 4
+
+    def test_updated_returns_a_copy(self):
+        row = Row("e1", {"active": True})
+        changed = row.updated(active=False)
+        assert changed.get("active") is False
+        assert row.get("active") is True
+        assert changed.key == "e1"
+
+    def test_copy_is_deep(self):
+        row = Row("e1", {"tags": ["a"]})
+        cloned = row.copy()
+        cloned.get("tags").append("b")
+        assert row.get("tags") == ["a"]
+
+    def test_value_equality(self):
+        assert Row("e1", {"a": 1}) == Row("e1", {"a": 1})
+        assert Row("e1", {"a": 1}) != Row("e1", {"a": 2})
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = Table("employees")
+        table.insert(Row("e1", {"name": "Ada"}))
+        assert table.has("e1")
+        assert table.get("e1").get("name") == "Ada"
+        assert len(table) == 1
+
+    def test_duplicate_insert_rejected(self):
+        table = Table("employees", [Row("e1")])
+        with pytest.raises(KeyError):
+            table.insert(Row("e1"))
+
+    def test_upsert_replaces(self):
+        table = Table("employees", [Row("e1", {"n": 1})])
+        table.upsert(Row("e1", {"n": 2}))
+        assert table.get("e1").get("n") == 2
+
+    def test_update_mutates_in_place(self):
+        table = Table("employees", [Row("e1", {"active": True})])
+        table.update("e1", active=False)
+        assert table.get("e1").get("active") is False
+
+    def test_update_missing_row_raises(self):
+        with pytest.raises(KeyError):
+            Table("t").update("nope", a=1)
+
+    def test_delete_returns_row(self):
+        table = Table("t", [Row("k", {"v": 1})])
+        removed = table.delete("k")
+        assert removed.get("v") == 1
+        assert not table.has("k")
+        with pytest.raises(KeyError):
+            table.delete("k")
+
+    def test_select_filters_rows(self):
+        table = Table("t", [Row("a", {"v": 1}), Row("b", {"v": 2}), Row("c", {"v": 3})])
+        assert [row.key for row in table.select(lambda r: r.get("v") >= 2)] == ["b", "c"]
+
+    def test_iteration_and_keys_preserve_insertion_order(self):
+        table = Table("t", [Row("b"), Row("a")])
+        assert table.keys() == ["b", "a"]
+        assert [row.key for row in table] == ["b", "a"]
+
+    def test_copy_is_independent(self):
+        table = Table("t", [Row("a", {"v": 1})])
+        cloned = table.copy()
+        cloned.update("a", v=99)
+        assert table.get("a").get("v") == 1

@@ -1,0 +1,87 @@
+"""Unit tests for the randomized workload generators (repro.workloads.generators)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.isolation import IsolationLevelName
+from repro.testbed import make_engine
+from repro.engine.scheduler import ScheduleRunner
+from repro.workloads.generators import (
+    contention_workload,
+    history_corpus,
+    random_history,
+    random_programs,
+    uniform_database,
+)
+
+
+class TestRandomHistories:
+    def test_histories_are_complete(self, rng):
+        for _ in range(20):
+            history = random_history(rng)
+            assert history.is_complete()
+
+    def test_transaction_and_item_counts_are_respected(self, rng):
+        history = random_history(rng, transactions=4, items=2,
+                                 operations_per_transaction=3)
+        assert len(history.transactions()) == 4
+        assert history.items() <= {"x", "y"}
+        # 4 transactions x (3 data ops + 1 terminal)
+        assert len(history) == 16
+
+    def test_corpus_is_deterministic_for_a_seed(self):
+        first = history_corpus(seed=3, count=20)
+        second = history_corpus(seed=3, count=20)
+        assert [h.to_shorthand() for h in first] == [h.to_shorthand() for h in second]
+
+    def test_different_seeds_differ(self):
+        first = history_corpus(seed=1, count=20)
+        second = history_corpus(seed=2, count=20)
+        assert [h.to_shorthand() for h in first] != [h.to_shorthand() for h in second]
+
+    def test_abort_probability_zero_means_all_commit(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            history = random_history(rng, abort_probability=0.0)
+            assert not history.aborted_transactions()
+
+    def test_write_probability_zero_means_read_only(self):
+        rng = random.Random(0)
+        history = random_history(rng, write_probability=0.0)
+        assert all(not op.is_write for op in history if op.kind.is_data_access)
+
+
+class TestRandomPrograms:
+    def test_program_count_and_termination(self, rng):
+        programs = random_programs(rng, transactions=6)
+        assert len(programs) == 6
+        for program in programs:
+            assert program.steps[-1].describe() == "commit"
+
+    def test_read_only_fraction_extremes(self, rng):
+        readers = random_programs(rng, transactions=5, read_only_fraction=1.0)
+        assert all(program.label.startswith("reader") for program in readers)
+        writers = random_programs(rng, transactions=5, read_only_fraction=0.0)
+        assert all(program.label.startswith("writer") for program in writers)
+
+    def test_uniform_database_shape(self):
+        database = uniform_database(items=4, initial_value=7)
+        assert database.items() == {"a0": 7, "a1": 7, "a2": 7, "a3": 7}
+
+    def test_contention_workload_is_runnable(self):
+        database, programs, interleaving = contention_workload(
+            seed=5, transactions=6, items=6, hot_items=2, read_only_fraction=0.5)
+        engine = make_engine(database, IsolationLevelName.SNAPSHOT_ISOLATION)
+        outcome = ScheduleRunner(engine, programs, interleaving).run()
+        assert not outcome.stalled
+        assert set(outcome.statuses) == {program.txn for program in programs}
+
+    def test_contention_workload_is_deterministic(self):
+        first = contention_workload(seed=9, transactions=4, items=5, hot_items=2,
+                                    read_only_fraction=0.5)
+        second = contention_workload(seed=9, transactions=4, items=5, hot_items=2,
+                                     read_only_fraction=0.5)
+        assert first[2] == second[2]

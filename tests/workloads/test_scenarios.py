@@ -1,0 +1,114 @@
+"""Unit tests for the anomaly scenarios (repro.workloads.scenarios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.isolation import IsolationLevelName, Possibility
+from repro.testbed import engine_factory
+from repro.workloads.scenarios import (
+    ALL_SCENARIOS,
+    evaluate_scenario,
+    run_variant,
+    scenario_by_code,
+)
+
+RU = engine_factory(IsolationLevelName.READ_UNCOMMITTED)
+RC = engine_factory(IsolationLevelName.READ_COMMITTED)
+CS = engine_factory(IsolationLevelName.CURSOR_STABILITY)
+RR = engine_factory(IsolationLevelName.REPEATABLE_READ)
+SER = engine_factory(IsolationLevelName.SERIALIZABLE)
+SI = engine_factory(IsolationLevelName.SNAPSHOT_ISOLATION)
+
+
+class TestScenarioRegistry:
+    def test_all_table4_columns_have_scenarios(self):
+        assert [scenario.code for scenario in ALL_SCENARIOS] == [
+            "P0", "P1", "P4C", "P4", "P2", "P3", "A5A", "A5B"]
+
+    def test_lookup_by_code(self):
+        assert scenario_by_code("p4c").name == "Cursor Lost Update"
+        with pytest.raises(KeyError):
+            scenario_by_code("P9")
+
+    def test_variant_lookup(self):
+        scenario = scenario_by_code("P2")
+        assert scenario.variant("plain-reread").name == "plain-reread"
+        with pytest.raises(KeyError):
+            scenario.variant("nope")
+
+    def test_every_variant_has_interleaving_and_description(self):
+        for scenario in ALL_SCENARIOS:
+            assert scenario.variants
+            for variant in scenario.variants:
+                assert variant.interleaving
+                assert variant.description
+
+
+class TestVariantExecution:
+    def test_variants_never_stall(self):
+        for scenario in ALL_SCENARIOS:
+            for variant in scenario.variants:
+                for factory in (RU, RC, CS, RR, SER, SI):
+                    result = run_variant(variant, factory, scenario.code)
+                    assert not result.outcome.stalled
+
+    def test_dirty_read_manifests_under_read_uncommitted_only(self):
+        scenario = scenario_by_code("P1")
+        assert evaluate_scenario(scenario, RU) is Possibility.POSSIBLE
+        assert evaluate_scenario(scenario, RC) is Possibility.NOT_POSSIBLE
+        assert evaluate_scenario(scenario, SI) is Possibility.NOT_POSSIBLE
+
+    def test_lost_update_sometimes_possible_under_cursor_stability(self):
+        scenario = scenario_by_code("P4")
+        assert evaluate_scenario(scenario, CS) is Possibility.SOMETIMES_POSSIBLE
+        assert evaluate_scenario(scenario, RC) is Possibility.POSSIBLE
+        assert evaluate_scenario(scenario, RR) is Possibility.NOT_POSSIBLE
+        assert evaluate_scenario(scenario, SI) is Possibility.NOT_POSSIBLE
+
+    def test_cursor_lost_update_prevented_by_cursor_stability(self):
+        scenario = scenario_by_code("P4C")
+        assert evaluate_scenario(scenario, RC) is Possibility.POSSIBLE
+        assert evaluate_scenario(scenario, CS) is Possibility.NOT_POSSIBLE
+
+    def test_phantom_sometimes_possible_under_snapshot_isolation(self):
+        scenario = scenario_by_code("P3")
+        assert evaluate_scenario(scenario, SI) is Possibility.SOMETIMES_POSSIBLE
+        assert evaluate_scenario(scenario, RR) is Possibility.POSSIBLE
+        assert evaluate_scenario(scenario, SER) is Possibility.NOT_POSSIBLE
+
+    def test_write_skew_distinguishes_snapshot_from_repeatable_read(self):
+        scenario = scenario_by_code("A5B")
+        assert evaluate_scenario(scenario, SI) is Possibility.POSSIBLE
+        assert evaluate_scenario(scenario, RR) is Possibility.NOT_POSSIBLE
+
+    def test_read_skew_prevented_by_snapshot_isolation(self):
+        scenario = scenario_by_code("A5A")
+        assert evaluate_scenario(scenario, SI) is Possibility.NOT_POSSIBLE
+        assert evaluate_scenario(scenario, RC) is Possibility.POSSIBLE
+
+    def test_dirty_write_prevented_everywhere_above_degree0(self):
+        scenario = scenario_by_code("P0")
+        degree0 = engine_factory(IsolationLevelName.DEGREE_0)
+        assert evaluate_scenario(scenario, degree0) is Possibility.POSSIBLE
+        for factory in (RU, RC, CS, RR, SER, SI):
+            assert evaluate_scenario(scenario, factory) is Possibility.NOT_POSSIBLE
+
+    def test_serializable_prevents_every_scenario(self):
+        for scenario in ALL_SCENARIOS:
+            assert evaluate_scenario(scenario, SER) is Possibility.NOT_POSSIBLE
+
+    def test_variant_results_expose_outcome_details(self):
+        scenario = scenario_by_code("P4")
+        result = run_variant(scenario.variants[0], RC, scenario.code)
+        assert result.manifested
+        assert result.engine_name == "Locking READ COMMITTED"
+        assert result.outcome.all_committed(1, 2)
+        assert result.outcome.database.get_item("x") == 130
+
+    def test_fresh_databases_per_run(self):
+        scenario = scenario_by_code("P4")
+        first = run_variant(scenario.variants[0], RC, scenario.code)
+        second = run_variant(scenario.variants[0], RC, scenario.code)
+        assert first.outcome.database is not second.outcome.database
+        assert first.manifested == second.manifested
