@@ -1,0 +1,99 @@
+"""Schedule-space explorer throughput: serial vs. parallel, with determinism checks.
+
+Not a paper figure — this measures the exploration machinery the reproduction
+adds on top of the paper: schedules/sec through execution + classification,
+the speedup from fanning chunks out over worker processes, and the
+effectiveness of the memoization caches.  The parallel run must be
+byte-identical to the serial run (same fingerprint) on any worker count; the
+>= 2x speedup assertion only applies on machines with >= 4 usable cores.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.coverage import build_coverage_report
+from repro.analysis.report import render_table
+from repro.core.isolation import IsolationLevelName
+from repro.explorer import ProgramSetSpec, available_workers, explore
+
+SPEC = ProgramSetSpec.make("contention", transactions=4, items=4, hot_items=2,
+                           operations_per_transaction=2)
+LEVELS = (IsolationLevelName.READ_COMMITTED, IsolationLevelName.SNAPSHOT_ISOLATION)
+SCHEDULES = 2_000
+SEED = 42
+
+
+def _run(workers: int, schedules: int = SCHEDULES):
+    started = time.perf_counter()
+    result = explore(SPEC, levels=LEVELS, mode="sample", max_schedules=schedules,
+                     seed=SEED, workers=workers, chunk_size=64)
+    duration = time.perf_counter() - started
+    executed = result.total_schedules()
+    return result, executed / duration, duration
+
+
+def test_explorer_throughput_serial(benchmark, print_report):
+    result = benchmark.pedantic(
+        lambda: explore(SPEC, levels=(IsolationLevelName.READ_COMMITTED,),
+                        mode="sample", max_schedules=500, seed=SEED),
+        rounds=3, iterations=1,
+    )
+    stats = result.levels[IsolationLevelName.READ_COMMITTED].cache_stats
+    print_report(
+        "Explorer classification caches (500 sampled schedules)",
+        render_table(["metric", "value"], sorted(stats.items())),
+    )
+    assert result.total_schedules() == 500
+
+
+def test_explorer_parallel_speedup_and_determinism(print_report):
+    cores = available_workers()
+    serial_result, serial_rate, serial_time = _run(workers=1)
+    workers = min(cores, 8) if cores > 1 else 2
+    parallel_result, parallel_rate, parallel_time = _run(workers=workers)
+
+    assert serial_result.fingerprint() == parallel_result.fingerprint(), (
+        "parallel exploration must be byte-identical to serial"
+    )
+    speedup = parallel_rate / serial_rate
+    print_report(
+        f"Explorer throughput: {SCHEDULES} schedules x {len(LEVELS)} levels "
+        f"({cores} usable cores)",
+        render_table(
+            ["configuration", "schedules/sec", "wall s", "speedup"],
+            [
+                ["serial (1 worker)", f"{serial_rate:,.0f}", f"{serial_time:.2f}", "1.00x"],
+                [f"parallel ({workers} workers)", f"{parallel_rate:,.0f}",
+                 f"{parallel_time:.2f}", f"{speedup:.2f}x"],
+            ],
+        ),
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x parallel speedup on {cores} cores, got {speedup:.2f}x"
+        )
+    else:
+        pytest.skip(f"speedup assertion needs >= 4 cores, have {cores} "
+                    f"(measured {speedup:.2f}x)")
+
+
+def test_explorer_ten_thousand_schedule_coverage(print_report):
+    """The acceptance-scale run: 10k sampled interleavings, coverage report."""
+    started = time.perf_counter()
+    result = explore(SPEC, levels=(IsolationLevelName.READ_COMMITTED,),
+                     mode="sample", max_schedules=10_000, seed=SEED,
+                     workers=min(available_workers(), 8))
+    duration = time.perf_counter() - started
+    report = build_coverage_report(
+        result, codes=("P0", "P1", "P2", "P3", "P4", "A5A", "A5B"))
+    print_report(
+        f"Anomaly coverage over 10,000 sampled schedules "
+        f"({result.total_schedules() / duration:,.0f} schedules/sec)",
+        report.render(),
+    )
+    assert result.total_schedules() == 10_000
+    coverage = report.levels[IsolationLevelName.READ_COMMITTED]
+    assert any(item.witnessed for item in coverage.phenomena.values())

@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+Canonical metadata lives in ``pyproject.toml``.  This file only enables the
+legacy editable-install path (``pip install -e . --no-use-pep517``) on minimal
+containers where PEP 660 wheel building is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,169 @@
+"""Anomaly-coverage reports over schedule-space exploration results.
+
+Table 4's cells say whether an anomaly is Possible / Not Possible / Sometimes
+Possible under each isolation level — established in the paper by exhibiting
+one adversarial interleaving per cell.  Exploring the *space* of interleavings
+strengthens that to a measurement: for every phenomenon, how many of the
+realized schedules actually witnessed it, with a concrete witness interleaving
+for each witnessed cell.  "Sometimes Possible" stops being an anecdote and
+becomes a frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.isolation import IsolationLevelName, Possibility
+from ..core.phenomena import ALL_PHENOMENA
+from .report import render_table
+
+__all__ = [
+    "PhenomenonCoverage",
+    "LevelCoverage",
+    "CoverageReport",
+    "build_coverage_report",
+]
+
+
+@dataclass(frozen=True)
+class PhenomenonCoverage:
+    """How often one phenomenon was witnessed under one level."""
+
+    code: str
+    witnessed: int
+    total: int
+    witness_interleaving: Optional[Tuple[int, ...]]
+    witness_history: Optional[str]
+
+    @property
+    def frequency(self) -> float:
+        """Fraction of explored schedules that witnessed the phenomenon."""
+        return self.witnessed / self.total if self.total else 0.0
+
+    @property
+    def possibility(self) -> Possibility:
+        """The Table 4 verdict this measurement supports.
+
+        A cell is POSSIBLE as soon as any schedule witnesses the phenomenon —
+        every real space also contains serial schedules that witness nothing,
+        so "witnessed by all schedules" would be unreachable.  The paper's
+        SOMETIMES_POSSIBLE arises at scenario-*variant* granularity, not at
+        schedule granularity; use :attr:`frequency` for the fine-grained
+        signal.
+        """
+        return Possibility.POSSIBLE if self.witnessed else Possibility.NOT_POSSIBLE
+
+
+@dataclass(frozen=True)
+class LevelCoverage:
+    """Coverage of every phenomenon under one isolation level."""
+
+    level: IsolationLevelName
+    schedules: int
+    serializable: int
+    stalled: int
+    phenomena: Dict[str, PhenomenonCoverage]
+
+    @property
+    def non_serializable_fraction(self) -> float:
+        """Fraction of explored schedules whose realized history is non-serializable."""
+        if not self.schedules:
+            return 0.0
+        return (self.schedules - self.serializable) / self.schedules
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """The per-level anomaly-coverage matrix for one exploration."""
+
+    spec: str
+    mode: str
+    space_size: int
+    explored: int
+    columns: Tuple[str, ...]
+    levels: Dict[IsolationLevelName, LevelCoverage]
+
+    def witnessed(self, level: IsolationLevelName, code: str) -> int:
+        """Witness count for one cell (0 when the level lacks the column)."""
+        coverage = self.levels[level].phenomena.get(code)
+        return coverage.witnessed if coverage else 0
+
+    def witness(self, level: IsolationLevelName,
+                code: str) -> Optional[Tuple[Tuple[int, ...], str]]:
+        """The first witness (interleaving, history shorthand) for a cell, if any."""
+        coverage = self.levels[level].phenomena.get(code)
+        if coverage is None or coverage.witness_interleaving is None:
+            return None
+        return coverage.witness_interleaving, coverage.witness_history or ""
+
+    def render(self, title: Optional[str] = None) -> str:
+        """ASCII matrix: one row per level, witnessed-frequency per phenomenon."""
+        headers = ["Isolation level", "schedules", "non-ser %"] + list(self.columns)
+        rows: List[List[str]] = []
+        for level, coverage in self.levels.items():
+            cells = [level.value, str(coverage.schedules),
+                     f"{coverage.non_serializable_fraction * 100:.1f}"]
+            for code in self.columns:
+                phenomenon = coverage.phenomena.get(code)
+                if phenomenon is None or phenomenon.witnessed == 0:
+                    cells.append("-")
+                else:
+                    cells.append(f"{phenomenon.frequency * 100:.1f}%")
+            rows.append(cells)
+        header = title or (
+            f"Anomaly coverage: {self.spec} [{self.mode}] "
+            f"{self.explored}/{self.space_size} schedules per level"
+        )
+        return render_table(headers, rows, title=header)
+
+
+def build_coverage_report(result, codes: Optional[Sequence[str]] = None) -> CoverageReport:
+    """Aggregate an :class:`~repro.explorer.explorer.ExplorationResult` into a report.
+
+    ``codes`` selects and orders the report columns (default: every detector,
+    in catalogue order).  Accepts the result object structurally — anything
+    with ``spec``, ``space``, and ``levels`` of records works, which keeps
+    ``analysis`` free of an import cycle with ``explorer``.
+    """
+    columns = tuple(codes) if codes is not None else tuple(ALL_PHENOMENA)
+    levels: Dict[IsolationLevelName, LevelCoverage] = {}
+    for level, exploration in result.levels.items():
+        records = exploration.records
+        total = len(records)
+        witnessed: Dict[str, int] = {code: 0 for code in columns}
+        witness: Dict[str, Tuple[Tuple[int, ...], str]] = {}
+        serializable = 0
+        stalled = 0
+        for record in records:
+            if record.serializable:
+                serializable += 1
+            if record.stalled:
+                stalled += 1
+            for code in record.phenomena:
+                if code not in witnessed:
+                    continue
+                witnessed[code] += 1
+                witness.setdefault(code, (record.interleaving, record.history))
+        phenomena = {
+            code: PhenomenonCoverage(
+                code=code,
+                witnessed=witnessed[code],
+                total=total,
+                witness_interleaving=witness.get(code, (None, None))[0],
+                witness_history=witness.get(code, (None, None))[1],
+            )
+            for code in columns
+        }
+        levels[level] = LevelCoverage(
+            level=level, schedules=total, serializable=serializable,
+            stalled=stalled, phenomena=phenomena,
+        )
+    return CoverageReport(
+        spec=result.spec.describe(),
+        mode=result.space.mode,
+        space_size=result.space.total,
+        explored=len(result.space.schedules),
+        columns=columns,
+        levels=levels,
+    )

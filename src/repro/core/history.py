@@ -20,7 +20,7 @@ This module provides:
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .operations import Operation, OperationKind, WriteAction
 
@@ -54,6 +54,10 @@ class History:
     def __init__(self, operations: Iterable[Operation], name: Optional[str] = None):
         self._ops: Tuple[Operation, ...] = tuple(operations)
         self.name = name
+        # Lazily computed caches — sound because instances are immutable.
+        self._committed_cache: Optional[FrozenSet[int]] = None
+        self._aborted_cache: Optional[FrozenSet[int]] = None
+        self._terminal_cache: Optional[Dict[int, int]] = None
         self._validate()
 
     # -- construction / validation ------------------------------------------------
@@ -125,11 +129,19 @@ class History:
 
     def committed_transactions(self) -> Set[int]:
         """Transactions that commit in this history."""
-        return {op.txn for op in self._ops if op.is_commit}
+        if self._committed_cache is None:
+            self._committed_cache = frozenset(
+                op.txn for op in self._ops if op.is_commit
+            )
+        return set(self._committed_cache)
 
     def aborted_transactions(self) -> Set[int]:
         """Transactions that abort in this history."""
-        return {op.txn for op in self._ops if op.is_abort}
+        if self._aborted_cache is None:
+            self._aborted_cache = frozenset(
+                op.txn for op in self._ops if op.is_abort
+            )
+        return set(self._aborted_cache)
 
     def active_transactions(self) -> Set[int]:
         """Transactions with no commit or abort in the history."""
@@ -173,18 +185,25 @@ class History:
 
     def terminal_index(self, txn: int) -> Optional[int]:
         """Index of a transaction's commit/abort, or None if still active."""
-        for i, op in enumerate(self._ops):
-            if op.txn == txn and op.is_terminal:
-                return i
-        return None
+        if self._terminal_cache is None:
+            cache: Dict[int, int] = {}
+            for i, op in enumerate(self._ops):
+                if op.is_terminal and op.txn not in cache:
+                    cache[op.txn] = i
+            self._terminal_cache = cache
+        return self._terminal_cache.get(txn)
 
     def commits(self, txn: int) -> bool:
         """True when the transaction commits."""
-        return txn in self.committed_transactions()
+        if self._committed_cache is None:
+            self.committed_transactions()
+        return txn in self._committed_cache
 
     def aborts(self, txn: int) -> bool:
         """True when the transaction aborts."""
-        return txn in self.aborted_transactions()
+        if self._aborted_cache is None:
+            self.aborted_transactions()
+        return txn in self._aborted_cache
 
     def first_index(self, txn: int, kind: OperationKind, item: Optional[str] = None) -> Optional[int]:
         """Index of the first operation of a given kind (and item) by a txn."""

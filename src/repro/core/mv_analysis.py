@@ -24,7 +24,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .dependency import DependencyEdge, DependencyGraph
 from .history import History
@@ -33,6 +33,7 @@ from .operations import Operation, OperationKind
 __all__ = [
     "ReadsFromEntry",
     "reads_from",
+    "assign_write_versions",
     "mv_serialization_graph",
     "mv_is_serializable",
     "mv_to_sv",
@@ -94,6 +95,93 @@ def reads_from(history: History) -> List[ReadsFromEntry]:
         if op.is_write and op.item is not None:
             last_writer[op.item] = op.txn
     return entries
+
+
+def assign_write_versions(history: History,
+                          initial_items: Optional[Iterable[str]] = None) -> History:
+    """Stamp committed writes with the version subscripts their commits install.
+
+    The multiversion engines record on each *read* the index of the version it
+    saw in the committed version chain, but a write's version index only exists
+    once the transaction commits and installs it — so realized MV histories
+    come back with versioned reads and unversioned writes, and the MV
+    serialization graph would be edgeless.  This pass replays the commit order:
+    when a transaction commits, each item it wrote gains one new version at the
+    next chain index, and every write of that item by the transaction is
+    stamped with it.  Writes of uncommitted or aborted transactions stay
+    unversioned — they never install a version.
+
+    ``initial_items`` names the items present in the initial database, whose
+    version chains start with the initial state at index 0 (so the first
+    committed write installs index 1).  Items *not* listed have no initial
+    version and their first committed write installs index 0 — matching the
+    engines' chain numbering, which readers' subscripts refer to.  When
+    ``initial_items`` is None every item is assumed to pre-exist (the common
+    case for the seeded workloads); pass the real initial item set when
+    transactions create items, or first-write stamps will be off by one
+    relative to their readers.
+
+    Version-``None`` *reads* are completed as well, since the engines leave
+    two kinds of read unversioned:
+
+    * A read of the transaction's own buffered write gets the version that
+      write installs, so ``mv_to_sv`` keeps it at the commit point instead of
+      mistaking it for a snapshot read.
+    * A read of an item absent from the initial database (nothing visible yet)
+      gets the virtual version ``-1``, which orders before every installed
+      version — preserving the read's anti-dependency toward the item's
+      eventual creators in the MV serialization graph.
+
+    Histories that are not multiversion, or with no unversioned data access,
+    are returned unchanged.
+    """
+    if not history.is_multiversion():
+        return history
+    if all(op.version is not None for op in history
+           if op.kind.is_data_access and op.item is not None):
+        return history
+    preexisting = None if initial_items is None else set(initial_items)
+    pending: Dict[int, Dict[str, List[int]]] = {}
+    versions: Dict[int, int] = {}
+    next_version: Dict[str, int] = {}
+    for index, op in enumerate(history):
+        if op.is_write and op.item is not None and op.version is None:
+            pending.setdefault(op.txn, {}).setdefault(op.item, []).append(index)
+        elif op.is_commit:
+            for item, write_indices in pending.pop(op.txn, {}).items():
+                if item not in next_version:
+                    has_initial = preexisting is None or item in preexisting
+                    next_version[item] = 1 if has_initial else 0
+                else:
+                    next_version[item] += 1
+                for write_index in write_indices:
+                    versions[write_index] = next_version[item]
+
+    # Second pass: complete unversioned reads now that write stamps are known.
+    last_own_write: Dict[Tuple[int, str], int] = {}
+    for index, op in enumerate(history):
+        if not op.kind.is_data_access or op.item is None:
+            continue
+        if op.is_read and op.version is None and index not in versions:
+            key = (op.txn, op.item)
+            own_index = last_own_write.get(key)
+            if own_index is not None:
+                own_version = versions.get(own_index, history[own_index].version)
+                if own_version is not None:
+                    versions[index] = own_version
+            elif preexisting is not None and op.item not in preexisting:
+                versions[index] = -1
+        if op.is_write:
+            last_own_write[(op.txn, op.item)] = index
+
+    operations = [
+        Operation(op.kind, op.txn, item=op.item, value=op.value,
+                  version=versions[index], predicate=op.predicate,
+                  write_action=op.write_action)
+        if index in versions else op
+        for index, op in enumerate(history)
+    ]
+    return History(operations, name=history.name)
 
 
 def mv_serialization_graph(history: History) -> DependencyGraph:

@@ -24,7 +24,7 @@ round-robin, so an interleaving only needs to pin down the order of the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.history import History
 from ..core.operations import Operation, OperationKind
@@ -46,7 +46,7 @@ from .programs import (
     WriteItem,
 )
 
-__all__ = ["ScheduleRunner", "run_schedule"]
+__all__ = ["ScheduleRunner", "run_schedule", "replay_schedules"]
 
 
 @dataclass
@@ -83,11 +83,16 @@ class ScheduleRunner:
         if len(set(txns)) != len(txns):
             raise ValueError("transaction identifiers must be unique")
         self.engine = engine
-        self._states = {program.txn: _ProgramState(program) for program in programs}
+        self._programs = list(programs)
         self._order = list(txns)
-        self._interleaving = list(interleaving) if interleaving is not None else []
         total_steps = sum(len(program) for program in programs)
         self._max_attempts = max_attempts or (total_steps * 20 + 100)
+        self._reset_state(interleaving)
+
+    def _reset_state(self, interleaving: Optional[Sequence[int]]) -> None:
+        """(Re)initialize all per-run bookkeeping."""
+        self._states = {program.txn: _ProgramState(program) for program in self._programs}
+        self._interleaving = list(interleaving) if interleaving is not None else []
         self._waits = WaitsForGraph()
         self._operations: List[Operation] = []
         self._traces: List[StepTrace] = []
@@ -97,6 +102,25 @@ class ScheduleRunner:
         self._stalled = False
 
     # -- public API -----------------------------------------------------------------
+
+    def reset(self, engine: Optional[Engine] = None,
+              interleaving: Optional[Sequence[int]] = None) -> "ScheduleRunner":
+        """Re-arm the runner for another run, skipping program re-validation.
+
+        The schedule-space explorer replays the same program set under
+        thousands of different interleavings; ``reset`` swaps in a fresh
+        engine and the next interleaving without rebuilding program state
+        dictionaries from scratch.  Returns ``self`` for chaining.
+        """
+        if engine is not None:
+            self.engine = engine
+        self._reset_state(interleaving)
+        return self
+
+    def replay(self, engine: Engine,
+               interleaving: Optional[Sequence[int]] = None) -> ExecutionOutcome:
+        """Reset against a fresh engine and run one more interleaving."""
+        return self.reset(engine, interleaving).run()
 
     def run(self) -> ExecutionOutcome:
         """Execute every program to completion and return the outcome."""
@@ -255,3 +279,24 @@ def run_schedule(engine: Engine, programs: Sequence[TransactionProgram],
                  interleaving: Optional[Sequence[int]] = None) -> ExecutionOutcome:
     """Convenience wrapper: build a :class:`ScheduleRunner` and run it."""
     return ScheduleRunner(engine, programs, interleaving).run()
+
+
+def replay_schedules(engine_builder: "Callable[[], Engine]",
+                     programs: Sequence[TransactionProgram],
+                     interleavings: Iterable[Sequence[int]],
+                     ) -> "Iterator[ExecutionOutcome]":
+    """Run the same program set under many interleavings, one fresh engine each.
+
+    ``engine_builder`` must return a brand-new engine over a brand-new
+    database on every call — replays share nothing.  A single
+    :class:`ScheduleRunner` is reused via :meth:`ScheduleRunner.reset`, which
+    is the hot path of the schedule-space explorer.
+    """
+    runner: Optional[ScheduleRunner] = None
+    for interleaving in interleavings:
+        engine = engine_builder()
+        if runner is None:
+            runner = ScheduleRunner(engine, programs, interleaving)
+            yield runner.run()
+        else:
+            yield runner.replay(engine, interleaving)

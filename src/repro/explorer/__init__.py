@@ -1,0 +1,72 @@
+"""Schedule-space exploration: enumerate or sample interleavings, execute them
+in parallel, and measure which anomalies each isolation level actually admits.
+
+Quick use::
+
+    from repro.explorer import explore, ProgramSetSpec
+    from repro.analysis.coverage import build_coverage_report
+
+    spec = ProgramSetSpec.make("increments", transactions=2)
+    result = explore(spec, max_schedules=500, seed=7, workers=4)
+    print(build_coverage_report(result).render())
+
+The public surface:
+
+* :func:`explore` / :class:`ExplorationResult` — the orchestrator
+  (`explorer.py`), with a hard determinism contract: output depends only on
+  the spec, levels, mode, budget, and seed — never on worker count.
+* :mod:`~repro.explorer.schedules` — interleaving combinatorics (multinomial
+  counting, exhaustive enumeration, seeded uniform sampling).
+* :mod:`~repro.explorer.worker` — the picklable process-pool work units.
+* :mod:`~repro.explorer.memo` — memoized batched classification with
+  prefix-shared dependency-graph construction.
+"""
+
+from .explorer import (
+    DEFAULT_LEVELS,
+    ExplorationResult,
+    LevelExploration,
+    available_workers,
+    explore,
+)
+from .memo import BatchClassifier, HistoryClassification, PrefixGraphBuilder
+from .schedules import (
+    ScheduleSpace,
+    count_interleavings,
+    enumerate_interleavings,
+    sample_interleavings,
+    schedule_space,
+)
+from .worker import ChunkResult, ChunkTask, ScheduleRecord, execute_chunk
+
+# Re-exported so explorer callers can build specs without a second import.
+from ..workloads.program_sets import (
+    ProgramSetSpec,
+    available_program_sets,
+    build_program_set,
+    register_program_set,
+)
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "ExplorationResult",
+    "LevelExploration",
+    "available_workers",
+    "explore",
+    "BatchClassifier",
+    "HistoryClassification",
+    "PrefixGraphBuilder",
+    "ScheduleSpace",
+    "count_interleavings",
+    "enumerate_interleavings",
+    "sample_interleavings",
+    "schedule_space",
+    "ChunkResult",
+    "ChunkTask",
+    "ScheduleRecord",
+    "execute_chunk",
+    "ProgramSetSpec",
+    "available_program_sets",
+    "build_program_set",
+    "register_program_set",
+]

@@ -1,0 +1,203 @@
+"""The schedule-space explorer: orchestration, parallel fan-out, determinism.
+
+``explore()`` resolves the interleaving space of a registered program set
+(exhaustive for small spaces, seeded uniform sampling for large ones), splits
+it into fixed-size chunks, executes every chunk against fresh engines — in
+process, or fanned out over a ``multiprocessing`` pool — and reassembles the
+per-schedule records in schedule order.
+
+Determinism contract: the full output (every record, in order) is a pure
+function of ``(spec, levels, mode, max_schedules, seed)``.  Worker count and
+chunk size only change wall-clock time, never results — the schedule list is
+fixed before any execution, chunks are indexed, and records are concatenated
+by chunk index.  ``ExplorationResult.fingerprint()`` hashes the record stream
+so tests can assert byte-identical serial/parallel output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.isolation import IsolationLevelName
+from ..workloads.program_sets import ProgramSetSpec, resolve_program_set
+from .memo import BatchClassifier
+from .schedules import ScheduleSpace, schedule_space
+from .worker import (
+    ChunkResult,
+    ChunkTask,
+    ScheduleRecord,
+    _initial_items,
+    execute_chunk,
+)
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "LevelExploration",
+    "ExplorationResult",
+    "available_workers",
+    "explore",
+]
+
+#: The Table 4 rows the coverage report mirrors by default.
+DEFAULT_LEVELS: Tuple[IsolationLevelName, ...] = (
+    IsolationLevelName.READ_UNCOMMITTED,
+    IsolationLevelName.READ_COMMITTED,
+    IsolationLevelName.REPEATABLE_READ,
+    IsolationLevelName.SNAPSHOT_ISOLATION,
+    IsolationLevelName.SERIALIZABLE,
+)
+
+
+def available_workers() -> int:
+    """The usable CPU count (affinity-aware where the platform supports it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class LevelExploration:
+    """Every schedule record for one isolation level, in schedule order."""
+
+    level: IsolationLevelName
+    records: Tuple[ScheduleRecord, ...]
+    cache_stats: Dict[str, int]
+    duration: float
+
+    @property
+    def schedules_per_second(self) -> float:
+        """Execution + classification throughput for this level."""
+        return len(self.records) / self.duration if self.duration > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """The full outcome of one ``explore()`` call."""
+
+    spec: ProgramSetSpec
+    space: ScheduleSpace
+    workers: int
+    chunk_size: int
+    levels: Dict[IsolationLevelName, LevelExploration]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every record, in order — identical runs hash identically.
+
+        Timing and cache statistics are deliberately excluded; they vary with
+        worker count while the records may not.
+        """
+        digest = hashlib.sha256()
+        for level in sorted(self.levels, key=lambda lvl: lvl.value):
+            digest.update(level.value.encode())
+            for record in self.levels[level].records:
+                digest.update(repr((
+                    record.interleaving, record.history, record.serializable,
+                    record.phenomena, record.committed, record.aborted,
+                    record.blocked_events, record.deadlocks, record.stalled,
+                )).encode())
+        return digest.hexdigest()
+
+    def total_schedules(self) -> int:
+        """Schedules executed, summed over levels."""
+        return sum(len(exploration.records) for exploration in self.levels.values())
+
+
+def _chunk_tasks(spec: ProgramSetSpec, level: IsolationLevelName,
+                 space: ScheduleSpace, chunk_size: int,
+                 builder) -> List[ChunkTask]:
+    schedules = space.schedules
+    return [
+        ChunkTask(index, spec, level, schedules[start:start + chunk_size], builder)
+        for index, start in enumerate(range(0, len(schedules), chunk_size))
+    ]
+
+
+def _explore_level_serial(spec: ProgramSetSpec, level: IsolationLevelName,
+                          space: ScheduleSpace, chunk_size: int,
+                          builder, initial_items) -> LevelExploration:
+    classifier = BatchClassifier(initial_items=initial_items)
+    started = time.perf_counter()
+    records: List[ScheduleRecord] = []
+    for task in _chunk_tasks(spec, level, space, chunk_size, builder):
+        records.extend(execute_chunk(task, classifier).records)
+    duration = time.perf_counter() - started
+    return LevelExploration(level, tuple(records), dict(classifier.stats), duration)
+
+
+def _merge_stats(results: Sequence[ChunkResult]) -> Dict[str, int]:
+    merged: Dict[str, int] = {}
+    for result in results:
+        for key, value in result.cache_stats.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _explore_level_parallel(spec: ProgramSetSpec, level: IsolationLevelName,
+                            space: ScheduleSpace, chunk_size: int,
+                            pool: "multiprocessing.pool.Pool",
+                            builder) -> LevelExploration:
+    tasks = _chunk_tasks(spec, level, space, chunk_size, builder)
+    started = time.perf_counter()
+    results = pool.map(execute_chunk, tasks)
+    duration = time.perf_counter() - started
+    results.sort(key=lambda result: result.chunk_index)
+    records: List[ScheduleRecord] = []
+    for result in results:
+        records.extend(result.records)
+    return LevelExploration(level, tuple(records), _merge_stats(results), duration)
+
+
+def explore(spec: ProgramSetSpec,
+            levels: Sequence[IsolationLevelName] = DEFAULT_LEVELS,
+            mode: str = "auto", max_schedules: int = 1000, seed: int = 0,
+            workers: int = 1, chunk_size: int = 64) -> ExplorationResult:
+    """Explore the schedule space of a program set under several isolation levels.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.workloads.program_sets.ProgramSetSpec` naming a
+        registered builder (workers rebuild the programs from it).
+    levels:
+        Isolation levels to run every schedule under (default: the Table 4 rows
+        every engine implements).
+    mode, max_schedules, seed:
+        Passed to :func:`~repro.explorer.schedules.schedule_space` — exhaustive
+        enumeration, seeded sampling, or automatic choice between them.
+    workers:
+        ``1`` runs in-process (with cross-chunk memoization); ``N > 1`` fans
+        chunks out over a process pool.  Results are identical either way.
+    chunk_size:
+        Schedules per work unit.  Affects only load balancing.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    # Resolve the builder here, in the caller's process, so sets registered by
+    # the calling script reach spawn-started workers (pickled by reference).
+    builder = resolve_program_set(spec)
+    database, programs = builder(**spec.kwargs())
+    initial_items = _initial_items(database)
+    space = schedule_space(programs, mode=mode, max_schedules=max_schedules, seed=seed)
+
+    explorations: Dict[IsolationLevelName, LevelExploration] = {}
+    if workers == 1:
+        for level in levels:
+            explorations[level] = _explore_level_serial(
+                spec, level, space, chunk_size, builder, initial_items
+            )
+    else:
+        with multiprocessing.Pool(processes=workers) as pool:
+            for level in levels:
+                explorations[level] = _explore_level_parallel(
+                    spec, level, space, chunk_size, pool, builder
+                )
+    return ExplorationResult(spec=spec, space=space, workers=workers,
+                             chunk_size=chunk_size, levels=explorations)

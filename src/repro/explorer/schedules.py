@@ -1,0 +1,151 @@
+"""Enumeration and seeded sampling of the interleaving space of a program set.
+
+An *interleaving* is a sequence of transaction ids, one slot per program step,
+saying whose step the scheduler attempts next.  For programs with step counts
+``n_1 .. n_k`` the space of distinct interleavings is the multinomial
+coefficient ``(n_1 + .. + n_k)! / (n_1! * .. * n_k!)`` — tiny program sets can
+be enumerated exhaustively, larger ones are sampled uniformly at random under
+a seed.  Everything here is pure combinatorics: deterministic given the seed,
+independent of worker counts, and oblivious to what the schedules later do to
+an engine.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..engine.programs import TransactionProgram
+from ..workloads.generators import SeedLike, as_rng
+
+__all__ = [
+    "Interleaving",
+    "ScheduleSpace",
+    "count_interleavings",
+    "enumerate_interleavings",
+    "sample_interleavings",
+    "schedule_space",
+]
+
+#: One interleaving: transaction ids, one per step slot.
+Interleaving = Tuple[int, ...]
+
+
+def count_interleavings(step_counts: Sequence[int]) -> int:
+    """The number of distinct interleavings (the multinomial coefficient)."""
+    if any(count < 0 for count in step_counts):
+        raise ValueError("step counts must be non-negative")
+    total = sum(step_counts)
+    result = math.factorial(total)
+    for count in step_counts:
+        result //= math.factorial(count)
+    return result
+
+
+def enumerate_interleavings(txns: Sequence[int],
+                            step_counts: Sequence[int]) -> Iterator[Interleaving]:
+    """Every distinct interleaving, in lexicographic order of transaction ids.
+
+    ``txns[i]`` has ``step_counts[i]`` slots.  The enumeration is a standard
+    multiset-permutation backtrack; for the small program sets the exhaustive
+    mode targets (a handful of transactions of a few steps each) the whole
+    space fits comfortably in memory.
+    """
+    if len(txns) != len(step_counts):
+        raise ValueError("txns and step_counts must align")
+    order = sorted(range(len(txns)), key=lambda index: txns[index])
+    ids = [txns[index] for index in order]
+    remaining = [step_counts[index] for index in order]
+    total = sum(remaining)
+    prefix: List[int] = []
+
+    def backtrack() -> Iterator[Interleaving]:
+        if len(prefix) == total:
+            yield tuple(prefix)
+            return
+        for position, txn in enumerate(ids):
+            if remaining[position] == 0:
+                continue
+            remaining[position] -= 1
+            prefix.append(txn)
+            yield from backtrack()
+            prefix.pop()
+            remaining[position] += 1
+
+    return backtrack()
+
+
+def sample_interleavings(txns: Sequence[int], step_counts: Sequence[int],
+                         count: int, seed: SeedLike) -> List[Interleaving]:
+    """``count`` interleavings drawn i.i.d. uniformly from the space.
+
+    Shuffling the flat slot list is uniform over slot permutations, and every
+    distinct interleaving corresponds to the same number of permutations
+    (``prod n_i!``), so the induced distribution over interleavings is exactly
+    uniform.  Duplicates are possible, as with any i.i.d. sample; the draw
+    depends only on the seed.
+    """
+    rng = as_rng(seed)
+    slots: List[int] = []
+    for txn, steps in zip(txns, step_counts):
+        slots.extend([txn] * steps)
+    samples: List[Interleaving] = []
+    for _ in range(count):
+        drawn = list(slots)
+        rng.shuffle(drawn)
+        samples.append(tuple(drawn))
+    return samples
+
+
+@dataclass(frozen=True)
+class ScheduleSpace:
+    """The resolved schedule set the explorer will execute.
+
+    ``total`` is the size of the full interleaving space; ``schedules`` is
+    either that whole space (``mode == "exhaustive"``) or a seeded uniform
+    sample of it (``mode == "sample"``).  The schedule list is deterministic
+    given (program step counts, mode, seed, limit) and never depends on
+    worker or chunk configuration.
+    """
+
+    txns: Tuple[int, ...]
+    step_counts: Tuple[int, ...]
+    total: int
+    mode: str
+    seed: int
+    schedules: Tuple[Interleaving, ...]
+
+    def __len__(self) -> int:
+        return len(self.schedules)
+
+
+def schedule_space(programs: Sequence[TransactionProgram], mode: str = "auto",
+                   max_schedules: int = 1000, seed: int = 0) -> ScheduleSpace:
+    """Resolve the schedule set for a program set.
+
+    ``mode`` is ``"exhaustive"`` (enumerate everything; fails if the space
+    exceeds ``max_schedules``), ``"sample"`` (seeded uniform sample of
+    ``max_schedules``), or ``"auto"`` (exhaustive when the space fits within
+    ``max_schedules``, else sample).
+    """
+    if mode not in ("auto", "exhaustive", "sample"):
+        raise ValueError(f"unknown schedule mode {mode!r}")
+    txns = tuple(program.txn for program in programs)
+    step_counts = tuple(len(program) for program in programs)
+    total = count_interleavings(step_counts)
+
+    if mode == "auto":
+        mode = "exhaustive" if total <= max_schedules else "sample"
+    if mode == "exhaustive":
+        if total > max_schedules:
+            raise ValueError(
+                f"interleaving space has {total} schedules, above the "
+                f"max_schedules={max_schedules} budget; use mode='sample'"
+            )
+        schedules = tuple(enumerate_interleavings(txns, step_counts))
+    else:
+        schedules = tuple(sample_interleavings(txns, step_counts, max_schedules, seed))
+    return ScheduleSpace(txns=txns, step_counts=step_counts, total=total,
+                         mode=mode, seed=seed, schedules=schedules)

@@ -1,0 +1,120 @@
+"""Process-pool work units for the schedule-space explorer.
+
+Everything that crosses the process boundary lives here and is picklable by
+construction: a :class:`ChunkTask` names a registered program set (by spec),
+an isolation level (an enum), and a chunk of interleavings; the worker
+rebuilds database + programs locally for every schedule, replays them through
+a reused :class:`~repro.engine.scheduler.ScheduleRunner`, and classifies the
+realized histories with a chunk-local :class:`~repro.explorer.memo.BatchClassifier`.
+
+Results come back as :class:`ScheduleRecord` values (shorthand strings and
+tuples, no live engine state), tagged with the chunk index so the parent can
+reassemble them in schedule order — making output independent of worker
+count and chunk scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.isolation import IsolationLevelName
+from ..engine.scheduler import ScheduleRunner
+from ..storage.database import Database
+from ..testbed import make_engine
+from ..workloads.program_sets import ProgramSet, ProgramSetSpec, resolve_program_set
+from .memo import BatchClassifier
+from .schedules import Interleaving
+
+__all__ = ["ChunkTask", "ScheduleRecord", "ChunkResult", "execute_chunk"]
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One unit of parallel work: run these schedules under this level.
+
+    ``builder`` is the program-set builder itself, resolved from the registry
+    in the parent process and pickled by reference — so specs registered by
+    the calling script keep working in workers even under the ``spawn`` start
+    method, where a worker's re-imported registry holds only the built-ins.
+    ``None`` falls back to a registry lookup in the worker.
+    """
+
+    chunk_index: int
+    spec: ProgramSetSpec
+    level: IsolationLevelName
+    schedules: Tuple[Interleaving, ...]
+    builder: Optional[Callable[..., ProgramSet]] = None
+
+
+@dataclass(frozen=True)
+class ScheduleRecord:
+    """The outcome of executing and classifying one interleaving."""
+
+    interleaving: Interleaving
+    history: str
+    serializable: bool
+    phenomena: Tuple[str, ...]
+    committed: Tuple[int, ...]
+    aborted: Tuple[int, ...]
+    blocked_events: int
+    deadlocks: int
+    stalled: bool
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Records for one chunk, plus the worker-local cache statistics."""
+
+    chunk_index: int
+    records: Tuple[ScheduleRecord, ...]
+    cache_stats: Dict[str, int]
+
+
+def _initial_items(database: Database) -> Tuple[str, ...]:
+    """Every item (and ``table/key`` row) name present in the initial database."""
+    names = list(database.items())
+    for table_name, table in database.tables().items():
+        names.extend(f"{table_name}/{row.key}" for row in table)
+    return tuple(names)
+
+
+def execute_chunk(task: ChunkTask,
+                  classifier: Optional[BatchClassifier] = None) -> ChunkResult:
+    """Execute every schedule of a chunk against fresh engine instances.
+
+    ``classifier`` lets the serial path share one memoization context across
+    chunks; worker processes leave it ``None`` and get a chunk-local one
+    (seeded with the workload's initial item set for MV version completion).
+    """
+    builder = task.builder if task.builder is not None else resolve_program_set(task.spec)
+    records: List[ScheduleRecord] = []
+    runner: Optional[ScheduleRunner] = None
+    for interleaving in task.schedules:
+        # Each schedule needs a fresh database; the builder hands back fresh
+        # programs too, which only the first iteration keeps (the reused
+        # runner holds them — equivalent by builder determinism).  Program
+        # construction is <2% of the loop, so the builder API stays whole.
+        database, programs = builder(**task.spec.kwargs())
+        if classifier is None:
+            classifier = BatchClassifier(initial_items=_initial_items(database))
+        engine = make_engine(database, task.level)
+        if runner is None:
+            runner = ScheduleRunner(engine, programs, interleaving)
+            outcome = runner.run()
+        else:
+            outcome = runner.replay(engine, interleaving)
+        classification = classifier.classify(outcome.history)
+        records.append(ScheduleRecord(
+            interleaving=tuple(interleaving),
+            history=classification.shorthand,
+            serializable=classification.serializable,
+            phenomena=classification.phenomena,
+            committed=classification.committed,
+            aborted=classification.aborted,
+            blocked_events=outcome.blocked_events,
+            deadlocks=len(outcome.deadlocks),
+            stalled=outcome.stalled,
+        ))
+    stats = dict(classifier.stats) if classifier is not None else {}
+    return ChunkResult(task.chunk_index, tuple(records), stats)

@@ -17,7 +17,7 @@ Two kinds of artifacts are generated, both fully deterministic given a seed:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.history import History
 from ..core.operations import Operation, OperationKind
@@ -25,6 +25,7 @@ from ..engine.programs import Commit, ReadItem, TransactionProgram, WriteItem
 from ..storage.database import Database
 
 __all__ = [
+    "as_rng",
     "random_history",
     "history_corpus",
     "random_programs",
@@ -32,8 +33,28 @@ __all__ = [
     "uniform_database",
 ]
 
+#: Either a bare integer seed or an already-constructed ``random.Random``.
+SeedLike = Union[int, random.Random]
 
-def random_history(rng: random.Random, transactions: int = 3, items: int = 3,
+
+def as_rng(seed: SeedLike) -> random.Random:
+    """Normalize a seed-or-Random argument into a ``random.Random``.
+
+    Every generator in this module (and in :mod:`repro.workloads.program_sets`)
+    accepts either form, so callers can pass a plain int for one-shot
+    determinism or share a ``Random`` instance across several calls.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise TypeError(
+            "expected an int seed or a random.Random instance, got "
+            f"{type(seed).__name__}: {seed!r}"
+        )
+    return random.Random(seed)
+
+
+def random_history(rng: SeedLike, transactions: int = 3, items: int = 3,
                    operations_per_transaction: int = 3,
                    abort_probability: float = 0.1,
                    write_probability: float = 0.5) -> History:
@@ -41,8 +62,10 @@ def random_history(rng: random.Random, transactions: int = 3, items: int = 3,
 
     Each transaction performs a random sequence of reads and writes over a
     shared item space, then commits or aborts.  The per-transaction sequences
-    are interleaved uniformly at random.
+    are interleaved uniformly at random.  ``rng`` may be a ``random.Random``
+    or a bare int seed.
     """
+    rng = as_rng(rng)
     item_names = [chr(ord("x") + i) if i < 3 else f"v{i}" for i in range(items)]
     per_txn: Dict[int, List[Operation]] = {}
     for txn in range(1, transactions + 1):
@@ -69,17 +92,18 @@ def random_history(rng: random.Random, transactions: int = 3, items: int = 3,
     return History(merged)
 
 
-def history_corpus(seed: int = 0, count: int = 200, transactions: int = 3,
+def history_corpus(seed: SeedLike = 0, count: int = 200, transactions: int = 3,
                    items: int = 3, operations_per_transaction: int = 3,
                    abort_probability: float = 0.1,
                    write_probability: float = 0.5) -> List[History]:
     """A reproducible corpus of random histories (plus nothing else).
 
-    The analyses that use this corpus typically concatenate it with the
-    catalogued paper histories so that the known distinguishing examples (H1,
-    H2, H3, H4, H5) are always present.
+    ``seed`` may be a bare int or a ``random.Random``.  The analyses that use
+    this corpus typically concatenate it with the catalogued paper histories
+    so that the known distinguishing examples (H1, H2, H3, H4, H5) are always
+    present.
     """
-    rng = random.Random(seed)
+    rng = as_rng(seed)
     return [
         random_history(rng, transactions, items, operations_per_transaction,
                        abort_probability, write_probability)
@@ -95,17 +119,19 @@ def uniform_database(items: int = 10, initial_value: float = 100) -> Database:
     return database
 
 
-def random_programs(rng: random.Random, transactions: int = 8, items: int = 10,
+def random_programs(rng: SeedLike, transactions: int = 8, items: int = 10,
                     operations_per_transaction: int = 4,
                     read_only_fraction: float = 0.5,
                     hot_items: Optional[int] = None) -> List[TransactionProgram]:
     """Random read/write transaction programs over the :func:`uniform_database` items.
 
+    ``rng`` may be a ``random.Random`` or a bare int seed.
     ``read_only_fraction`` of the transactions only read; the rest perform
     read-modify-write increments.  ``hot_items`` restricts the writers to the
     first N items, which is how the contention benchmarks dial contention up
     and down.
     """
+    rng = as_rng(rng)
     item_names = [f"a{index}" for index in range(items)]
     hot = item_names[: hot_items or items]
     programs: List[TransactionProgram] = []
@@ -128,12 +154,15 @@ def random_programs(rng: random.Random, transactions: int = 8, items: int = 10,
     return programs
 
 
-def contention_workload(seed: int, transactions: int, items: int,
+def contention_workload(seed: SeedLike, transactions: int, items: int,
                         hot_items: int, read_only_fraction: float,
                         operations_per_transaction: int = 3,
                         ) -> Tuple[Database, List[TransactionProgram], List[int]]:
-    """Database + programs + a random interleaving for the contention benchmarks."""
-    rng = random.Random(seed)
+    """Database + programs + a random interleaving for the contention benchmarks.
+
+    ``seed`` may be a bare int or a ``random.Random``.
+    """
+    rng = as_rng(seed)
     database = uniform_database(items)
     programs = random_programs(
         rng,

@@ -1,0 +1,104 @@
+"""Schedule-space combinatorics: counting, enumeration, and seeded sampling."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.explorer.schedules import (
+    count_interleavings,
+    enumerate_interleavings,
+    sample_interleavings,
+    schedule_space,
+)
+from repro.workloads.program_sets import ProgramSetSpec, build_program_set
+
+
+def multinomial(*counts: int) -> int:
+    result = math.factorial(sum(counts))
+    for count in counts:
+        result //= math.factorial(count)
+    return result
+
+
+class TestCountInterleavings:
+    def test_matches_the_multinomial_formula(self):
+        assert count_interleavings([3, 3]) == multinomial(3, 3) == 20
+        assert count_interleavings([3, 3, 3]) == multinomial(3, 3, 3) == 1680
+        assert count_interleavings([2, 4, 5]) == multinomial(2, 4, 5)
+
+    def test_degenerate_cases(self):
+        assert count_interleavings([]) == 1
+        assert count_interleavings([5]) == 1
+        assert count_interleavings([0, 3]) == 1
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            count_interleavings([2, -1])
+
+
+class TestEnumerate:
+    def test_two_programs_complete_and_distinct(self):
+        schedules = list(enumerate_interleavings([1, 2], [2, 2]))
+        assert len(schedules) == multinomial(2, 2) == 6
+        assert len(set(schedules)) == 6
+        for schedule in schedules:
+            assert Counter(schedule) == {1: 2, 2: 2}
+
+    def test_three_programs_count_matches_formula(self):
+        schedules = list(enumerate_interleavings([1, 2, 3], [2, 1, 3]))
+        assert len(schedules) == multinomial(2, 1, 3)
+        assert len(set(schedules)) == len(schedules)
+
+    def test_lexicographic_by_transaction_id(self):
+        schedules = list(enumerate_interleavings([2, 1], [1, 1]))
+        assert schedules == [(1, 2), (2, 1)]
+
+    def test_misaligned_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_interleavings([1, 2], [1]))
+
+
+class TestSampling:
+    def test_same_seed_same_sample(self):
+        first = sample_interleavings([1, 2, 3], [3, 3, 3], 50, seed=11)
+        second = sample_interleavings([1, 2, 3], [3, 3, 3], 50, seed=11)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert (sample_interleavings([1, 2, 3], [3, 3, 3], 50, seed=1)
+                != sample_interleavings([1, 2, 3], [3, 3, 3], 50, seed=2))
+
+    def test_samples_are_valid_interleavings(self):
+        for schedule in sample_interleavings([1, 2], [2, 3], 20, seed=5):
+            assert Counter(schedule) == {1: 2, 2: 3}
+
+
+class TestScheduleSpace:
+    def _programs(self, name="increments", **params):
+        _, programs = build_program_set(ProgramSetSpec.make(name, **params))
+        return programs
+
+    def test_auto_exhausts_small_spaces(self):
+        space = schedule_space(self._programs(transactions=2), max_schedules=100)
+        assert space.mode == "exhaustive"
+        assert space.total == 20
+        assert len(space) == 20
+        assert len(set(space.schedules)) == 20
+
+    def test_auto_samples_large_spaces(self):
+        space = schedule_space(self._programs(transactions=5), max_schedules=100, seed=3)
+        assert space.mode == "sample"
+        assert space.total == multinomial(3, 3, 3, 3, 3)
+        assert len(space) == 100
+
+    def test_exhaustive_mode_rejects_oversized_spaces(self):
+        with pytest.raises(ValueError):
+            schedule_space(self._programs(transactions=5), mode="exhaustive",
+                           max_schedules=10)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_space(self._programs(transactions=2), mode="everything")
