@@ -23,6 +23,7 @@ __all__ = [
     "LevelCoverage",
     "CoverageReport",
     "build_coverage_report",
+    "coverage_mismatches",
 ]
 
 
@@ -91,7 +92,13 @@ class CoverageReport:
 
     def witness(self, level: IsolationLevelName,
                 code: str) -> Optional[Tuple[Tuple[int, ...], str]]:
-        """The first witness (interleaving, history shorthand) for a cell, if any."""
+        """The first witness (interleaving, history shorthand) for a cell, if any.
+
+        Under ``reduction="sleep-set"`` the history is the witnessing
+        *equivalence class's* representative history — replaying the returned
+        interleaving realizes a history identical up to the order of
+        commuting adjacent steps.
+        """
         coverage = self.levels[level].phenomena.get(code)
         if coverage is None or coverage.witness_interleaving is None:
             return None
@@ -116,6 +123,43 @@ class CoverageReport:
             f"{self.explored}/{self.space_size} schedules per level"
         )
         return render_table(headers, rows, title=header)
+
+
+def coverage_mismatches(full, reduced,
+                        levels: Optional[Sequence[IsolationLevelName]] = None,
+                        codes: Optional[Sequence[str]] = None) -> List[str]:
+    """Where two explorations disagree on coverage (empty list = identical).
+
+    The soundness gate for partial-order reduction: a reduced exploration must
+    report the same schedule counts, serializable counts, stall counts,
+    per-phenomenon witness counts, and witness *interleavings* as full
+    enumeration.  Witness histories are deliberately not compared — a reduced
+    record carries its representative's realized history, which may differ
+    from the pruned schedule's by the order of commuting adjacent steps.
+    """
+    full_report = build_coverage_report(full, codes=codes)
+    reduced_report = build_coverage_report(reduced, codes=codes)
+    selected = tuple(levels) if levels is not None else tuple(full_report.levels)
+    mismatches: List[str] = []
+    for level in selected:
+        complete = full_report.levels[level]
+        pruned = reduced_report.levels[level]
+        for field in ("schedules", "serializable", "stalled"):
+            expected, actual = getattr(complete, field), getattr(pruned, field)
+            if expected != actual:
+                mismatches.append(
+                    f"{level.value}: {field} {actual} != {expected}")
+        for code in full_report.columns:
+            expected, actual = complete.phenomena[code], pruned.phenomena[code]
+            if actual.witnessed != expected.witnessed:
+                mismatches.append(
+                    f"{level.value}/{code}: witnessed "
+                    f"{actual.witnessed} != {expected.witnessed}")
+            if actual.witness_interleaving != expected.witness_interleaving:
+                mismatches.append(
+                    f"{level.value}/{code}: witness interleaving "
+                    f"{actual.witness_interleaving} != {expected.witness_interleaving}")
+    return mismatches
 
 
 def build_coverage_report(result, codes: Optional[Sequence[str]] = None) -> CoverageReport:
@@ -163,7 +207,7 @@ def build_coverage_report(result, codes: Optional[Sequence[str]] = None) -> Cove
         spec=result.spec.describe(),
         mode=result.space.mode,
         space_size=result.space.total,
-        explored=len(result.space.schedules),
+        explored=result.space.selected,
         columns=columns,
         levels=levels,
     )

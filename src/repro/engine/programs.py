@@ -13,13 +13,14 @@ anomalies require.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..storage.predicates import Predicate
 from ..storage.rows import Row
 from .interface import Engine, OpResult
 
 __all__ = [
+    "StepFootprint",
     "Step",
     "ReadItem",
     "WriteItem",
@@ -46,6 +47,36 @@ def _resolve(value: ValueSpec, context: Dict[str, Any]) -> Any:
     return value(context) if callable(value) else value
 
 
+@dataclass(frozen=True)
+class StepFootprint:
+    """The statically-known data footprint of one program step.
+
+    ``reads`` / ``writes`` name the items (or ``table/key`` rows) the step is
+    guaranteed to touch.  ``opaque`` marks steps whose footprint cannot be
+    determined without running them (predicate selects, cursor fetches,
+    computed inserts); consumers such as the explorer's partial-order reducer
+    must treat an opaque step as potentially touching everything.
+    """
+
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+    opaque: bool = False
+
+    def conflicts_with(self, other: "StepFootprint") -> bool:
+        """Write-involved overlap — the commutation test of Section 2.1.
+
+        Opaque footprints conflict with everything; otherwise two footprints
+        conflict when one's writes intersect the other's reads or writes.
+        Read/read overlap is *not* a conflict: shared locks are compatible and
+        swapping two reads never changes either value read.
+        """
+        if self.opaque or other.opaque:
+            return True
+        return bool(self.writes & (other.reads | other.writes)) or bool(
+            other.writes & self.reads
+        )
+
+
 class Step:
     """One action of a transaction program."""
 
@@ -56,6 +87,10 @@ class Step:
     def describe(self) -> str:
         """Short rendering used in traces and failure messages."""
         return type(self).__name__
+
+    def footprint(self) -> StepFootprint:
+        """The step's static data footprint (opaque unless a subclass knows better)."""
+        return StepFootprint(opaque=True)
 
 
 @dataclass
@@ -74,6 +109,9 @@ class ReadItem(Step):
     def describe(self) -> str:
         return f"read {self.item}"
 
+    def footprint(self) -> StepFootprint:
+        return StepFootprint(reads=frozenset((self.item,)))
+
 
 @dataclass
 class WriteItem(Step):
@@ -87,6 +125,9 @@ class WriteItem(Step):
 
     def describe(self) -> str:
         return f"write {self.item}"
+
+    def footprint(self) -> StepFootprint:
+        return StepFootprint(writes=frozenset((self.item,)))
 
 
 @dataclass
@@ -138,6 +179,9 @@ class UpdateRow(Step):
     def describe(self) -> str:
         return f"update {self.table}/{self.key}"
 
+    def footprint(self) -> StepFootprint:
+        return StepFootprint(writes=frozenset((f"{self.table}/{self.key}",)))
+
 
 @dataclass
 class DeleteRow(Step):
@@ -151,6 +195,9 @@ class DeleteRow(Step):
 
     def describe(self) -> str:
         return f"delete {self.table}/{self.key}"
+
+    def footprint(self) -> StepFootprint:
+        return StepFootprint(writes=frozenset((f"{self.table}/{self.key}",)))
 
 
 @dataclass
@@ -221,6 +268,12 @@ class Commit(Step):
     def describe(self) -> str:
         return "commit"
 
+    def footprint(self) -> StepFootprint:
+        # A terminal step touches no new data; the locks it releases cover
+        # items earlier steps already claimed, which occurrence-level analyses
+        # (see repro.explorer.reduction) account for by accumulation.
+        return StepFootprint()
+
 
 @dataclass
 class Abort(Step):
@@ -231,6 +284,9 @@ class Abort(Step):
 
     def describe(self) -> str:
         return "abort"
+
+    def footprint(self) -> StepFootprint:
+        return StepFootprint()
 
 
 @dataclass
@@ -252,3 +308,7 @@ class TransactionProgram:
 
     def __len__(self) -> int:
         return len(self.steps)
+
+    def footprints(self) -> Tuple[StepFootprint, ...]:
+        """The static footprint of every step, in program order."""
+        return tuple(step.footprint() for step in self.steps)

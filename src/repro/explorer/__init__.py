@@ -14,12 +14,17 @@ The public surface:
 
 * :func:`explore` / :class:`ExplorationResult` — the orchestrator
   (`explorer.py`), with a hard determinism contract: output depends only on
-  the spec, levels, mode, budget, and seed — never on worker count.
+  the spec, levels, mode, budget, seed, and reduction — never on worker
+  count.  Schedules stream lazily (O(chunk) memory), ``workers="auto"`` uses
+  every usable core, and parallel workers share the classification cache.
 * :mod:`~repro.explorer.schedules` — interleaving combinatorics (multinomial
-  counting, exhaustive enumeration, seeded uniform sampling).
+  counting, exhaustive enumeration, seeded deduplicated sampling), streamed.
+* :mod:`~repro.explorer.reduction` — sleep-set/DPOR-style partial-order
+  reduction: execute one representative per commutation-equivalence class.
 * :mod:`~repro.explorer.worker` — the picklable process-pool work units.
 * :mod:`~repro.explorer.memo` — memoized batched classification with
-  prefix-shared dependency-graph construction.
+  prefix-shared dependency-graph construction and cross-process cache
+  exchange.
 """
 
 from .explorer import (
@@ -30,10 +35,12 @@ from .explorer import (
     explore,
 )
 from .memo import BatchClassifier, HistoryClassification, PrefixGraphBuilder
+from .reduction import CommutationOracle, ExecutionPlan, build_execution_plan
 from .schedules import (
     ScheduleSpace,
     count_interleavings,
     enumerate_interleavings,
+    iter_sampled_interleavings,
     sample_interleavings,
     schedule_space,
 )
@@ -56,9 +63,13 @@ __all__ = [
     "BatchClassifier",
     "HistoryClassification",
     "PrefixGraphBuilder",
+    "CommutationOracle",
+    "ExecutionPlan",
+    "build_execution_plan",
     "ScheduleSpace",
     "count_interleavings",
     "enumerate_interleavings",
+    "iter_sampled_interleavings",
     "sample_interleavings",
     "schedule_space",
     "ChunkResult",

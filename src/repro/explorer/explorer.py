@@ -1,32 +1,50 @@
 """The schedule-space explorer: orchestration, parallel fan-out, determinism.
 
 ``explore()`` resolves the interleaving space of a registered program set
-(exhaustive for small spaces, seeded uniform sampling for large ones), splits
-it into fixed-size chunks, executes every chunk against fresh engines — in
+(exhaustive for small spaces, seeded uniform sampling for large ones), streams
+it in fixed-size chunks, executes every chunk against fresh engines — in
 process, or fanned out over a ``multiprocessing`` pool — and reassembles the
 per-schedule records in schedule order.
 
+Three scaling layers sit on the hot path:
+
+* **Streaming** — the schedule stream is generated lazily and dispatched with
+  ``imap`` over indexed chunks, so exploring (or sampling) millions of
+  schedules holds O(chunk) interleavings in memory, never the full list.
+* **Partial-order reduction** (``reduction="sleep-set"``) — equivalent
+  interleavings (differing only by commuting adjacent steps of transactions
+  with disjoint footprints) are executed once and their classification reused
+  for the whole equivalence class; see :mod:`repro.explorer.reduction`.
+* **Shared classification cache** (``shared_cache=True``) — parallel workers
+  exchange whole-history classifications through a manager dict, snapshot at
+  chunk start and published at chunk end, so they stop paying each other's
+  cold caches.
+
 Determinism contract: the full output (every record, in order) is a pure
-function of ``(spec, levels, mode, max_schedules, seed)``.  Worker count and
-chunk size only change wall-clock time, never results — the schedule list is
-fixed before any execution, chunks are indexed, and records are concatenated
-by chunk index.  ``ExplorationResult.fingerprint()`` hashes the record stream
-so tests can assert byte-identical serial/parallel output.
+function of ``(spec, levels, mode, max_schedules, seed, reduction)``.  Worker
+count, chunk size, and cache sharing only change wall-clock time, never
+results — the schedule stream is fixed by the seed before any execution,
+chunks are indexed, records are reassembled by chunk index, and
+classification is a pure function of the realized history.
+``ExplorationResult.fingerprint()`` hashes the record stream so tests can
+assert byte-identical serial/parallel output.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.isolation import IsolationLevelName
 from ..workloads.program_sets import ProgramSetSpec, resolve_program_set
 from .memo import BatchClassifier
-from .schedules import ScheduleSpace, schedule_space
+from .reduction import ExecutionPlan, build_execution_plan
+from .schedules import Interleaving, ScheduleSpace, schedule_space
 from .worker import (
     ChunkResult,
     ChunkTask,
@@ -52,6 +70,9 @@ DEFAULT_LEVELS: Tuple[IsolationLevelName, ...] = (
     IsolationLevelName.SERIALIZABLE,
 )
 
+#: Accepted reduction strategies.
+REDUCTIONS = ("none", "sleep-set")
+
 
 def available_workers() -> int:
     """The usable CPU count (affinity-aware where the platform supports it)."""
@@ -69,6 +90,11 @@ class LevelExploration:
     records: Tuple[ScheduleRecord, ...]
     cache_stats: Dict[str, int]
     duration: float
+    executed: int = -1
+
+    def __post_init__(self) -> None:
+        if self.executed < 0:
+            object.__setattr__(self, "executed", len(self.records))
 
     @property
     def schedules_per_second(self) -> float:
@@ -85,6 +111,7 @@ class ExplorationResult:
     workers: int
     chunk_size: int
     levels: Dict[IsolationLevelName, LevelExploration]
+    reduction: str = "none"
 
     def fingerprint(self) -> str:
         """SHA-256 over every record, in order — identical runs hash identically.
@@ -104,30 +131,61 @@ class ExplorationResult:
         return digest.hexdigest()
 
     def total_schedules(self) -> int:
-        """Schedules executed, summed over levels."""
+        """Schedules covered (executed or reduction-reused), summed over levels."""
         return sum(len(exploration.records) for exploration in self.levels.values())
 
+    def executed_schedules(self) -> int:
+        """Schedules actually run through an engine, summed over levels."""
+        return sum(exploration.executed for exploration in self.levels.values())
 
-def _chunk_tasks(spec: ProgramSetSpec, level: IsolationLevelName,
-                 space: ScheduleSpace, chunk_size: int,
-                 builder) -> List[ChunkTask]:
-    schedules = space.schedules
-    return [
-        ChunkTask(index, spec, level, schedules[start:start + chunk_size], builder)
-        for index, start in enumerate(range(0, len(schedules), chunk_size))
-    ]
+    def reduction_ratio(self) -> float:
+        """Schedules covered per schedule executed (1.0 without reduction)."""
+        executed = self.executed_schedules()
+        return self.total_schedules() / executed if executed else 1.0
 
 
-def _explore_level_serial(spec: ProgramSetSpec, level: IsolationLevelName,
-                          space: ScheduleSpace, chunk_size: int,
-                          builder, initial_items) -> LevelExploration:
-    classifier = BatchClassifier(initial_items=initial_items)
-    started = time.perf_counter()
+# -- chunked dispatch ---------------------------------------------------------------
+
+
+def _chunks_of(schedules: Sequence[Interleaving],
+               chunk_size: int) -> Iterator[Tuple[int, Tuple[Interleaving, ...]]]:
+    """Indexed fixed-size chunks of an already-materialized schedule list."""
+    for index, start in enumerate(range(0, len(schedules), chunk_size)):
+        yield index, tuple(schedules[start:start + chunk_size])
+
+
+def _iter_chunk_tasks(spec: ProgramSetSpec, level: IsolationLevelName,
+                      chunks: Iterable[Tuple[int, Tuple[Interleaving, ...]]],
+                      builder, shared_cache) -> Iterator[ChunkTask]:
+    for index, chunk in chunks:
+        yield ChunkTask(index, spec, level, chunk, builder, shared_cache)
+
+
+def _level_chunks(space: ScheduleSpace, plan: Optional[ExecutionPlan],
+                  chunk_size: int) -> Iterator[Tuple[int, Tuple[Interleaving, ...]]]:
+    """The chunk stream a level executes: reduced representatives or the space."""
+    if plan is not None:
+        return _chunks_of(plan.executed, chunk_size)
+    return space.iter_chunks(chunk_size)
+
+
+def _assemble(executed_records: Sequence[ScheduleRecord],
+              plan: ExecutionPlan,
+              schedules: Sequence[Interleaving]) -> List[ScheduleRecord]:
+    """Expand representative records back over the full schedule stream.
+
+    Every schedule of the space gets a record: representatives keep their own,
+    reduced schedules borrow their representative's classification with the
+    interleaving rewritten to their own — equivalence guarantees the realized
+    behavior matches up to commuting adjacent steps.
+    """
     records: List[ScheduleRecord] = []
-    for task in _chunk_tasks(spec, level, space, chunk_size, builder):
-        records.extend(execute_chunk(task, classifier).records)
-    duration = time.perf_counter() - started
-    return LevelExploration(level, tuple(records), dict(classifier.stats), duration)
+    for position, interleaving in enumerate(schedules):
+        record = executed_records[plan.assignment[position]]
+        if record.interleaving != interleaving:
+            record = dataclasses.replace(record, interleaving=interleaving)
+        records.append(record)
+    return records
 
 
 def _merge_stats(results: Sequence[ChunkResult]) -> Dict[str, int]:
@@ -138,25 +196,67 @@ def _merge_stats(results: Sequence[ChunkResult]) -> Dict[str, int]:
     return merged
 
 
-def _explore_level_parallel(spec: ProgramSetSpec, level: IsolationLevelName,
-                            space: ScheduleSpace, chunk_size: int,
-                            pool: "multiprocessing.pool.Pool",
-                            builder) -> LevelExploration:
-    tasks = _chunk_tasks(spec, level, space, chunk_size, builder)
+def _explore_level_serial(spec: ProgramSetSpec, level: IsolationLevelName,
+                          space: ScheduleSpace, plan: Optional[ExecutionPlan],
+                          plan_schedules: Optional[Tuple[Interleaving, ...]],
+                          chunk_size: int, builder,
+                          initial_items) -> LevelExploration:
+    classifier = BatchClassifier(initial_items=initial_items)
     started = time.perf_counter()
-    results = pool.map(execute_chunk, tasks)
+    records: List[ScheduleRecord] = []
+    tasks = _iter_chunk_tasks(spec, level, _level_chunks(space, plan, chunk_size),
+                              builder, None)
+    for task in tasks:
+        records.extend(execute_chunk(task, classifier).records)
+    executed = len(records)
+    if plan is not None:
+        records = _assemble(records, plan, plan_schedules)
     duration = time.perf_counter() - started
+    return LevelExploration(level, tuple(records), dict(classifier.stats),
+                            duration, executed=executed)
+
+
+def _explore_level_parallel(spec: ProgramSetSpec, level: IsolationLevelName,
+                            space: ScheduleSpace, plan: Optional[ExecutionPlan],
+                            plan_schedules: Optional[Tuple[Interleaving, ...]],
+                            chunk_size: int,
+                            pool: "multiprocessing.pool.Pool",
+                            builder, shared_cache) -> LevelExploration:
+    tasks = _iter_chunk_tasks(spec, level, _level_chunks(space, plan, chunk_size),
+                              builder, shared_cache)
+    started = time.perf_counter()
+    # imap pulls tasks from the lazy generator as workers free up, so the
+    # parent never materializes the full schedule list; results arrive in
+    # submission order, which *is* chunk-index order.
+    results = list(pool.imap(execute_chunk, tasks))
     results.sort(key=lambda result: result.chunk_index)
     records: List[ScheduleRecord] = []
     for result in results:
         records.extend(result.records)
-    return LevelExploration(level, tuple(records), _merge_stats(results), duration)
+    executed = len(records)
+    if plan is not None:
+        records = _assemble(records, plan, plan_schedules)
+    duration = time.perf_counter() - started
+    return LevelExploration(level, tuple(records), _merge_stats(results),
+                            duration, executed=executed)
+
+
+def _resolve_worker_count(workers: Union[int, str]) -> int:
+    if workers == "auto":
+        return max(1, available_workers())
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(f"workers must be an int or 'auto', got {workers!r}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
 
 
 def explore(spec: ProgramSetSpec,
             levels: Sequence[IsolationLevelName] = DEFAULT_LEVELS,
             mode: str = "auto", max_schedules: int = 1000, seed: int = 0,
-            workers: int = 1, chunk_size: int = 64) -> ExplorationResult:
+            workers: Union[int, str] = 1, chunk_size: int = 64,
+            reduction: str = "none",
+            shared_cache: bool = True) -> ExplorationResult:
     """Explore the schedule space of a program set under several isolation levels.
 
     Parameters
@@ -169,17 +269,36 @@ def explore(spec: ProgramSetSpec,
         every engine implements).
     mode, max_schedules, seed:
         Passed to :func:`~repro.explorer.schedules.schedule_space` — exhaustive
-        enumeration, seeded sampling, or automatic choice between them.
+        enumeration, seeded sampling, or automatic choice between them.  The
+        stream is lazy: schedules are generated chunk by chunk, never held as
+        one list.
     workers:
         ``1`` runs in-process (with cross-chunk memoization); ``N > 1`` fans
-        chunks out over a process pool.  Results are identical either way.
+        chunks out over a process pool; ``"auto"`` uses every usable core
+        (:func:`available_workers`).  Results are identical in all cases.
     chunk_size:
-        Schedules per work unit.  Affects only load balancing.
+        Schedules per work unit.  Affects only load balancing and streaming
+        granularity.
+    reduction:
+        ``"none"`` executes every schedule; ``"sleep-set"`` executes one
+        representative per commutation-equivalence class and reuses its
+        classification for the rest (see :mod:`repro.explorer.reduction`).
+        Coverage reports are unchanged; only executed-schedule counts drop.
+        Note the record semantics: a reduced schedule's record keeps its own
+        interleaving but carries its *representative's* realized history
+        (equivalent up to the order of commuting adjacent steps), so a
+        coverage witness pair under reduction shows the class's
+        representative history, not a replay of that exact interleaving.
+    shared_cache:
+        When parallel, share whole-history classifications across workers via
+        a manager dict (snapshot at chunk start, publish at chunk end).  Pure
+        optimization — never changes records.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
+    workers = _resolve_worker_count(workers)
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    if reduction not in REDUCTIONS:
+        raise ValueError(f"unknown reduction {reduction!r}; choose from {REDUCTIONS}")
     # Resolve the builder here, in the caller's process, so sets registered by
     # the calling script reach spawn-started workers (pickled by reference).
     builder = resolve_program_set(spec)
@@ -187,17 +306,40 @@ def explore(spec: ProgramSetSpec,
     initial_items = _initial_items(database)
     space = schedule_space(programs, mode=mode, max_schedules=max_schedules, seed=seed)
 
+    # The reduction plan is level-independent (commutation is judged on static
+    # footprints that hold under every engine), so it is built once and reused
+    # for every level.  Canonicalization walks the whole stream anyway, so the
+    # stream is materialized alongside the O(selected) assignment rather than
+    # regenerated for every level's reassembly.
+    plan: Optional[ExecutionPlan] = None
+    plan_schedules: Optional[Tuple[Interleaving, ...]] = None
+    if reduction == "sleep-set":
+        plan_schedules = tuple(space)
+        plan = build_execution_plan(plan_schedules, programs)
+
     explorations: Dict[IsolationLevelName, LevelExploration] = {}
     if workers == 1:
         for level in levels:
             explorations[level] = _explore_level_serial(
-                spec, level, space, chunk_size, builder, initial_items
+                spec, level, space, plan, plan_schedules, chunk_size, builder,
+                initial_items
             )
     else:
-        with multiprocessing.Pool(processes=workers) as pool:
-            for level in levels:
-                explorations[level] = _explore_level_parallel(
-                    spec, level, space, chunk_size, pool, builder
-                )
+        manager = multiprocessing.Manager() if shared_cache else None
+        try:
+            # One shared dict across levels too: classification is level-
+            # independent, and serial prefixes realize identical histories
+            # under different engines.
+            shared = manager.dict() if manager is not None else None
+            with multiprocessing.Pool(processes=workers) as pool:
+                for level in levels:
+                    explorations[level] = _explore_level_parallel(
+                        spec, level, space, plan, plan_schedules, chunk_size,
+                        pool, builder, shared
+                    )
+        finally:
+            if manager is not None:
+                manager.shutdown()
     return ExplorationResult(spec=spec, space=space, workers=workers,
-                             chunk_size=chunk_size, levels=explorations)
+                             chunk_size=chunk_size, levels=explorations,
+                             reduction=reduction)

@@ -23,7 +23,7 @@ edge — may differ, which nothing downstream observes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.dependency import DependencyEdge, DependencyGraph, _edge_kind
 from ..core.history import History
@@ -169,11 +169,33 @@ class BatchClassifier:
         self._codes = list(codes) if codes is not None else None
         self._graphs = PrefixGraphBuilder(max_nodes=max_trie_nodes)
         self._cache: Dict[History, HistoryClassification] = {}
+        #: Classifications computed elsewhere (other workers), keyed by the
+        #: history's shorthand — the picklable cross-process cache currency.
+        self._preloaded: Dict[str, HistoryClassification] = {}
+        #: Classifications this instance computed itself since construction,
+        #: keyed by shorthand — what it has to offer a shared cache.
+        self._fresh: Dict[str, HistoryClassification] = {}
         #: Items present in the initial database, for MV version completion
         #: (see assign_write_versions).  None assumes every item pre-exists.
         self.initial_items = None if initial_items is None else frozenset(initial_items)
         self.hits = 0
         self.misses = 0
+        self.shared_hits = 0
+
+    def preload(self, entries: Mapping[str, HistoryClassification]) -> None:
+        """Seed the whole-history cache with classifications computed elsewhere.
+
+        Keys are history shorthand strings (which uniquely render the
+        operation sequence, values and versions included), so entries survive
+        pickling across process boundaries.  Sharing is sound because
+        classification is a pure function of the history — a preloaded entry
+        can only save work, never change a result.
+        """
+        self._preloaded.update(entries)
+
+    def exports(self) -> Dict[str, HistoryClassification]:
+        """The classifications computed locally, for publishing to a shared cache."""
+        return dict(self._fresh)
 
     def classify(self, history: History) -> HistoryClassification:
         """Serializability verdict plus the phenomena present in the history.
@@ -190,6 +212,12 @@ class BatchClassifier:
         if cached is not None:
             self.hits += 1
             return cached
+        shorthand = history.to_shorthand()
+        shared = self._preloaded.get(shorthand)
+        if shared is not None:
+            self.shared_hits += 1
+            self._cache[history] = shared
+            return shared
         self.misses += 1
         if history.is_multiversion():
             completed = assign_write_versions(history, self.initial_items)
@@ -199,7 +227,7 @@ class BatchClassifier:
             serializable = self._graphs.graph_for(history).is_acyclic()
             occurrences = detect_all(history, codes=self._codes)
         classification = HistoryClassification(
-            shorthand=history.to_shorthand(),
+            shorthand=shorthand,
             serializable=serializable,
             phenomena=tuple(sorted(
                 code for code, found in occurrences.items() if found
@@ -208,6 +236,7 @@ class BatchClassifier:
             aborted=tuple(sorted(history.aborted_transactions())),
         )
         self._cache[history] = classification
+        self._fresh[shorthand] = classification
         return classification
 
     def classify_batch(self, histories: Sequence[History]) -> List[HistoryClassification]:
@@ -220,6 +249,7 @@ class BatchClassifier:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "shared_hits": self.shared_hits,
             "trie_nodes_created": self._graphs.nodes_created,
             "trie_nodes_reused": self._graphs.nodes_reused,
         }

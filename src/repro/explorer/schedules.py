@@ -8,14 +8,23 @@ be enumerated exhaustively, larger ones are sampled uniformly at random under
 a seed.  Everything here is pure combinatorics: deterministic given the seed,
 independent of worker counts, and oblivious to what the schedules later do to
 an engine.
+
+The space is **streamed**, never materialized: :class:`ScheduleSpace` holds a
+recipe (step counts, mode, seed, budget), and both :meth:`ScheduleSpace.__iter__`
+and :meth:`ScheduleSpace.iter_chunks` regenerate the identical schedule stream
+on demand, so sampling 10M+ schedules of a huge space never builds a 10M-tuple
+list — iteration is O(chunk) memory in the i.i.d. regime.  Deduplicated
+samples (small or near-full spaces, where duplicates are statistically
+plausible) additionally track a seen-set of O(sample size).
+``ScheduleSpace.schedules`` still materializes the full tuple for callers
+that want it (tests, small spaces); the explorer's hot path does not.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..engine.programs import TransactionProgram
 from ..workloads.generators import SeedLike, as_rng
@@ -26,11 +35,17 @@ __all__ = [
     "count_interleavings",
     "enumerate_interleavings",
     "sample_interleavings",
+    "iter_sampled_interleavings",
     "schedule_space",
 ]
 
 #: One interleaving: transaction ids, one per step slot.
 Interleaving = Tuple[int, ...]
+
+#: Sample sizes up to this bound always track a seen-set and yield distinct
+#: schedules; above it, duplicates are only removed when the space is small
+#: enough (relative to the sample) for them to be statistically plausible.
+_DEDUPE_TRACK_MAX = 200_000
 
 
 def count_interleavings(step_counts: Sequence[int]) -> int:
@@ -49,9 +64,8 @@ def enumerate_interleavings(txns: Sequence[int],
     """Every distinct interleaving, in lexicographic order of transaction ids.
 
     ``txns[i]`` has ``step_counts[i]`` slots.  The enumeration is a standard
-    multiset-permutation backtrack; for the small program sets the exhaustive
-    mode targets (a handful of transactions of a few steps each) the whole
-    space fits comfortably in memory.
+    multiset-permutation backtrack, produced lazily — consuming it holds one
+    prefix in memory, never the whole space.
     """
     if len(txns) != len(step_counts):
         raise ValueError("txns and step_counts must align")
@@ -77,58 +91,184 @@ def enumerate_interleavings(txns: Sequence[int],
     return backtrack()
 
 
-def sample_interleavings(txns: Sequence[int], step_counts: Sequence[int],
-                         count: int, seed: SeedLike) -> List[Interleaving]:
-    """``count`` interleavings drawn i.i.d. uniformly from the space.
+def _should_dedupe(count: int, total: int) -> bool:
+    """Whether a sample of ``count`` from a space of ``total`` is deduplicated.
+
+    Always for tracking-friendly sample sizes; beyond that only when the space
+    is small enough (within 4x of the sample) that i.i.d. duplicates are
+    plausible rather than astronomically rare — huge-space samples then stream
+    without a seen-set and stay O(chunk) in memory.
+    """
+    return count <= _DEDUPE_TRACK_MAX or total <= 4 * count
+
+
+def iter_sampled_interleavings(txns: Sequence[int], step_counts: Sequence[int],
+                               count: int, seed: SeedLike,
+                               dedupe: Optional[bool] = None) -> Iterator[Interleaving]:
+    """Stream a seeded uniform sample of the interleaving space.
 
     Shuffling the flat slot list is uniform over slot permutations, and every
     distinct interleaving corresponds to the same number of permutations
-    (``prod n_i!``), so the induced distribution over interleavings is exactly
-    uniform.  Duplicates are possible, as with any i.i.d. sample; the draw
-    depends only on the seed.
+    (``prod n_i!``), so each draw is exactly uniform over the space.  When
+    ``dedupe`` is on (the default policy is :func:`_should_dedupe`), draws
+    already seen are rejected — still seeded and deterministic — and the
+    stream yields ``min(count, total)`` *distinct* schedules; otherwise the
+    stream is i.i.d. and duplicates are possible.  Asking for the whole space
+    (``count >= total``) streams the exhaustive enumeration directly, in
+    lexicographic order.
     """
     rng = as_rng(seed)
     slots: List[int] = []
     for txn, steps in zip(txns, step_counts):
         slots.extend([txn] * steps)
-    samples: List[Interleaving] = []
-    for _ in range(count):
+    total = count_interleavings(step_counts)
+    if dedupe is None:
+        dedupe = _should_dedupe(count, total)
+
+    if not dedupe:
+        for _ in range(count):
+            drawn = list(slots)
+            rng.shuffle(drawn)
+            yield tuple(drawn)
+        return
+
+    target = min(count, total)
+    if target == total:
+        # "Sampling" the whole space: rejection would coupon-collect through
+        # ~total*ln(total) draws; the exhaustive enumerator streams the same
+        # distinct set directly (in lexicographic rather than seeded order).
+        yield from enumerate_interleavings(txns, step_counts)
+        return
+    seen: Set[Interleaving] = set()
+    while len(seen) < target:
         drawn = list(slots)
         rng.shuffle(drawn)
-        samples.append(tuple(drawn))
-    return samples
+        schedule = tuple(drawn)
+        if schedule in seen:
+            continue
+        seen.add(schedule)
+        yield schedule
 
 
-@dataclass(frozen=True)
+def sample_interleavings(txns: Sequence[int], step_counts: Sequence[int],
+                         count: int, seed: SeedLike,
+                         dedupe: Optional[bool] = None) -> List[Interleaving]:
+    """A seeded uniform sample of the space, as a list.
+
+    Deduplicated by default policy (see :func:`iter_sampled_interleavings`),
+    so a sample of a space barely larger than ``count`` no longer silently
+    repeats schedules; the draw depends only on the seed.
+    """
+    return list(iter_sampled_interleavings(txns, step_counts, count, seed,
+                                           dedupe=dedupe))
+
+
 class ScheduleSpace:
-    """The resolved schedule set the explorer will execute.
+    """The resolved schedule stream the explorer will execute.
 
-    ``total`` is the size of the full interleaving space; ``schedules`` is
-    either that whole space (``mode == "exhaustive"``) or a seeded uniform
-    sample of it (``mode == "sample"``).  The schedule list is deterministic
-    given (program step counts, mode, seed, limit) and never depends on
-    worker or chunk configuration.
+    A lazy, re-iterable source: the schedule stream is a pure function of
+    (program step counts, mode, seed, budget) and is regenerated identically
+    on every iteration — never dependent on worker or chunk configuration,
+    never materialized unless :attr:`schedules` is explicitly read.
+
+    ``total`` is the size of the full interleaving space; ``selected`` is how
+    many schedules the stream yields (the whole space when exhaustive, the
+    sample budget otherwise); ``distinct`` is the number of *distinct*
+    schedules among them — equal to ``selected`` for exhaustive and deduped
+    sample streams, ``None`` when a huge-space i.i.d. sample skips duplicate
+    tracking.
     """
 
-    txns: Tuple[int, ...]
-    step_counts: Tuple[int, ...]
-    total: int
-    mode: str
-    seed: int
-    schedules: Tuple[Interleaving, ...]
+    def __init__(self, txns: Tuple[int, ...], step_counts: Tuple[int, ...],
+                 total: int, mode: str, seed: int, selected: int,
+                 dedupe: bool = False):
+        self.txns = txns
+        self.step_counts = step_counts
+        self.total = total
+        self.mode = mode
+        self.seed = seed
+        self.selected = selected
+        self.dedupe = dedupe
+        self._materialized: Optional[Tuple[Interleaving, ...]] = None
+
+    @property
+    def distinct(self) -> Optional[int]:
+        """Distinct schedules in the stream (``None`` when not tracked)."""
+        if self.mode == "exhaustive" or self.dedupe:
+            return self.selected
+        return None
 
     def __len__(self) -> int:
-        return len(self.schedules)
+        return self.selected
+
+    def __iter__(self) -> Iterator[Interleaving]:
+        """Stream the schedule set, regenerated deterministically each time."""
+        if self._materialized is not None:
+            return iter(self._materialized)
+        if self.mode == "exhaustive":
+            return enumerate_interleavings(self.txns, self.step_counts)
+        return iter_sampled_interleavings(self.txns, self.step_counts,
+                                          self.selected, self.seed,
+                                          dedupe=self.dedupe)
+
+    def iter_chunks(self, chunk_size: int) -> Iterator[Tuple[int, Tuple[Interleaving, ...]]]:
+        """Stream ``(chunk_index, schedules)`` pairs of at most ``chunk_size``.
+
+        Chunks are produced lazily from the same deterministic stream, so a
+        consumer holding one chunk at a time uses O(chunk_size) memory
+        regardless of the space or sample size.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        index = 0
+        buffer: List[Interleaving] = []
+        for schedule in self:
+            buffer.append(schedule)
+            if len(buffer) == chunk_size:
+                yield index, tuple(buffer)
+                index += 1
+                buffer = []
+        if buffer:
+            yield index, tuple(buffer)
+
+    @property
+    def schedules(self) -> Tuple[Interleaving, ...]:
+        """The full schedule tuple, materialized on first access and cached.
+
+        Convenience for small spaces and tests; the explorer's streaming path
+        never touches it.
+        """
+        if self._materialized is None:
+            self._materialized = tuple(self)
+        return self._materialized
+
+    def _recipe(self) -> Tuple:
+        return (self.txns, self.step_counts, self.total, self.mode, self.seed,
+                self.selected, self.dedupe)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScheduleSpace):
+            return NotImplemented
+        return self._recipe() == other._recipe()
+
+    def __hash__(self) -> int:
+        return hash(self._recipe())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ScheduleSpace(mode={self.mode!r}, total={self.total}, "
+                f"selected={self.selected}, seed={self.seed}, dedupe={self.dedupe})")
 
 
 def schedule_space(programs: Sequence[TransactionProgram], mode: str = "auto",
                    max_schedules: int = 1000, seed: int = 0) -> ScheduleSpace:
-    """Resolve the schedule set for a program set.
+    """Resolve the schedule stream for a program set.
 
     ``mode`` is ``"exhaustive"`` (enumerate everything; fails if the space
     exceeds ``max_schedules``), ``"sample"`` (seeded uniform sample of
-    ``max_schedules``), or ``"auto"`` (exhaustive when the space fits within
-    ``max_schedules``, else sample).
+    ``max_schedules`` schedules, deduplicated when tracking is feasible), or
+    ``"auto"`` (exhaustive when the space fits within ``max_schedules``, else
+    sample).  No schedules are generated here — the returned space streams
+    them on demand.
     """
     if mode not in ("auto", "exhaustive", "sample"):
         raise ValueError(f"unknown schedule mode {mode!r}")
@@ -144,8 +284,9 @@ def schedule_space(programs: Sequence[TransactionProgram], mode: str = "auto",
                 f"interleaving space has {total} schedules, above the "
                 f"max_schedules={max_schedules} budget; use mode='sample'"
             )
-        schedules = tuple(enumerate_interleavings(txns, step_counts))
-    else:
-        schedules = tuple(sample_interleavings(txns, step_counts, max_schedules, seed))
+        return ScheduleSpace(txns=txns, step_counts=step_counts, total=total,
+                             mode=mode, seed=seed, selected=total)
+    dedupe = _should_dedupe(max_schedules, total)
+    selected = min(max_schedules, total) if dedupe else max_schedules
     return ScheduleSpace(txns=txns, step_counts=step_counts, total=total,
-                         mode=mode, seed=seed, schedules=schedules)
+                         mode=mode, seed=seed, selected=selected, dedupe=dedupe)

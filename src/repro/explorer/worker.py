@@ -16,17 +16,54 @@ count and chunk scheduling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.isolation import IsolationLevelName
 from ..engine.scheduler import ScheduleRunner
 from ..storage.database import Database
 from ..testbed import make_engine
 from ..workloads.program_sets import ProgramSet, ProgramSetSpec, resolve_program_set
-from .memo import BatchClassifier
+from .memo import BatchClassifier, HistoryClassification
 from .schedules import Interleaving
 
 __all__ = ["ChunkTask", "ScheduleRecord", "ChunkResult", "execute_chunk"]
+
+#: Per-process memo of shared-cache snapshots, keyed by the proxy's manager
+#: token: (entry count at snapshot time, the snapshot).  A chunk only re-pulls
+#: the dict when its size changed since this process last looked — one cheap
+#: ``len()`` round-trip per chunk in the converged steady state, instead of
+#: re-copying an ever-growing dict.
+_SNAPSHOT_MEMO: Dict[str, Tuple[int, Dict[str, HistoryClassification]]] = {}
+
+
+def _shared_snapshot(proxy: Any) -> Dict[str, HistoryClassification]:
+    """A (possibly memoized) snapshot of a shared classification cache."""
+    try:
+        key = str(proxy._token)
+    except AttributeError:  # pragma: no cover - non-manager mapping in tests
+        return dict(proxy.copy())
+    size = len(proxy)
+    memo = _SNAPSHOT_MEMO.get(key)
+    if memo is not None and memo[0] == size:
+        return memo[1]
+    snapshot = dict(proxy.copy())
+    _SNAPSHOT_MEMO[key] = (len(snapshot), snapshot)
+    return snapshot
+
+
+def _publish_shared(proxy: Any, fresh: Dict[str, HistoryClassification]) -> None:
+    """Push locally computed classifications and fold them into the memo."""
+    proxy.update(fresh)
+    try:
+        key = str(proxy._token)
+    except AttributeError:  # pragma: no cover - non-manager mapping in tests
+        return
+    memo = _SNAPSHOT_MEMO.get(key)
+    merged = dict(memo[1]) if memo is not None else {}
+    merged.update(fresh)
+    # Record the authoritative size so a concurrent worker's publishes still
+    # trigger a re-pull on the next chunk.
+    _SNAPSHOT_MEMO[key] = (len(proxy), merged)
 
 
 @dataclass(frozen=True)
@@ -38,6 +75,13 @@ class ChunkTask:
     the calling script keep working in workers even under the ``spawn`` start
     method, where a worker's re-imported registry holds only the built-ins.
     ``None`` falls back to a registry lookup in the worker.
+
+    ``shared_cache`` is an optional ``multiprocessing.Manager().dict()`` proxy
+    holding whole-history classifications keyed by shorthand.  A worker pulls
+    one snapshot of it before executing the chunk and publishes its fresh
+    classifications in one bulk update afterwards — two IPC round-trips per
+    chunk, so parallel runs amortize each other's cold caches instead of each
+    rebuilding the memo from scratch.
     """
 
     chunk_index: int
@@ -45,6 +89,7 @@ class ChunkTask:
     level: IsolationLevelName
     schedules: Tuple[Interleaving, ...]
     builder: Optional[Callable[..., ProgramSet]] = None
+    shared_cache: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -85,9 +130,11 @@ def execute_chunk(task: ChunkTask,
 
     ``classifier`` lets the serial path share one memoization context across
     chunks; worker processes leave it ``None`` and get a chunk-local one
-    (seeded with the workload's initial item set for MV version completion).
+    (seeded with the workload's initial item set for MV version completion,
+    and with a snapshot of ``task.shared_cache`` when one is attached).
     """
     builder = task.builder if task.builder is not None else resolve_program_set(task.spec)
+    chunk_local = classifier is None
     records: List[ScheduleRecord] = []
     runner: Optional[ScheduleRunner] = None
     for interleaving in task.schedules:
@@ -98,6 +145,8 @@ def execute_chunk(task: ChunkTask,
         database, programs = builder(**task.spec.kwargs())
         if classifier is None:
             classifier = BatchClassifier(initial_items=_initial_items(database))
+            if task.shared_cache is not None:
+                classifier.preload(_shared_snapshot(task.shared_cache))
         engine = make_engine(database, task.level)
         if runner is None:
             runner = ScheduleRunner(engine, programs, interleaving)
@@ -117,4 +166,9 @@ def execute_chunk(task: ChunkTask,
             stalled=outcome.stalled,
         ))
     stats = dict(classifier.stats) if classifier is not None else {}
+    if chunk_local and classifier is not None and task.shared_cache is not None:
+        fresh = classifier.exports()
+        stats["shared_published"] = len(fresh)
+        if fresh:
+            _publish_shared(task.shared_cache, fresh)
     return ChunkResult(task.chunk_index, tuple(records), stats)

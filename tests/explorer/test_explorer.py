@@ -88,6 +88,61 @@ class TestDeterminism:
             explore(spec, workers=0)
         with pytest.raises(ValueError):
             explore(spec, chunk_size=0)
+        with pytest.raises(ValueError):
+            explore(spec, workers="turbo")
+        with pytest.raises(ValueError):
+            explore(spec, reduction="everything")
+
+    def test_streaming_matches_the_materialized_path(self):
+        """Memory-bounded iteration realizes the same records as a materialized run."""
+        spec = ProgramSetSpec.make("contention", transactions=4)
+        result = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
+                         mode="sample", max_schedules=120, seed=9, chunk_size=16)
+        # The explorer streamed; nothing was materialized as a side effect.
+        assert result.space._materialized is None
+
+        # Execute the explicitly materialized schedule list in one chunk and
+        # compare: the streamed chunks must realize byte-identical records.
+        from repro.explorer.worker import ChunkTask, execute_chunk
+        schedules = result.space.schedules
+        assert len(schedules) == 120
+        assert tuple(result.space) == schedules
+        chunk = execute_chunk(ChunkTask(0, spec, IsolationLevelName.READ_COMMITTED,
+                                        schedules))
+        assert chunk.records == result.levels[IsolationLevelName.READ_COMMITTED].records
+
+    def test_shared_cache_does_not_change_results(self):
+        spec = ProgramSetSpec.make("contention", transactions=3,
+                                   operations_per_transaction=2)
+        cached = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
+                         mode="sample", max_schedules=60, seed=4, workers=2,
+                         chunk_size=8, shared_cache=True)
+        uncached = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
+                           mode="sample", max_schedules=60, seed=4, workers=2,
+                           chunk_size=8, shared_cache=False)
+        assert cached.fingerprint() == uncached.fingerprint()
+        stats = cached.levels[IsolationLevelName.READ_COMMITTED].cache_stats
+        assert "shared_hits" in stats and "shared_published" in stats
+
+
+class TestWorkerAutoResolution:
+    def test_workers_auto_uses_available_workers(self, monkeypatch):
+        import repro.explorer.explorer as explorer_module
+        monkeypatch.setattr(explorer_module, "available_workers", lambda: 2)
+        spec = ProgramSetSpec.make("write-skew")
+        result = explore(spec, levels=(IsolationLevelName.SERIALIZABLE,),
+                         mode="exhaustive", max_schedules=100, workers="auto")
+        assert result.workers == 2
+
+    def test_workers_auto_matches_serial_fingerprint(self, monkeypatch):
+        import repro.explorer.explorer as explorer_module
+        monkeypatch.setattr(explorer_module, "available_workers", lambda: 2)
+        spec = ProgramSetSpec.make("increments", transactions=2)
+        serial = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
+                         mode="exhaustive", max_schedules=50, workers=1)
+        auto = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
+                       mode="exhaustive", max_schedules=50, workers="auto")
+        assert auto.fingerprint() == serial.fingerprint()
 
 
 class TestCoverageReport:
@@ -145,13 +200,27 @@ class TestCoverageReport:
 class TestScale:
     def test_ten_thousand_sampled_schedules(self):
         """The acceptance-criteria scale: >= 10k interleavings of a contention set."""
-        spec = ProgramSetSpec.make("contention", transactions=3, items=3,
-                                   hot_items=1, operations_per_transaction=1)
+        spec = ProgramSetSpec.make("contention", transactions=4, items=4,
+                                   hot_items=2, operations_per_transaction=2)
         result = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
                          mode="sample", max_schedules=10_000, seed=42)
         assert result.total_schedules() == 10_000
+        # The stream was never materialized into a schedule list.
+        assert result.space._materialized is None
         report = build_coverage_report(result)
         coverage = report.levels[IsolationLevelName.READ_COMMITTED]
         assert coverage.schedules == 10_000
         # Contention must actually surface anomalies somewhere in the space.
         assert any(item.witnessed for item in coverage.phenomena.values())
+
+    def test_sample_of_a_small_space_caps_at_the_distinct_count(self):
+        """Oversampling a small space yields every distinct schedule exactly once."""
+        spec = ProgramSetSpec.make("contention", transactions=3, items=3,
+                                   hot_items=1, operations_per_transaction=1)
+        result = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
+                         mode="sample", max_schedules=10_000, seed=42)
+        assert result.space.total == 560
+        assert result.total_schedules() == 560
+        assert result.space.distinct == 560
+        records = result.levels[IsolationLevelName.READ_COMMITTED].records
+        assert len({record.interleaving for record in records}) == 560

@@ -8,8 +8,10 @@ from collections import Counter
 import pytest
 
 from repro.explorer.schedules import (
+    _should_dedupe,
     count_interleavings,
     enumerate_interleavings,
+    iter_sampled_interleavings,
     sample_interleavings,
     schedule_space,
 )
@@ -75,6 +77,34 @@ class TestSampling:
         for schedule in sample_interleavings([1, 2], [2, 3], 20, seed=5):
             assert Counter(schedule) == {1: 2, 2: 3}
 
+    def test_samples_are_deduplicated(self):
+        """A sample of a space barely larger than the budget has no duplicates."""
+        # multinomial(2, 2) = 6; sampling 5 i.i.d. would almost surely repeat.
+        sample = sample_interleavings([1, 2], [2, 2], 5, seed=7)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+
+    def test_oversampling_caps_at_the_space_size(self):
+        sample = sample_interleavings([1, 2], [2, 2], 50, seed=7)
+        assert sorted(sample) == sorted(enumerate_interleavings([1, 2], [2, 2]))
+
+    def test_dedupe_off_streams_iid_draws(self):
+        iid = list(iter_sampled_interleavings([1, 2], [2, 2], 50, seed=7,
+                                              dedupe=False))
+        assert len(iid) == 50
+        assert len(set(iid)) < 50  # duplicates are expected i.i.d.
+
+    def test_dedupe_policy(self):
+        assert _should_dedupe(100, 1000)          # tracking is cheap
+        assert _should_dedupe(500_000, 1_000_000)  # collisions plausible
+        assert not _should_dedupe(500_000, 10 ** 12)  # huge space, stream free
+
+    def test_sampling_streams_lazily(self):
+        stream = iter_sampled_interleavings([1, 2, 3], [3, 3, 3], 10 ** 9, seed=0,
+                                            dedupe=False)
+        first = next(stream)
+        assert Counter(first) == {1: 3, 2: 3, 3: 3}
+
 
 class TestScheduleSpace:
     def _programs(self, name="increments", **params):
@@ -102,3 +132,42 @@ class TestScheduleSpace:
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError):
             schedule_space(self._programs(transactions=2), mode="everything")
+
+    def test_space_streams_without_materializing(self):
+        space = schedule_space(self._programs(transactions=2), max_schedules=100)
+        streamed = list(space)
+        assert space._materialized is None  # iteration alone never materializes
+        assert len(streamed) == 20 == space.selected == len(space)
+        assert tuple(streamed) == space.schedules  # property materializes, same stream
+        assert space._materialized is not None
+
+    def test_chunked_iteration_reassembles_the_stream(self):
+        space = schedule_space(self._programs(transactions=3), max_schedules=2000)
+        chunks = list(space.iter_chunks(64))
+        assert [index for index, _ in chunks] == list(range(len(chunks)))
+        assert all(len(chunk) == 64 for _, chunk in chunks[:-1])
+        flattened = tuple(schedule for _, chunk in chunks for schedule in chunk)
+        assert flattened == tuple(space)
+        assert len(flattened) == 1680
+
+    def test_chunk_size_validation(self):
+        space = schedule_space(self._programs(transactions=2), max_schedules=100)
+        with pytest.raises(ValueError):
+            list(space.iter_chunks(0))
+
+    def test_sampled_space_records_the_distinct_count(self):
+        space = schedule_space(self._programs(transactions=2), mode="sample",
+                               max_schedules=12, seed=5)
+        assert space.mode == "sample"
+        assert space.selected == 12
+        assert space.distinct == 12
+        assert len(set(space.schedules)) == 12
+
+    def test_exhaustive_space_distinct_equals_total(self):
+        space = schedule_space(self._programs(transactions=2), max_schedules=100)
+        assert space.distinct == space.total == 20
+
+    def test_same_recipe_streams_identically_every_iteration(self):
+        space = schedule_space(self._programs(transactions=5), mode="sample",
+                               max_schedules=40, seed=9)
+        assert list(space) == list(space)
