@@ -32,8 +32,9 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.coverage import coverage_mismatches
-from repro.analysis.report import render_table
-from repro.core.isolation import IsolationLevelName
+from repro.analysis.matrix import EXPECTED_TABLE_4, compute_table4_explored
+from repro.analysis.report import matrix_matches, render_table
+from repro.core.isolation import IsolationLevelName, Possibility
 from repro.explorer import ProgramSetSpec, available_workers, explore, schedule_space
 from repro.workloads.program_sets import build_program_set
 
@@ -46,6 +47,10 @@ STREAM_SPEC = ProgramSetSpec.make("contention", transactions=6, items=8,
 LEVELS = (IsolationLevelName.READ_COMMITTED, IsolationLevelName.SNAPSHOT_ISOLATION)
 SCHEDULES = int(os.environ.get("BENCH_EXPLORER_SCHEDULES", "2000"))
 STREAM_SCHEDULES = int(os.environ.get("BENCH_EXPLORER_STREAM", "1000000"))
+#: Per-variant schedule budget for the explored-Table-4 smoke.  The default
+#: still covers every curated variant space exhaustively (the largest has
+#: 924 interleavings), so the matrix must match the paper cell for cell.
+TABLE4_BUDGET = int(os.environ.get("BENCH_TABLE4_BUDGET", "1024"))
 SEED = 42
 
 #: Anchored to the repo root regardless of pytest's invocation cwd, so the CI
@@ -182,6 +187,45 @@ def test_reduction_ratio_and_soundness(print_report):
     )
     best = max(entry["ratio"] for entry in section.values())
     assert best >= 2.0, f"expected >= 2x reduction somewhere, best was {best:.2f}x"
+
+
+def test_explored_table4_smoke(print_report):
+    """Explorer-driven Table 4: the measured matrix must equal the paper's.
+
+    Every scenario variant's interleaving space runs under every Table 4
+    level (sleep-set reduced, level-aware oracle); the aggregated cells must
+    match ``EXPECTED_TABLE_4`` cell for cell, with a witness interleaving
+    behind every witnessed cell and every stalled/deadlocked schedule
+    handled as a first-class non-manifesting result.  The summary lands in
+    ``BENCH_explorer.json`` so CI archives the measured frequencies.
+    """
+    started = time.perf_counter()
+    table = compute_table4_explored(max_schedules=TABLE4_BUDGET)
+    duration = time.perf_counter() - started
+    ok, mismatches = matrix_matches(EXPECTED_TABLE_4, table.possibilities())
+    witnessed = [
+        cell for row in table.cells.values() for cell in row.values()
+        if cell.possibility is not Possibility.NOT_POSSIBLE
+    ]
+    _BASELINE["table4_explored"] = {
+        "budget": TABLE4_BUDGET,
+        "reduction": "sleep-set",
+        "schedules": table.total_schedules(),
+        "stalled": table.total_stalled(),
+        "cells": sum(len(row) for row in table.cells.values()),
+        "witnessed_cells": len(witnessed),
+        "witnesses_recorded": sum(1 for cell in witnessed if cell.witness),
+        "mismatches": len(mismatches),
+        "wall_s": round(duration, 3),
+        "schedules_per_sec": round(table.total_schedules() / duration, 1),
+    }
+    print_report(
+        f"Explored Table 4 ({TABLE4_BUDGET} schedules/variant budget, "
+        f"{duration:.1f}s)",
+        table.render(),
+    )
+    assert ok, "\n".join(mismatches)
+    assert all(cell.witness is not None for cell in witnessed)
 
 
 def test_streaming_million_schedule_sampling(print_report):

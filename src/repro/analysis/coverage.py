@@ -24,6 +24,9 @@ __all__ = [
     "CoverageReport",
     "build_coverage_report",
     "coverage_mismatches",
+    "ExploredCell",
+    "ExploredTable4",
+    "build_explored_cell",
 ]
 
 
@@ -160,6 +163,115 @@ def coverage_mismatches(full, reduced,
                     f"{level.value}/{code}: witness interleaving "
                     f"{actual.witness_interleaving} != {expected.witness_interleaving}")
     return mismatches
+
+
+@dataclass(frozen=True)
+class ExploredCell:
+    """One measured Table 4 cell: a scenario's variant spaces under one level.
+
+    Built structurally from a
+    :class:`~repro.explorer.scenarios.ScenarioExploration` (anything with the
+    same attributes works — ``analysis`` stays import-cycle-free of
+    ``explorer``).  ``witness`` is ``(variant name, interleaving, history
+    shorthand)`` for the first manifesting schedule, or ``None`` when the
+    anomaly never manifested anywhere in the explored spaces.
+    """
+
+    code: str
+    possibility: Possibility
+    schedules: int
+    manifested: int
+    stalled: int
+    witness: Optional[Tuple[str, Tuple[int, ...], str]]
+    variant_frequencies: Tuple[Tuple[str, float], ...]
+
+    @property
+    def frequency(self) -> float:
+        """Fraction of all explored schedules (across variants) that manifested."""
+        return self.manifested / self.schedules if self.schedules else 0.0
+
+    def render_cell(self) -> str:
+        """Compact cell text: the verdict plus the measured frequency."""
+        marks = {
+            Possibility.POSSIBLE: "P",
+            Possibility.NOT_POSSIBLE: "N",
+            Possibility.SOMETIMES_POSSIBLE: "S",
+        }
+        mark = marks.get(self.possibility, str(self.possibility))
+        if self.manifested == 0:
+            return mark
+        return f"{mark} {self.frequency * 100:.1f}%"
+
+
+def build_explored_cell(exploration) -> ExploredCell:
+    """Aggregate one scenario exploration into its measured Table 4 cell."""
+    return ExploredCell(
+        code=exploration.scenario_code,
+        possibility=exploration.possibility,
+        schedules=exploration.schedules,
+        manifested=sum(variant.manifested for variant in exploration.variants),
+        stalled=exploration.stalled,
+        witness=exploration.witness,
+        variant_frequencies=tuple(
+            (variant.variant_name, variant.frequency)
+            for variant in exploration.variants
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ExploredTable4:
+    """The explorer-driven Table 4: every cell a measurement, not an anecdote."""
+
+    mode: str
+    max_schedules: int
+    seed: int
+    reduction: str
+    columns: Tuple[str, ...]
+    cells: Dict[IsolationLevelName, Dict[str, ExploredCell]]
+
+    def possibilities(self) -> Dict[IsolationLevelName, Dict[str, Possibility]]:
+        """The plain verdict matrix, comparable against ``EXPECTED_TABLE_4``."""
+        return {
+            level: {code: cell.possibility for code, cell in row.items()}
+            for level, row in self.cells.items()
+        }
+
+    def cell(self, level: IsolationLevelName, code: str) -> ExploredCell:
+        """One measured cell."""
+        return self.cells[level][code]
+
+    def witness(self, level: IsolationLevelName,
+                code: str) -> Optional[Tuple[str, Tuple[int, ...], str]]:
+        """The recorded witness for a cell, if its anomaly ever manifested."""
+        return self.cells[level][code].witness
+
+    def total_schedules(self) -> int:
+        """Schedules covered across every cell."""
+        return sum(cell.schedules for row in self.cells.values()
+                   for cell in row.values())
+
+    def total_stalled(self) -> int:
+        """Stalled schedules across every cell (all first-class, none fatal)."""
+        return sum(cell.stalled for row in self.cells.values()
+                   for cell in row.values())
+
+    def render(self, title: Optional[str] = None) -> str:
+        """ASCII matrix: verdict + manifestation frequency per cell."""
+        headers = ["Isolation level"] + list(self.columns)
+        rows: List[List[str]] = []
+        for level, row in self.cells.items():
+            cells = [level.value]
+            for code in self.columns:
+                cell = row.get(code)
+                cells.append(cell.render_cell() if cell is not None else "?")
+            rows.append(cells)
+        header = title or (
+            f"Explored Table 4 [{self.mode}, reduction={self.reduction}]: "
+            f"{self.total_schedules()} schedules, "
+            f"{self.total_stalled()} stalled (P/N/S + % of schedules manifesting)"
+        )
+        return render_table(headers, rows, title=header)
 
 
 def build_coverage_report(result, codes: Optional[Sequence[str]] = None) -> CoverageReport:

@@ -8,10 +8,12 @@ Two different kinds of matrix appear in the paper:
   plus randomly generated ones) for a history that the level admits and in
   which the phenomenon occurs.
 * Table 4 is *behavioural*: a cell says whether an anomaly can actually be
-  produced by an engine implementing the level.  We recompute it by executing
-  every anomaly scenario of :mod:`repro.workloads.scenarios` against every
-  engine and aggregating the per-variant outcomes into Possible / Not
-  Possible / Sometimes Possible.
+  produced by an engine implementing the level.  We recompute it two ways:
+  :func:`compute_table4` replays the paper's hand-picked adversarial
+  interleavings; :func:`compute_table4_explored` exhausts each scenario
+  variant's *entire* interleaving space through the schedule explorer, so
+  every cell becomes a measured manifestation frequency with a replayable
+  witness interleaving instead of a single curated anecdote.
 
 The declared ``EXPECTED_TABLE_4`` constant is the paper's Table 4, used by the
 benchmark and the integration tests as the ground truth to compare against.
@@ -25,6 +27,7 @@ from ..core.catalog import CATALOG
 from ..core.history import History
 from ..core.isolation import IsolationLevelName, PhenomenonBasedLevel, Possibility
 from ..core.phenomena import by_code
+from ..explorer.scenarios import DEFAULT_MAX_SCHEDULES, explore_scenario
 from ..testbed import engine_factory
 from ..workloads.generators import history_corpus
 from ..workloads.scenarios import (
@@ -34,6 +37,7 @@ from ..workloads.scenarios import (
     evaluate_scenario,
     run_variant,
 )
+from .coverage import ExploredTable4, build_explored_cell
 
 __all__ = [
     "TABLE_4_LEVELS",
@@ -42,6 +46,7 @@ __all__ = [
     "EXTENSION_EXPECTATIONS",
     "compute_table4_row",
     "compute_table4",
+    "compute_table4_explored",
     "variant_manifestation_profile",
     "phenomenon_level_profile",
     "compute_phenomenon_table",
@@ -119,6 +124,45 @@ def compute_table4(levels: Sequence[IsolationLevelName] = TABLE_4_LEVELS,
         level: compute_table4_row(engine_factory(level), scenarios)
         for level in levels
     }
+
+
+def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVELS,
+                            scenarios: Sequence[AnomalyScenario] = ALL_SCENARIOS,
+                            mode: str = "auto",
+                            max_schedules: int = DEFAULT_MAX_SCHEDULES,
+                            seed: int = 0,
+                            reduction: str = "sleep-set") -> ExploredTable4:
+    """The explorer-driven behavioural anomaly matrix.
+
+    Each cell exhausts (or, above ``max_schedules``, samples) the full
+    interleaving space of every scenario variant under the level's engine and
+    aggregates the manifestation sets: the cell verdict is the same
+    all/none/some rule as :func:`compute_table4`, but backed by the whole
+    space — with the measured manifestation frequency and the first witness
+    interleaving recorded alongside.  Stalled and deadlocked schedules are
+    counted, not fatal.  The default budget covers every curated variant
+    space exhaustively, so ``compute_table4_explored()`` is a strict
+    strengthening of the curated table.
+    """
+    cells = {
+        level: {
+            scenario.code: build_explored_cell(
+                explore_scenario(scenario, level, mode=mode,
+                                 max_schedules=max_schedules, seed=seed,
+                                 reduction=reduction)
+            )
+            for scenario in scenarios
+        }
+        for level in levels
+    }
+    return ExploredTable4(
+        mode=mode,
+        max_schedules=max_schedules,
+        seed=seed,
+        reduction=reduction,
+        columns=tuple(scenario.code for scenario in scenarios),
+        cells=cells,
+    )
 
 
 def variant_manifestation_profile(level: IsolationLevelName,

@@ -21,6 +21,10 @@ The public surface:
   counting, exhaustive enumeration, seeded deduplicated sampling), streamed.
 * :mod:`~repro.explorer.reduction` — sleep-set/DPOR-style partial-order
   reduction: execute one representative per commutation-equivalence class.
+* :mod:`~repro.explorer.scenarios` — the Table 4 bridge: exhaust a scenario
+  variant's interleaving space and measure how often its anomaly manifests,
+  with replayable witness interleavings (``explore_variant`` /
+  ``explore_scenario``).
 * :mod:`~repro.explorer.worker` — the picklable process-pool work units.
 * :mod:`~repro.explorer.memo` — memoized batched classification with
   prefix-shared dependency-graph construction and cross-process cache
@@ -36,6 +40,12 @@ from .explorer import (
 )
 from .memo import BatchClassifier, HistoryClassification, PrefixGraphBuilder
 from .reduction import CommutationOracle, ExecutionPlan, build_execution_plan
+from .scenarios import (
+    ScenarioExploration,
+    VariantExploration,
+    explore_scenario,
+    explore_variant,
+)
 from .schedules import (
     ScheduleSpace,
     count_interleavings,
@@ -66,6 +76,10 @@ __all__ = [
     "CommutationOracle",
     "ExecutionPlan",
     "build_execution_plan",
+    "ScenarioExploration",
+    "VariantExploration",
+    "explore_scenario",
+    "explore_variant",
     "ScheduleSpace",
     "count_interleavings",
     "enumerate_interleavings",

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.isolation import IsolationLevelName
+from ..testbed import is_single_version
 from ..workloads.program_sets import ProgramSetSpec, resolve_program_set
 from .memo import BatchClassifier
 from .reduction import ExecutionPlan, build_execution_plan
@@ -58,8 +59,19 @@ __all__ = [
     "LevelExploration",
     "ExplorationResult",
     "available_workers",
+    "terminal_scope_for",
     "explore",
 ]
+
+
+def terminal_scope_for(level: IsolationLevelName) -> str:
+    """The commutation oracle's terminal scope for one isolation level.
+
+    Single-version locking engines take the relaxed ``"footprint"`` rule;
+    multiversion engines need the component-wide ``"component"`` rule because
+    their commits are snapshot boundaries (see :mod:`repro.explorer.reduction`).
+    """
+    return "footprint" if is_single_version(level) else "component"
 
 #: The Table 4 rows the coverage report mirrors by default.
 DEFAULT_LEVELS: Tuple[IsolationLevelName, ...] = (
@@ -283,7 +295,11 @@ def explore(spec: ProgramSetSpec,
         ``"none"`` executes every schedule; ``"sleep-set"`` executes one
         representative per commutation-equivalence class and reuses its
         classification for the rest (see :mod:`repro.explorer.reduction`).
-        Coverage reports are unchanged; only executed-schedule counts drop.
+        The commutation oracle is level-aware: single-version locking levels
+        drop the component-wide snapshot-boundary terminal rule multiversion
+        engines need, so their equivalence classes are coarser and their
+        executed counts lower.  Coverage reports are unchanged either way;
+        only executed-schedule counts drop.
         Note the record semantics: a reduced schedule's record keeps its own
         interleaving but carries its *representative's* realized history
         (equivalent up to the order of commuting adjacent steps), so a
@@ -306,23 +322,33 @@ def explore(spec: ProgramSetSpec,
     initial_items = _initial_items(database)
     space = schedule_space(programs, mode=mode, max_schedules=max_schedules, seed=seed)
 
-    # The reduction plan is level-independent (commutation is judged on static
-    # footprints that hold under every engine), so it is built once and reused
-    # for every level.  Canonicalization walks the whole stream anyway, so the
-    # stream is materialized alongside the O(selected) assignment rather than
-    # regenerated for every level's reassembly.
-    plan: Optional[ExecutionPlan] = None
+    # The reduction plan depends on the level only through the terminal rule:
+    # single-version locking engines use the relaxed "footprint" scope, while
+    # multiversion engines need the component-wide "component" scope (commits
+    # are snapshot boundaries).  At most two plans are built and shared across
+    # the levels of each kind; commutation is otherwise judged on static
+    # footprints that hold under every engine.  Canonicalization walks the
+    # whole stream anyway, so the stream is materialized once alongside the
+    # O(selected) assignments rather than regenerated per level.
+    plans: Dict[str, ExecutionPlan] = {}
     plan_schedules: Optional[Tuple[Interleaving, ...]] = None
     if reduction == "sleep-set":
         plan_schedules = tuple(space)
-        plan = build_execution_plan(plan_schedules, programs)
+        for scope in {terminal_scope_for(level) for level in levels}:
+            plans[scope] = build_execution_plan(plan_schedules, programs,
+                                                terminal_scope=scope)
+
+    def _plan_for(level: IsolationLevelName) -> Optional[ExecutionPlan]:
+        if not plans:
+            return None
+        return plans[terminal_scope_for(level)]
 
     explorations: Dict[IsolationLevelName, LevelExploration] = {}
     if workers == 1:
         for level in levels:
             explorations[level] = _explore_level_serial(
-                spec, level, space, plan, plan_schedules, chunk_size, builder,
-                initial_items
+                spec, level, space, _plan_for(level), plan_schedules,
+                chunk_size, builder, initial_items
             )
     else:
         manager = multiprocessing.Manager() if shared_cache else None
@@ -334,8 +360,8 @@ def explore(spec: ProgramSetSpec,
             with multiprocessing.Pool(processes=workers) as pool:
                 for level in levels:
                     explorations[level] = _explore_level_parallel(
-                        spec, level, space, plan, plan_schedules, chunk_size,
-                        pool, builder, shared
+                        spec, level, space, _plan_for(level), plan_schedules,
+                        chunk_size, pool, builder, shared
                     )
         finally:
             if manager is not None:

@@ -41,6 +41,20 @@ event that may realize a terminal is ordered against every other event.
 Transactions in different components share no items, locks, versions,
 waits-for edges, or detector patterns, so their events commute freely, which
 is where partial-order reduction wins by orders of magnitude.
+
+The component-wide terminal rule is only *needed* for multiversion engines,
+where a commit is a snapshot boundary: swapping T1's commit past an
+unrelated-footprint event of T2 can still move the commit across T2's
+snapshot point and change which versions T2's *later* reads observe.
+Single-version locking engines have no snapshot points — a terminal's entire
+effect (publishing writes, releasing locks, rolling values back, closing
+detector windows) is confined to the items its transaction touched after its
+first interacting step, which the occurrence-level *effective footprint*
+already accumulates.  ``terminal_scope="footprint"`` therefore drops the
+component-wide rule and lets terminals commute with footprint-disjoint
+events, which is sound for locking levels and reduces transitively-connected
+components much further; the default ``"component"`` scope stays safe for
+every engine.
 """
 
 from __future__ import annotations
@@ -52,7 +66,19 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..engine.programs import Abort, Commit, StepFootprint, TransactionProgram
 from .schedules import Interleaving
 
-__all__ = ["CommutationOracle", "ExecutionPlan", "build_execution_plan"]
+__all__ = [
+    "TERMINAL_SCOPES",
+    "CommutationOracle",
+    "ExecutionPlan",
+    "build_execution_plan",
+]
+
+#: Accepted terminal-ordering scopes: ``"component"`` orders a possible
+#: terminal against every event of its conflict component (required for
+#: multiversion engines, whose commits are snapshot boundaries);
+#: ``"footprint"`` orders it only against footprint-conflicting events
+#: (sound for single-version locking engines).
+TERMINAL_SCOPES = ("component", "footprint")
 
 #: Marker footprint for "could touch anything".
 _OPAQUE = StepFootprint(opaque=True)
@@ -73,9 +99,18 @@ class CommutationOracle:
     Built once per program set; all queries are memoized.  ``canonical_key``
     maps an interleaving to the unique canonical member of its equivalence
     class, so two interleavings are equivalent iff their keys are equal.
+
+    ``terminal_scope`` selects the terminal-ordering rule (see
+    :data:`TERMINAL_SCOPES`): keep the default ``"component"`` unless every
+    engine the plan will serve is a single-version locking engine.
     """
 
-    def __init__(self, programs: Sequence[TransactionProgram]):
+    def __init__(self, programs: Sequence[TransactionProgram],
+                 terminal_scope: str = "component"):
+        if terminal_scope not in TERMINAL_SCOPES:
+            raise ValueError(f"unknown terminal scope {terminal_scope!r}; "
+                             f"choose from {TERMINAL_SCOPES}")
+        self.terminal_scope = terminal_scope
         self._footprints: Dict[int, Tuple[StepFootprint, ...]] = {
             program.txn: program.footprints() for program in programs
         }
@@ -169,15 +204,18 @@ class CommutationOracle:
         key = (txn_a, occ_a, txn_b, occ_b)
         cached = self._commute_cache.get(key)
         if cached is None:
-            if self._component[txn_a] == self._component[txn_b] and (
-                occ_a >= self._terminal_floor[txn_a]
-                or occ_b >= self._terminal_floor[txn_b]
-            ):
+            if (self.terminal_scope == "component"
+                    and self._component[txn_a] == self._component[txn_b]
+                    and (occ_a >= self._terminal_floor[txn_a]
+                         or occ_b >= self._terminal_floor[txn_b])):
                 # A possible terminal is a visibility boundary for every
                 # transaction it conflicts with, directly or transitively:
                 # commits publish writes, close detector windows, and settle
                 # which snapshots are stale — never swap one inside its
-                # conflict component.
+                # conflict component.  Under "footprint" scope (locking
+                # engines only) a terminal occurrence's effective footprint
+                # already carries every item whose publication, lock release,
+                # or rollback it can realize, so the base check suffices.
                 cached = False
             else:
                 cached = not self.effective_footprint(txn_a, occ_a).conflicts_with(
@@ -241,6 +279,7 @@ class ExecutionPlan:
 
     executed: Tuple[Interleaving, ...]
     assignment: Tuple[int, ...]
+    terminal_scope: str = "component"
 
     @property
     def selected(self) -> int:
@@ -254,9 +293,10 @@ class ExecutionPlan:
 
 
 def build_execution_plan(schedules: Iterable[Interleaving],
-                         programs: Sequence[TransactionProgram]) -> ExecutionPlan:
+                         programs: Sequence[TransactionProgram],
+                         terminal_scope: str = "component") -> ExecutionPlan:
     """Partition a schedule stream into representatives and reuse assignments."""
-    oracle = CommutationOracle(programs)
+    oracle = CommutationOracle(programs, terminal_scope=terminal_scope)
     representative_of: Dict[Interleaving, int] = {}
     executed: List[Interleaving] = []
     assignment: List[int] = []
@@ -268,4 +308,5 @@ def build_execution_plan(schedules: Iterable[Interleaving],
             representative_of[key] = slot
             executed.append(interleaving)
         assignment.append(slot)
-    return ExecutionPlan(executed=tuple(executed), assignment=tuple(assignment))
+    return ExecutionPlan(executed=tuple(executed), assignment=tuple(assignment),
+                         terminal_scope=terminal_scope)

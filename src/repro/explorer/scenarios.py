@@ -1,0 +1,261 @@
+"""The scenarios → explorer bridge: exhaust an anomaly variant's schedule space.
+
+The paper establishes each Table 4 cell by exhibiting *one* adversarial
+interleaving; :mod:`repro.workloads.scenarios` replays exactly those.  This
+module upgrades the claim from an anecdote to a measurement: for one scenario
+variant under one isolation level, enumerate (or sample) the variant's entire
+interleaving space with :func:`~repro.explorer.schedules.schedule_space`,
+execute every schedule against a fresh engine, and evaluate the variant's
+``manifests`` predicate on every realized outcome.  The result per variant is
+a manifestation *set* — how many schedules produced the anomaly's wrong
+result, with the first manifesting interleaving recorded as a replayable
+witness — and per scenario a measured Table 4 cell:
+
+* every variant manifests somewhere in its space → ``POSSIBLE``
+* no variant manifests anywhere                  → ``NOT_POSSIBLE``
+* some spaces contain a witness, some do not     → ``SOMETIMES_POSSIBLE``
+
+Stalled and engine-aborted schedules are the *common case* out here (locking
+engines block and deadlock freely once interleavings stop being hand-picked);
+both are first-class non-manifesting results, never errors.
+
+``reduction="sleep-set"`` executes one representative per commutation
+equivalence class (level-aware: locking levels use the relaxed ``"footprint"``
+terminal scope, multiversion levels the snapshot-safe ``"component"`` scope —
+see :mod:`repro.explorer.reduction`) and reuses its verdict for the class;
+equivalence guarantees every member realizes the same observed values, final
+state, and commit statuses, so ``manifests`` cannot tell members apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.isolation import IsolationLevelName, Possibility
+from ..engine.programs import TransactionProgram
+from ..engine.scheduler import ScheduleRunner
+from ..testbed import make_engine
+from ..workloads.scenarios import AnomalyScenario, ScenarioVariant
+from .explorer import REDUCTIONS, terminal_scope_for
+from .reduction import ExecutionPlan, build_execution_plan
+from .schedules import Interleaving, ScheduleSpace, schedule_space
+
+__all__ = [
+    "VariantExploration",
+    "ScenarioExploration",
+    "explore_variant",
+    "explore_scenario",
+]
+
+#: Default schedule budget per variant: every curated scenario variant's space
+#: is far smaller (the largest, A5B through cursors, has 924 interleavings),
+#: so the default explores exhaustively.
+DEFAULT_MAX_SCHEDULES = 2000
+
+#: Reduction plans memoized across levels: a plan is a pure function of the
+#: schedule stream (the space's recipe), the programs' static footprints, and
+#: the terminal scope — so a full Table 4 sweep builds two plans per variant
+#: (one per scope) instead of one per level.  Bounded: scenario sweeps touch
+#: a few dozen (variant, scope) pairs.
+_PLAN_CACHE: dict = {}
+_PLAN_CACHE_MAX = 128
+
+
+def _cached_plan(space: ScheduleSpace, programs: Sequence[TransactionProgram],
+                 scope: str) -> ExecutionPlan:
+    key = (
+        (space.txns, space.step_counts, space.mode, space.seed,
+         space.selected, space.dedupe),
+        tuple((program.txn, program.footprints()) for program in programs),
+        scope,
+    )
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.clear()
+        plan = build_execution_plan(space.schedules, programs,
+                                    terminal_scope=scope)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+@dataclass(frozen=True)
+class _Verdict:
+    """What one executed representative contributes to its equivalence class."""
+
+    manifested: bool
+    stalled: bool
+    deadlocked: bool
+    engine_aborted: bool
+    history: str
+
+
+@dataclass(frozen=True)
+class VariantExploration:
+    """The manifestation measurement of one variant's space under one level."""
+
+    scenario_code: str
+    variant_name: str
+    level: IsolationLevelName
+    mode: str
+    space_size: int
+    schedules: int
+    executed: int
+    manifested: int
+    stalled: int
+    deadlocked: int
+    engine_aborted: int
+    witness: Optional[Interleaving]
+    witness_history: Optional[str]
+
+    @property
+    def manifests(self) -> bool:
+        """Whether any schedule in the explored space produced the anomaly."""
+        return self.manifested > 0
+
+    @property
+    def frequency(self) -> float:
+        """Fraction of explored schedules whose outcome manifested."""
+        return self.manifested / self.schedules if self.schedules else 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioExploration:
+    """One measured Table 4 cell: every variant space of a scenario, explored."""
+
+    scenario_code: str
+    level: IsolationLevelName
+    variants: Tuple[VariantExploration, ...]
+
+    @property
+    def possibility(self) -> Possibility:
+        """The cell verdict, aggregated exactly like :func:`evaluate_scenario`."""
+        flags = [variant.manifests for variant in self.variants]
+        if all(flags):
+            return Possibility.POSSIBLE
+        if not any(flags):
+            return Possibility.NOT_POSSIBLE
+        return Possibility.SOMETIMES_POSSIBLE
+
+    @property
+    def witness(self) -> Optional[Tuple[str, Interleaving, str]]:
+        """``(variant name, interleaving, history shorthand)`` of the first witness."""
+        for variant in self.variants:
+            if variant.witness is not None:
+                return (variant.variant_name, variant.witness,
+                        variant.witness_history or "")
+        return None
+
+    @property
+    def schedules(self) -> int:
+        """Schedules covered across every variant space."""
+        return sum(variant.schedules for variant in self.variants)
+
+    @property
+    def stalled(self) -> int:
+        """Stalled schedules across every variant space."""
+        return sum(variant.stalled for variant in self.variants)
+
+
+def explore_variant(variant: ScenarioVariant, level: IsolationLevelName,
+                    scenario_code: str = "", mode: str = "auto",
+                    max_schedules: int = DEFAULT_MAX_SCHEDULES, seed: int = 0,
+                    reduction: str = "sleep-set") -> VariantExploration:
+    """Evaluate ``variant.manifests`` over its whole interleaving space.
+
+    Every schedule runs against a fresh database and a fresh engine for
+    ``level``; stalled outcomes are non-manifesting by definition (their
+    ``manifests`` predicate is never consulted), engine-aborted outcomes flow
+    through the predicate exactly like the curated path does.  The witness is
+    the first manifesting schedule in the space's deterministic stream order;
+    under reduction its recorded history is its class representative's
+    (identical up to the order of commuting adjacent steps).
+    """
+    if reduction not in REDUCTIONS:
+        raise ValueError(f"unknown reduction {reduction!r}; choose from {REDUCTIONS}")
+    programs = variant.build_programs()
+    space = schedule_space(programs, mode=mode, max_schedules=max_schedules,
+                           seed=seed)
+    schedules = space.schedules
+    plan = None
+    to_execute: Sequence[Interleaving] = schedules
+    if reduction == "sleep-set":
+        plan = _cached_plan(space, programs, terminal_scope_for(level))
+        to_execute = plan.executed
+
+    runner: Optional[ScheduleRunner] = None
+    verdicts: List[_Verdict] = []
+    for schedule in to_execute:
+        database = variant.build_database()
+        engine = make_engine(database, level)
+        if runner is None:
+            runner = ScheduleRunner(engine, programs, schedule)
+            outcome = runner.run()
+        else:
+            outcome = runner.replay(engine, schedule)
+        verdicts.append(_Verdict(
+            manifested=False if outcome.stalled else variant.manifests(outcome),
+            stalled=outcome.stalled,
+            deadlocked=bool(outcome.deadlocks),
+            engine_aborted=any(
+                reason != "program abort"
+                for reason in outcome.abort_reasons.values()
+            ),
+            history=outcome.history.to_shorthand(),
+        ))
+
+    manifested = stalled = deadlocked = engine_aborted = 0
+    witness: Optional[Interleaving] = None
+    witness_history: Optional[str] = None
+    for position, schedule in enumerate(schedules):
+        verdict = verdicts[plan.assignment[position] if plan else position]
+        if verdict.manifested:
+            manifested += 1
+            if witness is None:
+                witness = schedule
+                witness_history = verdict.history
+        if verdict.stalled:
+            stalled += 1
+        if verdict.deadlocked:
+            deadlocked += 1
+        if verdict.engine_aborted:
+            engine_aborted += 1
+
+    return VariantExploration(
+        scenario_code=scenario_code,
+        variant_name=variant.name,
+        level=level,
+        mode=space.mode,
+        space_size=space.total,
+        schedules=len(schedules),
+        executed=len(to_execute),
+        manifested=manifested,
+        stalled=stalled,
+        deadlocked=deadlocked,
+        engine_aborted=engine_aborted,
+        witness=witness,
+        witness_history=witness_history,
+    )
+
+
+def explore_scenario(scenario: AnomalyScenario, level: IsolationLevelName,
+                     mode: str = "auto",
+                     max_schedules: int = DEFAULT_MAX_SCHEDULES, seed: int = 0,
+                     reduction: str = "sleep-set") -> ScenarioExploration:
+    """Explore every variant space of a scenario under one isolation level."""
+    if not scenario.variants:
+        raise ValueError(
+            f"scenario {scenario.code} has no variants; refusing to call an "
+            f"empty scenario POSSIBLE (all([]) is True)"
+        )
+    return ScenarioExploration(
+        scenario_code=scenario.code,
+        level=level,
+        variants=tuple(
+            explore_variant(variant, level, scenario_code=scenario.code,
+                            mode=mode, max_schedules=max_schedules, seed=seed,
+                            reduction=reduction)
+            for variant in scenario.variants
+        ),
+    )

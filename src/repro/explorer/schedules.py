@@ -14,8 +14,9 @@ recipe (step counts, mode, seed, budget), and both :meth:`ScheduleSpace.__iter__
 and :meth:`ScheduleSpace.iter_chunks` regenerate the identical schedule stream
 on demand, so sampling 10M+ schedules of a huge space never builds a 10M-tuple
 list — iteration is O(chunk) memory in the i.i.d. regime.  Deduplicated
-samples (small or near-full spaces, where duplicates are statistically
-plausible) additionally track a seen-set of O(sample size).
+samples additionally track a seen-set whose size is hard-bounded by
+``_DEDUPE_TRACK_MAX`` (whole-space "samples" stream the exhaustive
+enumeration instead and need no seen-set; see :func:`_should_dedupe`).
 ``ScheduleSpace.schedules`` still materializes the full tuple for callers
 that want it (tests, small spaces); the explorer's hot path does not.
 """
@@ -42,9 +43,11 @@ __all__ = [
 #: One interleaving: transaction ids, one per step slot.
 Interleaving = Tuple[int, ...]
 
-#: Sample sizes up to this bound always track a seen-set and yield distinct
-#: schedules; above it, duplicates are only removed when the space is small
-#: enough (relative to the sample) for them to be statistically plausible.
+#: Hard bound on rejection-sampling seen-set memory: deduplicated sampling
+#: never tracks more than this many schedules.  Samples up to the bound
+#: dedupe with a seen-set; a sample covering its whole space (``count >=
+#: total``) dedupes for free by streaming the exhaustive enumeration; every
+#: other configuration streams i.i.d. draws with no tracking at all.
 _DEDUPE_TRACK_MAX = 200_000
 
 
@@ -94,12 +97,23 @@ def enumerate_interleavings(txns: Sequence[int],
 def _should_dedupe(count: int, total: int) -> bool:
     """Whether a sample of ``count`` from a space of ``total`` is deduplicated.
 
-    Always for tracking-friendly sample sizes; beyond that only when the space
-    is small enough (within 4x of the sample) that i.i.d. duplicates are
-    plausible rather than astronomically rare — huge-space samples then stream
-    without a seen-set and stay O(chunk) in memory.
+    Two regimes dedupe, and both respect the :data:`_DEDUPE_TRACK_MAX` memory
+    bound:
+
+    * ``count <= _DEDUPE_TRACK_MAX`` — rejection-sample with a seen-set of at
+      most ``count`` entries.
+    * ``count >= total`` — the "sample" covers the whole space, which streams
+      through the exhaustive enumerator with **no** seen-set at all.
+
+    Everything else streams i.i.d. draws without tracking.  In particular, a
+    ``> _DEDUPE_TRACK_MAX`` sample of a space less than 4x its size — which a
+    previous policy deduplicated because duplicates are statistically
+    plausible there — now stays i.i.d.: plausible duplicates are not worth an
+    unbounded (up to ``min(count, total)``-entry) seen-set.  The seen-set
+    therefore never exceeds ``_DEDUPE_TRACK_MAX`` entries for any
+    ``(count, total)``.
     """
-    return count <= _DEDUPE_TRACK_MAX or total <= 4 * count
+    return count <= _DEDUPE_TRACK_MAX or count >= total
 
 
 def iter_sampled_interleavings(txns: Sequence[int], step_counts: Sequence[int],
@@ -155,9 +169,11 @@ def sample_interleavings(txns: Sequence[int], step_counts: Sequence[int],
                          dedupe: Optional[bool] = None) -> List[Interleaving]:
     """A seeded uniform sample of the space, as a list.
 
-    Deduplicated by default policy (see :func:`iter_sampled_interleavings`),
-    so a sample of a space barely larger than ``count`` no longer silently
-    repeats schedules; the draw depends only on the seed.
+    Deduplicated by default policy (see :func:`_should_dedupe`): samples up
+    to ``_DEDUPE_TRACK_MAX`` and whole-space samples are distinct; larger
+    sub-space samples stream i.i.d. and may repeat schedules — the seen-set
+    memory bound wins over distinctness there.  The draw depends only on the
+    seed.
     """
     return list(iter_sampled_interleavings(txns, step_counts, count, seed,
                                            dedupe=dedupe))

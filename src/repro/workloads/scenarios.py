@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.isolation import Possibility
-from ..core.phenomena import P4C_CURSOR_LOST_UPDATE
+from ..core.phenomena import P1_DIRTY_READ, P4C_CURSOR_LOST_UPDATE
 from ..engine.interface import Engine
 from ..engine.outcomes import ExecutionOutcome
 from ..engine.programs import (
@@ -99,38 +99,58 @@ class AnomalyScenario:
 
 @dataclass(frozen=True)
 class VariantResult:
-    """The outcome of running one variant against one engine."""
+    """The outcome of running one variant against one engine.
+
+    A *stalled* run (the schedule runner gave up: no progress, no deadlock to
+    break) is a first-class non-manifesting result, not an error: under
+    locking engines, arbitrary interleavings routinely block, and a workload
+    that wedges an engine has certainly not produced the anomaly's wrong
+    result.  ``manifests`` is never consulted on a stalled outcome — the
+    half-run database state it would inspect is meaningless.
+    """
 
     scenario_code: str
     variant_name: str
     engine_name: str
     manifested: bool
     outcome: ExecutionOutcome
+    stalled: bool = False
 
 
 def run_variant(variant: ScenarioVariant, engine_factory: EngineFactory,
-                scenario_code: str = "") -> VariantResult:
-    """Execute one variant under the engine built by ``engine_factory``."""
+                scenario_code: str = "",
+                interleaving: Optional[Sequence[int]] = None) -> VariantResult:
+    """Execute one variant under the engine built by ``engine_factory``.
+
+    ``interleaving`` overrides the variant's curated interleaving — this is
+    how the schedule-space explorer replays arbitrary schedules (and how a
+    coverage witness can be re-verified).  Stalled and engine-aborted runs
+    return normally: stalls are recorded on the result and count as
+    non-manifesting, engine aborts flow through ``manifests`` exactly as
+    before (every predicate guards on the commit states it needs).
+    """
     database = variant.build_database()
     engine = engine_factory(database)
-    outcome = ScheduleRunner(engine, variant.build_programs(), variant.interleaving).run()
-    if outcome.stalled:
-        raise RuntimeError(
-            f"scenario variant {variant.name!r} stalled under {engine.name}: "
-            f"{outcome.summary()}"
-        )
+    schedule = variant.interleaving if interleaving is None else interleaving
+    outcome = ScheduleRunner(engine, variant.build_programs(), schedule).run()
     return VariantResult(
         scenario_code=scenario_code,
         variant_name=variant.name,
         engine_name=engine.name,
-        manifested=variant.manifests(outcome),
+        manifested=False if outcome.stalled else variant.manifests(outcome),
         outcome=outcome,
+        stalled=outcome.stalled,
     )
 
 
 def evaluate_scenario(scenario: AnomalyScenario,
                       engine_factory: EngineFactory) -> Possibility:
     """Aggregate a scenario's variants into a Table 4 cell value."""
+    if not scenario.variants:
+        raise ValueError(
+            f"scenario {scenario.code} has no variants; refusing to call an "
+            f"empty scenario POSSIBLE (all([]) is True)"
+        )
     results = [
         run_variant(variant, engine_factory, scenario.code)
         for variant in scenario.variants
@@ -284,11 +304,23 @@ def _p1_transfer_programs() -> List[TransactionProgram]:
 
 
 def _p1_transfer_manifests(outcome: ExecutionOutcome) -> bool:
+    # The audit total is wrong *because of a dirty read*.  A wrong total alone
+    # is not enough: interleavings where the audit straddles the committed
+    # transfer (read x before, y after) also break the total, but that is read
+    # skew (A5A) — possible at READ COMMITTED, where P1 must not be — so the
+    # realized history must actually contain the P1 pattern.
     if not outcome.committed(2):
         return False
     seen_x = outcome.observed(2, "seen_x")
     seen_y = outcome.observed(2, "seen_y")
-    return seen_x is not None and seen_y is not None and seen_x + seen_y != 100
+    if seen_x is None or seen_y is None or seen_x + seen_y == 100:
+        return False
+    if outcome.history.is_multiversion():
+        # The MV engines (Snapshot Isolation, Read Consistency) only ever hand
+        # out committed versions; a wrong total there is read skew, and the
+        # raw-history P1 pattern would spuriously match the old-version read.
+        return False
+    return P1_DIRTY_READ.occurs_in(outcome.history)
 
 
 P1_SCENARIO = AnomalyScenario(
@@ -418,16 +450,31 @@ def _p3_count_manifests(outcome: ExecutionOutcome) -> bool:
     return len(employees) != count
 
 
+def _guarded_task(key: str) -> Callable[[Dict], Row]:
+    """A task row whose hours respect the 8-hour budget the program just read.
+
+    Section 4.2's program checks the predicate total *before* inserting; a
+    transaction that sees the budget already full inserts a zero-hour task
+    (a no-op against the constraint).  This keeps every program consistency-
+    preserving in isolation — serial executions never violate the budget, so
+    only genuinely phantom-afflicted interleavings can.
+    """
+    def build(context: Dict) -> Row:
+        total = sum(row.get("hours", 0) for row in context["tasks"])
+        return Row(key, {"hours": 1 if total + 1 <= 8 else 0})
+    return build
+
+
 def _p3_tasks_programs() -> List[TransactionProgram]:
     return [
         TransactionProgram(1, [
             SelectPredicate(ALL_TASKS, into="tasks"),
-            InsertRow("tasks", Row("t3", {"hours": 1})),
+            InsertRow("tasks", _guarded_task("t3")),
             Commit(),
         ], label="T1 adds a one-hour task after checking the total"),
         TransactionProgram(2, [
             SelectPredicate(ALL_TASKS, into="tasks"),
-            InsertRow("tasks", Row("t4", {"hours": 1})),
+            InsertRow("tasks", _guarded_task("t4")),
             Commit(),
         ], label="T2 adds a one-hour task after checking the total"),
     ]
@@ -639,18 +686,31 @@ A5A_SCENARIO = AnomalyScenario(
 # ---------------------------------------------------------------------------
 
 
+def _a5b_withdraw(target: str) -> Callable[[Dict], float]:
+    """Withdraw 90 from ``target`` only when the joint balance covers it.
+
+    The paper's premise is that each transaction *alone* preserves
+    ``x + y >= 0``: it reads both balances and only withdraws when the total
+    is sufficient.  (An unconditional withdrawal would violate the constraint
+    even serially, turning every serial schedule into a false witness.)  From
+    the initial 50/50 the curated interleaving still realizes the familiar
+    ``y = -40`` / ``x = -40`` write-skew values.
+    """
+    return lambda ctx: ctx[target] - 90 if ctx["x"] + ctx["y"] >= 90 else ctx[target]
+
+
 def _a5b_plain_programs() -> List[TransactionProgram]:
     return [
         TransactionProgram(1, [
             ReadItem("x"),
             ReadItem("y"),
-            WriteItem("y", lambda ctx: -40),
+            WriteItem("y", _a5b_withdraw("y")),
             Commit(),
         ], label="T1 withdraws from y"),
         TransactionProgram(2, [
             ReadItem("x"),
             ReadItem("y"),
-            WriteItem("x", lambda ctx: -40),
+            WriteItem("x", _a5b_withdraw("x")),
             Commit(),
         ], label="T2 withdraws from x"),
     ]
@@ -669,7 +729,7 @@ def _a5b_cursor_programs() -> List[TransactionProgram]:
             OpenCursor("cy", ["y"]),
             Fetch("cx", into="x"),
             Fetch("cy", into="y"),
-            CursorUpdate("cy", lambda ctx: -40),
+            CursorUpdate("cy", _a5b_withdraw("y")),
             Commit(),
         ], label="T1 withdraws from y holding cursors on both"),
         TransactionProgram(2, [
@@ -677,7 +737,7 @@ def _a5b_cursor_programs() -> List[TransactionProgram]:
             OpenCursor("cy", ["y"]),
             Fetch("cx", into="x"),
             Fetch("cy", into="y"),
-            CursorUpdate("cx", lambda ctx: -40),
+            CursorUpdate("cx", _a5b_withdraw("x")),
             Commit(),
         ], label="T2 withdraws from x holding cursors on both"),
     ]

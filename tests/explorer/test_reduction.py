@@ -88,6 +88,24 @@ class TestCommutationOracle:
         # whole conflict component, so the pair must not swap.
         assert not oracle.commutes(1, 3, 2, 0)
 
+    def test_footprint_scope_relaxes_terminals_for_locking_engines(self):
+        """Locking engines have no snapshot boundaries: a terminal only
+        matters to events that conflict with its transaction's accumulated
+        footprint, so the write-skew commit/first-read pair above commutes."""
+        _, programs = build_program_set(ProgramSetSpec.make("write-skew"))
+        oracle = CommutationOracle(programs, terminal_scope="footprint")
+        # c1's effective footprint is {r x, r y, w y}; r2[x] is read-only on
+        # x — no write-involved overlap, so under footprint scope they swap.
+        assert oracle.commutes(1, 3, 2, 0)
+        # Conflicting pairs stay ordered regardless of scope: c1 vs w2[x]
+        # (T2's write occurrence) overlaps on x.
+        assert not oracle.commutes(1, 3, 2, 2)
+
+    def test_unknown_terminal_scope_rejected(self):
+        _, programs = build_program_set(ProgramSetSpec.make("write-skew"))
+        with pytest.raises(ValueError, match="terminal scope"):
+            CommutationOracle(programs, terminal_scope="magic")
+
     def test_canonical_key_is_a_class_invariant(self):
         _, programs = build_program_set(
             ProgramSetSpec.make("sharded-increments", shards=2,
@@ -128,6 +146,20 @@ class TestExecutionPlan:
         plan = build_execution_plan(space, programs)
         assert len(plan.executed) == 1
         assert plan.ratio == 20.0
+
+    def test_footprint_scope_executes_no_more_than_component_scope(self):
+        """The relaxed terminal rule can only coarsen equivalence classes."""
+        for name in ("write-skew", "read-skew", "dirty-abort", "bank-transfer"):
+            _, programs = build_program_set(ProgramSetSpec.make(name))
+            space = schedule_space(programs, max_schedules=5000)
+            component = build_execution_plan(space.schedules, programs,
+                                             terminal_scope="component")
+            footprint = build_execution_plan(space.schedules, programs,
+                                             terminal_scope="footprint")
+            assert component.terminal_scope == "component"
+            assert footprint.terminal_scope == "footprint"
+            assert len(footprint.executed) <= len(component.executed), name
+            assert footprint.selected == component.selected == space.selected
 
 
 class TestSoundnessGate:

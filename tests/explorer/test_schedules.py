@@ -96,8 +96,35 @@ class TestSampling:
 
     def test_dedupe_policy(self):
         assert _should_dedupe(100, 1000)          # tracking is cheap
-        assert _should_dedupe(500_000, 1_000_000)  # collisions plausible
         assert not _should_dedupe(500_000, 10 ** 12)  # huge space, stream free
+
+    def test_dedupe_policy_never_tracks_beyond_the_memory_bound(self):
+        """The seen-set is hard-bounded by _DEDUPE_TRACK_MAX entries.
+
+        A > _DEDUPE_TRACK_MAX sample of a space within 4x of the sample used
+        to dedupe (duplicates are plausible there), which quietly built a
+        seen-set of up to min(count, total) entries — far past the bound.
+        Such samples now stream i.i.d.; only whole-space samples still dedupe
+        above the bound, and those stream the exhaustive enumeration with no
+        seen-set at all.
+        """
+        from repro.explorer.schedules import _DEDUPE_TRACK_MAX
+
+        assert not _should_dedupe(_DEDUPE_TRACK_MAX + 1, 4 * _DEDUPE_TRACK_MAX)
+        assert not _should_dedupe(500_000, 1_000_000)
+        # At or under the bound: always tracked, seen-set <= count entries.
+        assert _should_dedupe(_DEDUPE_TRACK_MAX, 10 ** 12)
+        # Covering the whole space: deduped via exhaustive streaming, 0 entries.
+        assert _should_dedupe(10 ** 7, 10 ** 7)
+        assert _should_dedupe(10 ** 7, 10 ** 6)
+
+    def test_whole_space_sample_above_bound_streams_without_seen_set(self):
+        """count >= total dedupes by enumerating, even above the track bound."""
+        # A tiny space stands in for the > _DEDUPE_TRACK_MAX regime: the
+        # policy path is identical (count >= total), and the stream must be
+        # the full distinct space.
+        sample = list(iter_sampled_interleavings([1, 2], [2, 2], 300_000, seed=3))
+        assert sorted(sample) == sorted(enumerate_interleavings([1, 2], [2, 2]))
 
     def test_sampling_streams_lazily(self):
         stream = iter_sampled_interleavings([1, 2, 3], [3, 3, 3], 10 ** 9, seed=0,

@@ -8,6 +8,7 @@ from repro.core.isolation import IsolationLevelName, Possibility
 from repro.testbed import engine_factory
 from repro.workloads.scenarios import (
     ALL_SCENARIOS,
+    AnomalyScenario,
     evaluate_scenario,
     run_variant,
     scenario_by_code,
@@ -112,3 +113,29 @@ class TestVariantExecution:
         second = run_variant(scenario.variants[0], RC, scenario.code)
         assert first.outcome.database is not second.outcome.database
         assert first.manifested == second.manifested
+
+    def test_curated_runs_report_not_stalled(self):
+        scenario = scenario_by_code("P4")
+        result = run_variant(scenario.variants[0], RC, scenario.code)
+        assert result.stalled is False
+
+    def test_run_variant_accepts_an_interleaving_override(self):
+        """The explorer replays arbitrary schedules through run_variant."""
+        scenario = scenario_by_code("P4")
+        variant = scenario.variants[0]
+        # A serial schedule: T1 runs to completion before T2 starts, so the
+        # lost update cannot manifest even at READ COMMITTED.
+        serial = run_variant(variant, RC, scenario.code,
+                             interleaving=[1, 1, 1, 2, 2, 2])
+        assert not serial.manifested
+        assert serial.outcome.database.get_item("x") == 150
+        # The curated adversarial schedule still manifests.
+        curated = run_variant(variant, RC, scenario.code)
+        assert curated.manifested
+
+    def test_empty_scenario_raises_instead_of_reporting_possible(self):
+        """all([]) is True — an empty scenario must not claim POSSIBLE."""
+        empty = AnomalyScenario(code="PX", name="empty", description="",
+                                variants=[])
+        with pytest.raises(ValueError, match="no variants"):
+            evaluate_scenario(empty, RC)
