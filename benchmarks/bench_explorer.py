@@ -1,16 +1,20 @@
-"""Schedule-space explorer benchmarks: throughput, reduction, streaming, caches.
+"""Schedule-space explorer benchmarks: throughput, trie executor, reduction, caches.
 
 Not a paper figure — this measures the exploration machinery the reproduction
-adds on top of the paper, and establishes the repo's first machine-readable
-benchmark baseline: every run writes ``BENCH_explorer.json`` (schedules/sec
-serial vs parallel, partial-order reduction ratio, streaming throughput, peak
-RSS, cache hit rates, fingerprint checks) so CI can archive the numbers and
-regressions are diffable.
+adds on top of the paper, and maintains the repo's machine-readable benchmark
+baseline: every run writes ``BENCH_explorer.json`` (schedules/sec serial vs
+parallel with a per-phase breakdown, trie-executor gains over from-scratch
+execution, partial-order reduction ratio, streaming throughput, peak RSS,
+cache hit rates, fingerprint checks) so CI can archive the numbers and
+regressions are diffable — the ``bench-smoke`` CI job fails on a >30% serial
+throughput regression against the committed baseline.
 
 Hard checks enforced here:
 
 * the parallel run must be byte-identical to the serial run (same
   determinism fingerprint) on any worker count;
+* the trie executor must produce byte-identical records to from-scratch
+  execution while re-executing strictly fewer slots;
 * sleep-set reduction must cut executed schedules by >= 2x on a registered
   program set while reporting *identical* per-level anomaly coverage;
 * sampling ``BENCH_EXPLORER_STREAM`` schedules must run under streaming,
@@ -18,7 +22,10 @@ Hard checks enforced here:
 
 Workload sizes honour ``BENCH_EXPLORER_SCHEDULES`` (default 2000) and
 ``BENCH_EXPLORER_STREAM`` (default 1,000,000) so CI smoke runs stay small.
-The >= 2x parallel speedup assertion only applies with >= 4 usable cores.
+The parallel-speedup assertion (>= 1.5x at 2 workers, the trie-executor
+rebuild target) needs >= 2 usable cores and the full schedule budget; on a
+single-core container the parallel section records overhead honestly and the
+assertion is skipped — 2 workers on 1 CPU cannot beat serial.
 """
 
 from __future__ import annotations
@@ -35,7 +42,15 @@ from repro.analysis.coverage import coverage_mismatches
 from repro.analysis.matrix import EXPECTED_TABLE_4, compute_table4_explored
 from repro.analysis.report import matrix_matches, render_table
 from repro.core.isolation import IsolationLevelName, Possibility
-from repro.explorer import ProgramSetSpec, available_workers, explore, schedule_space
+from repro.engine.scheduler import ScheduleRunner
+from repro.explorer import (
+    ProgramSetSpec,
+    TrieExecutor,
+    available_workers,
+    explore,
+    schedule_space,
+)
+from repro.testbed import make_engine
 from repro.workloads.program_sets import build_program_set
 
 SPEC = ProgramSetSpec.make("contention", transactions=4, items=4, hot_items=2,
@@ -65,7 +80,10 @@ _BASELINE = {
     "seed": SEED,
     "workload": SPEC.describe(),
     "levels": [level.value for level in LEVELS],
+    "cores": available_workers(),
 }
+
+_PHASE_KEYS = ("us_testbed_build", "us_step_execution", "us_classification")
 
 
 def _peak_rss_kb() -> int:
@@ -81,6 +99,29 @@ def write_baseline():
     BASELINE_PATH.write_text(json.dumps(_BASELINE, indent=2, sort_keys=True) + "\n")
 
 
+def _phase_breakdown(result, wall: float, workers: int) -> dict:
+    """Per-phase busy seconds (summed over workers) plus the residual.
+
+    The residual covers everything outside the instrumented phases: chunk
+    dispatch, record assembly, and — for parallel runs — IPC and scheduling
+    waits.  Phase timers measure wall time inside workers, so on an
+    oversubscribed machine (more workers than cores) they include preemption.
+    """
+    totals = {key: 0 for key in _PHASE_KEYS}
+    for exploration in result.levels.values():
+        for key in _PHASE_KEYS:
+            totals[key] += exploration.cache_stats.get(key, 0)
+    busy = sum(totals.values()) / 1e6
+    breakdown = {
+        "testbed_build_s": round(totals["us_testbed_build"] / 1e6, 4),
+        "step_execution_s": round(totals["us_step_execution"] / 1e6, 4),
+        "classification_s": round(totals["us_classification"] / 1e6, 4),
+        "wall_s": round(wall, 4),
+        "ipc_and_other_s": round(max(0.0, wall - busy / workers), 4),
+    }
+    return breakdown
+
+
 def _run(workers: int, schedules: int = SCHEDULES):
     started = time.perf_counter()
     result = explore(SPEC, levels=LEVELS, mode="sample", max_schedules=schedules,
@@ -88,6 +129,45 @@ def _run(workers: int, schedules: int = SCHEDULES):
     duration = time.perf_counter() - started
     executed = result.total_schedules()
     return result, executed / duration, duration
+
+
+#: The serial reference run, shared by the serial-baseline and parallel tests
+#: (pytest runs them in definition order; either one primes it).
+_SERIAL_RUN = None
+
+
+def _serial_run():
+    global _SERIAL_RUN
+    if _SERIAL_RUN is None:
+        _SERIAL_RUN = _run(workers=1)
+    return _SERIAL_RUN
+
+
+def test_explorer_serial_baseline(print_report):
+    """The headline number bench-smoke regression-gates: serial schedules/sec."""
+    result, rate, wall = _serial_run()
+    trie = {
+        key: sum(exploration.cache_stats.get(f"trie_{key}", 0)
+                 for exploration in result.levels.values())
+        for key in ("slots_total", "slots_executed", "checkpoints_created", "restores")
+    }
+    _BASELINE["serial"] = {
+        "schedules_per_sec": round(rate, 1), "wall_s": round(wall, 3),
+        "phases": _phase_breakdown(result, wall, workers=1),
+        "trie": dict(trie, replayed_step_ratio=round(
+            trie["slots_executed"] / trie["slots_total"], 4) if trie["slots_total"] else 1.0),
+    }
+    print_report(
+        f"Serial exploration baseline ({SCHEDULES} schedules x {len(LEVELS)} levels)",
+        render_table(
+            ["metric", "value"],
+            [["schedules/sec", f"{rate:,.0f}"],
+             ["wall s", f"{wall:.2f}"],
+             ["replayed-step ratio",
+              f"{_BASELINE['serial']['trie']['replayed_step_ratio']:.2f}"]],
+        ),
+    )
+    assert result.total_schedules() == SCHEDULES * len(LEVELS)
 
 
 def test_explorer_throughput_serial(benchmark, print_report):
@@ -98,28 +178,29 @@ def test_explorer_throughput_serial(benchmark, print_report):
     )
     stats = result.levels[IsolationLevelName.READ_COMMITTED].cache_stats
     classified = stats["hits"] + stats["misses"] + stats.get("shared_hits", 0)
-    _BASELINE["cache"] = dict(stats, hit_rate=round(stats["hits"] / classified, 4))
+    cache = {key: stats[key] for key in ("hits", "misses", "shared_hits")}
+    _BASELINE["cache"] = dict(cache, hit_rate=round(stats["hits"] / classified, 4))
     print_report(
         f"Explorer classification caches ({min(SCHEDULES, 500)} sampled schedules)",
-        render_table(["metric", "value"], sorted(stats.items())),
+        render_table(["metric", "value"], sorted(cache.items())),
     )
     assert result.total_schedules() == min(SCHEDULES, 500)
 
 
 def test_explorer_parallel_speedup_and_determinism(print_report):
     cores = available_workers()
-    serial_result, serial_rate, serial_time = _run(workers=1)
-    workers = min(cores, 8) if cores > 1 else 2
+    serial_result, serial_rate, serial_time = _serial_run()
+    # The rebuild target is 2 workers (the ISSUE 4 acceptance bar); more
+    # workers only help when the cores exist.
+    workers = 2
     parallel_result, parallel_rate, parallel_time = _run(workers=workers)
 
     fingerprint_match = serial_result.fingerprint() == parallel_result.fingerprint()
     speedup = parallel_rate / serial_rate
-    _BASELINE["serial"] = {
-        "schedules_per_sec": round(serial_rate, 1), "wall_s": round(serial_time, 3),
-    }
     _BASELINE["parallel"] = {
         "workers": workers, "schedules_per_sec": round(parallel_rate, 1),
         "wall_s": round(parallel_time, 3), "speedup": round(speedup, 2),
+        "phases": _phase_breakdown(parallel_result, parallel_time, workers=workers),
     }
     _BASELINE["fingerprint_match"] = fingerprint_match
 
@@ -136,16 +217,81 @@ def test_explorer_parallel_speedup_and_determinism(print_report):
         ),
     )
     assert fingerprint_match, "parallel exploration must be byte-identical to serial"
-    if cores >= 4 and SCHEDULES >= 2000:
-        assert speedup >= 2.0, (
-            f"expected >= 2x parallel speedup on {cores} cores, got {speedup:.2f}x"
+    min_speedup = float(os.environ.get("BENCH_PARALLEL_MIN_SPEEDUP", "1.5"))
+    if cores >= 2 and SCHEDULES >= 2000:
+        assert speedup >= min_speedup, (
+            f"expected >= {min_speedup}x speedup at 2 workers on {cores} cores, "
+            f"got {speedup:.2f}x (tune via BENCH_PARALLEL_MIN_SPEEDUP)"
         )
     else:
-        # Smoke-sized runs (BENCH_EXPLORER_SCHEDULES < 2000) pay fixed pool +
-        # manager startup against a sub-second workload; only the fingerprint
-        # is load-bearing there.
-        pytest.skip(f"speedup assertion needs >= 4 cores and >= 2000 schedules, "
+        # On one core, two workers time-slice a single CPU and cannot beat
+        # serial; smoke-sized runs pay fixed pool + manager startup against a
+        # sub-second workload.  Only the fingerprint is load-bearing there.
+        pytest.skip(f"speedup assertion needs >= 2 cores and >= 2000 schedules, "
                     f"have {cores} cores / {SCHEDULES} (measured {speedup:.2f}x)")
+
+
+def test_trie_executor_vs_from_scratch(print_report):
+    """The tentpole gate: byte-equal outcomes, strictly fewer executed slots."""
+    level = IsolationLevelName.READ_COMMITTED
+    count = min(SCHEDULES, 1000)
+    _, programs = build_program_set(SPEC)
+    schedules = schedule_space(programs, mode="sample", max_schedules=count,
+                               seed=SEED).schedules
+
+    def outcome_key(outcome):
+        return (outcome.history.to_shorthand(), outcome.blocked_events,
+                len(outcome.deadlocks), outcome.stalled)
+
+    started = time.perf_counter()
+    scratch = []
+    runner = None
+    for schedule in schedules:
+        database, progs = build_program_set(SPEC)
+        engine = make_engine(database, level)
+        if runner is None:
+            runner = ScheduleRunner(engine, progs, schedule, collect_traces=False)
+            scratch.append(outcome_key(runner.run()))
+        else:
+            scratch.append(outcome_key(runner.replay(engine, schedule)))
+    scratch_time = time.perf_counter() - started
+
+    database, progs = build_program_set(SPEC)
+    executor = TrieExecutor(database, progs, level)
+    trie = [None] * len(schedules)
+    started = time.perf_counter()
+    for index, outcome in executor.run_batch(schedules):
+        trie[index] = outcome_key(outcome)
+    trie_time = time.perf_counter() - started
+
+    byte_equal = trie == scratch
+    speedup = scratch_time / trie_time if trie_time else float("inf")
+    stats = executor.stats
+    _BASELINE["trie_executor"] = {
+        "schedules": count,
+        "level": level.value,
+        "from_scratch_schedules_per_sec": round(count / scratch_time, 1),
+        "trie_schedules_per_sec": round(count / trie_time, 1),
+        "speedup": round(speedup, 2),
+        "checkpoints_created": stats.checkpoints_created,
+        "restores": stats.restores,
+        "replayed_step_ratio": round(stats.replayed_ratio, 4),
+        "byte_equal": byte_equal,
+    }
+    print_report(
+        f"Trie executor vs from-scratch ({count} schedules, {level.value})",
+        render_table(
+            ["metric", "value"],
+            [["from-scratch schedules/sec", f"{count / scratch_time:,.0f}"],
+             ["trie schedules/sec", f"{count / trie_time:,.0f}"],
+             ["speedup", f"{speedup:.2f}x"],
+             ["replayed-step ratio", f"{stats.replayed_ratio:.2f}"],
+             ["checkpoints", str(stats.checkpoints_created)]],
+        ),
+    )
+    assert byte_equal, "trie-executed outcomes must be byte-equal to from-scratch"
+    assert stats.slots_executed < stats.slots_total, \
+        "prefix sharing must save at least some slots"
 
 
 def test_reduction_ratio_and_soundness(print_report):

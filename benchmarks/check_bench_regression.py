@@ -1,0 +1,61 @@
+"""Diff a fresh BENCH_explorer.json against the committed baseline.
+
+Used by the ``bench-smoke`` CI job: after re-running the benchmark at the
+baseline's schedule budget, the fresh serial throughput must not fall more
+than ``BENCH_SMOKE_TOLERANCE`` (default 30%) below the committed number.
+
+Usage: python benchmarks/check_bench_regression.py BASELINE.json FRESH.json
+
+The comparison is only meaningful when both files were produced with the same
+``schedules`` budget; a mismatch is reported and fails the check (it means
+the job is diffing apples against oranges, not that performance regressed).
+Hardware variance between the committing machine and the CI runner is the
+known caveat of an absolute-throughput gate; widen the tolerance via the
+environment variable if a runner class change makes this flap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+
+def main(baseline_path: str, fresh_path: str) -> int:
+    tolerance = float(os.environ.get("BENCH_SMOKE_TOLERANCE", "0.30"))
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+
+    if baseline.get("schedules") != fresh.get("schedules"):
+        print(f"schedule budgets differ: baseline ran {baseline.get('schedules')}, "
+              f"fresh ran {fresh.get('schedules')} — not comparable")
+        return 1
+
+    if baseline.get("cores") != fresh.get("cores"):
+        print(f"note: baseline machine had {baseline.get('cores')} usable cores, "
+              f"this machine has {fresh.get('cores')} — absolute throughput "
+              f"comparisons carry hardware variance; widen BENCH_SMOKE_TOLERANCE "
+              f"if this check flaps across runner classes")
+
+    try:
+        baseline_rate = baseline["serial"]["schedules_per_sec"]
+        fresh_rate = fresh["serial"]["schedules_per_sec"]
+    except KeyError as missing:
+        print(f"missing serial section/key: {missing}")
+        return 1
+
+    floor = baseline_rate * (1.0 - tolerance)
+    verdict = "OK" if fresh_rate >= floor else "REGRESSION"
+    print(f"serial schedules/sec: baseline {baseline_rate:,.0f}, "
+          f"fresh {fresh_rate:,.0f}, floor {floor:,.0f} "
+          f"(tolerance {tolerance:.0%}) -> {verdict}")
+    return 0 if fresh_rate >= floor else 1
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1], sys.argv[2]))

@@ -51,14 +51,21 @@ class History:
     and the containment / ordering queries that the anomaly detectors need.
     """
 
-    def __init__(self, operations: Iterable[Operation], name: Optional[str] = None):
+    def __init__(self, operations: Iterable[Operation], name: Optional[str] = None,
+                 validate: bool = True):
+        """``validate=False`` skips the well-formedness scan — for callers
+        whose operations are well-formed by construction (the schedule
+        runner's realized histories, the MV analysis rewrites)."""
         self._ops: Tuple[Operation, ...] = tuple(operations)
         self.name = name
         # Lazily computed caches — sound because instances are immutable.
         self._committed_cache: Optional[FrozenSet[int]] = None
         self._aborted_cache: Optional[FrozenSet[int]] = None
         self._terminal_cache: Optional[Dict[int, int]] = None
-        self._validate()
+        self._hash: Optional[int] = None
+        self._mv_cache: Optional[bool] = None
+        if validate:
+            self._validate()
 
     # -- construction / validation ------------------------------------------------
 
@@ -97,7 +104,9 @@ class History:
         return self._ops == other._ops
 
     def __hash__(self) -> int:
-        return hash(self._ops)
+        if self._hash is None:
+            self._hash = hash(self._ops)
+        return self._hash
 
     def __add__(self, other: "History") -> "History":
         if not isinstance(other, History):
@@ -165,7 +174,9 @@ class History:
 
     def is_multiversion(self) -> bool:
         """True when any operation carries a version subscript."""
-        return any(op.version is not None for op in self._ops)
+        if self._mv_cache is None:
+            self._mv_cache = any(op.version is not None for op in self._ops)
+        return self._mv_cache
 
     # -- positional queries -------------------------------------------------------------
 

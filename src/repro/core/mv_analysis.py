@@ -145,9 +145,13 @@ def assign_write_versions(history: History,
     versions: Dict[int, int] = {}
     next_version: Dict[str, int] = {}
     for index, op in enumerate(history):
-        if op.is_write and op.item is not None and op.version is None:
+        kind = op.kind
+        if (op.item is not None and op.version is None
+                and (kind is OperationKind.WRITE
+                     or kind is OperationKind.CURSOR_WRITE
+                     or kind is OperationKind.PREDICATE_WRITE)):
             pending.setdefault(op.txn, {}).setdefault(op.item, []).append(index)
-        elif op.is_commit:
+        elif kind is OperationKind.COMMIT:
             for item, write_indices in pending.pop(op.txn, {}).items():
                 if item not in next_version:
                     has_initial = preexisting is None or item in preexisting
@@ -162,7 +166,7 @@ def assign_write_versions(history: History,
     for index, op in enumerate(history):
         if not op.kind.is_data_access or op.item is None:
             continue
-        if op.is_read and op.version is None and index not in versions:
+        if op.kind.is_read and op.version is None and index not in versions:
             key = (op.txn, op.item)
             own_index = last_own_write.get(key)
             if own_index is not None:
@@ -175,13 +179,31 @@ def assign_write_versions(history: History,
             last_own_write[(op.txn, op.item)] = index
 
     operations = [
-        Operation(op.kind, op.txn, item=op.item, value=op.value,
-                  version=versions[index], predicate=op.predicate,
-                  write_action=op.write_action)
-        if index in versions else op
+        _stamp_version(op, versions[index]) if index in versions else op
         for index, op in enumerate(history)
     ]
-    return History(operations, name=history.name)
+    return History(operations, name=history.name, validate=False)
+
+
+#: Interned version-stamped operations, keyed by (source op, version).
+_STAMP_CACHE: Dict[Tuple[Operation, int], Operation] = {}
+
+
+def _stamp_version(op: Operation, version: int) -> Operation:
+    """A copy of ``op`` carrying a version subscript (interned when hashable)."""
+    try:
+        cached = _STAMP_CACHE.get((op, version))
+    except TypeError:
+        return Operation(op.kind, op.txn, item=op.item, value=op.value,
+                         version=version, predicate=op.predicate,
+                         write_action=op.write_action)
+    if cached is None:
+        cached = Operation(op.kind, op.txn, item=op.item, value=op.value,
+                           version=version, predicate=op.predicate,
+                           write_action=op.write_action)
+        if len(_STAMP_CACHE) < 100_000:
+            _STAMP_CACHE[(op, version)] = cached
+    return cached
 
 
 def mv_serialization_graph(history: History) -> DependencyGraph:
@@ -197,7 +219,21 @@ def mv_serialization_graph(history: History) -> DependencyGraph:
       writer of any later version ``n > m``.
     """
     committed = history.committed_transactions()
-    writers = _version_writers(history)
+    # One pass builds everything the edge rules need: the (item, version) ->
+    # writer map, the per-item version lists (in first-appearance order, the
+    # same order iterating the writer map filtered by item used to produce),
+    # and the first write operation per (item, version, txn) — replacing the
+    # per-edge full-history scans of ``_find_write``.
+    writers: Dict[Tuple[str, int], int] = {}
+    versions_by_item: Dict[str, List[int]] = {}
+    first_write: Dict[Tuple[str, int, int], Operation] = {}
+    for op in history:
+        if op.is_write and op.item is not None and op.version is not None:
+            key = (op.item, op.version)
+            if key not in writers:
+                versions_by_item.setdefault(op.item, []).append(op.version)
+            writers[key] = op.txn
+            first_write.setdefault((op.item, op.version, op.txn), op)
     nodes = [txn for txn in history.transactions() if txn in committed]
     edges: List[DependencyEdge] = []
     seen: set = set()
@@ -212,42 +248,39 @@ def mv_serialization_graph(history: History) -> DependencyGraph:
         seen.add(key)
         edges.append(DependencyEdge(source, target, kind, item, source_op, target_op))
 
+    def write_op(item: str, version: int, txn: int) -> Operation:
+        try:
+            return first_write[(item, version, txn)]
+        except KeyError:
+            raise ValueError(f"no write of {item}{version} by T{txn} in history") from None
+
     # wr and rw edges from reads.
-    for index, op in enumerate(history):
+    for op in history:
         if not op.is_read or op.item is None or op.version is None:
             continue
         if op.txn not in committed:
             continue
         writer = writers.get((op.item, op.version))
         if writer is not None:
-            writer_op = _find_write(history, writer, op.item, op.version)
-            add_edge(writer, op.txn, "wr", op.item, writer_op, op)
-        for (item, version), other_writer in writers.items():
-            if item != op.item or version <= op.version:
+            add_edge(writer, op.txn, "wr", op.item,
+                     write_op(op.item, op.version, writer), op)
+        for version in versions_by_item.get(op.item, ()):
+            if version <= op.version:
                 continue
-            other_op = _find_write(history, other_writer, item, version)
-            add_edge(op.txn, other_writer, "rw", item, op, other_op)
+            other_writer = writers[(op.item, version)]
+            add_edge(op.txn, other_writer, "rw", op.item, op,
+                     write_op(op.item, version, other_writer))
 
     # ww edges from the version order.
-    per_item: Dict[str, List[Tuple[int, int]]] = {}
-    for (item, version), writer in writers.items():
-        per_item.setdefault(item, []).append((version, writer))
-    for item, versions in per_item.items():
-        ordered = sorted(versions)
+    for item, versions in versions_by_item.items():
+        ordered = sorted((version, writers[(item, version)]) for version in versions)
         for (earlier_version, earlier_writer), (later_version, later_writer) in zip(
                 ordered, ordered[1:]):
-            earlier_op = _find_write(history, earlier_writer, item, earlier_version)
-            later_op = _find_write(history, later_writer, item, later_version)
-            add_edge(earlier_writer, later_writer, "ww", item, earlier_op, later_op)
+            add_edge(earlier_writer, later_writer, "ww", item,
+                     write_op(item, earlier_version, earlier_writer),
+                     write_op(item, later_version, later_writer))
 
     return DependencyGraph(nodes, edges)
-
-
-def _find_write(history: History, txn: int, item: str, version: int) -> Operation:
-    for op in history:
-        if op.txn == txn and op.is_write and op.item == item and op.version == version:
-            return op
-    raise ValueError(f"no write of {item}{version} by T{txn} in history")
 
 
 def mv_is_serializable(history: History) -> bool:
@@ -264,9 +297,16 @@ def mv_to_sv(history: History) -> History:
     placed at its commit (or abort) point.  Ties keep the original relative
     order.  This reproduces the paper's H1.SI → H1.SI.SV example.
     """
+    ops_by_txn: Dict[int, List[Operation]] = {}
+    first_index: Dict[int, int] = {}
+    for position, op in enumerate(history):
+        if op.txn not in ops_by_txn:
+            ops_by_txn[op.txn] = []
+            first_index[op.txn] = position
+        ops_by_txn[op.txn].append(op)
     events: List[Tuple[int, int, List[Operation]]] = []
-    for order, txn in enumerate(history.transactions()):
-        ops = history.operations_of(txn)
+    for order, txn in enumerate(ops_by_txn):
+        ops = ops_by_txn[txn]
         own_versions = {
             (op.item, op.version) for op in ops if op.is_write and op.version is not None
         }
@@ -280,7 +320,7 @@ def mv_to_sv(history: History) -> History:
                 commit_block.append(stripped)
             else:
                 commit_block.append(stripped)
-        start_time = history.index_of(ops[0])
+        start_time = first_index[txn]
         terminal_index = history.terminal_index(txn)
         commit_time = terminal_index if terminal_index is not None else len(history) + order
         events.append((start_time, order, snapshot_reads))
@@ -291,15 +331,29 @@ def mv_to_sv(history: History) -> History:
         operations.extend(block)
     suffix = ".SV"
     name = f"{history.name}{suffix}" if history.name else None
-    return History(operations, name=name)
+    return History(operations, name=name, validate=False)
+
+
+#: Interned version-stripped operations: the explorer's MV classification maps
+#: the same (interned) versioned operations over and over.
+_STRIP_CACHE: Dict[Operation, Operation] = {}
 
 
 def _strip_version(op: Operation) -> Operation:
     """Drop the version subscript from an operation (for the SV rendering)."""
     if op.version is None:
         return op
-    return Operation(op.kind, op.txn, item=op.item, value=op.value,
-                     predicate=op.predicate, write_action=op.write_action)
+    try:
+        cached = _STRIP_CACHE.get(op)
+    except TypeError:  # unhashable recorded value
+        return Operation(op.kind, op.txn, item=op.item, value=op.value,
+                         predicate=op.predicate, write_action=op.write_action)
+    if cached is None:
+        cached = Operation(op.kind, op.txn, item=op.item, value=op.value,
+                           predicate=op.predicate, write_action=op.write_action)
+        if len(_STRIP_CACHE) < 100_000:
+            _STRIP_CACHE[op] = cached
+    return cached
 
 
 def final_writers(history: History) -> Dict[str, Optional[int]]:

@@ -34,40 +34,38 @@ class OperationKind(enum.Enum):
     @property
     def is_read(self) -> bool:
         """True for item reads, cursor reads, and predicate reads."""
-        return self in (
-            OperationKind.READ,
-            OperationKind.CURSOR_READ,
-            OperationKind.PREDICATE_READ,
-        )
+        return (self is OperationKind.READ
+                or self is OperationKind.CURSOR_READ
+                or self is OperationKind.PREDICATE_READ)
 
     @property
     def is_write(self) -> bool:
         """True for item writes, cursor writes, and predicate writes."""
-        return self in (
-            OperationKind.WRITE,
-            OperationKind.CURSOR_WRITE,
-            OperationKind.PREDICATE_WRITE,
-        )
+        return (self is OperationKind.WRITE
+                or self is OperationKind.CURSOR_WRITE
+                or self is OperationKind.PREDICATE_WRITE)
 
     @property
     def is_terminal(self) -> bool:
         """True for commits and aborts."""
-        return self in (OperationKind.COMMIT, OperationKind.ABORT)
+        return self is OperationKind.COMMIT or self is OperationKind.ABORT
 
     @property
     def is_data_access(self) -> bool:
         """True for any read or write, False for commit/abort."""
-        return self.is_read or self.is_write
+        return not (self is OperationKind.COMMIT or self is OperationKind.ABORT)
 
     @property
     def uses_predicate(self) -> bool:
         """True for predicate reads and predicate writes."""
-        return self in (OperationKind.PREDICATE_READ, OperationKind.PREDICATE_WRITE)
+        return (self is OperationKind.PREDICATE_READ
+                or self is OperationKind.PREDICATE_WRITE)
 
     @property
     def uses_cursor(self) -> bool:
         """True for cursor reads and cursor writes."""
-        return self in (OperationKind.CURSOR_READ, OperationKind.CURSOR_WRITE)
+        return (self is OperationKind.CURSOR_READ
+                or self is OperationKind.CURSOR_WRITE)
 
 
 class WriteAction(enum.Enum):
@@ -132,6 +130,18 @@ class Operation:
             if self.item is None:
                 raise ValueError(f"{self.kind.name} operations must name a data item")
 
+    def __hash__(self) -> int:
+        # Operations are hashed constantly (history caches, classification
+        # memos, interning); the dataclass-generated hash walks every field on
+        # every call, so memoize it on the instance.  Consistent with the
+        # generated __eq__, which compares the same field tuple.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.kind, self.txn, self.item, self.value,
+                           self.version, self.predicate, self.write_action))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     # -- classification helpers -------------------------------------------------
 
     @property
@@ -192,7 +202,18 @@ class Operation:
     # -- rendering ---------------------------------------------------------------
 
     def to_shorthand(self) -> str:
-        """Render the operation in the paper's shorthand notation."""
+        """Render the operation in the paper's shorthand notation.
+
+        Memoized per instance: realized operations are interned and rendered
+        once per distinct operation instead of once per history occurrence.
+        """
+        cached = self.__dict__.get("_shorthand")
+        if cached is None:
+            cached = self._render_shorthand()
+            object.__setattr__(self, "_shorthand", cached)
+        return cached
+
+    def _render_shorthand(self) -> str:
         if self.kind is OperationKind.COMMIT:
             return f"c{self.txn}"
         if self.kind is OperationKind.ABORT:

@@ -30,13 +30,14 @@ Interpretation notes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .history import History
 from .operations import Operation, OperationKind
 
 __all__ = [
     "Occurrence",
+    "HistoryIndex",
     "Phenomenon",
     "P0_DIRTY_WRITE",
     "P1_DIRTY_READ",
@@ -54,6 +55,7 @@ __all__ = [
     "STRICT_ANOMALIES",
     "by_code",
     "detect_all",
+    "detect_flags",
 ]
 
 
@@ -71,6 +73,78 @@ class Occurrence:
         return f"{self.phenomenon}: {self.description}"
 
 
+class HistoryIndex:
+    """Grouped (index, operation) views of one history, shared by the detectors.
+
+    Every detector used to rescan the full operation list and filter by item /
+    transaction in its inner loops; grouping once per history turns those
+    inner loops into walks over exactly the candidates that can match.  All
+    per-item / per-transaction lists preserve global history order, so a
+    detector iterating a grouped list visits the same operations in the same
+    order as the original full-scan-and-filter — occurrence output is
+    byte-identical.
+    """
+
+    __slots__ = ("history", "reads", "writes", "cursor_reads",
+                 "predicate_reads", "predicate_writes",
+                 "reads_by_item", "writes_by_item", "reads_by_txn",
+                 "writes_by_txn", "predicate_writes_by_predicate",
+                 "terminals")
+
+    def __init__(self, history: History):
+        self.history = history
+        self.reads: List[Tuple[int, Operation]] = []
+        self.writes: List[Tuple[int, Operation]] = []
+        self.cursor_reads: List[Tuple[int, Operation]] = []
+        self.predicate_reads: List[Tuple[int, Operation]] = []
+        self.predicate_writes: List[Tuple[int, Operation]] = []
+        self.reads_by_item: Dict[str, List[Tuple[int, Operation]]] = {}
+        self.writes_by_item: Dict[str, List[Tuple[int, Operation]]] = {}
+        self.reads_by_txn: Dict[int, List[Tuple[int, Operation]]] = {}
+        self.writes_by_txn: Dict[int, List[Tuple[int, Operation]]] = {}
+        self.predicate_writes_by_predicate: Dict[str, List[Tuple[int, Operation]]] = {}
+        #: First terminal position per transaction (None entries omitted).
+        self.terminals: Dict[int, int] = {}
+        for i, op in enumerate(history):
+            kind = op.kind
+            if kind is OperationKind.COMMIT or kind is OperationKind.ABORT:
+                if op.txn not in self.terminals:
+                    self.terminals[op.txn] = i
+                continue
+            entry = (i, op)
+            if kind is OperationKind.READ or kind is OperationKind.CURSOR_READ:
+                self.reads.append(entry)
+                self.reads_by_item.setdefault(op.item, []).append(entry)
+                self.reads_by_txn.setdefault(op.txn, []).append(entry)
+                if kind is OperationKind.CURSOR_READ:
+                    self.cursor_reads.append(entry)
+            elif kind is OperationKind.PREDICATE_READ:
+                self.predicate_reads.append(entry)
+            elif kind.is_write:
+                if op.item is not None:
+                    self.writes.append(entry)
+                    self.writes_by_item.setdefault(op.item, []).append(entry)
+                    self.writes_by_txn.setdefault(op.txn, []).append(entry)
+                if op.predicate is not None:
+                    self.predicate_writes.append(entry)
+                    self.predicate_writes_by_predicate.setdefault(
+                        op.predicate, []).append(entry)
+
+    _EMPTY: Tuple = ()
+
+    def item_reads(self, item: Optional[str]) -> Sequence[Tuple[int, Operation]]:
+        return self.reads_by_item.get(item, self._EMPTY)
+
+    def item_writes(self, item: Optional[str]) -> Sequence[Tuple[int, Operation]]:
+        return self.writes_by_item.get(item, self._EMPTY)
+
+    def txn_reads(self, txn: int) -> Sequence[Tuple[int, Operation]]:
+        return self.reads_by_txn.get(txn, self._EMPTY)
+
+    def txn_writes(self, txn: int) -> Sequence[Tuple[int, Operation]]:
+        return self.writes_by_txn.get(txn, self._EMPTY)
+
+
 class Phenomenon:
     """Base class for a named phenomenon / anomaly detector."""
 
@@ -81,13 +155,31 @@ class Phenomenon:
     #: "broad" for phenomena (P*), "strict" for anomalies (A*).
     interpretation: str = "broad"
 
-    def find(self, history: History) -> List[Occurrence]:
-        """All occurrences of the phenomenon in the history."""
+    def _scan(self, history: History, index: HistoryIndex) -> Iterator[Occurrence]:
+        """Yield occurrences lazily, in the canonical (outer-loop) order."""
         raise NotImplementedError
 
-    def occurs_in(self, history: History) -> bool:
-        """True when the phenomenon occurs at least once."""
-        return bool(self.find(history))
+    def find(self, history: History,
+             index: Optional[HistoryIndex] = None) -> List[Occurrence]:
+        """All occurrences of the phenomenon in the history.
+
+        ``index`` lets a caller running several detectors over the same
+        history (``detect_all``, the explorer's classifier) share one
+        :class:`HistoryIndex`; without it each detector builds its own.
+        """
+        return list(self._scan(history, self._index_for(history, index)))
+
+    def occurs_in(self, history: History,
+                  index: Optional[HistoryIndex] = None) -> bool:
+        """True when the phenomenon occurs at least once.
+
+        Short-circuits on the first occurrence — the scan is lazy, so callers
+        that only need the boolean (the explorer's classifier) stop paying for
+        the full occurrence enumeration.
+        """
+        for _ in self._scan(history, self._index_for(history, index)):
+            return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{self.code} {self.name}>"
@@ -95,27 +187,9 @@ class Phenomenon:
     # -- shared helpers --------------------------------------------------------
 
     @staticmethod
-    def _before_terminal(history: History, txn: int, index: int) -> bool:
-        """True when ``index`` precedes the terminal of ``txn`` (or txn is open)."""
-        terminal = history.terminal_index(txn)
-        return terminal is None or index < terminal
-
-
-def _item_reads(history: History) -> List[Tuple[int, Operation]]:
-    return [
-        (i, op)
-        for i, op in enumerate(history)
-        if op.kind in (OperationKind.READ, OperationKind.CURSOR_READ)
-    ]
-
-
-def _item_writes(history: History) -> List[Tuple[int, Operation]]:
-    return [
-        (i, op)
-        for i, op in enumerate(history)
-        if op.kind in (OperationKind.WRITE, OperationKind.CURSOR_WRITE,
-                       OperationKind.PREDICATE_WRITE) and op.item is not None
-    ]
+    def _index_for(history: History,
+                   index: Optional[HistoryIndex]) -> HistoryIndex:
+        return index if index is not None else HistoryIndex(history)
 
 
 class DirtyWrite(Phenomenon):
@@ -131,15 +205,16 @@ class DirtyWrite(Phenomenon):
     name = "Dirty Write"
     interpretation = "broad"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        writes = _item_writes(history)
-        for i, first in writes:
-            for j, second in writes:
-                if j <= i or first.txn == second.txn or first.item != second.item:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        terminals = index.terminals
+        for i, first in index.writes:
+            terminal = terminals.get(first.txn)
+            for j, second in index.item_writes(first.item):
+                if j <= i or first.txn == second.txn:
                     continue
-                if self._before_terminal(history, first.txn, j):
-                    occurrences.append(Occurrence(
+                if terminal is None or j < terminal:
+                    yield Occurrence(
                         phenomenon=self.code,
                         transactions=(first.txn, second.txn),
                         items=(first.item,),
@@ -148,8 +223,7 @@ class DirtyWrite(Phenomenon):
                             f"T{second.txn} overwrites {first.item} while "
                             f"T{first.txn}'s write is uncommitted"
                         ),
-                    ))
-        return occurrences
+                    )
 
 
 class DirtyRead(Phenomenon):
@@ -165,16 +239,16 @@ class DirtyRead(Phenomenon):
     name = "Dirty Read"
     interpretation = "broad"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        writes = _item_writes(history)
-        reads = _item_reads(history)
-        for i, write_op in writes:
-            for j, read_op in reads:
-                if j <= i or write_op.txn == read_op.txn or write_op.item != read_op.item:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        terminals = index.terminals
+        for i, write_op in index.writes:
+            terminal = terminals.get(write_op.txn)
+            for j, read_op in index.item_reads(write_op.item):
+                if j <= i or write_op.txn == read_op.txn:
                     continue
-                if self._before_terminal(history, write_op.txn, j):
-                    occurrences.append(Occurrence(
+                if terminal is None or j < terminal:
+                    yield Occurrence(
                         phenomenon=self.code,
                         transactions=(write_op.txn, read_op.txn),
                         items=(write_op.item,),
@@ -183,8 +257,7 @@ class DirtyRead(Phenomenon):
                             f"T{read_op.txn} reads {write_op.item} written by "
                             f"uncommitted T{write_op.txn}"
                         ),
-                    ))
-        return occurrences
+                    )
 
 
 class FuzzyRead(Phenomenon):
@@ -199,16 +272,16 @@ class FuzzyRead(Phenomenon):
     name = "Fuzzy Read (Non-repeatable Read)"
     interpretation = "broad"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        reads = _item_reads(history)
-        writes = _item_writes(history)
-        for i, read_op in reads:
-            for j, write_op in writes:
-                if j <= i or read_op.txn == write_op.txn or read_op.item != write_op.item:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        terminals = index.terminals
+        for i, read_op in index.reads:
+            terminal = terminals.get(read_op.txn)
+            for j, write_op in index.item_writes(read_op.item):
+                if j <= i or read_op.txn == write_op.txn:
                     continue
-                if self._before_terminal(history, read_op.txn, j):
-                    occurrences.append(Occurrence(
+                if terminal is None or j < terminal:
+                    yield Occurrence(
                         phenomenon=self.code,
                         transactions=(read_op.txn, write_op.txn),
                         items=(read_op.item,),
@@ -217,8 +290,7 @@ class FuzzyRead(Phenomenon):
                             f"T{write_op.txn} writes {read_op.item} after T{read_op.txn} "
                             f"read it and before T{read_op.txn} terminated"
                         ),
-                    ))
-        return occurrences
+                    )
 
 
 class Phantom(Phenomenon):
@@ -234,24 +306,17 @@ class Phantom(Phenomenon):
     name = "Phantom"
     interpretation = "broad"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        predicate_reads = [
-            (i, op) for i, op in enumerate(history)
-            if op.kind is OperationKind.PREDICATE_READ
-        ]
-        predicate_writes = [
-            (i, op) for i, op in enumerate(history)
-            if op.is_write and op.predicate is not None
-        ]
-        for i, read_op in predicate_reads:
-            for j, write_op in predicate_writes:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        terminals = index.terminals
+        for i, read_op in index.predicate_reads:
+            terminal = terminals.get(read_op.txn)
+            for j, write_op in index.predicate_writes_by_predicate.get(
+                    read_op.predicate, ()):
                 if j <= i or read_op.txn == write_op.txn:
                     continue
-                if read_op.predicate != write_op.predicate:
-                    continue
-                if self._before_terminal(history, read_op.txn, j):
-                    occurrences.append(Occurrence(
+                if terminal is None or j < terminal:
+                    yield Occurrence(
                         phenomenon=self.code,
                         transactions=(read_op.txn, write_op.txn),
                         items=tuple(filter(None, [write_op.item])),
@@ -260,8 +325,7 @@ class Phantom(Phenomenon):
                             f"T{write_op.txn} changes the extent of predicate "
                             f"{read_op.predicate} read by active T{read_op.txn}"
                         ),
-                    ))
-        return occurrences
+                    )
 
 
 class DirtyReadStrict(Phenomenon):
@@ -276,23 +340,21 @@ class DirtyReadStrict(Phenomenon):
     name = "Dirty Read (strict)"
     interpretation = "strict"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        writes = _item_writes(history)
-        reads = _item_reads(history)
-        for i, write_op in writes:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        for i, write_op in index.writes:
             if not history.aborts(write_op.txn):
                 continue
             abort_index = history.terminal_index(write_op.txn)
-            for j, read_op in reads:
-                if j <= i or read_op.txn == write_op.txn or read_op.item != write_op.item:
+            for j, read_op in index.item_reads(write_op.item):
+                if j <= i or read_op.txn == write_op.txn:
                     continue
                 if not history.commits(read_op.txn):
                     continue
                 # The read must happen while T1's write is still uncommitted.
                 if abort_index is not None and j > abort_index:
                     continue
-                occurrences.append(Occurrence(
+                yield Occurrence(
                     phenomenon=self.code,
                     transactions=(write_op.txn, read_op.txn),
                     items=(write_op.item,),
@@ -301,8 +363,7 @@ class DirtyReadStrict(Phenomenon):
                         f"T{read_op.txn} committed after reading {write_op.item} "
                         f"written by T{write_op.txn}, which aborted"
                     ),
-                ))
-        return occurrences
+                )
 
 
 class FuzzyReadStrict(Phenomenon):
@@ -316,25 +377,23 @@ class FuzzyReadStrict(Phenomenon):
     name = "Fuzzy Read (strict)"
     interpretation = "strict"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        reads = _item_reads(history)
-        writes = _item_writes(history)
-        for i, first_read in reads:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        for i, first_read in index.reads:
             if not history.commits(first_read.txn):
                 continue
-            for j, write_op in writes:
-                if j <= i or write_op.txn == first_read.txn or write_op.item != first_read.item:
+            for j, write_op in index.item_writes(first_read.item):
+                if j <= i or write_op.txn == first_read.txn:
                     continue
                 commit_index = history.terminal_index(write_op.txn)
                 if not history.commits(write_op.txn) or commit_index is None or commit_index < j:
                     continue
-                for k, second_read in reads:
+                for k, second_read in index.item_reads(first_read.item):
                     if k <= commit_index:
                         continue
-                    if second_read.txn != first_read.txn or second_read.item != first_read.item:
+                    if second_read.txn != first_read.txn:
                         continue
-                    occurrences.append(Occurrence(
+                    yield Occurrence(
                         phenomenon=self.code,
                         transactions=(first_read.txn, write_op.txn),
                         items=(first_read.item,),
@@ -343,8 +402,7 @@ class FuzzyReadStrict(Phenomenon):
                             f"T{first_read.txn} reread {first_read.item} after a "
                             f"committed update by T{write_op.txn}"
                         ),
-                    ))
-        return occurrences
+                    )
 
 
 class PhantomStrict(Phenomenon):
@@ -358,23 +416,15 @@ class PhantomStrict(Phenomenon):
     name = "Phantom (strict)"
     interpretation = "strict"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        predicate_reads = [
-            (i, op) for i, op in enumerate(history)
-            if op.kind is OperationKind.PREDICATE_READ
-        ]
-        predicate_writes = [
-            (i, op) for i, op in enumerate(history)
-            if op.is_write and op.predicate is not None
-        ]
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        predicate_reads = index.predicate_reads
         for i, first_read in predicate_reads:
             if not history.commits(first_read.txn):
                 continue
-            for j, write_op in predicate_writes:
+            for j, write_op in index.predicate_writes_by_predicate.get(
+                    first_read.predicate, ()):
                 if j <= i or write_op.txn == first_read.txn:
-                    continue
-                if write_op.predicate != first_read.predicate:
                     continue
                 commit_index = history.terminal_index(write_op.txn)
                 if not history.commits(write_op.txn) or commit_index is None or commit_index < j:
@@ -386,7 +436,7 @@ class PhantomStrict(Phenomenon):
                         continue
                     if second_read.predicate != first_read.predicate:
                         continue
-                    occurrences.append(Occurrence(
+                    yield Occurrence(
                         phenomenon=self.code,
                         transactions=(first_read.txn, write_op.txn),
                         items=tuple(filter(None, [write_op.item])),
@@ -396,8 +446,7 @@ class PhantomStrict(Phenomenon):
                             f"{first_read.predicate} after a committed change by "
                             f"T{write_op.txn}"
                         ),
-                    ))
-        return occurrences
+                    )
 
 
 class LostUpdate(Phenomenon):
@@ -412,20 +461,19 @@ class LostUpdate(Phenomenon):
     name = "Lost Update"
     interpretation = "broad"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        reads = _item_reads(history)
-        writes = _item_writes(history)
-        for i, read_op in reads:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        for i, read_op in index.reads:
             if not history.commits(read_op.txn):
                 continue
-            for j, other_write in writes:
-                if j <= i or other_write.txn == read_op.txn or other_write.item != read_op.item:
+            item_writes = index.item_writes(read_op.item)
+            for j, other_write in item_writes:
+                if j <= i or other_write.txn == read_op.txn:
                     continue
-                for k, own_write in writes:
-                    if k <= j or own_write.txn != read_op.txn or own_write.item != read_op.item:
+                for k, own_write in item_writes:
+                    if k <= j or own_write.txn != read_op.txn:
                         continue
-                    occurrences.append(Occurrence(
+                    yield Occurrence(
                         phenomenon=self.code,
                         transactions=(read_op.txn, other_write.txn),
                         items=(read_op.item,),
@@ -434,8 +482,7 @@ class LostUpdate(Phenomenon):
                             f"T{read_op.txn} overwrote {read_op.item} based on a read "
                             f"that predates T{other_write.txn}'s update"
                         ),
-                    ))
-        return occurrences
+                    )
 
 
 class CursorLostUpdate(Phenomenon):
@@ -450,23 +497,19 @@ class CursorLostUpdate(Phenomenon):
     name = "Cursor Lost Update"
     interpretation = "broad"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        cursor_reads = [
-            (i, op) for i, op in enumerate(history)
-            if op.kind is OperationKind.CURSOR_READ
-        ]
-        writes = _item_writes(history)
-        for i, read_op in cursor_reads:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        for i, read_op in index.cursor_reads:
             if not history.commits(read_op.txn):
                 continue
-            for j, other_write in writes:
-                if j <= i or other_write.txn == read_op.txn or other_write.item != read_op.item:
+            item_writes = index.item_writes(read_op.item)
+            for j, other_write in item_writes:
+                if j <= i or other_write.txn == read_op.txn:
                     continue
-                for k, own_write in writes:
-                    if k <= j or own_write.txn != read_op.txn or own_write.item != read_op.item:
+                for k, own_write in item_writes:
+                    if k <= j or own_write.txn != read_op.txn:
                         continue
-                    occurrences.append(Occurrence(
+                    yield Occurrence(
                         phenomenon=self.code,
                         transactions=(read_op.txn, other_write.txn),
                         items=(read_op.item,),
@@ -475,8 +518,7 @@ class CursorLostUpdate(Phenomenon):
                             f"T{read_op.txn} lost T{other_write.txn}'s update to "
                             f"{read_op.item} read through a cursor"
                         ),
-                    ))
-        return occurrences
+                    )
 
 
 class ReadSkew(Phenomenon):
@@ -491,30 +533,26 @@ class ReadSkew(Phenomenon):
     name = "Read Skew"
     interpretation = "strict"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        reads = _item_reads(history)
-        writes = _item_writes(history)
-        for i, first_read in reads:
-            for j, write_x in writes:
-                if j <= i or write_x.txn == first_read.txn or write_x.item != first_read.item:
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
+        for i, first_read in index.reads:
+            for j, write_x in index.item_writes(first_read.item):
+                if j <= i or write_x.txn == first_read.txn:
                     continue
                 if not history.commits(write_x.txn):
                     continue
                 commit_index = history.terminal_index(write_x.txn)
                 if commit_index is None or commit_index < j:
                     continue
-                for k, write_y in writes:
-                    if write_y.txn != write_x.txn or write_y.item == write_x.item:
+                for k, write_y in index.txn_writes(write_x.txn):
+                    if write_y.item == write_x.item:
                         continue
                     if not (i < k < commit_index or i < j < commit_index):
                         continue
-                    for m, second_read in reads:
+                    for m, second_read in index.item_reads(write_y.item):
                         if m <= commit_index or second_read.txn != first_read.txn:
                             continue
-                        if second_read.item != write_y.item:
-                            continue
-                        occurrences.append(Occurrence(
+                        yield Occurrence(
                             phenomenon=self.code,
                             transactions=(first_read.txn, write_x.txn),
                             items=(first_read.item, write_y.item),
@@ -524,8 +562,7 @@ class ReadSkew(Phenomenon):
                                 f"{write_y.item} after T{write_x.txn}'s committed update "
                                 f"of both"
                             ),
-                        ))
-        return occurrences
+                        )
 
 
 class WriteSkew(Phenomenon):
@@ -541,28 +578,26 @@ class WriteSkew(Phenomenon):
     name = "Write Skew"
     interpretation = "strict"
 
-    def find(self, history: History) -> List[Occurrence]:
-        occurrences: List[Occurrence] = []
-        reads = _item_reads(history)
-        writes = _item_writes(history)
+    def _scan(self, history: History,
+              index: HistoryIndex) -> Iterator[Occurrence]:
         committed = history.committed_transactions()
-        for i, read_x in reads:
+        for i, read_x in index.reads:
             if read_x.txn not in committed:
                 continue
-            for j, write_x in writes:
-                if j <= i or write_x.txn == read_x.txn or write_x.item != read_x.item:
+            for j, write_x in index.item_writes(read_x.item):
+                if j <= i or write_x.txn == read_x.txn:
                     continue
                 if write_x.txn not in committed:
                     continue
                 t1, t2 = read_x.txn, write_x.txn
                 # Now look for the mirror-image dependency on a different item.
-                for k, read_y in reads:
-                    if read_y.txn != t2 or read_y.item == read_x.item:
+                for k, read_y in index.txn_reads(t2):
+                    if read_y.item == read_x.item:
                         continue
-                    for m, write_y in writes:
-                        if m <= k or write_y.txn != t1 or write_y.item != read_y.item:
+                    for m, write_y in index.item_writes(read_y.item):
+                        if m <= k or write_y.txn != t1:
                             continue
-                        occurrences.append(Occurrence(
+                        yield Occurrence(
                             phenomenon=self.code,
                             transactions=(t1, t2),
                             items=(read_x.item, read_y.item),
@@ -571,8 +606,7 @@ class WriteSkew(Phenomenon):
                                 f"T{t1} and T{t2} each read one of "
                                 f"{{{read_x.item}, {read_y.item}}} and wrote the other"
                             ),
-                        ))
-        return occurrences
+                        )
 
 
 # -- registry ---------------------------------------------------------------------
@@ -629,14 +663,37 @@ def by_code(code: str) -> Phenomenon:
 
 
 def detect_all(history: History,
-               codes: Optional[Iterable[str]] = None) -> Dict[str, List[Occurrence]]:
+               codes: Optional[Iterable[str]] = None,
+               index: Optional[HistoryIndex] = None) -> Dict[str, List[Occurrence]]:
     """Run every (or the selected) detectors over a history.
 
     Returns a mapping from phenomenon code to the list of occurrences (which
     may be empty).  Useful for building the anomaly matrices of Tables 1 and 4.
+    One :class:`HistoryIndex` is built (or taken from ``index``) and shared
+    across all the detectors.
     """
     selected = (
         [by_code(code) for code in codes] if codes is not None
         else list(ALL_PHENOMENA.values())
     )
-    return {detector.code: detector.find(history) for detector in selected}
+    if index is None:
+        index = HistoryIndex(history)
+    return {detector.code: detector.find(history, index) for detector in selected}
+
+
+def detect_flags(history: History,
+                 codes: Optional[Iterable[str]] = None,
+                 index: Optional[HistoryIndex] = None) -> Dict[str, bool]:
+    """Presence booleans for every (or the selected) phenomenon.
+
+    The cheap sibling of :func:`detect_all`: each detector short-circuits on
+    its first occurrence instead of enumerating all of them.  Used by the
+    schedule explorer's classifier, which only records which phenomena occur.
+    """
+    selected = (
+        [by_code(code) for code in codes] if codes is not None
+        else list(ALL_PHENOMENA.values())
+    )
+    if index is None:
+        index = HistoryIndex(history)
+    return {detector.code: detector.occurs_in(history, index) for detector in selected}

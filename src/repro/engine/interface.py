@@ -26,11 +26,22 @@ from ..storage.database import Database
 from ..storage.predicates import Predicate
 from ..storage.rows import Row
 
-__all__ = ["OpStatus", "OpResult", "TransactionState", "Engine", "EngineError"]
+__all__ = [
+    "OpStatus",
+    "OpResult",
+    "TransactionState",
+    "Engine",
+    "EngineError",
+    "CheckpointError",
+]
 
 
 class EngineError(RuntimeError):
     """Raised for protocol violations (acting on an unknown or finished txn, ...)."""
+
+
+class CheckpointError(EngineError):
+    """Raised when an engine cannot checkpoint or restore its state."""
 
 
 class OpStatus(enum.Enum):
@@ -66,7 +77,21 @@ class OpResult:
     @classmethod
     def ok(cls, value: Any = None, version: Optional[int] = None,
            item: Optional[str] = None) -> "OpResult":
-        return cls(OpStatus.OK, value=value, version=version, item=item)
+        if value is None and version is None and item is None:
+            return _OK_RESULT
+        # OK results are immutable values; replaying thousands of schedules
+        # realizes the same (value, version, item) payloads over and over, so
+        # intern the hashable ones.
+        key = (value, version, item)
+        try:
+            cached = _OK_CACHE.get(key)
+        except TypeError:  # unhashable payload (e.g. a list of rows)
+            return cls(OpStatus.OK, value=value, version=version, item=item)
+        if cached is None:
+            cached = cls(OpStatus.OK, value=value, version=version, item=item)
+            if len(_OK_CACHE) < 100_000:
+                _OK_CACHE[key] = cached
+        return cached
 
     @classmethod
     def blocked(cls, blockers: Iterable[int], reason: str = "") -> "OpResult":
@@ -87,6 +112,13 @@ class OpResult:
     @property
     def is_aborted(self) -> bool:
         return self.status is OpStatus.ABORTED
+
+
+#: The shared no-payload OK result (immutable, so one instance serves all).
+_OK_RESULT = OpResult(OpStatus.OK)
+
+#: Interned OK results keyed by (value, version, item).
+_OK_CACHE: Dict[Any, OpResult] = {}
 
 
 class TransactionState(enum.Enum):
@@ -179,6 +211,55 @@ class Engine:
     def close_cursor(self, txn: int, cursor: str) -> OpResult:
         """Close a cursor, releasing any cursor-held locks."""
         raise NotImplementedError
+
+    # -- blocking fingerprint ----------------------------------------------------------------
+
+    def blocking_version(self) -> Optional[int]:
+        """A version stamp of the state a BLOCKED result depends on, or None.
+
+        Engines whose blocked outcomes are a pure function of some versioned
+        internal state (the locking engines' granted-lock table) return its
+        monotonic version; the schedule runner then skips re-submitting a
+        blocked step whose version has not changed, reusing the previous
+        result.  ``None`` (the default, and for engines that never block)
+        disables the fast path.
+        """
+        return None
+
+    # -- checkpoint / restore (the prefix-sharing executor contract) ------------------------
+
+    #: Whether this engine implements :meth:`checkpoint` / :meth:`restore`.
+    supports_checkpoints: bool = False
+
+    def checkpoint(self) -> Any:
+        """Capture the engine's full state (database included) as an opaque token.
+
+        The token is a *value*: it must stay valid however the live state is
+        mutated afterwards, and restoring it twice must be possible.  Tokens
+        are cheap — engines copy only the small mutable structures and record
+        truncation lengths for append-only ones (version chains), which is
+        what makes the schedule explorer's prefix-sharing trie executor
+        profitable.
+
+        Restore discipline: a token may only be restored on the engine that
+        produced it, and only to roll the engine *backwards* to a state on the
+        current execution path (the trie executor's DFS discipline).  Engines
+        whose stores are restored by truncation rely on this.
+        """
+        raise CheckpointError(f"{type(self).__name__} does not support checkpoints")
+
+    def restore(self, token: Any) -> None:
+        """Reset the engine (database included) to a previously captured token."""
+        raise CheckpointError(f"{type(self).__name__} does not support checkpoints")
+
+    def _base_checkpoint(self) -> Any:
+        """Checkpoint of the lifecycle bookkeeping shared by all engines."""
+        return dict(self._states), dict(self._abort_reasons)
+
+    def _base_restore(self, token: Any) -> None:
+        states, abort_reasons = token
+        self._states = dict(states)
+        self._abort_reasons = dict(abort_reasons)
 
     # -- bookkeeping shared by subclasses ---------------------------------------------------
 

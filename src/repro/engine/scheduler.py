@@ -23,8 +23,19 @@ round-robin, so an interleaving only needs to pin down the order of the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.history import History
 from ..core.operations import Operation, OperationKind
@@ -46,29 +57,57 @@ from .programs import (
     WriteItem,
 )
 
-__all__ = ["ScheduleRunner", "run_schedule", "replay_schedules"]
+__all__ = ["ScheduleRunner", "RunnerCheckpoint", "run_schedule", "replay_schedules"]
 
 
-@dataclass
 class _ProgramState:
-    """The runner's bookkeeping for one program."""
+    """The runner's bookkeeping for one program (slotted: hot-path attribute access)."""
 
-    program: TransactionProgram
-    counter: int = 0
-    finished: bool = False
-    context: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("program", "steps", "total", "counter", "finished", "context")
+
+    def __init__(self, program: TransactionProgram):
+        self.program = program
+        self.steps = program.steps
+        self.total = len(program.steps)
+        self.counter = 0
+        self.finished = False
+        self.context: Dict[str, Any] = {}
 
     @property
     def txn(self) -> int:
         return self.program.txn
 
     @property
-    def current_step(self) -> Step:
-        return self.program.steps[self.counter]
-
-    @property
     def exhausted(self) -> bool:
-        return self.counter >= len(self.program.steps)
+        return self.counter >= self.total
+
+
+@dataclass(frozen=True)
+class RunnerCheckpoint:
+    """A value token of a :class:`ScheduleRunner` mid-run, engine included.
+
+    Captured by :meth:`ScheduleRunner.checkpoint` after some prefix of slots
+    has been applied; :meth:`ScheduleRunner.restore` rolls the runner (and its
+    engine, and the engine's database) back to exactly that point.  Append-only
+    structures (operations, traces, deadlocks) are restored by truncation, so a
+    token is only valid for rolling *backwards* along the same execution path —
+    the trie executor's DFS discipline.
+    """
+
+    engine_token: Any
+    program_states: Tuple[Tuple[int, int, bool], ...]  # (txn, counter, finished)
+    contexts: Tuple[Tuple[int, Dict[str, Any]], ...]
+    waits_token: Any
+    operations_len: int
+    traces_len: int
+    deadlocks_len: int
+    blocked_events: int
+    abort_reasons: Tuple[Tuple[int, str], ...]
+    attempts: int
+    stalled: bool
+    waits_maybe_cyclic: bool
+    terminal_recorded: FrozenSet[int] = frozenset()
+    blocked_memo: Tuple[Tuple[int, Tuple[int, int, OpResult]], ...] = ()
 
 
 class ScheduleRunner:
@@ -76,7 +115,8 @@ class ScheduleRunner:
 
     def __init__(self, engine: Engine, programs: Sequence[TransactionProgram],
                  interleaving: Optional[Sequence[int]] = None,
-                 max_attempts: Optional[int] = None):
+                 max_attempts: Optional[int] = None,
+                 collect_traces: bool = True):
         if not programs:
             raise ValueError("at least one transaction program is required")
         txns = [program.txn for program in programs]
@@ -87,6 +127,16 @@ class ScheduleRunner:
         self._order = list(txns)
         total_steps = sum(len(program) for program in programs)
         self._max_attempts = max_attempts or (total_steps * 20 + 100)
+        #: The schedule explorer turns traces off: records never consult them,
+        #: and skipping a StepTrace per attempt is measurable on the hot path.
+        self._collect_traces = collect_traces
+        #: Interned realized operations, shared across runs of this runner:
+        #: replaying thousands of schedules of the same programs realizes the
+        #: same (kind, txn, item, value, version) operations over and over,
+        #: and reusing the instances also reuses their cached hashes.
+        #: Survives reset()/restore() — interning is pure.  Keyed by kind
+        #: first so the per-call tuple key avoids hashing the enum.
+        self._op_cache: Dict[OperationKind, Dict[Tuple, Operation]] = {}
         self._reset_state(interleaving)
 
     def _reset_state(self, interleaving: Optional[Sequence[int]]) -> None:
@@ -99,7 +149,18 @@ class ScheduleRunner:
         self._blocked_events = 0
         self._deadlocks: List[Deadlock] = []
         self._abort_reasons: Dict[int, str] = {}
+        self._attempts = 0
         self._stalled = False
+        self._begun = False
+        #: Transactions whose terminal operation is already in _operations.
+        self._terminal_recorded: set = set()
+        #: Per-transaction (step counter, blocking version, result) of the
+        #: last blocked attempt — see the fast path in _attempt.
+        self._blocked_memo: Dict[int, Tuple[int, int, OpResult]] = {}
+        #: True while a broken deadlock may have left another cycle behind;
+        #: while False the waits-for graph is provably acyclic and detection
+        #: can be skipped for blocked attempts whose blockers are all running.
+        self._waits_maybe_cyclic = False
 
     # -- public API -----------------------------------------------------------------
 
@@ -124,32 +185,133 @@ class ScheduleRunner:
 
     def run(self) -> ExecutionOutcome:
         """Execute every program to completion and return the outcome."""
-        for state in self._states.values():
-            self.engine.begin(state.txn)
-
-        attempts = 0
+        self.begin_all()
         # Phase 1: the explicit interleaving.
         for txn in self._interleaving:
-            if attempts >= self._max_attempts:
+            if self._attempts >= self._max_attempts:
                 break
-            attempts += self._attempt(txn)
+            self.apply_slot(txn)
+        return self.drain()
 
-        # Phase 2: drain remaining work round-robin until done or stuck.
-        while not self._all_finished() and attempts < self._max_attempts:
+    # -- stepwise API (the trie executor's entry points) ------------------------------------
+
+    def begin_all(self) -> None:
+        """Register every program's transaction with the engine (idempotent)."""
+        if self._begun:
+            return
+        for state in self._states.values():
+            self.engine.begin(state.txn)
+        self._begun = True
+
+    def apply_slot(self, txn: int) -> int:
+        """Apply one interleaving slot (one attempt of ``txn``'s next step).
+
+        Returns 1 when an engine call was made, 0 when the transaction had
+        nothing left to do.  Equivalent to one iteration of :meth:`run`'s
+        phase-1 loop; callers driving slots directly must call
+        :meth:`begin_all` first and :meth:`drain` afterwards.
+        """
+        if self._attempts >= self._max_attempts:
+            return 0
+        made = self._attempt(txn)
+        self._attempts += made
+        return made
+
+    def drain(self) -> ExecutionOutcome:
+        """Phase 2: drain remaining work round-robin until done or stuck.
+
+        Retries are *version-gated*: a transaction whose last attempt came
+        back blocked is only re-attempted once the engine's blocking state
+        has changed (another transaction was granted or released a lock) — an
+        unchanged version makes the retry a provable no-op, so skipping it
+        leaves the realized history, statuses, and deadlocks untouched and
+        only stops inflating ``blocked_events`` with futile submissions.
+        Deadlocks formed while every blocked transaction is parked are still
+        caught: the no-progress branch below runs full detection, and a
+        broken victim's released locks bump the version, waking the rest.
+        """
+        states = self._states
+        memo = self._blocked_memo
+        while self._attempts < self._max_attempts:
+            # Attempting only unfinished transactions, in schedule order, makes
+            # exactly the same effectful attempts as iterating the full order
+            # (an _attempt on a finished transaction is a guaranteed no-op).
+            active = [txn for txn in self._order
+                      if not states[txn].finished
+                      and states[txn].counter < states[txn].total]
+            if not active:
+                break
             progressed = False
-            for txn in self._order:
-                if attempts >= self._max_attempts:
+            for txn in active:
+                if self._attempts >= self._max_attempts:
                     break
+                parked = memo.get(txn)
+                if (parked is not None
+                        and parked[0] == states[txn].counter
+                        and parked[1] == self.engine.blocking_version()):
+                    continue
                 made = self._attempt(txn)
-                attempts += made
+                self._attempts += made
                 if made and not self._is_blocked_state(txn):
                     progressed = True
             if not progressed:
                 if not self._resolve_deadlock():
+                    # No progress and no cycle: whether transactions were
+                    # re-attempted or parked on an unchanged lock table,
+                    # nothing can ever wake them.
                     self._stalled = True
                     break
-
         return self._build_outcome()
+
+    # -- checkpoint / restore ----------------------------------------------------------------
+
+    def checkpoint(self) -> RunnerCheckpoint:
+        """Capture runner + engine state after the slots applied so far."""
+        return RunnerCheckpoint(
+            engine_token=self.engine.checkpoint(),
+            program_states=tuple(
+                (txn, state.counter, state.finished)
+                for txn, state in self._states.items()
+            ),
+            contexts=tuple(
+                (txn, dict(state.context)) for txn, state in self._states.items()
+            ),
+            waits_token=self._waits.checkpoint(),
+            operations_len=len(self._operations),
+            traces_len=len(self._traces),
+            deadlocks_len=len(self._deadlocks),
+            blocked_events=self._blocked_events,
+            abort_reasons=tuple(self._abort_reasons.items()),
+            attempts=self._attempts,
+            stalled=self._stalled,
+            waits_maybe_cyclic=self._waits_maybe_cyclic,
+            terminal_recorded=frozenset(self._terminal_recorded),
+            blocked_memo=tuple(self._blocked_memo.items()),
+        )
+
+    def restore(self, token: RunnerCheckpoint) -> None:
+        """Roll runner + engine back to a checkpoint on the current run's path."""
+        self.engine.restore(token.engine_token)
+        for txn, counter, finished in token.program_states:
+            state = self._states[txn]
+            state.counter = counter
+            state.finished = finished
+        for txn, context in token.contexts:
+            self._states[txn].context = dict(context)
+        self._waits.restore(token.waits_token)
+        del self._operations[token.operations_len:]
+        del self._traces[token.traces_len:]
+        del self._deadlocks[token.deadlocks_len:]
+        self._blocked_events = token.blocked_events
+        self._abort_reasons = dict(token.abort_reasons)
+        self._attempts = token.attempts
+        self._stalled = token.stalled
+        self._waits_maybe_cyclic = token.waits_maybe_cyclic
+        self._terminal_recorded = set(token.terminal_recorded)
+        # The memo is observable state — whether a drain retry is parked or
+        # re-submitted shows up in blocked_events — so it round-trips exactly,
+        # together with the engine-side version counter it is keyed on.
+        self._blocked_memo = dict(token.blocked_memo)
 
     # -- single-step execution -----------------------------------------------------------
 
@@ -157,23 +319,46 @@ class ScheduleRunner:
         """Try to execute the next step of a transaction.  Returns 1 if an
         engine call was made (whatever its outcome), 0 if nothing to do."""
         state = self._states.get(txn)
-        if state is None or state.finished or state.exhausted:
+        if state is None or state.finished or state.counter >= state.total:
             return 0
-        step = state.current_step
-        result = step.perform(self.engine, txn, state.context)
-        self._traces.append(
-            StepTrace(txn, step.describe(), result.status, result.value, result.reason)
-        )
+        counter = state.counter
+        step = state.steps[counter]
+        # A blocked outcome is a pure function of the engine's versioned
+        # blocking state; when neither the step nor that version has changed
+        # since this transaction's last blocked attempt, skip the engine call
+        # and replay the identical result (all runner-side effects still run).
+        memo = self._blocked_memo.get(txn)
+        if memo is not None and memo[0] == counter:
+            version = self.engine.blocking_version()
+            if version is not None and version == memo[1]:
+                result = memo[2]
+            else:
+                result = step.perform(self.engine, txn, state.context)
+        else:
+            result = step.perform(self.engine, txn, state.context)
+        if self._collect_traces:
+            self._traces.append(
+                StepTrace(txn, step.describe(), result.status, result.value, result.reason)
+            )
 
-        if result.is_blocked:
+        status = result.status
+        if status is OpStatus.BLOCKED:
+            version = self.engine.blocking_version()
+            if version is not None:
+                self._blocked_memo[txn] = (counter, version, result)
             self._blocked_events += 1
             self._waits.set_waits(txn, result.blockers)
-            self._resolve_deadlock()
+            # Detection is skippable when the graph is provably acyclic: a new
+            # cycle must run through ``txn``, whose first hop is a blocker, so
+            # with no blocker itself waiting the graph stays acyclic and
+            # detect() would return None anyway.
+            if self._waits_maybe_cyclic or self._waits.any_waiting(result.blockers):
+                self._resolve_deadlock()
             return 1
 
         self._waits.clear_waits(txn)
 
-        if result.is_aborted:
+        if status is OpStatus.ABORTED:
             self._record_abort(txn, result.reason or "engine abort")
             state.finished = True
             self._waits.remove_transaction(txn)
@@ -183,8 +368,10 @@ class ScheduleRunner:
         operation = self._to_operation(txn, step, result)
         if operation is not None:
             self._operations.append(operation)
+            if operation.kind is OperationKind.COMMIT or operation.kind is OperationKind.ABORT:
+                self._terminal_recorded.add(txn)
         state.counter += 1
-        if isinstance(step, (Commit, Abort)) or state.exhausted:
+        if isinstance(step, (Commit, Abort)) or state.counter >= state.total:
             state.finished = True
             self._waits.remove_transaction(txn)
             if isinstance(step, Abort):
@@ -198,7 +385,11 @@ class ScheduleRunner:
         """Detect a deadlock and abort its victim.  Returns True if one was broken."""
         deadlock = self._waits.detect()
         if deadlock is None:
+            self._waits_maybe_cyclic = False
             return False
+        # Breaking one cycle may leave another; force full detection until a
+        # scan comes back clean.
+        self._waits_maybe_cyclic = True
         self._deadlocks.append(deadlock)
         victim = deadlock.victim
         self.engine.abort(victim, reason="deadlock victim")
@@ -211,41 +402,56 @@ class ScheduleRunner:
 
     def _record_abort(self, txn: int, reason: str) -> None:
         self._abort_reasons[txn] = reason
-        already_terminated = any(
-            op.txn == txn and op.is_terminal for op in self._operations
-        )
-        if not already_terminated:
-            self._operations.append(Operation(OperationKind.ABORT, txn))
+        if txn not in self._terminal_recorded:
+            self._operations.append(self._intern(OperationKind.ABORT, txn))
+            self._terminal_recorded.add(txn)
 
     # -- translation to history operations --------------------------------------------------
+
+    def _intern(self, kind: OperationKind, txn: int, item: Optional[str] = None,
+                value: Any = None, version: Optional[int] = None) -> Operation:
+        """A (usually cached) Operation — replays realize the same ones endlessly."""
+        by_kind = self._op_cache.get(kind)
+        if by_kind is None:
+            by_kind = self._op_cache[kind] = {}
+        key = (txn, item, value, version)
+        try:
+            operation = by_kind.get(key)
+        except TypeError:  # unhashable recorded value — build directly
+            return Operation(kind, txn, item=item, value=value, version=version)
+        if operation is None:
+            operation = Operation(kind, txn, item=item, value=value, version=version)
+            if len(by_kind) < 100_000:
+                by_kind[key] = operation
+        return operation
 
     def _to_operation(self, txn: int, step: Step, result: OpResult) -> Optional[Operation]:
         """Map a completed step to the history operation it realizes."""
         if isinstance(step, ReadItem):
-            return Operation(OperationKind.READ, txn, item=step.item,
-                             value=result.value, version=result.version)
+            return self._intern(OperationKind.READ, txn, step.item,
+                                result.value, result.version)
         if isinstance(step, WriteItem):
-            return Operation(OperationKind.WRITE, txn, item=step.item,
-                             value=result.value, version=result.version)
+            return self._intern(OperationKind.WRITE, txn, step.item,
+                                result.value, result.version)
         if isinstance(step, SelectPredicate):
             return Operation(OperationKind.PREDICATE_READ, txn,
                              predicate=step.predicate.name)
         if isinstance(step, InsertRow):
-            return Operation(OperationKind.WRITE, txn, item=result.item,
-                             version=result.version)
+            return self._intern(OperationKind.WRITE, txn, result.item,
+                                version=result.version)
         if isinstance(step, (UpdateRow, DeleteRow)):
-            return Operation(OperationKind.WRITE, txn,
-                             item=f"{step.table}/{step.key}", version=result.version)
+            return self._intern(OperationKind.WRITE, txn,
+                                f"{step.table}/{step.key}", version=result.version)
         if isinstance(step, Fetch):
-            return Operation(OperationKind.CURSOR_READ, txn, item=result.item,
-                             value=result.value, version=result.version)
+            return self._intern(OperationKind.CURSOR_READ, txn, result.item,
+                                result.value, result.version)
         if isinstance(step, CursorUpdate):
-            return Operation(OperationKind.CURSOR_WRITE, txn, item=result.item,
-                             value=result.value, version=result.version)
+            return self._intern(OperationKind.CURSOR_WRITE, txn, result.item,
+                                result.value, result.version)
         if isinstance(step, Commit):
-            return Operation(OperationKind.COMMIT, txn)
+            return self._intern(OperationKind.COMMIT, txn)
         if isinstance(step, Abort):
-            return Operation(OperationKind.ABORT, txn)
+            return self._intern(OperationKind.ABORT, txn)
         # OpenCursor / CloseCursor do not appear in histories.
         return None
 
@@ -263,7 +469,9 @@ class ScheduleRunner:
                 statuses[txn] = TransactionState.ACTIVE
         return ExecutionOutcome(
             engine_name=self.engine.name,
-            history=History(self._operations),
+            # Runner-realized histories are well-formed by construction (a
+            # finished transaction never acts again), so skip the validation scan.
+            history=History(self._operations, validate=False),
             statuses=statuses,
             contexts={txn: dict(state.context) for txn, state in self._states.items()},
             database=self.engine.database,

@@ -25,6 +25,9 @@ The public surface:
   variant's interleaving space and measure how often its anomaly manifests,
   with replayable witness interleavings (``explore_variant`` /
   ``explore_scenario``).
+* :mod:`~repro.explorer.trie_executor` — the prefix-sharing trie executor:
+  one testbed per (spec, level), checkpoint/restore instead of rebuild, and
+  schedules re-executing only their divergent suffix.
 * :mod:`~repro.explorer.worker` — the picklable process-pool work units.
 * :mod:`~repro.explorer.memo` — memoized batched classification with
   prefix-shared dependency-graph construction and cross-process cache
@@ -39,7 +42,13 @@ from .explorer import (
     explore,
 )
 from .memo import BatchClassifier, HistoryClassification, PrefixGraphBuilder
-from .reduction import CommutationOracle, ExecutionPlan, build_execution_plan
+from .reduction import (
+    CommutationOracle,
+    ExecutionPlan,
+    StreamingReducer,
+    build_execution_plan,
+)
+from .trie_executor import TrieExecutor, TrieStats
 from .scenarios import (
     ScenarioExploration,
     VariantExploration,
@@ -75,7 +84,10 @@ __all__ = [
     "PrefixGraphBuilder",
     "CommutationOracle",
     "ExecutionPlan",
+    "StreamingReducer",
     "build_execution_plan",
+    "TrieExecutor",
+    "TrieStats",
     "ScenarioExploration",
     "VariantExploration",
     "explore_scenario",

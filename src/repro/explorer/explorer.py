@@ -2,29 +2,38 @@
 
 ``explore()`` resolves the interleaving space of a registered program set
 (exhaustive for small spaces, seeded uniform sampling for large ones), streams
-it in fixed-size chunks, executes every chunk against fresh engines — in
-process, or fanned out over a ``multiprocessing`` pool — and reassembles the
-per-schedule records in schedule order.
+it in fixed-size chunks, executes every chunk through the prefix-sharing
+:class:`~repro.explorer.trie_executor.TrieExecutor` — in process, or fanned
+out over a ``multiprocessing`` pool — and reassembles the per-schedule records
+in schedule order.
 
-Three scaling layers sit on the hot path:
+Four scaling layers sit on the hot path:
 
 * **Streaming** — the schedule stream is generated lazily and dispatched with
   ``imap`` over indexed chunks, so exploring (or sampling) millions of
   schedules holds O(chunk) interleavings in memory, never the full list.
+* **Prefix-sharing execution** — each worker keeps one testbed per
+  (spec, level) and walks its chunks as a DFS over their shared-prefix trie:
+  a schedule re-executes only the suffix past the deepest checkpoint it
+  shares with its predecessor (see :mod:`repro.explorer.trie_executor`).
 * **Partial-order reduction** (``reduction="sleep-set"``) — equivalent
   interleavings (differing only by commuting adjacent steps of transactions
   with disjoint footprints) are executed once and their classification reused
-  for the whole equivalence class; see :mod:`repro.explorer.reduction`.
+  for the whole equivalence class.  Canonicalization is *streamed*: chunks are
+  reduced as they are generated (:class:`~repro.explorer.reduction.StreamingReducer`),
+  so reduction composes with sampled streams of any size without
+  materializing the schedule list up front.
 * **Shared classification cache** (``shared_cache=True``) — parallel workers
-  exchange whole-history classifications through a manager dict, snapshot at
-  chunk start and published at chunk end, so they stop paying each other's
-  cold caches.
+  exchange whole-history classifications through an append-only manager log,
+  one batched pull and one batched publish per chunk, so they stop paying
+  each other's cold caches.
 
 Determinism contract: the full output (every record, in order) is a pure
 function of ``(spec, levels, mode, max_schedules, seed, reduction)``.  Worker
 count, chunk size, and cache sharing only change wall-clock time, never
 results — the schedule stream is fixed by the seed before any execution,
-chunks are indexed, records are reassembled by chunk index, and
+chunks are indexed, records are reassembled by chunk index, execution is
+byte-equal to from-scratch runs (the trie executor's contract), and
 classification is a pure function of the realized history.
 ``ExplorationResult.fingerprint()`` hashes the record stream so tests can
 assert byte-identical serial/parallel output.
@@ -37,6 +46,7 @@ import hashlib
 import multiprocessing
 import os
 import time
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -44,7 +54,7 @@ from ..core.isolation import IsolationLevelName
 from ..testbed import is_single_version
 from ..workloads.program_sets import ProgramSetSpec, resolve_program_set
 from .memo import BatchClassifier
-from .reduction import ExecutionPlan, build_execution_plan
+from .reduction import StreamingReducer
 from .schedules import Interleaving, ScheduleSpace, schedule_space
 from .worker import (
     ChunkResult,
@@ -156,101 +166,163 @@ class ExplorationResult:
         return self.total_schedules() / executed if executed else 1.0
 
 
-# -- chunked dispatch ---------------------------------------------------------------
+# -- streamed reduction plans -------------------------------------------------------
 
 
-def _chunks_of(schedules: Sequence[Interleaving],
-               chunk_size: int) -> Iterator[Tuple[int, Tuple[Interleaving, ...]]]:
-    """Indexed fixed-size chunks of an already-materialized schedule list."""
-    for index, start in enumerate(range(0, len(schedules), chunk_size)):
-        yield index, tuple(schedules[start:start + chunk_size])
+class _ScopePlan:
+    """Per-terminal-scope reduction state, built while the first level streams.
 
-
-def _iter_chunk_tasks(spec: ProgramSetSpec, level: IsolationLevelName,
-                      chunks: Iterable[Tuple[int, Tuple[Interleaving, ...]]],
-                      builder, shared_cache) -> Iterator[ChunkTask]:
-    for index, chunk in chunks:
-        yield ChunkTask(index, spec, level, chunk, builder, shared_cache)
-
-
-def _level_chunks(space: ScheduleSpace, plan: Optional[ExecutionPlan],
-                  chunk_size: int) -> Iterator[Tuple[int, Tuple[Interleaving, ...]]]:
-    """The chunk stream a level executes: reduced representatives or the space."""
-    if plan is not None:
-        return _chunks_of(plan.executed, chunk_size)
-    return space.iter_chunks(chunk_size)
-
-
-def _assemble(executed_records: Sequence[ScheduleRecord],
-              plan: ExecutionPlan,
-              schedules: Sequence[Interleaving]) -> List[ScheduleRecord]:
-    """Expand representative records back over the full schedule stream.
-
-    Every schedule of the space gets a record: representatives keep their own,
-    reduced schedules borrow their representative's classification with the
-    interleaving rewritten to their own — equivalence guarantees the realized
-    behavior matches up to commuting adjacent steps.
+    The first level using a scope drives :class:`StreamingReducer` chunk by
+    chunk and records the slot assignment (one compact integer per schedule);
+    subsequent levels of the same scope replay the stored plan — representing
+    chunks as contiguous slices of the representative list — without paying
+    canonicalization again.
     """
-    records: List[ScheduleRecord] = []
-    for position, interleaving in enumerate(schedules):
-        record = executed_records[plan.assignment[position]]
-        if record.interleaving != interleaving:
-            record = dataclasses.replace(record, interleaving=interleaving)
-        records.append(record)
-    return records
+
+    def __init__(self, programs, scope: str):
+        self.reducer = StreamingReducer(programs, terminal_scope=scope)
+        self.assignment = array("q")
+        self.complete = False
+
+    def building_stream(self, chunks: Iterable[Tuple[int, Tuple[Interleaving, ...]]]
+                        ) -> Iterator[Tuple[Tuple[Interleaving, ...], Tuple[Interleaving, ...]]]:
+        """Reduce chunks as they stream; yields (chunk, fresh representatives)."""
+        for _, chunk in chunks:
+            fresh, slots = self.reducer.reduce(chunk)
+            self.assignment.extend(slots)
+            yield chunk, fresh
+        self.complete = True
+
+    def replay_stream(self, chunks: Iterable[Tuple[int, Tuple[Interleaving, ...]]]
+                      ) -> Iterator[Tuple[Tuple[Interleaving, ...], Tuple[Interleaving, ...]]]:
+        """Replay the recorded plan: fresh representatives are a contiguous
+        suffix of the representative list within each chunk (first-encounter
+        order guarantees it)."""
+        executed = self.reducer.executed
+        cursor = 0
+        position = 0
+        for _, chunk in chunks:
+            slots = self.assignment[position:position + len(chunk)]
+            position += len(chunk)
+            top = max(slots) + 1 if len(slots) else cursor
+            fresh = tuple(executed[cursor:max(cursor, top)])
+            cursor = max(cursor, top)
+            yield chunk, fresh
+
+    def stream(self, chunks: Iterable[Tuple[int, Tuple[Interleaving, ...]]]
+               ) -> Iterator[Tuple[Tuple[Interleaving, ...], Tuple[Interleaving, ...]]]:
+        if self.complete:
+            return self.replay_stream(chunks)
+        return self.building_stream(chunks)
 
 
-def _merge_stats(results: Sequence[ChunkResult]) -> Dict[str, int]:
+def _merge_stats(stats_list: Iterable[Dict[str, int]]) -> Dict[str, int]:
     merged: Dict[str, int] = {}
-    for result in results:
-        for key, value in result.cache_stats.items():
+    for stats in stats_list:
+        for key, value in stats.items():
             merged[key] = merged.get(key, 0) + value
     return merged
 
 
-def _explore_level_serial(spec: ProgramSetSpec, level: IsolationLevelName,
-                          space: ScheduleSpace, plan: Optional[ExecutionPlan],
-                          plan_schedules: Optional[Tuple[Interleaving, ...]],
-                          chunk_size: int, builder,
-                          initial_items) -> LevelExploration:
-    classifier = BatchClassifier(initial_items=initial_items)
-    started = time.perf_counter()
-    records: List[ScheduleRecord] = []
-    tasks = _iter_chunk_tasks(spec, level, _level_chunks(space, plan, chunk_size),
-                              builder, None)
-    for task in tasks:
-        records.extend(execute_chunk(task, classifier).records)
-    executed = len(records)
-    if plan is not None:
-        records = _assemble(records, plan, plan_schedules)
-    duration = time.perf_counter() - started
-    return LevelExploration(level, tuple(records), dict(classifier.stats),
-                            duration, executed=executed)
+def _assemble_chunk(records: List[ScheduleRecord],
+                    executed_records: List[ScheduleRecord],
+                    chunk: Tuple[Interleaving, ...],
+                    slots: Sequence[int]) -> None:
+    """Expand one chunk's representative records over its schedule stream."""
+    for interleaving, slot in zip(chunk, slots):
+        record = executed_records[slot]
+        if record.interleaving != interleaving:
+            record = dataclasses.replace(record, interleaving=interleaving)
+        records.append(record)
 
 
-def _explore_level_parallel(spec: ProgramSetSpec, level: IsolationLevelName,
-                            space: ScheduleSpace, plan: Optional[ExecutionPlan],
-                            plan_schedules: Optional[Tuple[Interleaving, ...]],
-                            chunk_size: int,
-                            pool: "multiprocessing.pool.Pool",
-                            builder, shared_cache) -> LevelExploration:
-    tasks = _iter_chunk_tasks(spec, level, _level_chunks(space, plan, chunk_size),
-                              builder, shared_cache)
+# -- level exploration (serial and parallel share the chunk pipeline) ----------------
+
+
+def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
+                   space: ScheduleSpace, plan: Optional[_ScopePlan],
+                   chunk_size: int, builder, initial_items,
+                   pool, shared_cache) -> LevelExploration:
+    """Stream one level's chunks through execution (in-process or pooled).
+
+    With a reduction plan, chunks are canonicalized as they stream (or the
+    recorded plan replayed) and only fresh representatives are executed;
+    assembly interleaves with result consumption, so no stage materializes
+    the schedule stream.
+    """
+    serial_classifier = (BatchClassifier(initial_items=initial_items)
+                         if pool is None else None)
     started = time.perf_counter()
-    # imap pulls tasks from the lazy generator as workers free up, so the
-    # parent never materializes the full schedule list; results arrive in
-    # submission order, which *is* chunk-index order.
-    results = list(pool.imap(execute_chunk, tasks))
-    results.sort(key=lambda result: result.chunk_index)
     records: List[ScheduleRecord] = []
-    for result in results:
-        records.extend(result.records)
-    executed = len(records)
-    if plan is not None:
-        records = _assemble(records, plan, plan_schedules)
+    executed_records: List[ScheduleRecord] = []
+    stats_parts: List[Dict[str, int]] = []
+    executed = 0
+
+    if plan is None:
+        # In-process execution has no load-balancing constraint, so batch the
+        # stream coarser than chunk_size: bigger sorted batches share longer
+        # prefixes in the trie executor.  Records are identical either way —
+        # per-schedule outcomes are independent of batching by the trie
+        # executor's byte-equality contract.
+        batch_size = chunk_size if pool is not None else max(chunk_size, 512)
+        chunk_schedules = space.iter_chunks(batch_size)
+
+        def tasks() -> Iterator[ChunkTask]:
+            for index, chunk in chunk_schedules:
+                yield ChunkTask(index, spec, level, chunk, builder, shared_cache)
+
+        for result in _run_tasks(tasks(), pool, serial_classifier):
+            records.extend(result.records)
+            stats_parts.append(result.cache_stats)
+        executed = len(records)
+    else:
+        plan_stream = plan.stream(space.iter_chunks(chunk_size))
+        # The task generator advances the plan stream; assembly pulls the
+        # matching (chunk, slots) pairs from this parent-side queue, which
+        # only ever holds the chunks the pool has prefetched ahead of their
+        # results — O(pool prefetch), not O(stream).
+        pending: List[Tuple[Tuple[Interleaving, ...], int]] = []
+
+        def tasks() -> Iterator[ChunkTask]:
+            for index, (chunk, fresh) in enumerate(plan_stream):
+                pending.append((chunk, len(chunk)))
+                yield ChunkTask(index, spec, level, fresh, builder, shared_cache)
+
+        position = 0
+        for result in _run_tasks(tasks(), pool, serial_classifier):
+            executed_records.extend(result.records)
+            stats_parts.append(result.cache_stats)
+            chunk, length = pending.pop(0)
+            slots = plan.assignment[position:position + length]
+            position += length
+            _assemble_chunk(records, executed_records, chunk, slots)
+        executed = len(executed_records)
+
+    if serial_classifier is not None:
+        merged = _merge_stats(stats_parts)
+        # The shared classifier's counters are authoritative for the level;
+        # per-chunk parts carry the timing/trie counters.
+        merged.update(serial_classifier.stats)
+        stats = merged
+    else:
+        stats = _merge_stats(stats_parts)
     duration = time.perf_counter() - started
-    return LevelExploration(level, tuple(records), _merge_stats(results),
-                            duration, executed=executed)
+    return LevelExploration(level, tuple(records), stats, duration,
+                            executed=executed)
+
+
+def _run_tasks(tasks: Iterator[ChunkTask], pool,
+               serial_classifier) -> Iterator[ChunkResult]:
+    """Run chunk tasks in submission order, in-process or on the pool."""
+    if pool is None:
+        for task in tasks:
+            yield execute_chunk(task, serial_classifier)
+    else:
+        # imap pulls tasks from the lazy generator as workers free up, so the
+        # parent never materializes the full schedule list; results arrive in
+        # submission order, which *is* chunk-index order.
+        for result in pool.imap(execute_chunk, tasks):
+            yield result
 
 
 def _resolve_worker_count(workers: Union[int, str]) -> int:
@@ -295,6 +367,8 @@ def explore(spec: ProgramSetSpec,
         ``"none"`` executes every schedule; ``"sleep-set"`` executes one
         representative per commutation-equivalence class and reuses its
         classification for the rest (see :mod:`repro.explorer.reduction`).
+        Canonicalization streams chunk by chunk; at most one plan per
+        terminal scope is built and replayed across the levels of that kind.
         The commutation oracle is level-aware: single-version locking levels
         drop the component-wide snapshot-boundary terminal rule multiversion
         engines need, so their equivalence classes are coarser and their
@@ -307,8 +381,9 @@ def explore(spec: ProgramSetSpec,
         representative history, not a replay of that exact interleaving.
     shared_cache:
         When parallel, share whole-history classifications across workers via
-        a manager dict (snapshot at chunk start, publish at chunk end).  Pure
-        optimization — never changes records.
+        an append-only manager log (one batched pull at chunk start, one
+        batched publish at chunk end).  Pure optimization — never changes
+        records.
     """
     workers = _resolve_worker_count(workers)
     if chunk_size < 1:
@@ -322,46 +397,41 @@ def explore(spec: ProgramSetSpec,
     initial_items = _initial_items(database)
     space = schedule_space(programs, mode=mode, max_schedules=max_schedules, seed=seed)
 
-    # The reduction plan depends on the level only through the terminal rule:
-    # single-version locking engines use the relaxed "footprint" scope, while
-    # multiversion engines need the component-wide "component" scope (commits
-    # are snapshot boundaries).  At most two plans are built and shared across
-    # the levels of each kind; commutation is otherwise judged on static
-    # footprints that hold under every engine.  Canonicalization walks the
-    # whole stream anyway, so the stream is materialized once alongside the
-    # O(selected) assignments rather than regenerated per level.
-    plans: Dict[str, ExecutionPlan] = {}
-    plan_schedules: Optional[Tuple[Interleaving, ...]] = None
-    if reduction == "sleep-set":
-        plan_schedules = tuple(space)
-        for scope in {terminal_scope_for(level) for level in levels}:
-            plans[scope] = build_execution_plan(plan_schedules, programs,
-                                                terminal_scope=scope)
+    # The reduction plan depends on the level only through the terminal rule;
+    # at most two plans are built (one per scope in use) and shared across the
+    # levels of each kind.  Plans are streamed: the first level of a scope
+    # reduces chunks as they are generated, later levels replay the recorded
+    # assignment — O(representatives + one int per schedule) memory, never the
+    # materialized stream.
+    plans: Dict[str, _ScopePlan] = {}
 
-    def _plan_for(level: IsolationLevelName) -> Optional[ExecutionPlan]:
-        if not plans:
+    def _plan_for(level: IsolationLevelName) -> Optional[_ScopePlan]:
+        if reduction != "sleep-set":
             return None
-        return plans[terminal_scope_for(level)]
+        scope = terminal_scope_for(level)
+        if scope not in plans:
+            plans[scope] = _ScopePlan(programs, scope)
+        return plans[scope]
 
     explorations: Dict[IsolationLevelName, LevelExploration] = {}
     if workers == 1:
         for level in levels:
-            explorations[level] = _explore_level_serial(
-                spec, level, space, _plan_for(level), plan_schedules,
-                chunk_size, builder, initial_items
+            explorations[level] = _explore_level(
+                spec, level, space, _plan_for(level), chunk_size, builder,
+                initial_items, pool=None, shared_cache=None,
             )
     else:
         manager = multiprocessing.Manager() if shared_cache else None
         try:
-            # One shared dict across levels too: classification is level-
+            # One shared log across levels too: classification is level-
             # independent, and serial prefixes realize identical histories
             # under different engines.
-            shared = manager.dict() if manager is not None else None
+            shared = manager.list() if manager is not None else None
             with multiprocessing.Pool(processes=workers) as pool:
                 for level in levels:
-                    explorations[level] = _explore_level_parallel(
-                        spec, level, space, _plan_for(level), plan_schedules,
-                        chunk_size, pool, builder, shared
+                    explorations[level] = _explore_level(
+                        spec, level, space, _plan_for(level), chunk_size,
+                        builder, initial_items, pool=pool, shared_cache=shared,
                     )
         finally:
             if manager is not None:

@@ -29,7 +29,7 @@ from ..core.dependency import DependencyEdge, DependencyGraph, _edge_kind
 from ..core.history import History
 from ..core.mv_analysis import assign_write_versions, mv_is_serializable, mv_to_sv
 from ..core.operations import Operation
-from ..core.phenomena import detect_all
+from ..core.phenomena import HistoryIndex, detect_flags
 
 __all__ = [
     "HistoryClassification",
@@ -160,14 +160,84 @@ class PrefixGraphBuilder:
         return DependencyGraph(nodes, edges)
 
 
+def _sv_is_serializable(history: History, index: HistoryIndex) -> bool:
+    """Acyclicity of the committed-transaction conflict graph, built directly.
+
+    Equivalent to ``build_dependency_graph(history).is_acyclic()`` (same node
+    set, same reachability): conflicts only arise between operations sharing
+    an item or a predicate, so candidate pairs come straight from the shared
+    :class:`~repro.core.phenomena.HistoryIndex` groups instead of an O(n^2)
+    scan — and the adjacency sets are built without materializing labelled
+    edge objects at all.  The explorer's hot path classifies hundreds of
+    thousands of distinct histories; this is its serializability verdict.
+    """
+    committed = history.committed_transactions()
+    adjacency: Dict[int, Set[int]] = {txn: set() for txn in committed}
+
+    def link(earlier_entries, later_entries) -> None:
+        # Every (earlier, later) pair with earlier position < later position
+        # yields an edge earlier.txn -> later.txn; entries are in history
+        # order, so a single forward sweep covers exactly those pairs.
+        for i, earlier in earlier_entries:
+            if earlier.txn not in committed:
+                continue
+            source = adjacency[earlier.txn]
+            for j, later in later_entries:
+                if j <= i or later.txn == earlier.txn:
+                    continue
+                if later.txn in committed:
+                    source.add(later.txn)
+
+    for item, writes in index.writes_by_item.items():
+        reads = index.reads_by_item.get(item, ())
+        link(writes, writes)   # ww
+        link(writes, reads)    # wr
+        link(reads, writes)    # rw
+    for predicate, writes in index.predicate_writes_by_predicate.items():
+        reads = [entry for entry in index.predicate_reads
+                 if entry[1].predicate == predicate]
+        link(writes, writes)
+        link(writes, reads)
+        link(reads, writes)
+
+    # Iterative three-color DFS over a handful of transaction nodes.
+    state: Dict[int, int] = {}
+    for root in adjacency:
+        if root in state:
+            continue
+        stack = [(root, iter(adjacency[root]))]
+        state[root] = 1
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                mark = state.get(successor)
+                if mark == 1:
+                    return False
+                if mark is None:
+                    state[successor] = 1
+                    stack.append((successor, iter(adjacency[successor])))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 2
+                stack.pop()
+    return True
+
+
 class BatchClassifier:
-    """Classify realized histories with whole-history and prefix memoization."""
+    """Classify realized histories with whole-history memoization.
+
+    Single-version serializability verdicts use :func:`_sv_is_serializable`
+    over the same :class:`~repro.core.phenomena.HistoryIndex` the phenomenon
+    detectors share; :class:`PrefixGraphBuilder` remains available for callers
+    that want full labelled dependency graphs with prefix memoization.
+    """
 
     def __init__(self, codes: Optional[Sequence[str]] = None,
                  max_trie_nodes: int = 200_000,
                  initial_items: Optional[Sequence[str]] = None):
         self._codes = list(codes) if codes is not None else None
-        self._graphs = PrefixGraphBuilder(max_nodes=max_trie_nodes)
         self._cache: Dict[History, HistoryClassification] = {}
         #: Classifications computed elsewhere (other workers), keyed by the
         #: history's shorthand — the picklable cross-process cache currency.
@@ -222,15 +292,16 @@ class BatchClassifier:
         if history.is_multiversion():
             completed = assign_write_versions(history, self.initial_items)
             serializable = mv_is_serializable(completed)
-            occurrences = detect_all(mv_to_sv(completed), codes=self._codes)
+            flags = detect_flags(mv_to_sv(completed), codes=self._codes)
         else:
-            serializable = self._graphs.graph_for(history).is_acyclic()
-            occurrences = detect_all(history, codes=self._codes)
+            index = HistoryIndex(history)
+            serializable = _sv_is_serializable(history, index)
+            flags = detect_flags(history, codes=self._codes, index=index)
         classification = HistoryClassification(
             shorthand=shorthand,
             serializable=serializable,
             phenomena=tuple(sorted(
-                code for code, found in occurrences.items() if found
+                code for code, found in flags.items() if found
             )),
             committed=tuple(sorted(history.committed_transactions())),
             aborted=tuple(sorted(history.aborted_transactions())),
@@ -250,6 +321,4 @@ class BatchClassifier:
             "hits": self.hits,
             "misses": self.misses,
             "shared_hits": self.shared_hits,
-            "trie_nodes_created": self._graphs.nodes_created,
-            "trie_nodes_reused": self._graphs.nodes_reused,
         }

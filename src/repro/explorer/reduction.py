@@ -70,6 +70,7 @@ __all__ = [
     "TERMINAL_SCOPES",
     "CommutationOracle",
     "ExecutionPlan",
+    "StreamingReducer",
     "build_execution_plan",
 ]
 
@@ -292,21 +293,62 @@ class ExecutionPlan:
         return self.selected / len(self.executed) if self.executed else 1.0
 
 
+class StreamingReducer:
+    """Incremental sleep-set reduction: canonicalize a stream chunk by chunk.
+
+    The chunk-wise equivalent of :func:`build_execution_plan`: feed schedule
+    chunks in stream order to :meth:`reduce` and it hands back the chunk's
+    *fresh* representatives (equivalence classes first encountered in this
+    chunk, in first-encountered order — exactly the schedules that need
+    executing) plus one slot per input schedule into the growing
+    :attr:`executed` list.  Because representatives are assigned in
+    first-encounter order, a chunk's fresh representatives are always a
+    contiguous suffix of ``executed`` — the property the explorer's streaming
+    assembly relies on.
+
+    Nothing is materialized up front: memory is the canonical-key map plus
+    ``executed`` (both proportional to the number of distinct equivalence
+    classes, i.e. to real execution work), which is how reduction composes
+    with 10M+-schedule sampled streams.
+    """
+
+    def __init__(self, programs: Sequence[TransactionProgram],
+                 terminal_scope: str = "component"):
+        self.oracle = CommutationOracle(programs, terminal_scope=terminal_scope)
+        self.terminal_scope = terminal_scope
+        self._slots: Dict[Interleaving, int] = {}
+        #: One representative per equivalence class, in first-encountered order.
+        self.executed: List[Interleaving] = []
+        #: Schedules fed through :meth:`reduce` so far.
+        self.covered = 0
+
+    def reduce(self, schedules: Iterable[Interleaving]
+               ) -> Tuple[Tuple[Interleaving, ...], List[int]]:
+        """Canonicalize one chunk; returns (fresh representatives, slots)."""
+        canonical_key = self.oracle.canonical_key
+        slots_of = self._slots
+        executed = self.executed
+        fresh: List[Interleaving] = []
+        slots: List[int] = []
+        for interleaving in schedules:
+            key = canonical_key(interleaving)
+            slot = slots_of.get(key)
+            if slot is None:
+                slot = len(executed)
+                slots_of[key] = slot
+                executed.append(interleaving)
+                fresh.append(interleaving)
+            slots.append(slot)
+        self.covered += len(slots)
+        return tuple(fresh), slots
+
+
 def build_execution_plan(schedules: Iterable[Interleaving],
                          programs: Sequence[TransactionProgram],
                          terminal_scope: str = "component") -> ExecutionPlan:
     """Partition a schedule stream into representatives and reuse assignments."""
-    oracle = CommutationOracle(programs, terminal_scope=terminal_scope)
-    representative_of: Dict[Interleaving, int] = {}
-    executed: List[Interleaving] = []
-    assignment: List[int] = []
-    for interleaving in schedules:
-        key = oracle.canonical_key(interleaving)
-        slot = representative_of.get(key)
-        if slot is None:
-            slot = len(executed)
-            representative_of[key] = slot
-            executed.append(interleaving)
-        assignment.append(slot)
-    return ExecutionPlan(executed=tuple(executed), assignment=tuple(assignment),
+    reducer = StreamingReducer(programs, terminal_scope=terminal_scope)
+    _, assignment = reducer.reduce(schedules)
+    return ExecutionPlan(executed=tuple(reducer.executed),
+                         assignment=tuple(assignment),
                          terminal_scope=terminal_scope)

@@ -1,0 +1,202 @@
+"""The prefix-sharing trie executor: schedules re-execute only their divergent suffix.
+
+Executing every schedule of a chunk from scratch repeats enormous amounts of
+work: interleavings that agree on a prefix drive the engine through *exactly*
+the same states for that prefix.  Stateless model checkers (and the DPOR
+family the explorer's sleep-set reduction borrows from) win their orders of
+magnitude by sharing that work, and the explorer's enumeration order exposes
+the same structure here.
+
+:class:`TrieExecutor` walks a batch of interleavings as a depth-first search
+over their shared-prefix trie:
+
+* One testbed (database + programs + engine + runner) is built per executor —
+  never per schedule.  The state right after ``begin_all`` is the *root
+  checkpoint*; "rebuilding the testbed" for the next schedule is one
+  ``restore``.
+* While applying a schedule's slots, checkpoints are pushed onto a stack every
+  ``checkpoint_spacing`` slots.  The next schedule pops the stack down to its
+  longest common prefix with the previous schedule and re-executes only the
+  slots past the deepest surviving checkpoint, then drains phase 2 as usual.
+* ``checkpoint_spacing`` bounds live checkpoints to ``total_slots / spacing``
+  (+ the root): larger spacing trades re-executed slots for memory.
+
+Determinism contract: a trie-executed schedule produces a byte-identical
+:class:`~repro.engine.outcomes.ExecutionOutcome` (history, statuses, abort
+reasons, blocked counts, deadlocks, stall flag) to a from-scratch run of the
+same schedule, for every engine level — ``tests/explorer/test_trie_executor.py``
+gates this.  Execution *order* within a batch is therefore free: sorting a
+batch lexicographically before walking it maximizes shared prefixes without
+changing any result, which is how :func:`repro.explorer.worker.execute_chunk`
+uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.isolation import IsolationLevelName
+from ..engine.outcomes import ExecutionOutcome
+from ..engine.programs import TransactionProgram
+from ..engine.scheduler import RunnerCheckpoint, ScheduleRunner
+from ..storage.database import Database
+from ..testbed import make_engine
+from .schedules import Interleaving
+
+__all__ = ["TrieExecutor", "TrieStats"]
+
+
+class TrieStats:
+    """Cumulative work counters of one executor (for benchmarks and reports)."""
+
+    __slots__ = ("schedules", "slots_total", "slots_executed",
+                 "checkpoints_created", "restores")
+
+    def __init__(self) -> None:
+        self.schedules = 0
+        #: Slots the schedules contained vs. slots actually re-executed; the
+        #: gap is the work the shared-prefix trie saved.
+        self.slots_total = 0
+        self.slots_executed = 0
+        self.checkpoints_created = 0
+        self.restores = 0
+
+    @property
+    def replayed_ratio(self) -> float:
+        """Fraction of slots actually executed (1.0 = no sharing)."""
+        if not self.slots_total:
+            return 1.0
+        return self.slots_executed / self.slots_total
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "schedules": self.schedules,
+            "slots_total": self.slots_total,
+            "slots_executed": self.slots_executed,
+            "checkpoints_created": self.checkpoints_created,
+            "restores": self.restores,
+        }
+
+
+class TrieExecutor:
+    """Executes interleavings of one program set with shared-prefix checkpoints.
+
+    Parameters
+    ----------
+    database, programs:
+        A fresh testbed (the executor owns both from here on — callers must
+        not mutate the database afterwards).
+    level:
+        The isolation level whose engine executes the schedules.
+    checkpoint_spacing:
+        Push a checkpoint every this-many slots (default 1: every slot).
+        Larger values bound checkpoint memory at the cost of re-executing up
+        to ``spacing - 1`` extra slots per schedule.
+    """
+
+    def __init__(self, database: Database, programs: Sequence[TransactionProgram],
+                 level: IsolationLevelName, checkpoint_spacing: int = 1,
+                 **engine_options):
+        if checkpoint_spacing < 1:
+            raise ValueError("checkpoint_spacing must be >= 1")
+        self.level = level
+        self.spacing = checkpoint_spacing
+        self.stats = TrieStats()
+        self._engine = make_engine(database, level, **engine_options)
+        if not self._engine.supports_checkpoints:
+            raise ValueError(
+                f"engine for {level.value!r} does not support checkpoints")
+        self._runner = ScheduleRunner(self._engine, programs, collect_traces=False)
+        self._runner.begin_all()
+        #: (depth, checkpoint) pairs; the root (depth 0, post-begin) never pops.
+        self._stack: List[Tuple[int, RunnerCheckpoint]] = [
+            (0, self._runner.checkpoint())
+        ]
+        self.stats.checkpoints_created += 1
+        self._previous: Optional[Interleaving] = None
+
+    # -- execution -------------------------------------------------------------------
+
+    @staticmethod
+    def _common_prefix(first: Interleaving, second: Interleaving) -> int:
+        limit = min(len(first), len(second))
+        shared = 0
+        while shared < limit and first[shared] == second[shared]:
+            shared += 1
+        return shared
+
+    def run_one(self, interleaving: Interleaving,
+                next_schedule: Optional[Interleaving] = None) -> ExecutionOutcome:
+        """Execute one schedule, reusing the deepest checkpoint it shares.
+
+        The outcome is byte-identical to a from-scratch run of the same
+        schedule; consecutive calls share whatever prefix consecutive
+        schedules share, so callers should feed schedules in an order that
+        groups shared prefixes (sorted / enumeration order).
+
+        When the caller knows the schedule that will execute next (the batch
+        walk does), passing it as ``next_schedule`` places exactly *one*
+        checkpoint — at the branch point the next schedule will restore to —
+        instead of one per ``checkpoint_spacing`` slots.  In DFS order every
+        shallower restore target is already on the stack, so one is all it
+        takes, and checkpoint cost drops from O(slots) to O(1) per schedule.
+        """
+        runner = self._runner
+        previous = self._previous
+        shared = 0
+        if previous is not None:
+            shared = self._common_prefix(previous, interleaving)
+        stack = self._stack
+        while stack[-1][0] > shared:
+            stack.pop()
+        depth, token = stack[-1]
+        runner.restore(token)
+        self.stats.restores += 1
+
+        total = len(interleaving)
+        prepare = -1
+        if next_schedule is not None:
+            prepare = self._common_prefix(interleaving, next_schedule)
+            if self.spacing > 1:
+                # Snap the branch-point checkpoint down to the spacing grid:
+                # live checkpoints stay bounded by total/spacing (+ root) at
+                # the cost of re-executing at most spacing-1 extra slots.
+                prepare -= prepare % self.spacing
+        for position in range(depth, total):
+            runner.apply_slot(interleaving[position])
+            applied = position + 1
+            if applied < total and (
+                applied == prepare
+                or (next_schedule is None and applied % self.spacing == 0)
+            ):
+                stack.append((applied, runner.checkpoint()))
+                self.stats.checkpoints_created += 1
+
+        self.stats.schedules += 1
+        self.stats.slots_total += total
+        self.stats.slots_executed += total - depth
+        self._previous = interleaving
+        # drain() mutates past the deepest checkpoint, which is fine: the next
+        # schedule restores to a depth <= its shared prefix anyway.
+        return runner.drain()
+
+    def run_batch(self, schedules: Sequence[Interleaving],
+                  sort: bool = True) -> Iterator[Tuple[int, ExecutionOutcome]]:
+        """Execute a batch, yielding ``(original_index, outcome)`` pairs.
+
+        With ``sort=True`` (the default) the batch is walked in lexicographic
+        order — the DFS order of its shared-prefix trie — which maximizes
+        checkpoint reuse; outcomes are tagged with their original position so
+        callers can reassemble input order.  Sorting never changes any
+        individual outcome (see the determinism contract above).  The walk
+        uses one-schedule lookahead, so each execution places only the single
+        checkpoint its successor will restore to.
+        """
+        if sort:
+            order = sorted(range(len(schedules)), key=schedules.__getitem__)
+        else:
+            order = list(range(len(schedules)))
+        for position, index in enumerate(order):
+            following = (schedules[order[position + 1]]
+                         if position + 1 < len(order) else None)
+            yield index, self.run_one(schedules[index], next_schedule=following)

@@ -3,67 +3,86 @@
 Everything that crosses the process boundary lives here and is picklable by
 construction: a :class:`ChunkTask` names a registered program set (by spec),
 an isolation level (an enum), and a chunk of interleavings; the worker
-rebuilds database + programs locally for every schedule, replays them through
-a reused :class:`~repro.engine.scheduler.ScheduleRunner`, and classifies the
-realized histories with a chunk-local :class:`~repro.explorer.memo.BatchClassifier`.
+executes the chunk through a **per-process cached**
+:class:`~repro.explorer.trie_executor.TrieExecutor` — the testbed (database +
+programs + engine + runner) is built once per ``(spec, level)`` per process
+and every subsequent schedule is a checkpoint restore, never a rebuild — and
+classifies the realized histories with a chunk-local
+:class:`~repro.explorer.memo.BatchClassifier`.
 
 Results come back as :class:`ScheduleRecord` values (shorthand strings and
 tuples, no live engine state), tagged with the chunk index so the parent can
 reassemble them in schedule order — making output independent of worker
 count and chunk scheduling.
+
+Cross-process cache sharing uses an **append-only log** (a manager list of
+classification batches) instead of a shared dict: a worker pulls only the
+batches it has not consumed yet (one slice read) and publishes its fresh
+classifications as one appended batch (one write) — a single batched exchange
+per chunk in each direction.  Freshness is keyed on the log length, which
+grows monotonically with every publish; the earlier dict-based design keyed
+freshness on ``len(dict)`` and went stale whenever a concurrent worker
+overwrote existing keys without changing the size.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.isolation import IsolationLevelName
-from ..engine.scheduler import ScheduleRunner
 from ..storage.database import Database
-from ..testbed import make_engine
 from ..workloads.program_sets import ProgramSet, ProgramSetSpec, resolve_program_set
 from .memo import BatchClassifier, HistoryClassification
 from .schedules import Interleaving
+from .trie_executor import TrieExecutor
 
 __all__ = ["ChunkTask", "ScheduleRecord", "ChunkResult", "execute_chunk"]
 
-#: Per-process memo of shared-cache snapshots, keyed by the proxy's manager
-#: token: (entry count at snapshot time, the snapshot).  A chunk only re-pulls
-#: the dict when its size changed since this process last looked — one cheap
-#: ``len()`` round-trip per chunk in the converged steady state, instead of
-#: re-copying an ever-growing dict.
-_SNAPSHOT_MEMO: Dict[str, Tuple[int, Dict[str, HistoryClassification]]] = {}
+#: Per-process testbeds, one per (spec, level): the trie executor plus the
+#: workload's initial item set (captured *before* any execution mutates the
+#: database).  Builders are deterministic by the explorer's contract, so a
+#: cached testbed is equivalent to a fresh build.
+_TESTBED_CACHE: Dict[Tuple[ProgramSetSpec, IsolationLevelName],
+                     Tuple[TrieExecutor, Tuple[str, ...]]] = {}
+
+#: Per-process shared-log cursors, keyed by the log proxy's manager token:
+#: (batches consumed so far, merged entries).  The batch count only grows, so
+#: freshness checks cannot go stale.
+_SHARED_LOG_STATE: Dict[str, Tuple[int, Dict[str, HistoryClassification]]] = {}
+
+
+def _shared_log_key(proxy: Any) -> Optional[str]:
+    try:
+        return str(proxy._token)
+    except AttributeError:  # plain list in tests
+        return None
 
 
 def _shared_snapshot(proxy: Any) -> Dict[str, HistoryClassification]:
-    """A (possibly memoized) snapshot of a shared classification cache."""
-    try:
-        key = str(proxy._token)
-    except AttributeError:  # pragma: no cover - non-manager mapping in tests
-        return dict(proxy.copy())
-    size = len(proxy)
-    memo = _SNAPSHOT_MEMO.get(key)
-    if memo is not None and memo[0] == size:
-        return memo[1]
-    snapshot = dict(proxy.copy())
-    _SNAPSHOT_MEMO[key] = (len(snapshot), snapshot)
-    return snapshot
+    """Merged view of a shared classification log, pulled incrementally.
+
+    One slice read fetches exactly the batches this process has not seen;
+    the merged dict is memoized per log so converged steady state costs one
+    empty slice per chunk.
+    """
+    key = _shared_log_key(proxy)
+    consumed, merged = _SHARED_LOG_STATE.get(key, (0, {})) if key is not None else (0, {})
+    fresh_batches = list(proxy[consumed:])
+    if fresh_batches:
+        merged = dict(merged)
+        for batch in fresh_batches:
+            merged.update(batch)
+    if key is not None:
+        _SHARED_LOG_STATE[key] = (consumed + len(fresh_batches), merged)
+    return merged
 
 
 def _publish_shared(proxy: Any, fresh: Dict[str, HistoryClassification]) -> None:
-    """Push locally computed classifications and fold them into the memo."""
-    proxy.update(fresh)
-    try:
-        key = str(proxy._token)
-    except AttributeError:  # pragma: no cover - non-manager mapping in tests
-        return
-    memo = _SNAPSHOT_MEMO.get(key)
-    merged = dict(memo[1]) if memo is not None else {}
-    merged.update(fresh)
-    # Record the authoritative size so a concurrent worker's publishes still
-    # trigger a re-pull on the next chunk.
-    _SNAPSHOT_MEMO[key] = (len(proxy), merged)
+    """Append one batch of locally computed classifications to the log."""
+    proxy.append(fresh)
 
 
 @dataclass(frozen=True)
@@ -76,12 +95,12 @@ class ChunkTask:
     method, where a worker's re-imported registry holds only the built-ins.
     ``None`` falls back to a registry lookup in the worker.
 
-    ``shared_cache`` is an optional ``multiprocessing.Manager().dict()`` proxy
-    holding whole-history classifications keyed by shorthand.  A worker pulls
-    one snapshot of it before executing the chunk and publishes its fresh
-    classifications in one bulk update afterwards — two IPC round-trips per
-    chunk, so parallel runs amortize each other's cold caches instead of each
-    rebuilding the memo from scratch.
+    ``shared_cache`` is an optional append-only log (a
+    ``multiprocessing.Manager().list()`` proxy) of classification batches
+    keyed by shorthand.  A worker pulls the unseen batches once before
+    executing the chunk and publishes its fresh classifications as one
+    appended batch afterwards — one batched exchange per chunk in each
+    direction.
     """
 
     chunk_index: int
@@ -124,38 +143,70 @@ def _initial_items(database: Database) -> Tuple[str, ...]:
     return tuple(names)
 
 
+def _testbed_for(task: ChunkTask) -> Tuple[TrieExecutor, Tuple[str, ...], int]:
+    """The cached (executor, initial items) for a task, building on first use.
+
+    Returns the build time in microseconds as the third element (0 on a cache
+    hit) for the benchmark's phase breakdown.
+    """
+    key = (task.spec, task.level)
+    cached = _TESTBED_CACHE.get(key)
+    if cached is not None:
+        return cached[0], cached[1], 0
+    started = time.perf_counter()
+    builder = task.builder if task.builder is not None else resolve_program_set(task.spec)
+    database, programs = builder(**task.spec.kwargs())
+    items = _initial_items(database)
+    # EXPLORER_CHECKPOINT_SPACING bounds live checkpoints to roughly
+    # total_slots/spacing per testbed, trading re-executed slots for memory
+    # (see README "Performance knobs"); 1 checkpoints at every branch point.
+    spacing = int(os.environ.get("EXPLORER_CHECKPOINT_SPACING", "1"))
+    executor = TrieExecutor(database, programs, task.level,
+                            checkpoint_spacing=spacing)
+    build_us = int((time.perf_counter() - started) * 1e6)
+    _TESTBED_CACHE[key] = (executor, items)
+    return executor, items, build_us
+
+
 def execute_chunk(task: ChunkTask,
                   classifier: Optional[BatchClassifier] = None) -> ChunkResult:
-    """Execute every schedule of a chunk against fresh engine instances.
+    """Execute every schedule of a chunk through the prefix-sharing executor.
 
     ``classifier`` lets the serial path share one memoization context across
     chunks; worker processes leave it ``None`` and get a chunk-local one
     (seeded with the workload's initial item set for MV version completion,
     and with a snapshot of ``task.shared_cache`` when one is attached).
+
+    Schedules are *executed* in lexicographic order — the DFS order of their
+    shared-prefix trie — and the records reassembled in input order; the trie
+    executor's byte-equality contract makes the two orders indistinguishable
+    in the output.
     """
-    builder = task.builder if task.builder is not None else resolve_program_set(task.spec)
     chunk_local = classifier is None
-    records: List[ScheduleRecord] = []
-    runner: Optional[ScheduleRunner] = None
-    for interleaving in task.schedules:
-        # Each schedule needs a fresh database; the builder hands back fresh
-        # programs too, which only the first iteration keeps (the reused
-        # runner holds them — equivalent by builder determinism).  Program
-        # construction is <2% of the loop, so the builder API stays whole.
-        database, programs = builder(**task.spec.kwargs())
-        if classifier is None:
-            classifier = BatchClassifier(initial_items=_initial_items(database))
-            if task.shared_cache is not None:
-                classifier.preload(_shared_snapshot(task.shared_cache))
-        engine = make_engine(database, task.level)
-        if runner is None:
-            runner = ScheduleRunner(engine, programs, interleaving)
-            outcome = runner.run()
-        else:
-            outcome = runner.replay(engine, interleaving)
+    executor, initial_items, build_us = _testbed_for(task)
+    if classifier is None:
+        classifier = BatchClassifier(initial_items=initial_items)
+        if task.shared_cache is not None:
+            classifier.preload(_shared_snapshot(task.shared_cache))
+    trie_before = executor.stats.as_dict()
+    records: List[Optional[ScheduleRecord]] = [None] * len(task.schedules)
+    execute_us = 0
+    classify_us = 0
+    batch = executor.run_batch(task.schedules)
+    while True:
+        started = time.perf_counter()
+        try:
+            index, outcome = next(batch)
+        except StopIteration:
+            execute_us += int((time.perf_counter() - started) * 1e6)
+            break
+        mid = time.perf_counter()
         classification = classifier.classify(outcome.history)
-        records.append(ScheduleRecord(
-            interleaving=tuple(interleaving),
+        ended = time.perf_counter()
+        execute_us += int((mid - started) * 1e6)
+        classify_us += int((ended - mid) * 1e6)
+        records[index] = ScheduleRecord(
+            interleaving=tuple(task.schedules[index]),
             history=classification.shorthand,
             serializable=classification.serializable,
             phenomena=classification.phenomena,
@@ -164,9 +215,15 @@ def execute_chunk(task: ChunkTask,
             blocked_events=outcome.blocked_events,
             deadlocks=len(outcome.deadlocks),
             stalled=outcome.stalled,
-        ))
-    stats = dict(classifier.stats) if classifier is not None else {}
-    if chunk_local and classifier is not None and task.shared_cache is not None:
+        )
+    stats = dict(classifier.stats)
+    stats["us_testbed_build"] = build_us
+    stats["us_step_execution"] = execute_us
+    stats["us_classification"] = classify_us
+    trie_after = executor.stats.as_dict()
+    for name in ("slots_total", "slots_executed", "checkpoints_created", "restores"):
+        stats[f"trie_{name}"] = trie_after[name] - trie_before[name]
+    if chunk_local and task.shared_cache is not None:
         fresh = classifier.exports()
         stats["shared_published"] = len(fresh)
         if fresh:

@@ -62,6 +62,21 @@ class WaitsForGraph:
         """The transactions currently blocked on someone."""
         return set(self._edges)
 
+    def any_waiting(self, txns: Iterable[int]) -> bool:
+        """True when any of the given transactions is itself waiting."""
+        return any(txn in self._edges for txn in txns)
+
+    # -- checkpoints -----------------------------------------------------------------
+
+    def checkpoint(self) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        """A value token of the edge set (for :meth:`restore`)."""
+        return tuple((waiter, tuple(holders))
+                     for waiter, holders in self._edges.items())
+
+    def restore(self, token: Tuple[Tuple[int, Tuple[int, ...]], ...]) -> None:
+        """Reset the edge set to a :meth:`checkpoint` token (reusable)."""
+        self._edges = {waiter: set(holders) for waiter, holders in token}
+
     def waits_on(self, waiter: int) -> Set[int]:
         """The transactions a waiter is blocked on."""
         return set(self._edges.get(waiter, set()))

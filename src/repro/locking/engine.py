@@ -54,6 +54,8 @@ class CursorState:
 class LockingEngine(Engine):
     """Lock-based concurrency control parameterized by a Table 2 policy."""
 
+    supports_checkpoints = True
+
     def __init__(self, database: Database,
                  level: IsolationLevelName = IsolationLevelName.SERIALIZABLE,
                  policy: Optional[LockingPolicy] = None):
@@ -64,6 +66,22 @@ class LockingEngine(Engine):
         self.locks = LockManager()
         self.undo = UndoLog()
         self._cursors: Dict[Tuple[int, str], CursorState] = {}
+        #: Interned item targets — every action on an item builds the same
+        #: immutable target, so one instance per item serves all requests.
+        self._item_targets: Dict[str, ItemTarget] = {}
+
+    def _item_target(self, item: str) -> ItemTarget:
+        target = self._item_targets.get(item)
+        if target is None:
+            target = self._item_targets[item] = ItemTarget(item)
+        return target
+
+    def blocking_version(self) -> int:
+        # Blocked results depend only on the granted-lock table: the engine
+        # mutates the database exclusively alongside granted lock operations,
+        # so the table version also covers the pre-lock row reads of
+        # update_row/delete_row.
+        return self.locks.version
 
     # -- small helpers ----------------------------------------------------------------
 
@@ -92,7 +110,7 @@ class LockingEngine(Engine):
         if guard is not None:
             return guard
         rule = self.policy.item_read
-        blocked = self._acquire(txn, ItemTarget(item), rule)
+        blocked = self._acquire(txn, self._item_target(item), rule)
         if blocked is not None:
             return blocked
         value = self.database.get_item(item)
@@ -104,7 +122,7 @@ class LockingEngine(Engine):
         if guard is not None:
             return guard
         rule = self.policy.write
-        blocked = self._acquire(txn, ItemTarget(item), rule)
+        blocked = self._acquire(txn, self._item_target(item), rule)
         if blocked is not None:
             return blocked
         self.undo.record_item(txn, self.database, item)
@@ -198,7 +216,7 @@ class LockingEngine(Engine):
         # Moving the cursor releases the lock held on the previous current row.
         if rule is not None and rule.duration is LockDuration.CURSOR:
             self.locks.release_cursor(txn, cursor)
-        blocked = self._acquire(txn, ItemTarget(next_item), rule, cursor=cursor)
+        blocked = self._acquire(txn, self._item_target(next_item), rule, cursor=cursor)
         if blocked is not None:
             return blocked
         state.position += 1
@@ -215,7 +233,7 @@ class LockingEngine(Engine):
         if item is None:
             return OpResult.aborted(f"cursor {cursor!r} is not positioned on a row")
         rule = self.policy.write
-        blocked = self._acquire(txn, ItemTarget(item), rule)
+        blocked = self._acquire(txn, self._item_target(item), rule)
         if blocked is not None:
             return blocked
         self.undo.record_item(txn, self.database, item)
@@ -263,3 +281,26 @@ class LockingEngine(Engine):
     def _drop_cursors(self, txn: int) -> None:
         for key in [key for key in self._cursors if key[0] == txn]:
             del self._cursors[key]
+
+    # -- checkpoint / restore --------------------------------------------------------------------
+
+    def checkpoint(self):
+        return (
+            self._base_checkpoint(),
+            self.database.checkpoint(),
+            self.locks.checkpoint(),
+            self.undo.checkpoint(),
+            {key: (tuple(state.items), state.position)
+             for key, state in self._cursors.items()},
+        )
+
+    def restore(self, token) -> None:
+        base, database, locks, undo, cursors = token
+        self._base_restore(base)
+        self.database.restore_checkpoint(database)
+        self.locks.restore(locks)
+        self.undo.restore(undo)
+        self._cursors = {
+            key: CursorState(list(items), position)
+            for key, (items, position) in cursors.items()
+        }

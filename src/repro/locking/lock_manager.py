@@ -70,6 +70,11 @@ class LockManager:
         self._locks: List[HeldLock] = []
         #: Cumulative count of requests that came back blocked (for benchmarks).
         self.blocked_requests = 0
+        #: Monotonic counter bumped on every change to the granted-lock table.
+        #: A blocked request's outcome is a pure function of the table, so the
+        #: schedule runner memoizes blocked results keyed on this version and
+        #: skips re-submitting a retry the table cannot have changed.
+        self.version = 0
 
     # -- queries ----------------------------------------------------------------
 
@@ -99,6 +104,33 @@ class LockManager:
         """Every granted lock (a copy)."""
         return list(self._locks)
 
+    # -- checkpoints -----------------------------------------------------------------
+
+    def checkpoint(self) -> Tuple:
+        """A value token of the granted-lock table (for :meth:`restore`).
+
+        Entries are flattened to field tuples because live ``HeldLock``
+        objects are mutated in place on upgrades — the token must survive
+        that.  The version counter is part of the token: the schedule
+        runner's blocked-result memos are keyed on it, so rolling the table
+        back must roll the version back to the exact value it had at the
+        checkpoint (sound because a version value identifies a unique table
+        state along any execution path through the checkpoint).
+        """
+        return (
+            tuple((lock.txn, lock.target, lock.mode, lock.duration, lock.cursor)
+                  for lock in self._locks),
+            self.blocked_requests,
+            self.version,
+        )
+
+    def restore(self, token: Tuple) -> None:
+        """Reset the granted-lock table to a :meth:`checkpoint` token (reusable)."""
+        entries, blocked, version = token
+        self._locks = [HeldLock(*entry) for entry in entries]
+        self.blocked_requests = blocked
+        self.version = version
+
     # -- acquisition ---------------------------------------------------------------
 
     def request(self, txn: int, target: LockTarget, mode: LockMode,
@@ -110,17 +142,20 @@ class LockManager:
         block it — re-requests and Share→Exclusive upgrades are handled by
         strengthening the existing entry.
         """
-        blockers = {
-            lock.txn
-            for lock in self._locks
-            if lock.txn != txn
-            and lock.target.overlaps(target)
-            and modes_conflict(lock.mode, mode)
-        }
+        blockers = None
+        for lock in self._locks:
+            if (lock.txn != txn
+                    and lock.target.overlaps(target)
+                    and modes_conflict(lock.mode, mode)):
+                if blockers is None:
+                    blockers = {lock.txn}
+                else:
+                    blockers.add(lock.txn)
         if blockers:
             self.blocked_requests += 1
             return LockRequestResult.blocked(blockers)
 
+        self.version += 1
         existing = self._find(txn, target)
         if existing is not None:
             # Upgrade mode and extend duration rather than duplicating.
@@ -144,17 +179,26 @@ class LockManager:
 
     def release(self, txn: int, target: LockTarget) -> None:
         """Release one transaction's lock on a specific target (if held)."""
-        self._locks = [
+        kept = [
             lock for lock in self._locks
             if not (lock.txn == txn and lock.target.key() == target.key())
         ]
+        if len(kept) != len(self._locks):
+            self.version += 1
+            self._locks = kept
 
     def release_short(self, txn: int) -> None:
         """Release every SHORT-duration lock held by a transaction.
 
         The engines call this after each action completes, which is what
-        "short duration" means in Table 2.
+        "short duration" means in Table 2.  Levels whose rules take no short
+        locks still call it on every action, so the no-op case avoids the
+        list rebuild.
         """
+        if not any(lock.txn == txn and lock.duration is LockDuration.SHORT
+                   for lock in self._locks):
+            return
+        self.version += 1
         self._locks = [
             lock for lock in self._locks
             if not (lock.txn == txn and lock.duration is LockDuration.SHORT)
@@ -167,7 +211,7 @@ class LockManager:
         were upgraded to LONG (e.g. because the fetched row was updated) are
         not affected.
         """
-        self._locks = [
+        kept = [
             lock for lock in self._locks
             if not (
                 lock.txn == txn
@@ -175,10 +219,16 @@ class LockManager:
                 and lock.cursor == cursor
             )
         ]
+        if len(kept) != len(self._locks):
+            self.version += 1
+            self._locks = kept
 
     def release_all(self, txn: int) -> None:
         """Release every lock of a transaction (at commit or abort)."""
-        self._locks = [lock for lock in self._locks if lock.txn != txn]
+        kept = [lock for lock in self._locks if lock.txn != txn]
+        if len(kept) != len(self._locks):
+            self.version += 1
+            self._locks = kept
 
     def __len__(self) -> int:
         return len(self._locks)

@@ -67,6 +67,7 @@ class ReadConsistencyEngine(Engine):
 
     level = IsolationLevelName.ORACLE_READ_CONSISTENCY
     name = "Oracle Read Consistency"
+    supports_checkpoints = True
 
     def __init__(self, database: Database,
                  authority: Optional[TimestampAuthority] = None):
@@ -75,6 +76,7 @@ class ReadConsistencyEngine(Engine):
         self.clock = authority or TimestampAuthority()
         self.locks = LockManager()
         self._txns: Dict[int, _ReadConsistencyTxn] = {}
+        self._item_targets: Dict[str, ItemTarget] = {}
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -87,6 +89,12 @@ class ReadConsistencyEngine(Engine):
             return self._txns[txn]
         except KeyError:
             raise EngineError(f"unknown transaction T{txn}") from None
+
+    def blocking_version(self) -> int:
+        # Only write-lock conflicts block here; reads never do.  Lock-table
+        # changes and commit installs go hand in hand (commit releases the
+        # writer's locks), so the table version covers blocked outcomes.
+        return self.locks.version
 
     # -- reads: statement-level snapshots ------------------------------------------------
 
@@ -120,7 +128,10 @@ class ReadConsistencyEngine(Engine):
     # -- writes: first-writer-wins via long write locks -------------------------------------
 
     def _lock_item(self, txn: int, item: str) -> Optional[OpResult]:
-        result = self.locks.request(txn, ItemTarget(item), LockMode.EXCLUSIVE,
+        target = self._item_targets.get(item)
+        if target is None:
+            target = self._item_targets[item] = ItemTarget(item)
+        result = self.locks.request(txn, target, LockMode.EXCLUSIVE,
                                     LockDuration.LONG)
         if not result.granted:
             return OpResult.blocked(result.blockers,
@@ -287,3 +298,37 @@ class ReadConsistencyEngine(Engine):
         self.locks.release_all(txn)
         self._mark_aborted(txn, reason)
         return OpResult.ok()
+
+    # -- checkpoint / restore --------------------------------------------------------------------
+
+    def checkpoint(self):
+        return (
+            self._base_checkpoint(),
+            self.database.checkpoint(),
+            self.store.checkpoint(),
+            self.clock.checkpoint(),
+            self.locks.checkpoint(),
+            {
+                txn: (dict(state.item_writes), dict(state.row_writes),
+                      {name: (tuple(cursor.items), cursor.open_ts, cursor.position)
+                       for name, cursor in state.cursors.items()})
+                for txn, state in self._txns.items()
+            },
+        )
+
+    def restore(self, token) -> None:
+        base, database, store, clock, locks, txns = token
+        self._base_restore(base)
+        self.database.restore_checkpoint(database)
+        self.store.restore(store)
+        self.clock.restore(clock)
+        self.locks.restore(locks)
+        self._txns = {
+            txn: _ReadConsistencyTxn(
+                item_writes=dict(item_writes),
+                row_writes=dict(row_writes),
+                cursors={name: _ConsistentCursor(list(items), open_ts, position)
+                         for name, (items, open_ts, position) in cursors.items()},
+            )
+            for txn, (item_writes, row_writes, cursors) in txns.items()
+        }

@@ -62,6 +62,7 @@ class SnapshotIsolationEngine(Engine):
     """Multiversion engine implementing Snapshot Isolation."""
 
     level = IsolationLevelName.SNAPSHOT_ISOLATION
+    supports_checkpoints = True
 
     def __init__(self, database: Database,
                  authority: Optional[TimestampAuthority] = None,
@@ -245,6 +246,41 @@ class SnapshotIsolationEngine(Engine):
             return OpResult.ok()
         self._mark_aborted(txn, reason)
         return OpResult.ok()
+
+    # -- checkpoint / restore --------------------------------------------------------------------
+
+    def checkpoint(self):
+        return (
+            self._base_checkpoint(),
+            self.database.checkpoint(),
+            self.store.checkpoint(),
+            self.clock.checkpoint(),
+            self.fcw_aborts,
+            {
+                txn: (state.start_ts, dict(state.item_writes), dict(state.row_writes),
+                      {name: (tuple(cursor.items), cursor.position)
+                       for name, cursor in state.cursors.items()})
+                for txn, state in self._txns.items()
+            },
+        )
+
+    def restore(self, token) -> None:
+        base, database, store, clock, fcw_aborts, txns = token
+        self._base_restore(base)
+        self.database.restore_checkpoint(database)
+        self.store.restore(store)
+        self.clock.restore(clock)
+        self.fcw_aborts = fcw_aborts
+        self._txns = {
+            txn: _SnapshotTxn(
+                start_ts=start_ts,
+                item_writes=dict(item_writes),
+                row_writes=dict(row_writes),
+                cursors={name: _SnapshotCursor(list(items), position)
+                         for name, (items, position) in cursors.items()},
+            )
+            for txn, (start_ts, item_writes, row_writes, cursors) in txns.items()
+        }
 
     # -- helpers ---------------------------------------------------------------------------------
 

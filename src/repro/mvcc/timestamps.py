@@ -28,5 +28,13 @@ class TimestampAuthority:
         self._clock += 1
         return self._clock
 
+    def checkpoint(self) -> int:
+        """The current clock value, for :meth:`restore`."""
+        return self._clock
+
+    def restore(self, clock: int) -> None:
+        """Reset the clock to a previously checkpointed value."""
+        self._clock = clock
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<TimestampAuthority now={self._clock}>"

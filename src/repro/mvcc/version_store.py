@@ -122,3 +122,38 @@ class VersionStore:
     def row_keys(self, table: str) -> List[str]:
         """Every key that has ever had a version in the table."""
         return sorted(self._tables.get(table, set()))
+
+    # -- checkpoints -----------------------------------------------------------------
+
+    def checkpoint(self) -> Tuple:
+        """A truncation token: per-chain lengths plus the table key sets.
+
+        Version chains are append-only (``install_item`` / ``install_row``
+        only ever append immutable version records), so a checkpoint needs no
+        copies of the versions themselves — just how long each chain was.
+        Restoring truncates the chains back; this is only sound when rolling
+        the store *backwards* along its own execution path, which is exactly
+        the schedule explorer's checkpoint discipline.
+        """
+        return (
+            {item: len(versions) for item, versions in self._items.items()},
+            {key: len(versions) for key, versions in self._rows.items()},
+            {table: frozenset(keys) for table, keys in self._tables.items()},
+        )
+
+    def restore(self, token: Tuple) -> None:
+        """Truncate every chain back to a :meth:`checkpoint` token (reusable)."""
+        item_lengths, row_lengths, tables = token
+        for item in [item for item in self._items if item not in item_lengths]:
+            del self._items[item]
+        for item, length in item_lengths.items():
+            versions = self._items[item]
+            if len(versions) > length:
+                del versions[length:]
+        for key in [key for key in self._rows if key not in row_lengths]:
+            del self._rows[key]
+        for key, length in row_lengths.items():
+            versions = self._rows[key]
+            if len(versions) > length:
+                del versions[length:]
+        self._tables = {table: set(keys) for table, keys in tables.items()}

@@ -11,7 +11,7 @@ scenarios (employees, job tasks).
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .constraints import Constraint
 from .predicates import Predicate
@@ -136,6 +136,31 @@ class Database:
         """Replace the current state with a snapshot's."""
         self._items = copy.deepcopy(snapshot.items)
         self._tables = {name: table.copy() for name, table in snapshot.tables.items()}
+
+    # -- checkpoints (cheap, for the prefix-sharing executor) ----------------------------
+
+    def checkpoint(self) -> "Tuple[Dict[str, Any], Dict[str, Tuple[Row, ...]]]":
+        """A cheap state token for :meth:`restore_checkpoint`.
+
+        Unlike :meth:`snapshot`, item values are copied by reference: engines
+        replace item values wholesale (``set_item``) and never mutate them in
+        place, so sharing them is sound.  Rows *are* copied, because
+        ``Table.update`` mutates rows in place.
+        """
+        return (
+            dict(self._items),
+            {name: tuple(row.copy() for row in table)
+             for name, table in self._tables.items()},
+        )
+
+    def restore_checkpoint(self, token: "Tuple[Dict[str, Any], Dict[str, Tuple[Row, ...]]]") -> None:
+        """Reset items and tables to a :meth:`checkpoint` token (reusable)."""
+        items, tables = token
+        self._items = dict(items)
+        self._tables = {
+            name: Table(name, (row.copy() for row in rows))
+            for name, rows in tables.items()
+        }
 
     def clone(self) -> "Database":
         """An independent copy of the database (constraints shared by reference)."""

@@ -86,6 +86,16 @@ class UndoLog:
         """Discard a transaction's undo records (after a successful commit)."""
         self._records.pop(txn, None)
 
+    # -- checkpoints ---------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[int, Tuple[UndoRecord, ...]]:
+        """A value token of the log (records are immutable, shared by reference)."""
+        return {txn: tuple(records) for txn, records in self._records.items()}
+
+    def restore(self, token: Dict[int, Tuple[UndoRecord, ...]]) -> None:
+        """Reset the log to a :meth:`checkpoint` token (reusable)."""
+        self._records = {txn: list(records) for txn, records in token.items()}
+
     @staticmethod
     def _apply(record: UndoRecord, database: Database) -> None:
         if record.kind == "item":

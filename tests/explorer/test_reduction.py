@@ -206,3 +206,56 @@ class TestSoundnessGate:
         assert reduced.executed_schedules() <= full.executed_schedules()
         assert_identical_coverage(full, reduced,
                                   levels=(IsolationLevelName.READ_COMMITTED,))
+
+
+class TestStreamingReducer:
+    """Chunk-wise canonicalization must equal the one-shot execution plan."""
+
+    def test_chunked_reduction_equals_build_execution_plan(self):
+        from repro.explorer.reduction import StreamingReducer
+
+        _, programs = build_program_set(ProgramSetSpec.make(
+            "contention", transactions=3, items=3, hot_items=1,
+            operations_per_transaction=1))
+        schedules = schedule_space(programs, mode="exhaustive",
+                                   max_schedules=1000).schedules
+        plan = build_execution_plan(schedules, programs)
+
+        for chunk_size in (1, 7, 64, len(schedules)):
+            reducer = StreamingReducer(programs)
+            assignment = []
+            fresh_stream = []
+            for start in range(0, len(schedules), chunk_size):
+                fresh, slots = reducer.reduce(schedules[start:start + chunk_size])
+                assignment.extend(slots)
+                fresh_stream.extend(fresh)
+            assert tuple(reducer.executed) == plan.executed, chunk_size
+            assert tuple(assignment) == plan.assignment, chunk_size
+            # Fresh representatives, concatenated across chunks, are exactly
+            # the executed list — the contiguous-suffix property the
+            # explorer's streaming assembly relies on.
+            assert fresh_stream == reducer.executed
+            assert reducer.covered == len(schedules)
+
+    def test_streaming_reduction_never_materializes_the_stream(self):
+        """explore(reduction=...) on a sampled stream keeps the space lazy."""
+        spec = ProgramSetSpec.make("contention", transactions=4, items=6,
+                                   hot_items=2, operations_per_transaction=2)
+        result = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,
+                                       IsolationLevelName.SNAPSHOT_ISOLATION),
+                         mode="sample", max_schedules=300, seed=21,
+                         reduction="sleep-set", chunk_size=32)
+        assert result.space._materialized is None
+        assert result.total_schedules() == 600
+        assert result.executed_schedules() <= 600
+
+    def test_streamed_reduction_matches_unreduced_coverage_on_samples(self):
+        spec = ProgramSetSpec.make("contention", transactions=3, items=3,
+                                   hot_items=1, operations_per_transaction=2)
+        levels = (IsolationLevelName.READ_COMMITTED,
+                  IsolationLevelName.SNAPSHOT_ISOLATION)
+        full = explore(spec, levels=levels, mode="sample", max_schedules=200,
+                       seed=3)
+        reduced = explore(spec, levels=levels, mode="sample", max_schedules=200,
+                          seed=3, reduction="sleep-set")
+        assert coverage_mismatches(full, reduced, levels=levels) == []
