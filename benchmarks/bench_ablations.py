@@ -22,7 +22,7 @@ from repro.core.isolation import (
     Possibility,
 )
 from repro.analysis.matrix import default_history_corpus
-from repro.locking.policy import LockingPolicy, LockRule, policy_for
+from repro.locking.policy import LockingPolicy, LockRule
 from repro.locking.modes import LockDuration, LockMode
 from repro.testbed import engine_factory
 from repro.workloads.scenarios import evaluate_scenario, scenario_by_code

@@ -14,7 +14,6 @@ paper's):
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.core.isolation import IsolationLevelName

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.analysis.matrix import compute_phenomenon_table, compute_table4_row, default_history_corpus
 from repro.analysis.report import matrix_matches, render_possibility_matrix
-from repro.core.isolation import CORRECTED_LEVELS, IsolationLevelName, TABLE_3
+from repro.core.isolation import CORRECTED_LEVELS, TABLE_3
 from repro.testbed import engine_factory
 
 CORPUS = default_history_corpus(seed=13, count=250)

@@ -16,7 +16,6 @@ from repro.analysis.matrix import (
     EXPECTED_TABLE_4,
     EXTENSION_EXPECTATIONS,
     TABLE_4_COLUMNS,
-    TABLE_4_LEVELS,
     compute_table4,
     compute_table4_row,
 )
@@ -34,7 +33,7 @@ def test_table4_full_matrix(benchmark, print_report):
     assert ok, "\n".join(mismatches)
 
 
-@pytest.mark.parametrize("level", sorted(EXTENSION_EXPECTATIONS, key=lambda l: l.value),
+@pytest.mark.parametrize("level", sorted(EXTENSION_EXPECTATIONS, key=lambda lvl: lvl.value),
                          ids=lambda level: level.value)
 def test_table4_extension_rows(benchmark, print_report, level):
     measured = benchmark(lambda: compute_table4_row(engine_factory(level)))

@@ -21,14 +21,12 @@ This reproduces the paper's qualitative results:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.hierarchy import FIGURE_2_EDGES, REMARKS, Figure2Edge, Relation
 from ..core.isolation import (
     ANSI_STRICT_LEVELS,
     IsolationLevelName,
-    PhenomenonBasedLevel,
-    Possibility,
 )
 from .matrix import (
     ALL_SCENARIOS,

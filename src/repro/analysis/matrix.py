@@ -21,7 +21,7 @@ benchmark and the integration tests as the ground truth to compare against.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.catalog import CATALOG
 from ..core.history import History

@@ -9,7 +9,7 @@ any terminal and diff cleanly in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..core.isolation import IsolationLevelName, Possibility
 

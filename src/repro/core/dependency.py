@@ -15,7 +15,7 @@ anomaly analysis can report *why* a history is non-serializable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .history import History
 from .operations import Operation

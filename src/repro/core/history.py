@@ -20,7 +20,7 @@ This module provides:
 from __future__ import annotations
 
 import re
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .operations import Operation, OperationKind, WriteAction
 
@@ -137,20 +137,36 @@ class History:
         return seen
 
     def committed_transactions(self) -> Set[int]:
-        """Transactions that commit in this history."""
-        if self._committed_cache is None:
-            self._committed_cache = frozenset(
-                op.txn for op in self._ops if op.is_commit
+        """Transactions that commit in this history (a fresh, mutable set)."""
+        return set(self.committed_set())
+
+    def committed_set(self) -> FrozenSet[int]:
+        """Transactions that commit, as the cached frozenset (do not mutate).
+
+        The copy-free sibling of :meth:`committed_transactions` for hot paths
+        (the explorer's classifier and detectors) that only test membership.
+        """
+        cached = self._committed_cache
+        if cached is None:
+            commit = OperationKind.COMMIT
+            cached = self._committed_cache = frozenset(
+                op.txn for op in self._ops if op.kind is commit
             )
-        return set(self._committed_cache)
+        return cached
 
     def aborted_transactions(self) -> Set[int]:
-        """Transactions that abort in this history."""
-        if self._aborted_cache is None:
-            self._aborted_cache = frozenset(
-                op.txn for op in self._ops if op.is_abort
+        """Transactions that abort in this history (a fresh, mutable set)."""
+        return set(self.aborted_set())
+
+    def aborted_set(self) -> FrozenSet[int]:
+        """Transactions that abort, as the cached frozenset (do not mutate)."""
+        cached = self._aborted_cache
+        if cached is None:
+            abort = OperationKind.ABORT
+            cached = self._aborted_cache = frozenset(
+                op.txn for op in self._ops if op.kind is abort
             )
-        return set(self._aborted_cache)
+        return cached
 
     def active_transactions(self) -> Set[int]:
         """Transactions with no commit or abort in the history."""
@@ -198,23 +214,22 @@ class History:
         """Index of a transaction's commit/abort, or None if still active."""
         if self._terminal_cache is None:
             cache: Dict[int, int] = {}
+            commit = OperationKind.COMMIT
+            abort = OperationKind.ABORT
             for i, op in enumerate(self._ops):
-                if op.is_terminal and op.txn not in cache:
+                kind = op.kind
+                if (kind is commit or kind is abort) and op.txn not in cache:
                     cache[op.txn] = i
             self._terminal_cache = cache
         return self._terminal_cache.get(txn)
 
     def commits(self, txn: int) -> bool:
         """True when the transaction commits."""
-        if self._committed_cache is None:
-            self.committed_transactions()
-        return txn in self._committed_cache
+        return txn in self.committed_set()
 
     def aborts(self, txn: int) -> bool:
         """True when the transaction aborts."""
-        if self._aborted_cache is None:
-            self.aborted_transactions()
-        return txn in self._aborted_cache
+        return txn in self.aborted_set()
 
     def first_index(self, txn: int, kind: OperationKind, item: Optional[str] = None) -> Optional[int]:
         """Index of the first operation of a given kind (and item) by a txn."""

@@ -17,12 +17,12 @@ profile (Table 4), which lives in :mod:`repro.analysis.matrix`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from .dependency import is_serializable
 from .history import History
-from .phenomena import ALL_PHENOMENA, Phenomenon, by_code
+from .phenomena import Phenomenon, by_code
 
 __all__ = [
     "IsolationLevelName",

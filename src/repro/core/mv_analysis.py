@@ -137,6 +137,13 @@ def assign_write_versions(history: History,
     """
     if not history.is_multiversion():
         return history
+    write = OperationKind.WRITE
+    cursor_write = OperationKind.CURSOR_WRITE
+    predicate_write = OperationKind.PREDICATE_WRITE
+    read = OperationKind.READ
+    cursor_read = OperationKind.CURSOR_READ
+    predicate_read = OperationKind.PREDICATE_READ
+    commit = OperationKind.COMMIT
     if all(op.version is not None for op in history
            if op.kind.is_data_access and op.item is not None):
         return history
@@ -147,11 +154,11 @@ def assign_write_versions(history: History,
     for index, op in enumerate(history):
         kind = op.kind
         if (op.item is not None and op.version is None
-                and (kind is OperationKind.WRITE
-                     or kind is OperationKind.CURSOR_WRITE
-                     or kind is OperationKind.PREDICATE_WRITE)):
+                and (kind is write
+                     or kind is cursor_write
+                     or kind is predicate_write)):
             pending.setdefault(op.txn, {}).setdefault(op.item, []).append(index)
-        elif kind is OperationKind.COMMIT:
+        elif kind is commit:
             for item, write_indices in pending.pop(op.txn, {}).items():
                 if item not in next_version:
                     has_initial = preexisting is None or item in preexisting
@@ -164,9 +171,11 @@ def assign_write_versions(history: History,
     # Second pass: complete unversioned reads now that write stamps are known.
     last_own_write: Dict[Tuple[int, str], int] = {}
     for index, op in enumerate(history):
-        if not op.kind.is_data_access or op.item is None:
+        if op.item is None:
             continue
-        if op.kind.is_read and op.version is None and index not in versions:
+        kind = op.kind
+        if ((kind is read or kind is cursor_read or kind is predicate_read)
+                and op.version is None and index not in versions):
             key = (op.txn, op.item)
             own_index = last_own_write.get(key)
             if own_index is not None:
@@ -175,7 +184,7 @@ def assign_write_versions(history: History,
                     versions[index] = own_version
             elif preexisting is not None and op.item not in preexisting:
                 versions[index] = -1
-        if op.is_write:
+        elif kind is write or kind is cursor_write or kind is predicate_write:
             last_own_write[(op.txn, op.item)] = index
 
     operations = [
@@ -300,10 +309,15 @@ def mv_to_sv(history: History) -> History:
     ops_by_txn: Dict[int, List[Operation]] = {}
     first_index: Dict[int, int] = {}
     for position, op in enumerate(history):
-        if op.txn not in ops_by_txn:
-            ops_by_txn[op.txn] = []
-            first_index[op.txn] = position
-        ops_by_txn[op.txn].append(op)
+        txn = op.txn
+        ops = ops_by_txn.get(txn)
+        if ops is None:
+            ops = ops_by_txn[txn] = []
+            first_index[txn] = position
+        ops.append(op)
+    read = OperationKind.READ
+    cursor_read = OperationKind.CURSOR_READ
+    predicate_read = OperationKind.PREDICATE_READ
     events: List[Tuple[int, int, List[Operation]]] = []
     for order, txn in enumerate(ops_by_txn):
         ops = ops_by_txn[txn]
@@ -314,10 +328,10 @@ def mv_to_sv(history: History) -> History:
         commit_block: List[Operation] = []
         for op in ops:
             stripped = _strip_version(op)
-            if op.is_read and (op.item, op.version) not in own_versions:
+            kind = op.kind
+            if ((kind is read or kind is cursor_read or kind is predicate_read)
+                    and (op.item, op.version) not in own_versions):
                 snapshot_reads.append(stripped)
-            elif op.is_terminal:
-                commit_block.append(stripped)
             else:
                 commit_block.append(stripped)
         start_time = first_index[txn]

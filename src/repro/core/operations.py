@@ -22,6 +22,12 @@ from typing import Optional
 class OperationKind(enum.Enum):
     """The kind of an action appearing in a history."""
 
+    #: Identity hashing: kinds key the hottest caches in the repo (operation
+    #: interning, history indexes), and Enum's default __hash__ re-hashes the
+    #: member name on every lookup.  Members are singletons, so identity
+    #: hashing is consistent with equality.
+    __hash__ = object.__hash__
+
     READ = "r"
     WRITE = "w"
     CURSOR_READ = "rc"

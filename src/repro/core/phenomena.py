@@ -29,7 +29,7 @@ Interpretation notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .history import History
@@ -105,26 +105,54 @@ class HistoryIndex:
         self.predicate_writes_by_predicate: Dict[str, List[Tuple[int, Operation]]] = {}
         #: First terminal position per transaction (None entries omitted).
         self.terminals: Dict[int, int] = {}
+        # Local bindings + get-or-create instead of setdefault: this loop runs
+        # once per distinct history on the explorer's hot path, and setdefault
+        # allocates a fresh empty list per call even on hits.
+        reads = self.reads
+        writes = self.writes
+        cursor_reads = self.cursor_reads
+        reads_by_item = self.reads_by_item
+        writes_by_item = self.writes_by_item
+        reads_by_txn = self.reads_by_txn
+        writes_by_txn = self.writes_by_txn
+        terminals = self.terminals
+        commit = OperationKind.COMMIT
+        abort = OperationKind.ABORT
+        read = OperationKind.READ
+        cursor_read = OperationKind.CURSOR_READ
+        predicate_read = OperationKind.PREDICATE_READ
         for i, op in enumerate(history):
             kind = op.kind
-            if kind is OperationKind.COMMIT or kind is OperationKind.ABORT:
-                if op.txn not in self.terminals:
-                    self.terminals[op.txn] = i
+            if kind is commit or kind is abort:
+                if op.txn not in terminals:
+                    terminals[op.txn] = i
                 continue
             entry = (i, op)
-            if kind is OperationKind.READ or kind is OperationKind.CURSOR_READ:
-                self.reads.append(entry)
-                self.reads_by_item.setdefault(op.item, []).append(entry)
-                self.reads_by_txn.setdefault(op.txn, []).append(entry)
-                if kind is OperationKind.CURSOR_READ:
-                    self.cursor_reads.append(entry)
-            elif kind is OperationKind.PREDICATE_READ:
+            if kind is read or kind is cursor_read:
+                reads.append(entry)
+                group = reads_by_item.get(op.item)
+                if group is None:
+                    group = reads_by_item[op.item] = []
+                group.append(entry)
+                group = reads_by_txn.get(op.txn)
+                if group is None:
+                    group = reads_by_txn[op.txn] = []
+                group.append(entry)
+                if kind is cursor_read:
+                    cursor_reads.append(entry)
+            elif kind is predicate_read:
                 self.predicate_reads.append(entry)
             elif kind.is_write:
                 if op.item is not None:
-                    self.writes.append(entry)
-                    self.writes_by_item.setdefault(op.item, []).append(entry)
-                    self.writes_by_txn.setdefault(op.txn, []).append(entry)
+                    writes.append(entry)
+                    group = writes_by_item.get(op.item)
+                    if group is None:
+                        group = writes_by_item[op.item] = []
+                    group.append(entry)
+                    group = writes_by_txn.get(op.txn)
+                    if group is None:
+                        group = writes_by_txn[op.txn] = []
+                    group.append(entry)
                 if op.predicate is not None:
                     self.predicate_writes.append(entry)
                     self.predicate_writes_by_predicate.setdefault(
@@ -173,11 +201,18 @@ class Phenomenon:
                   index: Optional[HistoryIndex] = None) -> bool:
         """True when the phenomenon occurs at least once.
 
-        Short-circuits on the first occurrence — the scan is lazy, so callers
-        that only need the boolean (the explorer's classifier) stop paying for
-        the full occurrence enumeration.
+        Short-circuits on the first occurrence.  Detectors override
+        :meth:`_occurs` with a plain boolean loop — same candidate walk as
+        :meth:`_scan`, minus the generator frames and the
+        :class:`Occurrence` rendering — so the explorer's classifier (which
+        only records presence booleans) skips the occurrence machinery
+        entirely.  ``tests/property`` gates ``occurs_in == bool(find())``.
         """
-        for _ in self._scan(history, self._index_for(history, index)):
+        return self._occurs(history, self._index_for(history, index))
+
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        """Boolean twin of :meth:`_scan` (default: drive the scan lazily)."""
+        for _ in self._scan(history, index):
             return True
         return False
 
@@ -225,6 +260,17 @@ class DirtyWrite(Phenomenon):
                         ),
                     )
 
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        terminals = index.terminals
+        item_writes = index.item_writes
+        for i, first in index.writes:
+            terminal = terminals.get(first.txn)
+            txn = first.txn
+            for j, second in item_writes(first.item):
+                if j > i and second.txn != txn and (terminal is None or j < terminal):
+                    return True
+        return False
+
 
 class DirtyRead(Phenomenon):
     """P1: ``w1[x]...r2[x]...(c1 or a1)``.
@@ -259,6 +305,17 @@ class DirtyRead(Phenomenon):
                         ),
                     )
 
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        terminals = index.terminals
+        item_reads = index.item_reads
+        for i, write_op in index.writes:
+            terminal = terminals.get(write_op.txn)
+            txn = write_op.txn
+            for j, read_op in item_reads(write_op.item):
+                if j > i and read_op.txn != txn and (terminal is None or j < terminal):
+                    return True
+        return False
+
 
 class FuzzyRead(Phenomenon):
     """P2: ``r1[x]...w2[x]...(c1 or a1)``.
@@ -291,6 +348,17 @@ class FuzzyRead(Phenomenon):
                             f"read it and before T{read_op.txn} terminated"
                         ),
                     )
+
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        terminals = index.terminals
+        item_writes = index.item_writes
+        for i, read_op in index.reads:
+            terminal = terminals.get(read_op.txn)
+            txn = read_op.txn
+            for j, write_op in item_writes(read_op.item):
+                if j > i and write_op.txn != txn and (terminal is None or j < terminal):
+                    return True
+        return False
 
 
 class Phantom(Phenomenon):
@@ -365,6 +433,28 @@ class DirtyReadStrict(Phenomenon):
                     ),
                 )
 
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        aborted = history.aborted_set()
+        committed = history.committed_set()
+        if not aborted or not committed:
+            return False
+        item_reads = index.item_reads
+        terminals = index.terminals
+        for i, write_op in index.writes:
+            txn = write_op.txn
+            if txn not in aborted:
+                continue
+            abort_index = terminals.get(txn)
+            for j, read_op in item_reads(write_op.item):
+                if j <= i or read_op.txn == txn:
+                    continue
+                if read_op.txn not in committed:
+                    continue
+                if abort_index is not None and j > abort_index:
+                    continue
+                return True
+        return False
+
 
 class FuzzyReadStrict(Phenomenon):
     """A2: ``r1[x]...w2[x]...c2...r1[x]...c1``.
@@ -403,6 +493,26 @@ class FuzzyReadStrict(Phenomenon):
                             f"committed update by T{write_op.txn}"
                         ),
                     )
+
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        committed = history.committed_set()
+        item_writes = index.item_writes
+        item_reads = index.item_reads
+        terminals = index.terminals
+        for i, first_read in index.reads:
+            txn = first_read.txn
+            if txn not in committed:
+                continue
+            for j, write_op in item_writes(first_read.item):
+                if j <= i or write_op.txn == txn:
+                    continue
+                commit_index = terminals.get(write_op.txn)
+                if write_op.txn not in committed or commit_index is None or commit_index < j:
+                    continue
+                for k, second_read in item_reads(first_read.item):
+                    if k > commit_index and second_read.txn == txn:
+                        return True
+        return False
 
 
 class PhantomStrict(Phenomenon):
@@ -484,6 +594,21 @@ class LostUpdate(Phenomenon):
                         ),
                     )
 
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        committed = history.committed_set()
+        for i, read_op in index.reads:
+            txn = read_op.txn
+            if txn not in committed:
+                continue
+            item_writes = index.item_writes(read_op.item)
+            for j, other_write in item_writes:
+                if j <= i or other_write.txn == txn:
+                    continue
+                for k, own_write in item_writes:
+                    if k > j and own_write.txn == txn:
+                        return True
+        return False
+
 
 class CursorLostUpdate(Phenomenon):
     """P4C: ``rc1[x]...w2[x]...w1[x]...c1``.
@@ -519,6 +644,23 @@ class CursorLostUpdate(Phenomenon):
                             f"{read_op.item} read through a cursor"
                         ),
                     )
+
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        if not index.cursor_reads:
+            return False
+        committed = history.committed_set()
+        for i, read_op in index.cursor_reads:
+            txn = read_op.txn
+            if txn not in committed:
+                continue
+            item_writes = index.item_writes(read_op.item)
+            for j, other_write in item_writes:
+                if j <= i or other_write.txn == txn:
+                    continue
+                for k, own_write in item_writes:
+                    if k > j and own_write.txn == txn:
+                        return True
+        return False
 
 
 class ReadSkew(Phenomenon):
@@ -564,6 +706,34 @@ class ReadSkew(Phenomenon):
                             ),
                         )
 
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        committed = history.committed_set()
+        if not committed or not index.writes or not index.reads:
+            return False
+        item_writes = index.item_writes
+        item_reads = index.item_reads
+        txn_writes = index.txn_writes
+        terminals = index.terminals
+        for i, first_read in index.reads:
+            txn = first_read.txn
+            for j, write_x in item_writes(first_read.item):
+                if j <= i or write_x.txn == txn:
+                    continue
+                if write_x.txn not in committed:
+                    continue
+                commit_index = terminals.get(write_x.txn)
+                if commit_index is None or commit_index < j:
+                    continue
+                for k, write_y in txn_writes(write_x.txn):
+                    if write_y.item == write_x.item:
+                        continue
+                    if not (i < k < commit_index or i < j < commit_index):
+                        continue
+                    for m, second_read in item_reads(write_y.item):
+                        if m > commit_index and second_read.txn == txn:
+                            return True
+        return False
+
 
 class WriteSkew(Phenomenon):
     """A5B: ``r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2 occur)`` with x ≠ y.
@@ -607,6 +777,30 @@ class WriteSkew(Phenomenon):
                                 f"{{{read_x.item}, {read_y.item}}} and wrote the other"
                             ),
                         )
+
+    def _occurs(self, history: History, index: HistoryIndex) -> bool:
+        committed = history.committed_set()
+        if len(committed) < 2 or not index.writes or not index.reads:
+            return False
+        item_writes = index.item_writes
+        txn_reads = index.txn_reads
+        for i, read_x in index.reads:
+            t1 = read_x.txn
+            if t1 not in committed:
+                continue
+            for j, write_x in item_writes(read_x.item):
+                if j <= i or write_x.txn == t1:
+                    continue
+                t2 = write_x.txn
+                if t2 not in committed:
+                    continue
+                for k, read_y in txn_reads(t2):
+                    if read_y.item == read_x.item:
+                        continue
+                    for m, write_y in item_writes(read_y.item):
+                        if m > k and write_y.txn == t1:
+                            return True
+        return False
 
 
 # -- registry ---------------------------------------------------------------------
@@ -654,6 +848,10 @@ STRICT_ANOMALIES: Tuple[Phenomenon, ...] = (
 )
 
 
+#: Detector tuple reused by detect_all/detect_flags (list(...) per call adds up).
+_ALL_DETECTORS: Tuple[Phenomenon, ...] = tuple(ALL_PHENOMENA.values())
+
+
 def by_code(code: str) -> Phenomenon:
     """Look up a detector by its paper code (case-insensitive)."""
     try:
@@ -674,7 +872,7 @@ def detect_all(history: History,
     """
     selected = (
         [by_code(code) for code in codes] if codes is not None
-        else list(ALL_PHENOMENA.values())
+        else _ALL_DETECTORS
     )
     if index is None:
         index = HistoryIndex(history)
@@ -692,8 +890,8 @@ def detect_flags(history: History,
     """
     selected = (
         [by_code(code) for code in codes] if codes is not None
-        else list(ALL_PHENOMENA.values())
+        else _ALL_DETECTORS
     )
     if index is None:
         index = HistoryIndex(history)
-    return {detector.code: detector.occurs_in(history, index) for detector in selected}
+    return {detector.code: detector._occurs(history, index) for detector in selected}

@@ -18,7 +18,7 @@ decision logic a real scheduler would.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional
 
 from ..core.isolation import IsolationLevelName
@@ -27,6 +27,11 @@ from ..storage.predicates import Predicate
 from ..storage.rows import Row
 
 __all__ = [
+    "OP_READ",
+    "OP_WRITE",
+    "OP_COMMIT",
+    "OP_ABORT",
+    "OP_GENERIC",
     "OpStatus",
     "OpResult",
     "TransactionState",
@@ -34,6 +39,17 @@ __all__ = [
     "EngineError",
     "CheckpointError",
 ]
+
+#: Op codes of the compiled slot-program step kernel (see
+#: :func:`repro.engine.programs.compile_step`).  Kept here, next to
+#: :meth:`Engine.apply_step`, so engines and the compiler share one vocabulary
+#: without a circular import.  ``OP_GENERIC`` marks steps the kernel does not
+#: specialize; the runner falls back to ``Step.perform`` for those.
+OP_READ = 0
+OP_WRITE = 1
+OP_COMMIT = 2
+OP_ABORT = 3
+OP_GENERIC = 4
 
 
 class EngineError(RuntimeError):
@@ -77,15 +93,26 @@ class OpResult:
     @classmethod
     def ok(cls, value: Any = None, version: Optional[int] = None,
            item: Optional[str] = None) -> "OpResult":
-        if value is None and version is None and item is None:
-            return _OK_RESULT
         # OK results are immutable values; replaying thousands of schedules
         # realizes the same (value, version, item) payloads over and over, so
-        # intern the hashable ones.
+        # intern the hashable ones.  Value-only results (the single-version
+        # engines' read/write payloads) take a tuple-free fast path.
+        if version is None and item is None:
+            if value is None:
+                return _OK_RESULT
+            try:
+                cached = _OK_VALUE_CACHE.get(value)
+            except TypeError:  # unhashable payload (e.g. a list of rows)
+                return cls(OpStatus.OK, value=value)
+            if cached is None:
+                cached = cls(OpStatus.OK, value=value)
+                if len(_OK_VALUE_CACHE) < 100_000:
+                    _OK_VALUE_CACHE[value] = cached
+            return cached
         key = (value, version, item)
         try:
             cached = _OK_CACHE.get(key)
-        except TypeError:  # unhashable payload (e.g. a list of rows)
+        except TypeError:  # unhashable payload
             return cls(OpStatus.OK, value=value, version=version, item=item)
         if cached is None:
             cached = cls(OpStatus.OK, value=value, version=version, item=item)
@@ -119,6 +146,9 @@ _OK_RESULT = OpResult(OpStatus.OK)
 
 #: Interned OK results keyed by (value, version, item).
 _OK_CACHE: Dict[Any, OpResult] = {}
+
+#: Interned value-only OK results (version=None, item=None), keyed by value.
+_OK_VALUE_CACHE: Dict[Any, OpResult] = {}
 
 
 class TransactionState(enum.Enum):
@@ -211,6 +241,31 @@ class Engine:
     def close_cursor(self, txn: int, cursor: str) -> OpResult:
         """Close a cursor, releasing any cursor-held locks."""
         raise NotImplementedError
+
+    # -- compiled-kernel entry point ---------------------------------------------------------
+
+    def apply_step(self, opcode: int, txn: int, item: Optional[str] = None,
+                   value: Any = None) -> OpResult:
+        """Narrow monomorphic entry point of the compiled step kernel.
+
+        Dispatches one compiled op code to the engine.  The base
+        implementation routes to the polymorphic methods, so every engine
+        supports compiled execution out of the box; the built-in engines
+        override it with fused fast paths.  Whatever the implementation, the
+        returned :class:`OpResult` (and every engine side effect) must be
+        identical to the corresponding stepwise call — the kernel's
+        byte-equality contract.
+        """
+        if opcode == OP_READ:
+            return self.read(txn, item)
+        if opcode == OP_WRITE:
+            return self.write(txn, item, value)
+        if opcode == OP_COMMIT:
+            return self.commit(txn)
+        if opcode == OP_ABORT:
+            # Matches Abort.perform: a scripted abort, not an engine-initiated one.
+            return self.abort(txn, reason="program abort")
+        raise EngineError(f"apply_step cannot dispatch opcode {opcode!r}")
 
     # -- blocking fingerprint ----------------------------------------------------------------
 

@@ -11,7 +11,7 @@ all consume this object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from ..core.history import History
 from ..locking.deadlock import Deadlock

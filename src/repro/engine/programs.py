@@ -12,12 +12,21 @@ anomalies require.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from ..core.operations import OperationKind
 from ..storage.predicates import Predicate
 from ..storage.rows import Row
-from .interface import Engine, OpResult
+from .interface import (
+    OP_ABORT,
+    OP_COMMIT,
+    OP_GENERIC,
+    OP_READ,
+    OP_WRITE,
+    Engine,
+    OpResult,
+)
 
 __all__ = [
     "StepFootprint",
@@ -35,6 +44,12 @@ __all__ = [
     "Commit",
     "Abort",
     "TransactionProgram",
+    "CompiledStep",
+    "CompiledProgram",
+    "CompiledProgramSet",
+    "compile_step",
+    "compile_program",
+    "compile_programs",
 ]
 
 #: A value in a step may be a literal or a callable computing it from the
@@ -312,3 +327,122 @@ class TransactionProgram:
     def footprints(self) -> Tuple[StepFootprint, ...]:
         """The static footprint of every step, in program order."""
         return tuple(step.footprint() for step in self.steps)
+
+
+# -- the compile pass (the scheduler's slot-program step kernel) ------------------------
+#
+# The schedule explorer replays the same programs under thousands of
+# interleavings; per attempt, the stepwise path pays a polymorphic
+# ``step.perform`` dispatch, a second dispatch into the engine method, a
+# ``_resolve`` call, and an ``isinstance`` chain mapping the completed step to
+# its history operation.  Compilation flattens each program into monomorphic
+# step tables — op codes, item names, interned item ids, value specs, realized
+# operation kinds, and footprints as tuples of ints — that
+# :meth:`repro.engine.scheduler.ScheduleRunner.run_compiled` dispatches on
+# directly and engines consume through their narrow
+# :meth:`~repro.engine.interface.Engine.apply_step` entry point.  The stepwise
+# API stays the source of truth: a compiled run must be byte-equal to the
+# stepwise run of the same schedule (gated by tests/engine and
+# tests/explorer).
+
+#: Tuple layout of one compiled step (plain tuples: hot-path indexing).
+#: ``(opcode, item, value_spec, value_is_callable, into, op_kind, step,
+#: describe, op_cache)`` — ``op_cache`` is a per-step dict interning the
+#: realized Operation by (value, version): opcode, kind, txn, and item are
+#: fixed per step, so the remaining pair identifies the operation.
+CompiledStep = Tuple[int, Optional[str], Any, bool, Optional[str],
+                     Optional[OperationKind], Step, str, Dict[Any, Any]]
+
+
+def compile_step(step: Step) -> CompiledStep:
+    """Flatten one step into its monomorphic dispatch record.
+
+    Only the exact core step types compile to dedicated op codes — a subclass
+    overriding :meth:`Step.perform` falls back to :data:`OP_GENERIC`, which
+    preserves its behaviour by calling ``perform`` as the stepwise path does.
+    """
+    cls = type(step)
+    if cls is ReadItem:
+        return (OP_READ, step.item, None, False, step.into or step.item,
+                OperationKind.READ, step, f"read {step.item}", {})
+    if cls is WriteItem:
+        return (OP_WRITE, step.item, step.value, callable(step.value), None,
+                OperationKind.WRITE, step, f"write {step.item}", {})
+    if cls is Commit:
+        return (OP_COMMIT, None, None, False, None,
+                OperationKind.COMMIT, step, "commit", {})
+    if cls is Abort:
+        return (OP_ABORT, None, None, False, None,
+                OperationKind.ABORT, step, "abort", {})
+    return (OP_GENERIC, None, None, False, None, None, step, step.describe(), {})
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """One transaction program flattened into step tables.
+
+    ``read_ids`` / ``write_ids`` carry each step's footprint as tuples of item
+    ids (indices into the program set's item table); ``opaque`` marks steps
+    whose footprint is unknowable statically.  Together they are the integer
+    form of :meth:`TransactionProgram.footprints`, cheap to turn into bitmask
+    commutation tables (see :mod:`repro.explorer.reduction`).
+    """
+
+    txn: int
+    steps: Tuple[CompiledStep, ...]
+    read_ids: Tuple[Tuple[int, ...], ...]
+    write_ids: Tuple[Tuple[int, ...], ...]
+    opaque: Tuple[bool, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass(frozen=True)
+class CompiledProgramSet:
+    """Every program of a set compiled against one shared item-id table."""
+
+    programs: Tuple[CompiledProgram, ...]
+    item_ids: Dict[str, int]
+
+    def by_txn(self) -> Dict[int, CompiledProgram]:
+        return {program.txn: program for program in self.programs}
+
+
+def compile_program(program: TransactionProgram,
+                    item_ids: Dict[str, int]) -> CompiledProgram:
+    """Compile one program, interning item names into ``item_ids`` (mutated)."""
+    read_ids: List[Tuple[int, ...]] = []
+    write_ids: List[Tuple[int, ...]] = []
+    opaque: List[bool] = []
+
+    def intern(names: FrozenSet[str]) -> Tuple[int, ...]:
+        ids = []
+        for name in sorted(names):
+            idx = item_ids.get(name)
+            if idx is None:
+                idx = item_ids[name] = len(item_ids)
+            ids.append(idx)
+        return tuple(ids)
+
+    for step in program.steps:
+        footprint = step.footprint()
+        opaque.append(footprint.opaque)
+        read_ids.append(intern(footprint.reads) if not footprint.opaque else ())
+        write_ids.append(intern(footprint.writes) if not footprint.opaque else ())
+    return CompiledProgram(
+        txn=program.txn,
+        steps=tuple(compile_step(step) for step in program.steps),
+        read_ids=tuple(read_ids),
+        write_ids=tuple(write_ids),
+        opaque=tuple(opaque),
+    )
+
+
+def compile_programs(programs: Sequence[TransactionProgram]) -> CompiledProgramSet:
+    """Compile a whole program set against one shared item-id table."""
+    item_ids: Dict[str, int] = {}
+    return CompiledProgramSet(
+        programs=tuple(compile_program(program, item_ids) for program in programs),
+        item_ids=item_ids,
+    )

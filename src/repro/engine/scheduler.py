@@ -40,11 +40,22 @@ from typing import (
 from ..core.history import History
 from ..core.operations import Operation, OperationKind
 from ..locking.deadlock import Deadlock, WaitsForGraph
-from .interface import Engine, OpResult, OpStatus, TransactionState
+from .interface import (
+    OP_ABORT,
+    OP_COMMIT,
+    OP_GENERIC,
+    OP_READ,
+    OP_WRITE,
+    Engine,
+    OpResult,
+    OpStatus,
+    TransactionState,
+)
 from .outcomes import ExecutionOutcome, StepTrace
 from .programs import (
     Abort,
     Commit,
+    CompiledStep,
     CursorUpdate,
     DeleteRow,
     Fetch,
@@ -55,6 +66,7 @@ from .programs import (
     TransactionProgram,
     UpdateRow,
     WriteItem,
+    compile_step,
 )
 
 __all__ = ["ScheduleRunner", "RunnerCheckpoint", "run_schedule", "replay_schedules"]
@@ -63,15 +75,28 @@ __all__ = ["ScheduleRunner", "RunnerCheckpoint", "run_schedule", "replay_schedul
 class _ProgramState:
     """The runner's bookkeeping for one program (slotted: hot-path attribute access)."""
 
-    __slots__ = ("program", "steps", "total", "counter", "finished", "context")
+    __slots__ = ("program", "steps", "total", "counter", "finished", "context",
+                 "compiled", "parked", "commit_op", "abort_op")
 
-    def __init__(self, program: TransactionProgram):
+    def __init__(self, program: TransactionProgram,
+                 compiled: Optional[Tuple[CompiledStep, ...]] = None):
         self.program = program
         self.steps = program.steps
         self.total = len(program.steps)
         self.counter = 0
         self.finished = False
         self.context: Dict[str, Any] = {}
+        #: Compiled step table (see repro.engine.programs.compile_step), or
+        #: None when the runner drives the stepwise path.
+        self.compiled = compiled
+        #: (step counter, blocking version, result) of the last blocked
+        #: attempt — the runner's blocked-result memo, stored on the state
+        #: slot so the hot path skips a dict lookup per attempt.
+        self.parked: Optional[Tuple[int, int, OpResult]] = None
+        #: Precomputed terminal operations: a committed/aborted terminal
+        #: realizes the same value-equal Operation every time.
+        self.commit_op = Operation(OperationKind.COMMIT, program.txn)
+        self.abort_op = Operation(OperationKind.ABORT, program.txn)
 
     @property
     def txn(self) -> int:
@@ -116,7 +141,8 @@ class ScheduleRunner:
     def __init__(self, engine: Engine, programs: Sequence[TransactionProgram],
                  interleaving: Optional[Sequence[int]] = None,
                  max_attempts: Optional[int] = None,
-                 collect_traces: bool = True):
+                 collect_traces: bool = True,
+                 compiled: bool = False):
         if not programs:
             raise ValueError("at least one transaction program is required")
         txns = [program.txn for program in programs]
@@ -130,6 +156,13 @@ class ScheduleRunner:
         #: The schedule explorer turns traces off: records never consult them,
         #: and skipping a StepTrace per attempt is measurable on the hot path.
         self._collect_traces = collect_traces
+        #: Compiled step tables, one per program (see programs.compile_step).
+        #: Compiled once per runner and reused across reset()/replay().
+        self._compiled = False
+        self._compiled_tables: Optional[Dict[int, Tuple[CompiledStep, ...]]] = None
+        self._attempt_fn: Callable[[int], int] = self._attempt
+        if compiled:
+            self.enable_compiled()
         #: Interned realized operations, shared across runs of this runner:
         #: replaying thousands of schedules of the same programs realizes the
         #: same (kind, txn, item, value, version) operations over and over,
@@ -141,7 +174,12 @@ class ScheduleRunner:
 
     def _reset_state(self, interleaving: Optional[Sequence[int]]) -> None:
         """(Re)initialize all per-run bookkeeping."""
-        self._states = {program.txn: _ProgramState(program) for program in self._programs}
+        tables = self._compiled_tables
+        self._states = {
+            program.txn: _ProgramState(
+                program, tables[program.txn] if tables is not None else None)
+            for program in self._programs
+        }
         self._interleaving = list(interleaving) if interleaving is not None else []
         self._waits = WaitsForGraph()
         self._operations: List[Operation] = []
@@ -154,9 +192,6 @@ class ScheduleRunner:
         self._begun = False
         #: Transactions whose terminal operation is already in _operations.
         self._terminal_recorded: set = set()
-        #: Per-transaction (step counter, blocking version, result) of the
-        #: last blocked attempt — see the fast path in _attempt.
-        self._blocked_memo: Dict[int, Tuple[int, int, OpResult]] = {}
         #: True while a broken deadlock may have left another cycle behind;
         #: while False the waits-for graph is provably acyclic and detection
         #: can be skipped for blocked attempts whose blockers are all running.
@@ -193,6 +228,36 @@ class ScheduleRunner:
             self.apply_slot(txn)
         return self.drain()
 
+    # -- the compiled step kernel -----------------------------------------------------
+
+    def enable_compiled(self) -> None:
+        """Switch this runner onto the compiled slot-program step kernel.
+
+        Programs are flattened once (see
+        :func:`repro.engine.programs.compile_step`) and every subsequent
+        attempt dispatches on the step tables through the engines' narrow
+        :meth:`~repro.engine.interface.Engine.apply_step` entry point instead
+        of the polymorphic ``Step.perform`` path.  Execution stays byte-equal
+        to the stepwise path — same results, operations, traces, blocked
+        counts, deadlocks — which ``tests/engine/test_compiled_kernel.py``
+        gates for every engine level.
+        """
+        if self._compiled:
+            return
+        self._compiled = True
+        self._compiled_tables = {
+            program.txn: tuple(compile_step(step) for step in program.steps)
+            for program in self._programs
+        }
+        self._attempt_fn = self._attempt_compiled
+        for txn, state in getattr(self, "_states", {}).items():
+            state.compiled = self._compiled_tables[txn]
+
+    def run_compiled(self) -> ExecutionOutcome:
+        """:meth:`run`, forced onto the compiled kernel (compiling on first use)."""
+        self.enable_compiled()
+        return self.run()
+
     # -- stepwise API (the trie executor's entry points) ------------------------------------
 
     def begin_all(self) -> None:
@@ -213,9 +278,24 @@ class ScheduleRunner:
         """
         if self._attempts >= self._max_attempts:
             return 0
-        made = self._attempt(txn)
+        made = self._attempt_fn(txn)
         self._attempts += made
         return made
+
+    def apply_many(self, txns: Sequence[int]) -> None:
+        """Apply a run of interleaving slots (one :meth:`apply_slot` each).
+
+        The trie executor applies whole divergent suffixes at once; hoisting
+        the per-slot wrapper out of that loop is measurable at explorer scale.
+        """
+        attempt = self._attempt_fn
+        attempts = self._attempts
+        limit = self._max_attempts
+        for txn in txns:
+            if attempts >= limit:
+                break
+            attempts += attempt(txn)
+        self._attempts = attempts
 
     def drain(self) -> ExecutionOutcome:
         """Phase 2: drain remaining work round-robin until done or stuck.
@@ -231,7 +311,8 @@ class ScheduleRunner:
         broken victim's released locks bump the version, waking the rest.
         """
         states = self._states
-        memo = self._blocked_memo
+        attempt = self._attempt_fn
+        blocking_version = self.engine.blocking_version
         while self._attempts < self._max_attempts:
             # Attempting only unfinished transactions, in schedule order, makes
             # exactly the same effectful attempts as iterating the full order
@@ -245,12 +326,13 @@ class ScheduleRunner:
             for txn in active:
                 if self._attempts >= self._max_attempts:
                     break
-                parked = memo.get(txn)
+                state = states[txn]
+                parked = state.parked
                 if (parked is not None
-                        and parked[0] == states[txn].counter
-                        and parked[1] == self.engine.blocking_version()):
+                        and parked[0] == state.counter
+                        and parked[1] == blocking_version()):
                     continue
-                made = self._attempt(txn)
+                made = attempt(txn)
                 self._attempts += made
                 if made and not self._is_blocked_state(txn):
                     progressed = True
@@ -286,7 +368,10 @@ class ScheduleRunner:
             stalled=self._stalled,
             waits_maybe_cyclic=self._waits_maybe_cyclic,
             terminal_recorded=frozenset(self._terminal_recorded),
-            blocked_memo=tuple(self._blocked_memo.items()),
+            blocked_memo=tuple(
+                (txn, state.parked) for txn, state in self._states.items()
+                if state.parked is not None
+            ),
         )
 
     def restore(self, token: RunnerCheckpoint) -> None:
@@ -311,7 +396,10 @@ class ScheduleRunner:
         # The memo is observable state — whether a drain retry is parked or
         # re-submitted shows up in blocked_events — so it round-trips exactly,
         # together with the engine-side version counter it is keyed on.
-        self._blocked_memo = dict(token.blocked_memo)
+        for state in self._states.values():
+            state.parked = None
+        for txn, parked in token.blocked_memo:
+            self._states[txn].parked = parked
 
     # -- single-step execution -----------------------------------------------------------
 
@@ -327,11 +415,13 @@ class ScheduleRunner:
         # blocking state; when neither the step nor that version has changed
         # since this transaction's last blocked attempt, skip the engine call
         # and replay the identical result (all runner-side effects still run).
-        memo = self._blocked_memo.get(txn)
+        memo = state.parked
+        replayed = False
         if memo is not None and memo[0] == counter:
             version = self.engine.blocking_version()
             if version is not None and version == memo[1]:
                 result = memo[2]
+                replayed = True
             else:
                 result = step.perform(self.engine, txn, state.context)
         else:
@@ -343,9 +433,10 @@ class ScheduleRunner:
 
         status = result.status
         if status is OpStatus.BLOCKED:
-            version = self.engine.blocking_version()
-            if version is not None:
-                self._blocked_memo[txn] = (counter, version, result)
+            if not replayed:
+                version = self.engine.blocking_version()
+                if version is not None:
+                    state.parked = (counter, version, result)
             self._blocked_events += 1
             self._waits.set_waits(txn, result.blockers)
             # Detection is skippable when the graph is provably acyclic: a new
@@ -378,8 +469,117 @@ class ScheduleRunner:
                 self._abort_reasons.setdefault(txn, "program abort")
         return 1
 
+    def _attempt_compiled(self, txn: int) -> int:
+        """Compiled twin of :meth:`_attempt`: dispatch on flattened step tables.
+
+        Behaviour-identical to :meth:`_attempt` by construction — every
+        branch below mirrors one of its branches, with the polymorphic
+        ``step.perform`` / ``_to_operation`` dispatches replaced by the
+        precomputed op code, item, value spec, describe string, and realized
+        operation kind of the compiled step.  The byte-equality tests in
+        tests/engine and tests/explorer hold the two in lockstep; change them
+        together.
+        """
+        state = self._states.get(txn)
+        if state is None or state.finished or state.counter >= state.total:
+            return 0
+        counter = state.counter
+        cstep = state.compiled[counter]
+        opcode = cstep[0]
+        engine = self.engine
+        # Blocked-result memo fast path — same rule as the stepwise attempt.
+        memo = state.parked
+        result = None
+        replayed = False
+        if memo is not None and memo[0] == counter:
+            version = engine.blocking_version()
+            if version is not None and version == memo[1]:
+                result = memo[2]
+                replayed = True
+        if result is None:
+            if opcode == OP_READ:
+                result = engine.apply_step(OP_READ, txn, cstep[1])
+                if result.status is OpStatus.OK:
+                    state.context[cstep[4]] = result.value
+            elif opcode == OP_WRITE:
+                value = cstep[2]
+                if cstep[3]:
+                    value = value(state.context)
+                result = engine.apply_step(OP_WRITE, txn, cstep[1], value)
+            elif opcode == OP_GENERIC:
+                result = cstep[6].perform(engine, txn, state.context)
+            else:
+                result = engine.apply_step(opcode, txn)
+        if self._collect_traces:
+            self._traces.append(
+                StepTrace(txn, cstep[7], result.status, result.value, result.reason)
+            )
+
+        status = result.status
+        if status is OpStatus.BLOCKED:
+            if not replayed:
+                version = engine.blocking_version()
+                if version is not None:
+                    state.parked = (counter, version, result)
+            self._blocked_events += 1
+            self._waits.set_waits(txn, result.blockers)
+            if self._waits_maybe_cyclic or self._waits.any_waiting(result.blockers):
+                self._resolve_deadlock()
+            return 1
+
+        self._waits.clear_waits(txn)
+
+        if status is OpStatus.ABORTED:
+            self._record_abort(txn, result.reason or "engine abort")
+            state.finished = True
+            self._waits.remove_transaction(txn)
+            return 1
+
+        # OK: record the realized operation and advance.
+        if opcode == OP_READ or opcode == OP_WRITE:
+            # Per-step operation interning: kind/txn/item are fixed for this
+            # step, so (value, version) identifies the realized operation.
+            cache = cstep[8]
+            opkey = (result.value, result.version)
+            try:
+                operation = cache.get(opkey)
+            except TypeError:  # unhashable recorded value
+                operation = Operation(cstep[5], txn, item=cstep[1],
+                                      value=result.value, version=result.version)
+            else:
+                if operation is None:
+                    operation = Operation(cstep[5], txn, item=cstep[1],
+                                          value=result.value,
+                                          version=result.version)
+                    if len(cache) < 4096:
+                        cache[opkey] = operation
+            self._operations.append(operation)
+        elif opcode == OP_COMMIT:
+            self._operations.append(state.commit_op)
+            self._terminal_recorded.add(txn)
+        elif opcode == OP_ABORT:
+            self._operations.append(state.abort_op)
+            self._terminal_recorded.add(txn)
+        else:
+            operation = self._to_operation(txn, cstep[6], result)
+            if operation is not None:
+                self._operations.append(operation)
+                opkind = operation.kind
+                if opkind is OperationKind.COMMIT or opkind is OperationKind.ABORT:
+                    self._terminal_recorded.add(txn)
+        state.counter = counter + 1
+        if (opcode == OP_COMMIT or opcode == OP_ABORT
+                or state.counter >= state.total
+                or (opcode == OP_GENERIC and isinstance(cstep[6], (Commit, Abort)))):
+            state.finished = True
+            self._waits.remove_transaction(txn)
+            if opcode == OP_ABORT or (
+                    opcode == OP_GENERIC and isinstance(cstep[6], Abort)):
+                self._abort_reasons.setdefault(txn, "program abort")
+        return 1
+
     def _is_blocked_state(self, txn: int) -> bool:
-        return txn in self._waits.waiting()
+        return self._waits.is_waiting(txn)
 
     def _resolve_deadlock(self) -> bool:
         """Detect a deadlock and abort its victim.  Returns True if one was broken."""
@@ -461,12 +661,20 @@ class ScheduleRunner:
         return all(state.finished or state.exhausted for state in self._states.values())
 
     def _build_outcome(self) -> ExecutionOutcome:
+        # Equivalent to state_of per txn with the defensive ACTIVE fallback,
+        # minus a method call + exception frame per transaction per outcome.
+        engine_states = getattr(self.engine, "_states", None)
         statuses: Dict[int, TransactionState] = {}
-        for txn in self._order:
-            try:
-                statuses[txn] = self.engine.state_of(txn)
-            except Exception:  # pragma: no cover - defensive
-                statuses[txn] = TransactionState.ACTIVE
+        if isinstance(engine_states, dict):
+            active = TransactionState.ACTIVE
+            for txn in self._order:
+                statuses[txn] = engine_states.get(txn, active)
+        else:  # pragma: no cover - engines without the base bookkeeping
+            for txn in self._order:
+                try:
+                    statuses[txn] = self.engine.state_of(txn)
+                except Exception:
+                    statuses[txn] = TransactionState.ACTIVE
         return ExecutionOutcome(
             engine_name=self.engine.name,
             # Runner-realized histories are well-formed by construction (a

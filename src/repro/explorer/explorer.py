@@ -51,10 +51,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.isolation import IsolationLevelName
-from ..testbed import is_single_version
 from ..workloads.program_sets import ProgramSetSpec, resolve_program_set
 from .memo import BatchClassifier
-from .reduction import StreamingReducer
+from .reduction import StreamingReducer, terminal_scope_for
 from .schedules import Interleaving, ScheduleSpace, schedule_space
 from .worker import (
     ChunkResult,
@@ -74,15 +73,6 @@ __all__ = [
 ]
 
 
-def terminal_scope_for(level: IsolationLevelName) -> str:
-    """The commutation oracle's terminal scope for one isolation level.
-
-    Single-version locking engines take the relaxed ``"footprint"`` rule;
-    multiversion engines need the component-wide ``"component"`` rule because
-    their commits are snapshot boundaries (see :mod:`repro.explorer.reduction`).
-    """
-    return "footprint" if is_single_version(level) else "component"
-
 #: The Table 4 rows the coverage report mirrors by default.
 DEFAULT_LEVELS: Tuple[IsolationLevelName, ...] = (
     IsolationLevelName.READ_UNCOMMITTED,
@@ -94,6 +84,12 @@ DEFAULT_LEVELS: Tuple[IsolationLevelName, ...] = (
 
 #: Accepted reduction strategies.
 REDUCTIONS = ("none", "sleep-set")
+
+#: ``outcome_memo="auto"`` enables the schedule-level outcome memo only for
+#: spaces at most this big: small (exhaustive or oversampled) spaces revisit
+#: commutation-equivalence classes constantly, while a sample of a huge space
+#: almost never does — there the canonicalization would be pure overhead.
+OUTCOME_MEMO_AUTO_LIMIT = 10_000
 
 
 def available_workers() -> int:
@@ -134,6 +130,7 @@ class ExplorationResult:
     chunk_size: int
     levels: Dict[IsolationLevelName, LevelExploration]
     reduction: str = "none"
+    outcome_memo: bool = False
 
     def fingerprint(self) -> str:
         """SHA-256 over every record, in order — identical runs hash identically.
@@ -216,6 +213,48 @@ class _ScopePlan:
         return self.building_stream(chunks)
 
 
+class _ChunkStreamCache:
+    """Replay a space's chunk stream across levels without re-sampling.
+
+    ``explore`` iterates the same schedule stream once per isolation level;
+    for sampled spaces that pays the full RNG cost per level.  This cache
+    materializes the chunk list the first time a (chunk size) stream is
+    drained and replays it for later levels — but only for small runs:
+    ``limit`` caps the cached schedule count, so million-schedule streams keep
+    the O(chunk) memory contract and simply stream again per level.  Purely an
+    optimization: the stream is a pure function of the space, so replaying the
+    cache is indistinguishable from regenerating it.
+    """
+
+    def __init__(self, space: ScheduleSpace, limit: int = 100_000):
+        self._space = space
+        self._limit = limit
+        self._chunks: Dict[int, List[Tuple[int, Tuple[Interleaving, ...]]]] = {}
+
+    def iter_chunks(self, chunk_size: int
+                    ) -> Iterator[Tuple[int, Tuple[Interleaving, ...]]]:
+        cached = self._chunks.get(chunk_size)
+        if cached is not None:
+            return iter(cached)
+        return self._build(chunk_size)
+
+    def _build(self, chunk_size: int
+               ) -> Iterator[Tuple[int, Tuple[Interleaving, ...]]]:
+        collected: List[Tuple[int, Tuple[Interleaving, ...]]] = []
+        total = 0
+        keep = True
+        for indexed_chunk in self._space.iter_chunks(chunk_size):
+            if keep:
+                collected.append(indexed_chunk)
+                total += len(indexed_chunk[1])
+                if total > self._limit:
+                    keep = False
+                    collected.clear()
+            yield indexed_chunk
+        if keep:
+            self._chunks[chunk_size] = collected
+
+
 def _merge_stats(stats_list: Iterable[Dict[str, int]]) -> Dict[str, int]:
     merged: Dict[str, int] = {}
     for stats in stats_list:
@@ -240,9 +279,10 @@ def _assemble_chunk(records: List[ScheduleRecord],
 
 
 def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
-                   space: ScheduleSpace, plan: Optional[_ScopePlan],
+                   chunks: _ChunkStreamCache, plan: Optional[_ScopePlan],
                    chunk_size: int, builder, initial_items,
-                   pool, shared_cache) -> LevelExploration:
+                   pool, shared_cache, outcome_memo: bool = False,
+                   shared_outcomes=None) -> LevelExploration:
     """Stream one level's chunks through execution (in-process or pooled).
 
     With a reduction plan, chunks are canonicalized as they stream (or the
@@ -264,19 +304,24 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
         # prefixes in the trie executor.  Records are identical either way —
         # per-schedule outcomes are independent of batching by the trie
         # executor's byte-equality contract.
-        batch_size = chunk_size if pool is not None else max(chunk_size, 512)
-        chunk_schedules = space.iter_chunks(batch_size)
+        batch_size = chunk_size if pool is not None else max(chunk_size, 2048)
+        chunk_schedules = chunks.iter_chunks(batch_size)
 
         def tasks() -> Iterator[ChunkTask]:
             for index, chunk in chunk_schedules:
-                yield ChunkTask(index, spec, level, chunk, builder, shared_cache)
+                yield ChunkTask(index, spec, level, chunk, builder, shared_cache,
+                                outcome_memo=outcome_memo,
+                                shared_outcomes=shared_outcomes)
 
         for result in _run_tasks(tasks(), pool, serial_classifier):
             records.extend(result.records)
             stats_parts.append(result.cache_stats)
-        executed = len(records)
+        if outcome_memo:
+            executed = sum(part.get("outcome_executed", 0) for part in stats_parts)
+        else:
+            executed = len(records)
     else:
-        plan_stream = plan.stream(space.iter_chunks(chunk_size))
+        plan_stream = plan.stream(chunks.iter_chunks(chunk_size))
         # The task generator advances the plan stream; assembly pulls the
         # matching (chunk, slots) pairs from this parent-side queue, which
         # only ever holds the chunks the pool has prefetched ahead of their
@@ -340,7 +385,8 @@ def explore(spec: ProgramSetSpec,
             mode: str = "auto", max_schedules: int = 1000, seed: int = 0,
             workers: Union[int, str] = 1, chunk_size: int = 64,
             reduction: str = "none",
-            shared_cache: bool = True) -> ExplorationResult:
+            shared_cache: bool = True,
+            outcome_memo: Union[bool, str] = "auto") -> ExplorationResult:
     """Explore the schedule space of a program set under several isolation levels.
 
     Parameters
@@ -384,18 +430,49 @@ def explore(spec: ProgramSetSpec,
         an append-only manager log (one batched pull at chunk start, one
         batched publish at chunk end).  Pure optimization — never changes
         records.
+    outcome_memo:
+        Schedule-level outcome memoization for streams explored *without*
+        reduction: schedules are canonicalized
+        (:meth:`~repro.explorer.reduction.CommutationOracle.canonical_key`,
+        level-aware terminal scope) and each equivalence class executes its
+        canonical member exactly once per process — every other member reuses
+        the memoized outcome, and parallel workers exchange outcomes through
+        an append-only log like the classification cache.  ``"auto"`` (the
+        default) enables it only when ``reduction == "none"`` and the space
+        holds at most :data:`OUTCOME_MEMO_AUTO_LIMIT` schedules — exhaustive
+        or oversampled streams, where classes are revisited constantly; a
+        sparse sample of a huge space keeps it off (the memo would never
+        hit).  Record semantics under the memo match reduction's: a record
+        keeps its own interleaving but carries its *canonical member's*
+        realized history and blocked/deadlock/stall counts.  Records stay a
+        pure function of the explore() inputs — the canonical member (never
+        the first-encountered one) is what executes, so worker count, chunk
+        size, and memo warmth cannot change any record.
     """
     workers = _resolve_worker_count(workers)
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
     if reduction not in REDUCTIONS:
         raise ValueError(f"unknown reduction {reduction!r}; choose from {REDUCTIONS}")
+    if not (outcome_memo in (True, False) or outcome_memo == "auto"):
+        raise ValueError(
+            f"outcome_memo must be True, False, or 'auto', got {outcome_memo!r}")
     # Resolve the builder here, in the caller's process, so sets registered by
     # the calling script reach spawn-started workers (pickled by reference).
     builder = resolve_program_set(spec)
     database, programs = builder(**spec.kwargs())
     initial_items = _initial_items(database)
     space = schedule_space(programs, mode=mode, max_schedules=max_schedules, seed=seed)
+    if outcome_memo == "auto":
+        # Deterministic resolution: a pure function of the explore() inputs
+        # (the space is fixed by (spec, mode, max_schedules, seed)), so the
+        # determinism contract is preserved.
+        outcome_memo = reduction == "none" and space.total <= OUTCOME_MEMO_AUTO_LIMIT
+    else:
+        # Sleep-set reduction already executes one representative per class
+        # in the parent, so the memo has nothing to add there: resolve an
+        # explicit True to False so the result reports what actually ran.
+        outcome_memo = bool(outcome_memo) and reduction == "none"
 
     # The reduction plan depends on the level only through the terminal rule;
     # at most two plans are built (one per scope in use) and shared across the
@@ -413,12 +490,14 @@ def explore(spec: ProgramSetSpec,
             plans[scope] = _ScopePlan(programs, scope)
         return plans[scope]
 
+    chunk_cache = _ChunkStreamCache(space)
     explorations: Dict[IsolationLevelName, LevelExploration] = {}
     if workers == 1:
         for level in levels:
             explorations[level] = _explore_level(
-                spec, level, space, _plan_for(level), chunk_size, builder,
+                spec, level, chunk_cache, _plan_for(level), chunk_size, builder,
                 initial_items, pool=None, shared_cache=None,
+                outcome_memo=outcome_memo,
             )
     else:
         manager = multiprocessing.Manager() if shared_cache else None
@@ -427,15 +506,27 @@ def explore(spec: ProgramSetSpec,
             # independent, and serial prefixes realize identical histories
             # under different engines.
             shared = manager.list() if manager is not None else None
+            # Outcomes are level-dependent: one outcome log per level, all
+            # created up front and kept alive until the manager shuts down —
+            # workers key their incremental-pull cursors on the proxy token,
+            # and a freed referent's id could otherwise be reused by a later
+            # level's log, aliasing the cursors across levels.
+            outcome_logs = {
+                level: (manager.list()
+                        if manager is not None and outcome_memo else None)
+                for level in levels
+            }
             with multiprocessing.Pool(processes=workers) as pool:
                 for level in levels:
                     explorations[level] = _explore_level(
-                        spec, level, space, _plan_for(level), chunk_size,
+                        spec, level, chunk_cache, _plan_for(level), chunk_size,
                         builder, initial_items, pool=pool, shared_cache=shared,
+                        outcome_memo=outcome_memo,
+                        shared_outcomes=outcome_logs[level],
                     )
         finally:
             if manager is not None:
                 manager.shutdown()
     return ExplorationResult(spec=spec, space=space, workers=workers,
                              chunk_size=chunk_size, levels=explorations,
-                             reduction=reduction)
+                             reduction=reduction, outcome_memo=outcome_memo)

@@ -27,14 +27,19 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.dependency import DependencyEdge, DependencyGraph, _edge_kind
 from ..core.history import History
-from ..core.mv_analysis import assign_write_versions, mv_is_serializable, mv_to_sv
-from ..core.operations import Operation
+from ..core.mv_analysis import _strip_version
+from ..core.operations import Operation, OperationKind
 from ..core.phenomena import HistoryIndex, detect_flags
+from ..engine.programs import TransactionProgram
+from .reduction import CommutationOracle
+from .schedules import Interleaving
 
 __all__ = [
     "HistoryClassification",
     "PrefixGraphBuilder",
     "BatchClassifier",
+    "ScheduleOutcome",
+    "ScheduleOutcomeMemo",
 ]
 
 
@@ -47,6 +52,93 @@ class HistoryClassification:
     phenomena: Tuple[str, ...]
     committed: Tuple[int, ...]
     aborted: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """The full per-schedule record payload, minus the interleaving itself.
+
+    What the schedule-level outcome memo stores per equivalence class:
+    executing the class's canonical member realizes this history and
+    classification, and every member of the class shares it (the reduction
+    layer's record semantics).  Plain strings and tuples — picklable across
+    the worker pool's shared outcome log.
+    """
+
+    history: str
+    serializable: bool
+    phenomena: Tuple[str, ...]
+    committed: Tuple[int, ...]
+    aborted: Tuple[int, ...]
+    blocked_events: int
+    deadlocks: int
+    stalled: bool
+
+
+class ScheduleOutcomeMemo:
+    """Schedule-level outcome memo keyed on the reduction layer's canonical form.
+
+    Sampled and exhaustive streams explored without ``reduction="sleep-set"``
+    re-execute commutation-equivalent schedules over and over; this memo maps
+    each schedule to the canonical member of its Mazurkiewicz equivalence
+    class (:meth:`CommutationOracle.canonical_key`) and caches the *outcome*
+    of executing that canonical member.  Every class member gets the
+    canonical member's record — byte-identical across worker counts and chunk
+    sizes because the canonical member (not the first-encountered one) is
+    what executes, making the memo deterministic by construction.
+
+    Soundness is the sleep-set reduction argument (see
+    :mod:`repro.explorer.reduction`): equivalent schedules realize equivalent
+    histories with identical classifications, and the oracle's terminal scope
+    must match the engine family (``"footprint"`` only for single-version
+    locking levels).
+    """
+
+    def __init__(self, programs: Sequence[TransactionProgram],
+                 terminal_scope: str = "component"):
+        self.oracle = CommutationOracle(programs, terminal_scope=terminal_scope)
+        self.terminal_scope = terminal_scope
+        self._outcomes: Dict[Interleaving, ScheduleOutcome] = {}
+        #: Outcomes computed since the last :meth:`drain_fresh` (for shared
+        #: logs; drained after every chunk regardless of whether a log is
+        #: attached, so it never grows past one chunk's worth).
+        self._fresh: Dict[Interleaving, ScheduleOutcome] = {}
+
+    def canonical(self, interleaving: Interleaving) -> Interleaving:
+        """The canonical member of the schedule's equivalence class."""
+        return self.oracle.canonical_key(interleaving)
+
+    def peek(self, key: Interleaving) -> Optional[ScheduleOutcome]:
+        """The memoized outcome for a canonical key, or None."""
+        return self._outcomes.get(key)
+
+    def put(self, key: Interleaving, outcome: ScheduleOutcome) -> None:
+        self._outcomes[key] = outcome
+        self._fresh[key] = outcome
+
+    def preload(self, entries: Mapping[Interleaving, ScheduleOutcome]) -> None:
+        """Seed with outcomes computed elsewhere (other worker processes).
+
+        Sound because an entry is a pure function of (programs, level,
+        canonical key) — a preloaded outcome can only save an execution,
+        never change a record.
+        """
+        self._outcomes.update(entries)
+
+    def exports(self) -> Dict[Interleaving, ScheduleOutcome]:
+        """Locally computed outcomes, for publishing to a shared log."""
+        return dict(self._fresh)
+
+    def drain_fresh(self) -> Dict[Interleaving, ScheduleOutcome]:
+        """:meth:`exports`, clearing the fresh set — the memo is per-process
+        and long-lived, so publishers drain it to avoid republishing the same
+        batch with every chunk."""
+        fresh = self._fresh
+        self._fresh = {}
+        return fresh
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
 
 
 class _TrieNode:
@@ -160,6 +252,197 @@ class PrefixGraphBuilder:
         return DependencyGraph(nodes, edges)
 
 
+def _graph_is_acyclic(adjacency: Dict[int, Set[int]]) -> bool:
+    """Iterative three-color DFS over a handful of transaction nodes."""
+    state: Dict[int, int] = {}
+    for root in adjacency:
+        if root in state:
+            continue
+        stack = [(root, iter(adjacency[root]))]
+        state[root] = 1
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                mark = state.get(successor)
+                if mark == 1:
+                    return False
+                if mark is None:
+                    state[successor] = 1
+                    stack.append((successor, iter(adjacency[successor])))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 2
+                stack.pop()
+    return True
+
+
+def _mv_classify_core(history: History,
+                      initial_items) -> Tuple[bool, History]:
+    """Fused MV classification core: one walk instead of three pipelines.
+
+    Equivalent to ``completed = assign_write_versions(history, initial_items)``
+    followed by ``(mv_is_serializable(completed), mv_to_sv(completed))`` —
+    the same version completion, the same MVSG edge rules, the same SV
+    mapping (the returned history is value-equal to ``mv_to_sv``'s) — without
+    materializing the intermediate completed history or re-scanning the
+    operation list once per stage.  ``tests/explorer/test_memo.py`` gates the
+    fused result against the unfused public pipeline.
+    """
+    ops = history.operations
+    read = OperationKind.READ
+    cursor_read = OperationKind.CURSOR_READ
+    predicate_read = OperationKind.PREDICATE_READ
+    write = OperationKind.WRITE
+    cursor_write = OperationKind.CURSOR_WRITE
+    predicate_write = OperationKind.PREDICATE_WRITE
+    commit = OperationKind.COMMIT
+    abort = OperationKind.ABORT
+    preexisting = initial_items
+
+    # Pass 1: group by transaction; replay the commit order to stamp the
+    # versions that committed writes install (assign_write_versions pass 1);
+    # record first terminal positions.
+    ops_by_txn: Dict[int, List[Tuple[int, Operation]]] = {}
+    first_index: Dict[int, int] = {}
+    terminals: Dict[int, int] = {}
+    pending: Dict[int, Dict[str, List[int]]] = {}
+    versions: Dict[int, int] = {}
+    next_version: Dict[str, int] = {}
+    #: (item, effective version) -> writing txn, plus per-item version lists
+    #: and per-txn written (item, version) sets — pass 3/4 inputs, collected
+    #: while stamping so the write scan happens exactly once.  Assumes each
+    #: (item, version) has one installing transaction — true of realized MV
+    #: histories (engine-installed chains) and well-formed paper histories.
+    writers: Dict[Tuple[str, int], int] = {}
+    versions_by_item: Dict[str, List[int]] = {}
+    own_versions_by_txn: Dict[int, set] = {}
+
+    def register_write(item: str, effective: int, txn: int) -> None:
+        key = (item, effective)
+        if key not in writers:
+            versions_by_item.setdefault(item, []).append(effective)
+        writers[key] = txn
+        owned = own_versions_by_txn.get(txn)
+        if owned is None:
+            owned = own_versions_by_txn[txn] = set()
+        owned.add(key)
+
+    for index, op in enumerate(ops):
+        txn = op.txn
+        group = ops_by_txn.get(txn)
+        if group is None:
+            group = ops_by_txn[txn] = []
+            first_index[txn] = index
+        group.append((index, op))
+        kind = op.kind
+        if (op.item is not None
+                and (kind is write or kind is cursor_write
+                     or kind is predicate_write)):
+            if op.version is None:
+                pending.setdefault(txn, {}).setdefault(op.item, []).append(index)
+            else:
+                register_write(op.item, op.version, txn)
+        elif kind is commit:
+            if txn not in terminals:
+                terminals[txn] = index
+            for item, write_indices in pending.pop(txn, {}).items():
+                if item not in next_version:
+                    has_initial = preexisting is None or item in preexisting
+                    next_version[item] = 1 if has_initial else 0
+                else:
+                    next_version[item] += 1
+                stamped = next_version[item]
+                for write_index in write_indices:
+                    versions[write_index] = stamped
+                register_write(item, stamped, txn)
+        elif kind is abort:
+            if txn not in terminals:
+                terminals[txn] = index
+
+    # Pass 2: complete unversioned reads (assign_write_versions pass 2).
+    last_own_write: Dict[Tuple[int, str], int] = {}
+    for index, op in enumerate(ops):
+        if op.item is None:
+            continue
+        kind = op.kind
+        if ((kind is read or kind is cursor_read or kind is predicate_read)
+                and op.version is None and index not in versions):
+            key = (op.txn, op.item)
+            own_index = last_own_write.get(key)
+            if own_index is not None:
+                own_version = versions.get(own_index, ops[own_index].version)
+                if own_version is not None:
+                    versions[index] = own_version
+            elif preexisting is not None and op.item not in preexisting:
+                versions[index] = -1
+        elif kind is write or kind is cursor_write or kind is predicate_write:
+            last_own_write[(op.txn, op.item)] = index
+
+    # Pass 3: MVSG adjacency over effective versions (wr / rw / ww rules).
+    committed = history.committed_set()
+    adjacency: Dict[int, Set[int]] = {txn: set() for txn in committed}
+    for index, op in enumerate(ops):
+        kind = op.kind
+        if not (kind is read or kind is cursor_read):
+            continue
+        txn = op.txn
+        if txn not in committed:
+            continue
+        effective = versions.get(index, op.version)
+        if effective is None:
+            continue
+        writer = writers.get((op.item, effective))
+        if writer is not None and writer != txn and writer in committed:
+            adjacency[writer].add(txn)  # wr
+        for version in versions_by_item.get(op.item, ()):
+            if version > effective:
+                other = writers[(op.item, version)]
+                if other != txn and other in committed:
+                    adjacency[txn].add(other)  # rw
+    for item, item_versions in versions_by_item.items():
+        ordered = sorted(
+            (version, writers[(item, version)]) for version in item_versions)
+        for (_, earlier_writer), (_, later_writer) in zip(ordered, ordered[1:]):
+            if (earlier_writer != later_writer and earlier_writer in committed
+                    and later_writer in committed):
+                adjacency[earlier_writer].add(later_writer)  # ww
+    serializable = _graph_is_acyclic(adjacency)
+
+    # Pass 4: the Section 4.2 MV -> SV mapping (mv_to_sv), on the same
+    # effective versions: foreign-version reads at the start point, writes /
+    # own-version reads / terminals at the commit (or abort) point.
+    events: List[Tuple[int, int, List[Operation]]] = []
+    total = len(ops)
+    empty_set: set = set()
+    for order, txn in enumerate(ops_by_txn):
+        group = ops_by_txn[txn]
+        own_versions = own_versions_by_txn.get(txn, empty_set)
+        snapshot_reads: List[Operation] = []
+        commit_block: List[Operation] = []
+        for index, op in group:
+            stripped = _strip_version(op)
+            kind = op.kind
+            if ((kind is read or kind is cursor_read or kind is predicate_read)
+                    and (op.item, versions.get(index, op.version))
+                    not in own_versions):
+                snapshot_reads.append(stripped)
+            else:
+                commit_block.append(stripped)
+        commit_time = terminals.get(txn)
+        if commit_time is None:
+            commit_time = total + order
+        events.append((first_index[txn], order, snapshot_reads))
+        events.append((commit_time, order, commit_block))
+    events.sort(key=lambda event: (event[0], event[1]))
+    operations: List[Operation] = []
+    for _, _, block in events:
+        operations.extend(block)
+    name = f"{history.name}.SV" if history.name else None
+    return serializable, History(operations, name=name, validate=False)
+
+
 def _sv_is_serializable(history: History, index: HistoryIndex) -> bool:
     """Acyclicity of the committed-transaction conflict graph, built directly.
 
@@ -171,7 +454,7 @@ def _sv_is_serializable(history: History, index: HistoryIndex) -> bool:
     edge objects at all.  The explorer's hot path classifies hundreds of
     thousands of distinct histories; this is its serializability verdict.
     """
-    committed = history.committed_transactions()
+    committed = history.committed_set()
     adjacency: Dict[int, Set[int]] = {txn: set() for txn in committed}
 
     def link(earlier_entries, later_entries) -> None:
@@ -200,29 +483,7 @@ def _sv_is_serializable(history: History, index: HistoryIndex) -> bool:
         link(writes, reads)
         link(reads, writes)
 
-    # Iterative three-color DFS over a handful of transaction nodes.
-    state: Dict[int, int] = {}
-    for root in adjacency:
-        if root in state:
-            continue
-        stack = [(root, iter(adjacency[root]))]
-        state[root] = 1
-        while stack:
-            node, successors = stack[-1]
-            advanced = False
-            for successor in successors:
-                mark = state.get(successor)
-                if mark == 1:
-                    return False
-                if mark is None:
-                    state[successor] = 1
-                    stack.append((successor, iter(adjacency[successor])))
-                    advanced = True
-                    break
-            if not advanced:
-                state[node] = 2
-                stack.pop()
-    return True
+    return _graph_is_acyclic(adjacency)
 
 
 class BatchClassifier:
@@ -248,6 +509,11 @@ class BatchClassifier:
         #: Items present in the initial database, for MV version completion
         #: (see assign_write_versions).  None assumes every item pre-exists.
         self.initial_items = None if initial_items is None else frozenset(initial_items)
+        #: detect_flags results keyed by the *mapped* SV history: many
+        #: distinct MV histories (differing only in version subscripts /
+        #: snapshot timing) map to the same single-valued history, so the
+        #: detector pass is shared across them.
+        self._mapped_flags: Dict[History, Dict[str, bool]] = {}
         self.hits = 0
         self.misses = 0
         self.shared_hits = 0
@@ -290,9 +556,11 @@ class BatchClassifier:
             return shared
         self.misses += 1
         if history.is_multiversion():
-            completed = assign_write_versions(history, self.initial_items)
-            serializable = mv_is_serializable(completed)
-            flags = detect_flags(mv_to_sv(completed), codes=self._codes)
+            serializable, mapped = _mv_classify_core(history, self.initial_items)
+            flags = self._mapped_flags.get(mapped)
+            if flags is None:
+                flags = detect_flags(mapped, codes=self._codes)
+                self._mapped_flags[mapped] = flags
         else:
             index = HistoryIndex(history)
             serializable = _sv_is_serializable(history, index)
@@ -303,8 +571,8 @@ class BatchClassifier:
             phenomena=tuple(sorted(
                 code for code, found in flags.items() if found
             )),
-            committed=tuple(sorted(history.committed_transactions())),
-            aborted=tuple(sorted(history.aborted_transactions())),
+            committed=tuple(sorted(history.committed_set())),
+            aborted=tuple(sorted(history.aborted_set())),
         )
         self._cache[history] = classification
         self._fresh[shorthand] = classification

@@ -63,7 +63,9 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.isolation import IsolationLevelName
 from ..engine.programs import Abort, Commit, StepFootprint, TransactionProgram
+from ..testbed import is_single_version
 from .schedules import Interleaving
 
 __all__ = [
@@ -72,6 +74,7 @@ __all__ = [
     "ExecutionPlan",
     "StreamingReducer",
     "build_execution_plan",
+    "terminal_scope_for",
 ]
 
 #: Accepted terminal-ordering scopes: ``"component"`` orders a possible
@@ -83,6 +86,19 @@ TERMINAL_SCOPES = ("component", "footprint")
 
 #: Marker footprint for "could touch anything".
 _OPAQUE = StepFootprint(opaque=True)
+
+
+def terminal_scope_for(level: IsolationLevelName) -> str:
+    """The commutation oracle's terminal scope for one isolation level.
+
+    Single-version locking engines take the relaxed ``"footprint"`` rule;
+    multiversion engines need the component-wide ``"component"`` rule because
+    their commits are snapshot boundaries (see the module docstring).  The
+    single definition serves both the reduction layer and the
+    schedule-outcome memo — the two must canonicalize with the same
+    equivalence relation.
+    """
+    return "footprint" if is_single_version(level) else "component"
 
 
 def _union_footprint(footprints: Sequence[StepFootprint]) -> StepFootprint:
@@ -132,6 +148,38 @@ class CommutationOracle:
         self._component = self._conflict_components(programs)
         self._effective_cache: Dict[Tuple[int, int], StepFootprint] = {}
         self._commute_cache: Dict[Tuple[int, int, int, int], bool] = {}
+        #: Event table of the canonical-key fast path: every (txn, occurrence)
+        #: with occurrence < len(program) gets a dense id assigned in
+        #: (txn, occurrence) order, and ``_conflict_masks[id]`` is the bitmask
+        #: of event ids that do NOT commute with it (built from the memoized
+        #: :meth:`commutes`, so the two paths cannot disagree).  Lazy: built on
+        #: the first canonical_key call.
+        self._event_ids: Optional[Dict[Tuple[int, int], int]] = None
+        self._event_txns: List[int] = []
+        self._conflict_masks: List[int] = []
+
+    def _build_event_table(self) -> Dict[Tuple[int, int], int]:
+        ids: Dict[Tuple[int, int], int] = {}
+        txns: List[int] = []
+        for txn in sorted(self._footprints):
+            for occurrence in range(len(self._footprints[txn])):
+                ids[(txn, occurrence)] = len(txns)
+                txns.append(txn)
+        events = list(ids)
+        masks = [0] * len(events)
+        for i, (txn_a, occ_a) in enumerate(events):
+            for j in range(i + 1, len(events)):
+                txn_b, occ_b = events[j]
+                # commutes() is False for same-transaction pairs (program
+                # order), so those bits are set too — exactly the dependence
+                # rule of the slow path.
+                if not self.commutes(txn_a, occ_a, txn_b, occ_b):
+                    masks[i] |= 1 << j
+                    masks[j] |= 1 << i
+        self._event_ids = ids
+        self._event_txns = txns
+        self._conflict_masks = masks
+        return ids
 
     # -- static analysis -----------------------------------------------------------
 
@@ -233,9 +281,51 @@ class CommutationOracle:
         The dependence order of the interleaving's events (program order plus
         every non-commuting cross-transaction pair, oriented by position) is a
         trace invariant; its lexicographically least topological linearization
-        is computed greedily with a heap.  O(n^2) commutation queries per
-        call, all memoized across calls.
+        is computed greedily with a heap.  The hot path replaces the per-pair
+        commutation queries with one precomputed bitmask row per event (built
+        from the same memoized :meth:`commutes`); interleavings that repeat a
+        transaction beyond its program length fall back to the query path.
         """
+        ids = self._event_ids
+        if ids is None:
+            ids = self._build_event_table()
+        events: List[int] = []
+        counts: Dict[int, int] = {}
+        for txn in interleaving:
+            occurrence = counts.get(txn, 0)
+            counts[txn] = occurrence + 1
+            event_id = ids.get((txn, occurrence))
+            if event_id is None:
+                return self._canonical_key_slow(interleaving)
+            events.append(event_id)
+        size = len(events)
+        pending = [0] * size
+        successors: List[List[int]] = [[] for _ in range(size)]
+        masks = self._conflict_masks
+        for later in range(size):
+            row = masks[events[later]]
+            if row:
+                for earlier in range(later):
+                    if (row >> events[earlier]) & 1:
+                        pending[later] += 1
+                        successors[earlier].append(later)
+        # Event ids are assigned in (txn, occurrence) order, so a heap over
+        # ids linearizes with exactly the slow path's tie-breaking.
+        heap = [(events[i], i) for i in range(size) if pending[i] == 0]
+        heapq.heapify(heap)
+        txns = self._event_txns
+        canonical: List[int] = []
+        while heap:
+            event_id, index = heapq.heappop(heap)
+            canonical.append(txns[event_id])
+            for successor in successors[index]:
+                pending[successor] -= 1
+                if pending[successor] == 0:
+                    heapq.heappush(heap, (events[successor], successor))
+        return tuple(canonical)
+
+    def _canonical_key_slow(self, interleaving: Interleaving) -> Interleaving:
+        """Per-pair commutation-query canonicalization (the reference path)."""
         events: List[Tuple[int, int]] = []
         seen: Dict[int, int] = {}
         for txn in interleaving:

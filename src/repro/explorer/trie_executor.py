@@ -33,6 +33,7 @@ uses it.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.isolation import IsolationLevelName
@@ -92,21 +93,31 @@ class TrieExecutor:
         Push a checkpoint every this-many slots (default 1: every slot).
         Larger values bound checkpoint memory at the cost of re-executing up
         to ``spacing - 1`` extra slots per schedule.
+    compiled:
+        Drive the runner through the compiled slot-program step kernel
+        (default: on, unless ``EXPLORER_COMPILED_KERNEL=0`` — see README
+        "Performance knobs").  The kernel is byte-equal to stepwise execution
+        for every engine level, so this only changes speed, never results.
     """
 
     def __init__(self, database: Database, programs: Sequence[TransactionProgram],
                  level: IsolationLevelName, checkpoint_spacing: int = 1,
+                 compiled: Optional[bool] = None,
                  **engine_options):
         if checkpoint_spacing < 1:
             raise ValueError("checkpoint_spacing must be >= 1")
+        if compiled is None:
+            compiled = os.environ.get("EXPLORER_COMPILED_KERNEL", "1") != "0"
         self.level = level
         self.spacing = checkpoint_spacing
+        self.compiled = bool(compiled)
         self.stats = TrieStats()
         self._engine = make_engine(database, level, **engine_options)
         if not self._engine.supports_checkpoints:
             raise ValueError(
                 f"engine for {level.value!r} does not support checkpoints")
-        self._runner = ScheduleRunner(self._engine, programs, collect_traces=False)
+        self._runner = ScheduleRunner(self._engine, programs, collect_traces=False,
+                                      compiled=self.compiled)
         self._runner.begin_all()
         #: (depth, checkpoint) pairs; the root (depth 0, post-begin) never pops.
         self._stack: List[Tuple[int, RunnerCheckpoint]] = [
@@ -154,7 +165,6 @@ class TrieExecutor:
         self.stats.restores += 1
 
         total = len(interleaving)
-        prepare = -1
         if next_schedule is not None:
             prepare = self._common_prefix(interleaving, next_schedule)
             if self.spacing > 1:
@@ -162,15 +172,23 @@ class TrieExecutor:
                 # live checkpoints stay bounded by total/spacing (+ root) at
                 # the cost of re-executing at most spacing-1 extra slots.
                 prepare -= prepare % self.spacing
-        for position in range(depth, total):
-            runner.apply_slot(interleaving[position])
-            applied = position + 1
-            if applied < total and (
-                applied == prepare
-                or (next_schedule is None and applied % self.spacing == 0)
-            ):
-                stack.append((applied, runner.checkpoint()))
+            # With lookahead, exactly one checkpoint is placed — at the branch
+            # point the next schedule restores to — so the suffix splits into
+            # (at most) two bulk slot runs around it.
+            if depth < prepare < total:
+                runner.apply_many(interleaving[depth:prepare])
+                stack.append((prepare, runner.checkpoint()))
                 self.stats.checkpoints_created += 1
+                runner.apply_many(interleaving[prepare:total])
+            else:
+                runner.apply_many(interleaving[depth:total])
+        else:
+            for position in range(depth, total):
+                runner.apply_slot(interleaving[position])
+                applied = position + 1
+                if applied < total and applied % self.spacing == 0:
+                    stack.append((applied, runner.checkpoint()))
+                    self.stats.checkpoints_created += 1
 
         self.stats.schedules += 1
         self.stats.slots_total += total

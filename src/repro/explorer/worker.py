@@ -33,20 +33,33 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.isolation import IsolationLevelName
+from ..engine.programs import TransactionProgram
 from ..storage.database import Database
 from ..workloads.program_sets import ProgramSet, ProgramSetSpec, resolve_program_set
-from .memo import BatchClassifier, HistoryClassification
+from .memo import (
+    BatchClassifier,
+    HistoryClassification,
+    ScheduleOutcome,
+    ScheduleOutcomeMemo,
+)
+from .reduction import terminal_scope_for
 from .schedules import Interleaving
 from .trie_executor import TrieExecutor
 
 __all__ = ["ChunkTask", "ScheduleRecord", "ChunkResult", "execute_chunk"]
 
-#: Per-process testbeds, one per (spec, level): the trie executor plus the
+#: Per-process testbeds, one per (spec, level): the trie executor, the
 #: workload's initial item set (captured *before* any execution mutates the
-#: database).  Builders are deterministic by the explorer's contract, so a
-#: cached testbed is equivalent to a fresh build.
+#: database), and the programs.  Builders are deterministic by the explorer's
+#: contract, so a cached testbed is equivalent to a fresh build.
 _TESTBED_CACHE: Dict[Tuple[ProgramSetSpec, IsolationLevelName],
-                     Tuple[TrieExecutor, Tuple[str, ...]]] = {}
+                     Tuple[TrieExecutor, Tuple[str, ...],
+                           Tuple[TransactionProgram, ...]]] = {}
+
+#: Per-process schedule-outcome memos, one per (spec, level) — the canonical
+#: form is level-scope-dependent, and outcomes are level-dependent.
+_OUTCOME_MEMO_CACHE: Dict[Tuple[ProgramSetSpec, IsolationLevelName],
+                          ScheduleOutcomeMemo] = {}
 
 #: Per-process shared-log cursors, keyed by the log proxy's manager token:
 #: (batches consumed so far, merged entries).  The batch count only grows, so
@@ -109,6 +122,15 @@ class ChunkTask:
     schedules: Tuple[Interleaving, ...]
     builder: Optional[Callable[..., ProgramSet]] = None
     shared_cache: Optional[Any] = None
+    #: Route the chunk through the schedule-level outcome memo: schedules are
+    #: canonicalized, only one canonical member per commutation-equivalence
+    #: class executes, and every member reuses its outcome (see
+    #: :class:`repro.explorer.memo.ScheduleOutcomeMemo`).
+    outcome_memo: bool = False
+    #: Optional append-only log (manager list) of outcome batches shared
+    #: across workers, exactly like ``shared_cache`` but for schedule-level
+    #: outcomes keyed by canonical interleaving.
+    shared_outcomes: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -143,16 +165,17 @@ def _initial_items(database: Database) -> Tuple[str, ...]:
     return tuple(names)
 
 
-def _testbed_for(task: ChunkTask) -> Tuple[TrieExecutor, Tuple[str, ...], int]:
-    """The cached (executor, initial items) for a task, building on first use.
+def _testbed_for(task: ChunkTask) -> Tuple[TrieExecutor, Tuple[str, ...],
+                                           Tuple[TransactionProgram, ...], int]:
+    """The cached (executor, initial items, programs) for a task.
 
-    Returns the build time in microseconds as the third element (0 on a cache
-    hit) for the benchmark's phase breakdown.
+    Returns the build time in microseconds as the fourth element (0 on a
+    cache hit) for the benchmark's phase breakdown.
     """
     key = (task.spec, task.level)
     cached = _TESTBED_CACHE.get(key)
     if cached is not None:
-        return cached[0], cached[1], 0
+        return cached[0], cached[1], cached[2], 0
     started = time.perf_counter()
     builder = task.builder if task.builder is not None else resolve_program_set(task.spec)
     database, programs = builder(**task.spec.kwargs())
@@ -164,8 +187,25 @@ def _testbed_for(task: ChunkTask) -> Tuple[TrieExecutor, Tuple[str, ...], int]:
     executor = TrieExecutor(database, programs, task.level,
                             checkpoint_spacing=spacing)
     build_us = int((time.perf_counter() - started) * 1e6)
-    _TESTBED_CACHE[key] = (executor, items)
-    return executor, items, build_us
+    programs = tuple(programs)
+    _TESTBED_CACHE[key] = (executor, items, programs)
+    return executor, items, programs, build_us
+
+
+def _outcome_memo_for(task: ChunkTask,
+                      programs: Tuple[TransactionProgram, ...]) -> ScheduleOutcomeMemo:
+    """The per-process outcome memo for a task, building on first use.
+
+    The oracle's terminal scope is level-aware, exactly like the reduction
+    layer's (single-version locking levels take the relaxed ``"footprint"``
+    rule, multiversion engines the component-wide one).
+    """
+    key = (task.spec, task.level)
+    memo = _OUTCOME_MEMO_CACHE.get(key)
+    if memo is None:
+        memo = _OUTCOME_MEMO_CACHE[key] = ScheduleOutcomeMemo(
+            programs, terminal_scope=terminal_scope_for(task.level))
+    return memo
 
 
 def execute_chunk(task: ChunkTask,
@@ -177,22 +217,50 @@ def execute_chunk(task: ChunkTask,
     (seeded with the workload's initial item set for MV version completion,
     and with a snapshot of ``task.shared_cache`` when one is attached).
 
+    With ``task.outcome_memo`` set, schedules are first canonicalized and the
+    per-process :class:`~repro.explorer.memo.ScheduleOutcomeMemo` answers
+    every schedule whose equivalence class has already executed; only one
+    canonical member per unseen class runs through the engine.  Executing the
+    *canonical* member (rather than the first-encountered one) keeps records
+    a pure function of the schedule, independent of worker count, chunking,
+    and memo warmth.
+
     Schedules are *executed* in lexicographic order — the DFS order of their
     shared-prefix trie — and the records reassembled in input order; the trie
     executor's byte-equality contract makes the two orders indistinguishable
     in the output.
     """
     chunk_local = classifier is None
-    executor, initial_items, build_us = _testbed_for(task)
+    executor, initial_items, programs, build_us = _testbed_for(task)
     if classifier is None:
         classifier = BatchClassifier(initial_items=initial_items)
         if task.shared_cache is not None:
             classifier.preload(_shared_snapshot(task.shared_cache))
+    memo: Optional[ScheduleOutcomeMemo] = None
+    canonical_us = 0
+    executed_keys: List[Interleaving] = []
+    if task.outcome_memo:
+        memo = _outcome_memo_for(task, programs)
+        if task.shared_outcomes is not None:
+            memo.preload(_shared_snapshot(task.shared_outcomes))
+        started = time.perf_counter()
+        canonical = memo.canonical
+        keys = [canonical(schedule) for schedule in task.schedules]
+        seen_misses = set()
+        for key in keys:
+            if memo.peek(key) is None and key not in seen_misses:
+                seen_misses.add(key)
+                executed_keys.append(key)
+        canonical_us = int((time.perf_counter() - started) * 1e6)
+        to_execute: Sequence[Interleaving] = executed_keys
+    else:
+        keys = None
+        to_execute = task.schedules
     trie_before = executor.stats.as_dict()
     records: List[Optional[ScheduleRecord]] = [None] * len(task.schedules)
     execute_us = 0
     classify_us = 0
-    batch = executor.run_batch(task.schedules)
+    batch = executor.run_batch(to_execute)
     while True:
         started = time.perf_counter()
         try:
@@ -205,21 +273,51 @@ def execute_chunk(task: ChunkTask,
         ended = time.perf_counter()
         execute_us += int((mid - started) * 1e6)
         classify_us += int((ended - mid) * 1e6)
-        records[index] = ScheduleRecord(
-            interleaving=tuple(task.schedules[index]),
-            history=classification.shorthand,
-            serializable=classification.serializable,
-            phenomena=classification.phenomena,
-            committed=classification.committed,
-            aborted=classification.aborted,
-            blocked_events=outcome.blocked_events,
-            deadlocks=len(outcome.deadlocks),
-            stalled=outcome.stalled,
-        )
+        if memo is not None:
+            memo.put(executed_keys[index], ScheduleOutcome(
+                history=classification.shorthand,
+                serializable=classification.serializable,
+                phenomena=classification.phenomena,
+                committed=classification.committed,
+                aborted=classification.aborted,
+                blocked_events=outcome.blocked_events,
+                deadlocks=len(outcome.deadlocks),
+                stalled=outcome.stalled,
+            ))
+        else:
+            records[index] = ScheduleRecord(
+                interleaving=tuple(task.schedules[index]),
+                history=classification.shorthand,
+                serializable=classification.serializable,
+                phenomena=classification.phenomena,
+                committed=classification.committed,
+                aborted=classification.aborted,
+                blocked_events=outcome.blocked_events,
+                deadlocks=len(outcome.deadlocks),
+                stalled=outcome.stalled,
+            )
+    if memo is not None:
+        for position, key in enumerate(keys):
+            outcome_record = memo.peek(key)
+            records[position] = ScheduleRecord(
+                interleaving=tuple(task.schedules[position]),
+                history=outcome_record.history,
+                serializable=outcome_record.serializable,
+                phenomena=outcome_record.phenomena,
+                committed=outcome_record.committed,
+                aborted=outcome_record.aborted,
+                blocked_events=outcome_record.blocked_events,
+                deadlocks=outcome_record.deadlocks,
+                stalled=outcome_record.stalled,
+            )
     stats = dict(classifier.stats)
     stats["us_testbed_build"] = build_us
     stats["us_step_execution"] = execute_us
     stats["us_classification"] = classify_us
+    if memo is not None:
+        stats["us_canonicalization"] = canonical_us
+        stats["outcome_executed"] = len(executed_keys)
+        stats["outcome_hits"] = len(task.schedules) - len(executed_keys)
     trie_after = executor.stats.as_dict()
     for name in ("slots_total", "slots_executed", "checkpoints_created", "restores"):
         stats[f"trie_{name}"] = trie_after[name] - trie_before[name]
@@ -228,4 +326,12 @@ def execute_chunk(task: ChunkTask,
         stats["shared_published"] = len(fresh)
         if fresh:
             _publish_shared(task.shared_cache, fresh)
+    if memo is not None:
+        # Drain unconditionally: the memo is per-process and long-lived, and
+        # an undrained fresh set would retain every outcome twice forever.
+        fresh_outcomes = memo.drain_fresh()
+        if chunk_local and task.shared_outcomes is not None:
+            stats["outcomes_published"] = len(fresh_outcomes)
+            if fresh_outcomes:
+                _publish_shared(task.shared_outcomes, fresh_outcomes)
     return ChunkResult(task.chunk_index, tuple(records), stats)

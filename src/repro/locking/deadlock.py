@@ -12,7 +12,7 @@ cycle) so that the remaining transactions can proceed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 __all__ = ["WaitsForGraph", "Deadlock"]
@@ -40,6 +40,12 @@ class WaitsForGraph:
         Replaces any previous wait edges of the same waiter (a transaction
         waits for exactly one lock request at a time).
         """
+        current = self._edges.get(waiter)
+        if current is not None and current == holders and waiter not in current:
+            # Replayed blocked attempts re-report identical blockers; the
+            # edge set is already exactly this (the stored set never contains
+            # the waiter, so equality implies the filtered set matches too).
+            return
         targets = {holder for holder in holders if holder != waiter}
         if targets:
             self._edges[waiter] = targets
@@ -62,9 +68,19 @@ class WaitsForGraph:
         """The transactions currently blocked on someone."""
         return set(self._edges)
 
+    def is_waiting(self, txn: int) -> bool:
+        """True when this transaction is currently blocked on someone."""
+        return txn in self._edges
+
     def any_waiting(self, txns: Iterable[int]) -> bool:
         """True when any of the given transactions is itself waiting."""
-        return any(txn in self._edges for txn in txns)
+        edges = self._edges
+        if not edges:
+            return False
+        for txn in txns:
+            if txn in edges:
+                return True
+        return False
 
     # -- checkpoints -----------------------------------------------------------------
 

@@ -21,8 +21,6 @@ from .modes import (
     LockDuration,
     LockMode,
     LockTarget,
-    PredicateTarget,
-    RowTarget,
     modes_conflict,
 )
 
@@ -63,6 +61,10 @@ class LockRequestResult:
         return cls(granted=False, blockers=frozenset(blockers))
 
 
+#: The shared granted result — immutable, so one instance serves every grant.
+_GRANTED = LockRequestResult(granted=True)
+
+
 class LockManager:
     """Tracks granted locks and answers (non-blocking) lock requests."""
 
@@ -75,6 +77,18 @@ class LockManager:
         #: schedule runner memoizes blocked results keyed on this version and
         #: skips re-submitting a retry the table cannot have changed.
         self.version = 0
+        #: Interned ItemTargets for the compiled-kernel fast path: one
+        #: immutable target instance per item name serves every request.
+        self._item_targets: Dict[str, ItemTarget] = {}
+        #: The (version, lock) of a just-granted NEW short-duration lock, used
+        #: by release_short to recognise a transient grant/release pair within
+        #: one engine action and roll the version back to its pre-grant value.
+        #: A short lock is invisible to every other transaction (it exists
+        #: only inside one cooperative action), so a grant+release that leaves
+        #: the table unchanged cannot change any blocked outcome — keeping the
+        #: version unchanged lets the schedule runner's blocked-result memos
+        #: survive transient actions instead of re-submitting provable no-ops.
+        self._short_grant: Optional[Tuple[int, HeldLock]] = None
 
     # -- queries ----------------------------------------------------------------
 
@@ -130,6 +144,7 @@ class LockManager:
         self._locks = [HeldLock(*entry) for entry in entries]
         self.blocked_requests = blocked
         self.version = version
+        self._short_grant = None
 
     # -- acquisition ---------------------------------------------------------------
 
@@ -142,6 +157,7 @@ class LockManager:
         block it — re-requests and Share→Exclusive upgrades are handled by
         strengthening the existing entry.
         """
+        self._short_grant = None
         blockers = None
         for lock in self._locks:
             if (lock.txn != txn
@@ -164,10 +180,113 @@ class LockManager:
             existing.duration = _stronger_duration(existing.duration, duration)
             if cursor is not None:
                 existing.cursor = cursor
-            return LockRequestResult.ok()
+            return _GRANTED
 
-        self._locks.append(HeldLock(txn, target, mode, duration, cursor))
-        return LockRequestResult.ok()
+        granted = HeldLock(txn, target, mode, duration, cursor)
+        self._locks.append(granted)
+        if duration is LockDuration.SHORT:
+            self._short_grant = (self.version, granted)
+        return _GRANTED
+
+    def item_target(self, name: str) -> ItemTarget:
+        """The interned :class:`ItemTarget` for a name (one instance per item)."""
+        target = self._item_targets.get(name)
+        if target is None:
+            target = self._item_targets[name] = ItemTarget(name)
+        return target
+
+    def request_item(self, txn: int, name: str, mode: LockMode,
+                     duration: LockDuration) -> LockRequestResult:
+        """:meth:`request` specialized for plain item targets (the hot path).
+
+        Behaviour-identical to ``request(txn, ItemTarget(name), mode,
+        duration)`` — same blockers, same ``blocked_requests`` and ``version``
+        accounting, same upgrade rules — with the target-overlap and
+        mode-conflict calls inlined: an :class:`ItemTarget` only ever overlaps
+        an :class:`ItemTarget` of the same name, and two modes conflict
+        exactly when either is Exclusive.
+        """
+        self._short_grant = None
+        exclusive = LockMode.EXCLUSIVE
+        blockers = None
+        own = None
+        for lock in self._locks:
+            target = lock.target
+            if type(target) is not ItemTarget or target.name != name:
+                continue
+            if lock.txn == txn:
+                own = lock
+            elif lock.mode is exclusive or mode is exclusive:
+                if blockers is None:
+                    blockers = {lock.txn}
+                else:
+                    blockers.add(lock.txn)
+        if blockers:
+            self.blocked_requests += 1
+            return LockRequestResult.blocked(blockers)
+
+        self.version += 1
+        if own is not None:
+            if mode is exclusive:
+                own.mode = exclusive
+            own.duration = _stronger_duration(own.duration, duration)
+            return _GRANTED
+        granted = HeldLock(txn, self.item_target(name), mode, duration, None)
+        self._locks.append(granted)
+        if duration is LockDuration.SHORT:
+            self._short_grant = (self.version, granted)
+        return _GRANTED
+
+    def grant_transient_item(self, txn: int, name: str,
+                             mode: LockMode) -> Optional[LockRequestResult]:
+        """Fused ``request_item(..., SHORT) + release_short`` for one action.
+
+        The locking engines take a SHORT-duration lock at the start of an
+        action and release it as soon as the action completes; between the two
+        calls nothing else observes the table (the runner is cooperative), so
+        the pair can be applied as one step.  It relies on the engines'
+        standing invariant that a transaction holds no SHORT lock when an
+        action starts (every action drops its short locks before returning,
+        and blocked actions never acquire), under which the net table effect
+        is:
+
+        * no lock held on the item → a new SHORT entry would be appended and
+          immediately dropped again: table unchanged, ``version`` unchanged
+          (the release rolls the grant's bump back — see
+          :meth:`release_short`);
+        * a (LONG/CURSOR) lock already held → the grant strengthens its mode
+          for an Exclusive request and leaves its duration at the stronger
+          value, and the release then finds no SHORT lock: ``version`` +1.
+
+        Returns a blocked result, or None when granted — with ``version`` and
+        ``blocked_requests`` accounting identical to the unfused pair.
+        """
+        self._short_grant = None
+        exclusive = LockMode.EXCLUSIVE
+        blockers = None
+        own = None
+        for lock in self._locks:
+            target = lock.target
+            if type(target) is not ItemTarget or target.name != name:
+                continue
+            if lock.txn == txn:
+                own = lock
+            elif lock.mode is exclusive or mode is exclusive:
+                if blockers is None:
+                    blockers = {lock.txn}
+                else:
+                    blockers.add(lock.txn)
+        if blockers:
+            self.blocked_requests += 1
+            return LockRequestResult.blocked(blockers)
+        if own is not None:
+            self.version += 1
+            if mode is exclusive:
+                own.mode = exclusive
+        # No lock already held: the unfused pair appends a new SHORT entry
+        # (version +1, transient-grant marker set) and release_short removes
+        # it again, rolling the version back — net zero, no table change.
+        return None
 
     def _find(self, txn: int, target: LockTarget) -> Optional[HeldLock]:
         for lock in self._locks:
@@ -179,6 +298,7 @@ class LockManager:
 
     def release(self, txn: int, target: LockTarget) -> None:
         """Release one transaction's lock on a specific target (if held)."""
+        self._short_grant = None
         kept = [
             lock for lock in self._locks
             if not (lock.txn == txn and lock.target.key() == target.key())
@@ -194,7 +314,26 @@ class LockManager:
         "short duration" means in Table 2.  Levels whose rules take no short
         locks still call it on every action, so the no-op case avoids the
         list rebuild.
+
+        A grant/release pair that leaves the table exactly as it was — the
+        common transient case: the action appended one new short lock and
+        removes it again — rolls the version back to its pre-grant value
+        instead of bumping it.  Sound because a short lock lives entirely
+        inside one cooperative action: no other transaction can ever observe
+        it, so a net-unchanged table yields bit-identical blocked outcomes
+        and the runner's parked blocked-result memos may keep their version.
+        (A transaction holds no short locks when an action *starts* — every
+        action drops its short locks before returning and blocked actions
+        never acquire — so the marker lock is the only short lock in play.)
         """
+        marker = self._short_grant
+        self._short_grant = None
+        if (marker is not None and marker[0] == self.version
+                and marker[1].txn == txn
+                and marker[1].duration is LockDuration.SHORT):
+            self._locks.remove(marker[1])
+            self.version -= 1
+            return
         if not any(lock.txn == txn and lock.duration is LockDuration.SHORT
                    for lock in self._locks):
             return
@@ -211,6 +350,7 @@ class LockManager:
         were upgraded to LONG (e.g. because the fetched row was updated) are
         not affected.
         """
+        self._short_grant = None
         kept = [
             lock for lock in self._locks
             if not (
@@ -225,6 +365,7 @@ class LockManager:
 
     def release_all(self, txn: int) -> None:
         """Release every lock of a transaction (at commit or abort)."""
+        self._short_grant = None
         kept = [lock for lock in self._locks if lock.txn != txn]
         if len(kept) != len(self._locks):
             self.version += 1
@@ -234,7 +375,12 @@ class LockManager:
         return len(self._locks)
 
 
+#: Duration strength order, hoisted out of _stronger_duration (hot path).
+_DURATION_ORDER = {LockDuration.SHORT: 0, LockDuration.CURSOR: 1, LockDuration.LONG: 2}
+
+
 def _stronger_duration(current: LockDuration, requested: LockDuration) -> LockDuration:
     """Keep the longer of two durations when re-requesting a held lock."""
-    order = {LockDuration.SHORT: 0, LockDuration.CURSOR: 1, LockDuration.LONG: 2}
-    return current if order[current] >= order[requested] else requested
+    if current is requested:
+        return current
+    return current if _DURATION_ORDER[current] >= _DURATION_ORDER[requested] else requested

@@ -23,7 +23,7 @@ engine must request (mode + duration), or ``None`` for "no lock required".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..core.isolation import IsolationLevelName
 from .modes import LockDuration, LockMode

@@ -28,9 +28,18 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.isolation import IsolationLevelName
-from ..engine.interface import Engine, EngineError, OpResult
+from ..engine.interface import (
+    OP_ABORT,
+    OP_COMMIT,
+    OP_READ,
+    OP_WRITE,
+    Engine,
+    EngineError,
+    OpResult,
+    TransactionState,
+)
 from ..locking.lock_manager import LockManager
-from ..locking.modes import ItemTarget, LockDuration, LockMode, RowTarget
+from ..locking.modes import LockDuration, LockMode, RowTarget
 from ..storage.database import Database
 from ..storage.predicates import Predicate
 from ..storage.rows import Row
@@ -76,7 +85,6 @@ class ReadConsistencyEngine(Engine):
         self.clock = authority or TimestampAuthority()
         self.locks = LockManager()
         self._txns: Dict[int, _ReadConsistencyTxn] = {}
-        self._item_targets: Dict[str, ItemTarget] = {}
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -95,6 +103,43 @@ class ReadConsistencyEngine(Engine):
         # changes and commit installs go hand in hand (commit releases the
         # writer's locks), so the table version covers blocked outcomes.
         return self.locks.version
+
+    # -- compiled-kernel entry point -----------------------------------------------------
+
+    def apply_step(self, opcode: int, txn: int, item: Optional[str] = None,
+                   value: Any = None) -> OpResult:
+        """Fused fast path of the compiled step kernel.
+
+        Byte-equal to the stepwise :meth:`read` / :meth:`write` /
+        :meth:`commit` / :meth:`abort`, including the write-lock table's
+        ``version`` accounting (writes go through the same
+        :meth:`LockManager.request_item` arithmetic as ``request``).
+        """
+        if opcode == OP_ABORT:
+            # abort() tolerates already-terminated transactions (returns OK).
+            return self.abort(txn, reason="program abort")
+        if self._states.get(txn) is not TransactionState.ACTIVE:
+            guard = self._require_active(txn)
+            if guard is not None:
+                return guard
+        state = self._txns[txn]
+        if opcode == OP_READ:
+            writes = state.item_writes
+            if item in writes:
+                return OpResult.ok(writes[item])
+            read_value, version = self.store.read_item(item, self.clock.now())
+            return OpResult.ok(read_value, version=version)
+        if opcode == OP_WRITE:
+            result = self.locks.request_item(txn, item, LockMode.EXCLUSIVE,
+                                             LockDuration.LONG)
+            if not result.granted:
+                return OpResult.blocked(result.blockers,
+                                        reason=f"waiting for write lock on {item}")
+            state.item_writes[item] = value
+            return OpResult.ok(value)
+        if opcode == OP_COMMIT:
+            return self.commit(txn)
+        return super().apply_step(opcode, txn, item, value)
 
     # -- reads: statement-level snapshots ------------------------------------------------
 
@@ -128,9 +173,7 @@ class ReadConsistencyEngine(Engine):
     # -- writes: first-writer-wins via long write locks -------------------------------------
 
     def _lock_item(self, txn: int, item: str) -> Optional[OpResult]:
-        target = self._item_targets.get(item)
-        if target is None:
-            target = self._item_targets[item] = ItemTarget(item)
+        target = self.locks.item_target(item)
         result = self.locks.request(txn, target, LockMode.EXCLUSIVE,
                                     LockDuration.LONG)
         if not result.granted:

@@ -65,14 +65,17 @@ class VersionStore:
         Returns ``(None, None)`` when the item has no version visible at the
         timestamp (it never existed, or was created later).
         """
-        versions = self._items.get(item, [])
-        visible_index: Optional[int] = None
-        for index, version in enumerate(versions):
-            if version.commit_ts <= as_of:
-                visible_index = index
-        if visible_index is None:
+        versions = self._items.get(item)
+        if versions is None:
             return None, None
-        return versions[visible_index].value, visible_index
+        # Chains are appended in commit-timestamp order, so the visible
+        # version (the last one with commit_ts <= as_of) is found fastest by
+        # scanning from the newest end — usually the first probe.
+        for index in range(len(versions) - 1, -1, -1):
+            version = versions[index]
+            if version.commit_ts <= as_of:
+                return version.value, index
+        return None, None
 
     def install_item(self, item: str, value: Any, commit_ts: int, txn: int) -> None:
         """Append a new committed version of an item."""
@@ -80,7 +83,9 @@ class VersionStore:
 
     def item_modified_since(self, item: str, since_ts: int) -> bool:
         """True when some transaction committed a new version after ``since_ts``."""
-        return any(v.commit_ts > since_ts for v in self._items.get(item, []))
+        versions = self._items.get(item)
+        # Ascending commit timestamps: any newer version implies the last is.
+        return bool(versions) and versions[-1].commit_ts > since_ts
 
     def item_versions(self, item: str) -> List[ItemVersion]:
         """The full committed version chain of an item (oldest first)."""
@@ -117,7 +122,8 @@ class VersionStore:
 
     def row_modified_since(self, table: str, key: str, since_ts: int) -> bool:
         """True when the row got a new committed version after ``since_ts``."""
-        return any(v.commit_ts > since_ts for v in self._rows.get((table, key), []))
+        versions = self._rows.get((table, key))
+        return bool(versions) and versions[-1].commit_ts > since_ts
 
     def row_keys(self, table: str) -> List[str]:
         """Every key that has ever had a version in the table."""

@@ -15,7 +15,7 @@ transaction's update.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from .database import Database
 from .rows import Row
@@ -47,7 +47,7 @@ class UndoLog:
 
     def record_item(self, txn: int, database: Database, item: str) -> None:
         """Record the before-image of a named item (missing item → sentinel)."""
-        before = database.get_item(item) if database.has_item(item) else _MISSING
+        before = database.get_item(item, _MISSING)
         self._append(UndoRecord(txn, "item", item, before))
 
     def record_row_update(self, txn: int, table: str, row: Row) -> None:

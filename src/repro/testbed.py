@@ -17,7 +17,7 @@ This module is the library's front door for applications and examples:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from .core.isolation import IsolationLevelName
 from .engine.interface import Engine, OpResult

@@ -17,7 +17,7 @@ Two kinds of artifacts are generated, both fully deterministic given a seed:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.history import History
 from ..core.operations import Operation, OperationKind

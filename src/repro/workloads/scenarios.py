@@ -23,7 +23,7 @@ Evaluating a scenario against an engine factory yields a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.isolation import Possibility

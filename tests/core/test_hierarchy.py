@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.catalog import CATALOG
 from repro.core.hierarchy import (

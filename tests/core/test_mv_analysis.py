@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.catalog import H1_SI, H1_SI_SV
 from repro.core.dependency import is_serializable

@@ -1,0 +1,197 @@
+"""Byte-equality gates for the compiled slot-program step kernel.
+
+The stepwise API is the source of truth: for every engine level, driving a
+schedule through ``ScheduleRunner(compiled=True)`` must produce an outcome
+byte-equal to the stepwise runner — history, statuses, contexts, abort
+reasons, blocked counts, deadlocks, stall flag, and traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.isolation import IsolationLevelName
+from repro.engine.interface import (
+    OP_ABORT,
+    OP_COMMIT,
+    OP_GENERIC,
+    OP_READ,
+    OP_WRITE,
+)
+from repro.engine.programs import (
+    Abort,
+    Commit,
+    OpenCursor,
+    Fetch,
+    ReadItem,
+    SelectPredicate,
+    TransactionProgram,
+    WriteItem,
+    compile_program,
+    compile_programs,
+    compile_step,
+)
+from repro.engine.scheduler import ScheduleRunner
+from repro.explorer.schedules import enumerate_interleavings
+from repro.storage.database import Database
+from repro.storage.predicates import Predicate
+from repro.testbed import make_engine
+from repro.workloads.program_sets import ProgramSetSpec, build_program_set
+
+ALL_LEVELS = (
+    IsolationLevelName.READ_UNCOMMITTED,
+    IsolationLevelName.READ_COMMITTED,
+    IsolationLevelName.CURSOR_STABILITY,
+    IsolationLevelName.REPEATABLE_READ,
+    IsolationLevelName.SERIALIZABLE,
+    IsolationLevelName.SNAPSHOT_ISOLATION,
+    IsolationLevelName.ORACLE_READ_CONSISTENCY,
+)
+
+
+def outcome_key(outcome):
+    """Everything observable about an execution, as a comparable value."""
+    return (
+        outcome.history.to_shorthand(),
+        tuple(sorted((txn, state.value) for txn, state in outcome.statuses.items())),
+        tuple(sorted((txn, tuple(sorted(ctx.items())))
+                     for txn, ctx in outcome.contexts.items())),
+        tuple(sorted(outcome.abort_reasons.items())),
+        outcome.blocked_events,
+        tuple((d.cycle, d.victim) for d in outcome.deadlocks),
+        tuple((t.txn, t.step, t.status.value, t.reason) for t in outcome.traces),
+        outcome.stalled,
+    )
+
+
+def run_both(database_builder, programs, interleaving, level):
+    stepwise = ScheduleRunner(make_engine(database_builder(), level), programs,
+                              interleaving, compiled=False).run()
+    compiled = ScheduleRunner(make_engine(database_builder(), level), programs,
+                              interleaving, compiled=True).run()
+    return outcome_key(stepwise), outcome_key(compiled)
+
+
+class TestCompilePass:
+    def test_core_steps_get_dedicated_opcodes(self):
+        assert compile_step(ReadItem("x"))[0] == OP_READ
+        assert compile_step(WriteItem("x", 1))[0] == OP_WRITE
+        assert compile_step(Commit())[0] == OP_COMMIT
+        assert compile_step(Abort())[0] == OP_ABORT
+        assert compile_step(SelectPredicate(
+            Predicate("P", "t", lambda row: True)))[0] == OP_GENERIC
+
+    def test_subclassed_steps_fall_back_to_generic(self):
+        class TracingRead(ReadItem):
+            pass
+
+        assert compile_step(TracingRead("x"))[0] == OP_GENERIC
+
+    def test_describe_strings_match_the_stepwise_renderings(self):
+        for step in (ReadItem("x"), WriteItem("y", 2), Commit(), Abort()):
+            assert compile_step(step)[7] == step.describe()
+
+    def test_footprints_compile_to_item_id_tuples(self):
+        programs = [
+            TransactionProgram(1, [ReadItem("x"), WriteItem("y", 1), Commit()]),
+            TransactionProgram(2, [WriteItem("x", 2), Commit()]),
+        ]
+        compiled = compile_programs(programs)
+        ids = compiled.item_ids
+        assert set(ids) == {"x", "y"}
+        first = compiled.programs[0]
+        assert first.read_ids[0] == (ids["x"],)
+        assert first.write_ids[1] == (ids["y"],)
+        assert first.opaque == (False, False, False)
+        assert compiled.programs[1].write_ids[0] == (ids["x"],)
+        assert compiled.by_txn()[2] is compiled.programs[1]
+
+    def test_compile_program_interns_items_into_a_shared_table(self):
+        table = {}
+        compile_program(TransactionProgram(1, [ReadItem("x"), Commit()]), table)
+        compile_program(TransactionProgram(2, [WriteItem("x", 0), Commit()]), table)
+        assert table == {"x": 0}
+
+
+class TestKernelByteEquality:
+    @pytest.mark.parametrize("level", ALL_LEVELS, ids=lambda lvl: lvl.value)
+    def test_every_interleaving_of_a_contended_pair(self, level):
+        def build():
+            database = Database()
+            database.set_item("x", 0)
+            database.set_item("y", 0)
+            return database
+
+        programs = [
+            TransactionProgram(1, [ReadItem("x", into="v"),
+                                   WriteItem("x", lambda ctx: ctx["v"] + 1),
+                                   WriteItem("y", 7), Commit()]),
+            TransactionProgram(2, [ReadItem("x"), WriteItem("x", 99), Commit()]),
+        ]
+        for interleaving in enumerate_interleavings([1, 2], [4, 3]):
+            stepwise, compiled = run_both(build, programs, interleaving, level)
+            assert stepwise == compiled, interleaving
+
+    @pytest.mark.parametrize("level", ALL_LEVELS, ids=lambda lvl: lvl.value)
+    def test_registered_contention_set_sampled(self, level):
+        spec = ProgramSetSpec.make("contention", transactions=3, items=3,
+                                   hot_items=2, operations_per_transaction=2)
+        from repro.explorer.schedules import schedule_space
+        _, programs = build_program_set(spec)
+        schedules = schedule_space(programs, mode="sample", max_schedules=60,
+                                   seed=7).schedules
+
+        def build():
+            database, _ = build_program_set(spec)
+            return database
+
+        for interleaving in schedules:
+            stepwise, compiled = run_both(build, programs, interleaving, level)
+            assert stepwise == compiled, interleaving
+
+    def test_generic_steps_cursors_and_aborts(self):
+        """Cursor/predicate steps run through the OP_GENERIC fallback."""
+        def build():
+            database = Database()
+            database.set_item("a", 1)
+            database.set_item("b", 2)
+            return database
+
+        programs = [
+            TransactionProgram(1, [OpenCursor("c", ["a", "b"]), Fetch("c", into="f"),
+                                   Fetch("c"), Commit()]),
+            TransactionProgram(2, [WriteItem("a", 5), Abort()]),
+        ]
+        for level in (IsolationLevelName.CURSOR_STABILITY,
+                      IsolationLevelName.READ_COMMITTED,
+                      IsolationLevelName.SNAPSHOT_ISOLATION):
+            for interleaving in enumerate_interleavings([1, 2], [4, 2]):
+                stepwise, compiled = run_both(build, programs, interleaving, level)
+                assert stepwise == compiled, (level, interleaving)
+
+
+class TestCompiledRunnerApi:
+    def _testbed(self):
+        database = Database()
+        database.set_item("x", 0)
+        programs = [TransactionProgram(1, [ReadItem("x"), WriteItem("x", 1),
+                                           Commit()])]
+        return database, programs
+
+    def test_run_compiled_compiles_on_first_use(self):
+        database, programs = self._testbed()
+        runner = ScheduleRunner(make_engine(database, IsolationLevelName.SERIALIZABLE),
+                                programs)
+        outcome = runner.run_compiled()
+        assert outcome.history.to_shorthand() == "r1[x=0] w1[x=1] c1"
+
+    def test_enable_compiled_is_idempotent_and_survives_reset(self):
+        database, programs = self._testbed()
+        runner = ScheduleRunner(make_engine(database, IsolationLevelName.SERIALIZABLE),
+                                programs, compiled=True)
+        runner.enable_compiled()
+        first = runner.run()
+        fresh = Database()
+        fresh.set_item("x", 0)
+        second = runner.replay(make_engine(fresh, IsolationLevelName.SERIALIZABLE))
+        assert first.history.to_shorthand() == second.history.to_shorthand()

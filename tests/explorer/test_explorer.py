@@ -193,8 +193,27 @@ class TestCoverageReport:
         result = explore(spec, levels=(IsolationLevelName.SERIALIZABLE,),
                          mode="exhaustive", max_schedules=50)
         stats = result.levels[IsolationLevelName.SERIALIZABLE].cache_stats
+        # The small exhaustive space turns the outcome memo on ("auto"):
+        # only one canonical member per commutation-equivalence class is
+        # executed and classified; the other schedules reuse its outcome.
+        # (The memo is per-process and may be warm from earlier tests, in
+        # which case executed can legitimately be 0 — records are unchanged.)
+        assert result.outcome_memo
+        executed = result.executed_schedules()
+        assert stats["outcome_executed"] == executed
+        assert stats["outcome_hits"] == 20 - executed
+        assert executed < 20
+        assert stats["hits"] + stats["misses"] == executed
+
+    def test_outcome_memo_off_classifies_every_schedule(self):
+        spec = ProgramSetSpec.make("increments", transactions=2)
+        result = explore(spec, levels=(IsolationLevelName.SERIALIZABLE,),
+                         mode="exhaustive", max_schedules=50,
+                         outcome_memo=False)
+        stats = result.levels[IsolationLevelName.SERIALIZABLE].cache_stats
+        assert not result.outcome_memo
         assert stats["hits"] + stats["misses"] == 20
-        assert stats["misses"] >= 1
+        assert result.executed_schedules() == 20
 
 
 class TestScale:

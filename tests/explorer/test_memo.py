@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 
 from repro.core.dependency import build_dependency_graph, is_serializable
 from repro.core.history import parse_history
@@ -138,3 +137,49 @@ class TestBatchClassifier:
         result = BatchClassifier().classify(history)
         assert "P1" not in result.phenomena
         assert "A1" not in result.phenomena
+
+
+class TestFusedMvClassifyCore:
+    """The fused MV core must equal the unfused three-stage pipeline."""
+
+    def _assert_equivalent(self, history, initial_items=None):
+        from repro.explorer.memo import _mv_classify_core
+
+        completed = assign_write_versions(history, initial_items)
+        expected_serializable = mv_is_serializable(completed)
+        expected_mapped = mv_to_sv(completed)
+        serializable, mapped = _mv_classify_core(
+            history, None if initial_items is None else frozenset(initial_items))
+        assert serializable == expected_serializable, history.to_shorthand()
+        assert mapped == expected_mapped, history.to_shorthand()
+
+    def test_on_catalogued_mv_histories(self):
+        from repro.core.catalog import CATALOG
+
+        checked = 0
+        for entry in CATALOG.values():
+            history = entry.history if hasattr(entry, "history") else entry
+            if history.is_multiversion():
+                self._assert_equivalent(history)
+                checked += 1
+        assert checked >= 1
+
+    def test_on_realized_snapshot_isolation_histories(self):
+        from repro.core.isolation import IsolationLevelName
+        from repro.explorer import ProgramSetSpec, schedule_space
+        from repro.explorer.trie_executor import TrieExecutor
+        from repro.explorer.worker import _initial_items
+        from repro.workloads.program_sets import build_program_set
+
+        spec = ProgramSetSpec.make("contention", transactions=3, items=3,
+                                   hot_items=2, operations_per_transaction=2)
+        for level in (IsolationLevelName.SNAPSHOT_ISOLATION,
+                      IsolationLevelName.ORACLE_READ_CONSISTENCY):
+            database, programs = build_program_set(spec)
+            items = _initial_items(database)
+            executor = TrieExecutor(database, programs, level)
+            schedules = schedule_space(programs, mode="sample",
+                                       max_schedules=120, seed=11).schedules
+            for _, outcome in executor.run_batch(schedules):
+                if outcome.history.is_multiversion():
+                    self._assert_equivalent(outcome.history, items)

@@ -168,8 +168,11 @@ class TestSoundnessGate:
     @pytest.mark.parametrize(
         "spec", _gate_specs(), ids=lambda spec: spec.describe())
     def test_reduced_coverage_matches_exhaustive(self, spec):
+        # outcome_memo=False: the reference must be a true full enumeration
+        # (the schedule-outcome memo would skip equivalent schedules itself,
+        # making the executed-count comparison below meaningless).
         full = explore(spec, levels=GATE_LEVELS, mode="exhaustive",
-                       max_schedules=GATE_SPACE_LIMIT)
+                       max_schedules=GATE_SPACE_LIMIT, outcome_memo=False)
         reduced = explore(spec, levels=GATE_LEVELS, mode="exhaustive",
                           max_schedules=GATE_SPACE_LIMIT,
                           reduction="sleep-set")

@@ -9,7 +9,6 @@ under REPEATABLE READ and by first-committer-wins under SI, and so on.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.dependency import is_serializable
 from repro.core.isolation import IsolationLevelName

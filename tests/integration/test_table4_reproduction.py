@@ -18,7 +18,6 @@ from repro.analysis.matrix import (
     compute_table4_row,
 )
 from repro.analysis.report import matrix_matches, render_comparison
-from repro.core.isolation import IsolationLevelName
 from repro.testbed import engine_factory
 
 
@@ -30,7 +29,7 @@ def test_table4_row_matches_the_paper(level):
         {level: expected}, {level: measured}, TABLE_4_COLUMNS)
 
 
-@pytest.mark.parametrize("level", sorted(EXTENSION_EXPECTATIONS, key=lambda l: l.value),
+@pytest.mark.parametrize("level", sorted(EXTENSION_EXPECTATIONS, key=lambda lvl: lvl.value),
                          ids=lambda level: level.value)
 def test_extension_rows_match_their_documented_expectations(level):
     measured = compute_table4_row(engine_factory(level))

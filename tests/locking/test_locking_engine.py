@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.isolation import IsolationLevelName
-from repro.engine.interface import EngineError, OpStatus, TransactionState
+from repro.engine.interface import EngineError, TransactionState
 from repro.locking.engine import LockingEngine
 from repro.storage.database import Database
 from repro.storage.predicates import attribute_equals

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.mvcc.read_consistency import ReadConsistencyEngine
 from repro.storage.database import Database

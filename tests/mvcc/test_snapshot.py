@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.engine.interface import TransactionState
 from repro.mvcc.snapshot import SnapshotIsolationEngine
 from repro.storage.database import Database
-from repro.storage.predicates import attribute_equals, whole_table
+from repro.storage.predicates import whole_table
 from repro.storage.rows import Row
 
 

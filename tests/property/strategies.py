@@ -2,12 +2,21 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from hypothesis import strategies as st
 
 from repro.core.history import History
 from repro.core.operations import Operation, OperationKind
+from repro.engine.programs import (
+    Abort,
+    Commit,
+    CompiledProgramSet,
+    ReadItem,
+    TransactionProgram,
+    WriteItem,
+    compile_programs,
+)
 
 ITEMS = ("x", "y", "z")
 
@@ -53,3 +62,57 @@ def serial_histories(draw, max_ops: int = 4) -> History:
     for index in order:
         merged.extend(bodies[index])
     return History(merged)
+
+
+@st.composite
+def transaction_programs(draw, max_transactions: int = 3,
+                         max_ops: int = 3) -> List[TransactionProgram]:
+    """Random executable program sets: reads/writes over shared items, then a
+    terminal (mostly commit).  Value specs mix literals and context-derived
+    callables, so compiled WRITE steps exercise both resolution paths."""
+    count = draw(st.integers(min_value=1, max_value=max_transactions))
+    programs: List[TransactionProgram] = []
+    for txn in range(1, count + 1):
+        steps = []
+        length = draw(st.integers(min_value=1, max_value=max_ops))
+        for position in range(length):
+            item = draw(st.sampled_from(ITEMS))
+            if draw(st.booleans()):
+                steps.append(ReadItem(item, into=f"v{position}"))
+            else:
+                if draw(st.booleans()):
+                    steps.append(WriteItem(item, value=draw(
+                        st.integers(min_value=-5, max_value=5))))
+                else:
+                    # Read-modify-write through the per-transaction context.
+                    bound = f"v{draw(st.integers(min_value=0, max_value=max(0, position - 1)))}"
+                    steps.append(WriteItem(
+                        item,
+                        value=(lambda ctx, key=bound: (ctx.get(key) or 0) + 1)))
+        terminal = draw(st.sampled_from((Commit, Commit, Commit, Abort)))
+        steps.append(terminal())
+        programs.append(TransactionProgram(txn, steps))
+    return programs
+
+
+@st.composite
+def interleavings_for(draw, programs: List[TransactionProgram]) -> Tuple[int, ...]:
+    """A random complete interleaving of the programs' slots."""
+    remaining = {program.txn: len(program) for program in programs}
+    slots: List[int] = []
+    while any(remaining.values()):
+        candidates = [txn for txn, left in remaining.items() if left]
+        choice = draw(st.sampled_from(candidates))
+        remaining[choice] -= 1
+        slots.append(choice)
+    return tuple(slots)
+
+
+@st.composite
+def compiled_program_sets(draw, max_transactions: int = 3,
+                          max_ops: int = 3) -> Tuple[List[TransactionProgram],
+                                                     CompiledProgramSet]:
+    """A random program set together with its compiled step tables."""
+    programs = draw(transaction_programs(max_transactions=max_transactions,
+                                         max_ops=max_ops))
+    return programs, compile_programs(programs)

@@ -1,0 +1,99 @@
+"""Property-based gates: compiled kernel vs stepwise, detector fast paths.
+
+Two invariants the PR 5 hot-loop work must never bend:
+
+* The compiled slot-program step kernel is byte-equal to the stepwise API for
+  random program sets, random interleavings, and every engine level.
+* Every detector's boolean fast path (``occurs_in``) agrees with its
+  occurrence enumerator (``find``) on random histories.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isolation import IsolationLevelName
+from repro.core.phenomena import ALL_PHENOMENA, HistoryIndex
+from repro.engine.programs import compile_programs
+from repro.engine.scheduler import ScheduleRunner
+from repro.storage.database import Database
+from repro.testbed import make_engine
+
+from .strategies import ITEMS, histories, interleavings_for, transaction_programs
+
+KERNEL_LEVELS = (
+    IsolationLevelName.READ_UNCOMMITTED,
+    IsolationLevelName.READ_COMMITTED,
+    IsolationLevelName.CURSOR_STABILITY,
+    IsolationLevelName.REPEATABLE_READ,
+    IsolationLevelName.SERIALIZABLE,
+    IsolationLevelName.SNAPSHOT_ISOLATION,
+    IsolationLevelName.ORACLE_READ_CONSISTENCY,
+)
+
+
+def _fresh_database() -> Database:
+    database = Database()
+    for index, item in enumerate(ITEMS):
+        database.set_item(item, index * 10)
+    return database
+
+
+def _outcome_key(outcome):
+    return (
+        outcome.history.to_shorthand(),
+        tuple(sorted((txn, state.value) for txn, state in outcome.statuses.items())),
+        tuple(sorted((txn, tuple(sorted(ctx.items())))
+                     for txn, ctx in outcome.contexts.items())),
+        tuple(sorted(outcome.abort_reasons.items())),
+        outcome.blocked_events,
+        tuple((d.cycle, d.victim) for d in outcome.deadlocks),
+        tuple((t.txn, t.step, t.status.value, t.reason) for t in outcome.traces),
+        outcome.stalled,
+    )
+
+
+@st.composite
+def program_sets_with_interleavings(draw):
+    programs = draw(transaction_programs())
+    interleaving = draw(interleavings_for(programs))
+    level = draw(st.sampled_from(KERNEL_LEVELS))
+    return programs, interleaving, level
+
+
+@settings(max_examples=60, deadline=None)
+@given(program_sets_with_interleavings())
+def test_compiled_kernel_byte_equal_to_stepwise(case):
+    programs, interleaving, level = case
+    stepwise = ScheduleRunner(make_engine(_fresh_database(), level), programs,
+                              interleaving, compiled=False).run()
+    compiled = ScheduleRunner(make_engine(_fresh_database(), level), programs,
+                              interleaving, compiled=True).run()
+    assert _outcome_key(stepwise) == _outcome_key(compiled)
+
+
+@settings(max_examples=60, deadline=None)
+@given(transaction_programs())
+def test_compile_pass_covers_every_step_with_consistent_footprints(programs):
+    compiled = compile_programs(programs)
+    by_txn = compiled.by_txn()
+    reverse = {index: name for name, index in compiled.item_ids.items()}
+    for program in programs:
+        table = by_txn[program.txn]
+        assert len(table) == len(program)
+        footprints = program.footprints()
+        for position, footprint in enumerate(footprints):
+            assert table.opaque[position] == footprint.opaque
+            if not footprint.opaque:
+                assert {reverse[i] for i in table.read_ids[position]} == set(footprint.reads)
+                assert {reverse[i] for i in table.write_ids[position]} == set(footprint.writes)
+
+
+@settings(max_examples=120, deadline=None)
+@given(histories())
+def test_occurs_in_fast_paths_agree_with_find(history):
+    index = HistoryIndex(history)
+    for code, detector in ALL_PHENOMENA.items():
+        assert detector.occurs_in(history, index) == bool(
+            detector.find(history, index)), code

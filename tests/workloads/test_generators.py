@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.isolation import IsolationLevelName
 from repro.testbed import make_engine
