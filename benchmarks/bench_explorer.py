@@ -528,6 +528,64 @@ def test_explored_table4_smoke(print_report):
     assert all(cell.witness is not None for cell in witnessed)
 
 
+def test_static_pruning_table4(print_report):
+    """Static anomaly analysis: same Table 4, a large slice of the work skipped.
+
+    ``static_pruning=True`` consults the level-aware static dependency graph
+    before exploring each (scenario variant, level) scope and skips the ones
+    proven impossible.  The gate is twofold: the pruned matrix must equal the
+    unpruned one cell for cell (soundness — a pruned scope counts as
+    non-manifesting, which is exactly what executing it would measure), and
+    the pruned run must actually skip scopes and schedules (the point).
+    """
+    started = time.perf_counter()
+    full = compute_table4_explored(max_schedules=TABLE4_BUDGET)
+    full_time = time.perf_counter() - started
+    started = time.perf_counter()
+    pruned = compute_table4_explored(max_schedules=TABLE4_BUDGET,
+                                     static_pruning=True)
+    pruned_time = time.perf_counter() - started
+
+    matrix_equal = pruned.possibilities() == full.possibilities()
+    # variant_frequencies lists every variant, pruned ones included (at
+    # frequency 0), so it is already the full scope count per cell.
+    total_variants = sum(
+        len(cell.variant_frequencies)
+        for row in pruned.cells.values() for cell in row.values())
+    saved = full.total_schedules() - pruned.total_schedules()
+    speedup = full_time / pruned_time if pruned_time else float("inf")
+    _BASELINE["static_pruning"] = {
+        "budget": TABLE4_BUDGET,
+        "variant_scopes": total_variants,
+        "pruned_scopes": pruned.total_pruned_variants(),
+        "schedules_full": full.total_schedules(),
+        "schedules_pruned": pruned.total_schedules(),
+        "schedules_saved_ratio": round(saved / full.total_schedules(), 4),
+        "full_wall_s": round(full_time, 3),
+        "pruned_wall_s": round(pruned_time, 3),
+        "speedup": round(speedup, 2),
+        "matrix_matches": matrix_equal,
+    }
+    print_report(
+        f"Static pruning of the explored Table 4 ({TABLE4_BUDGET} "
+        f"schedules/variant budget)",
+        render_table(
+            ["metric", "value"],
+            [["variant scopes", str(total_variants)],
+             ["statically pruned", str(pruned.total_pruned_variants())],
+             ["schedules (full)", f"{full.total_schedules():,}"],
+             ["schedules (pruned)", f"{pruned.total_schedules():,}"],
+             ["schedules saved", f"{saved / full.total_schedules():.0%}"],
+             ["speedup", f"{speedup:.2f}x"],
+             ["matrix equal", "yes" if matrix_equal else "NO"]],
+        ),
+    )
+    assert matrix_equal, "static pruning changed a Table 4 verdict"
+    assert pruned.total_pruned_variants() > 0, \
+        "static pruning skipped nothing — the analyzer stopped proving scopes"
+    assert pruned.total_schedules() < full.total_schedules()
+
+
 def test_streaming_million_schedule_sampling(print_report):
     """Sampling STREAM_SCHEDULES schedules holds O(chunk) memory, no list."""
     _, programs = build_program_set(STREAM_SPEC)

@@ -38,6 +38,7 @@ SECTIONS: Tuple[Tuple[Tuple[str, ...], str, bool], ...] = (
     (("table4_explored", "schedules_per_sec"), "explored Table 4 schedules/sec", False),
     (("streaming", "schedules_per_sec"), "streaming generation schedules/sec", False),
     (("outcome_memo", "speedup"), "outcome-memo speedup", False),
+    (("static_pruning", "speedup"), "static-pruning speedup", False),
 )
 
 

@@ -87,6 +87,10 @@ class CoverageReport:
     explored: int
     columns: Tuple[str, ...]
     levels: Dict[IsolationLevelName, LevelCoverage]
+    #: Caveats that would otherwise hide in stats dicts: sampling truncation
+    #: (the dedupe seen-set cap was exceeded, so the sample may repeat
+    #: schedules) and statically pruned detector counts.
+    notes: Tuple[str, ...] = ()
 
     def witnessed(self, level: IsolationLevelName, code: str) -> int:
         """Witness count for one cell (0 when the level lacks the column)."""
@@ -125,7 +129,10 @@ class CoverageReport:
             f"Anomaly coverage: {self.spec} [{self.mode}] "
             f"{self.explored}/{self.space_size} schedules per level"
         )
-        return render_table(headers, rows, title=header)
+        table = render_table(headers, rows, title=header)
+        if self.notes:
+            table += "".join(f"\nnote: {note}" for note in self.notes)
+        return table
 
 
 def coverage_mismatches(full, reduced,
@@ -184,6 +191,10 @@ class ExploredCell:
     stalled: int
     witness: Optional[Tuple[str, Tuple[int, ...], str]]
     variant_frequencies: Tuple[Tuple[str, float], ...]
+    #: Variant spaces skipped by the static-impossibility pass, with the
+    #: static proof sketch per pruned variant.
+    pruned_variants: int = 0
+    static_reasons: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def frequency(self) -> float:
@@ -198,6 +209,8 @@ class ExploredCell:
             Possibility.SOMETIMES_POSSIBLE: "S",
         }
         mark = marks.get(self.possibility, str(self.possibility))
+        if self.pruned_variants:
+            mark += "*"
         if self.manifested == 0:
             return mark
         return f"{mark} {self.frequency * 100:.1f}%"
@@ -205,6 +218,8 @@ class ExploredCell:
 
 def build_explored_cell(exploration) -> ExploredCell:
     """Aggregate one scenario exploration into its measured Table 4 cell."""
+    pruned = [variant for variant in exploration.variants
+              if getattr(variant, "pruned", False)]
     return ExploredCell(
         code=exploration.scenario_code,
         possibility=exploration.possibility,
@@ -215,6 +230,10 @@ def build_explored_cell(exploration) -> ExploredCell:
         variant_frequencies=tuple(
             (variant.variant_name, variant.frequency)
             for variant in exploration.variants
+        ),
+        pruned_variants=len(pruned),
+        static_reasons=tuple(
+            (variant.variant_name, variant.static_reason) for variant in pruned
         ),
     )
 
@@ -229,6 +248,8 @@ class ExploredTable4:
     reduction: str
     columns: Tuple[str, ...]
     cells: Dict[IsolationLevelName, Dict[str, ExploredCell]]
+    #: Whether statically-impossible (cell, level) scopes were skipped.
+    static_pruning: bool = False
 
     def possibilities(self) -> Dict[IsolationLevelName, Dict[str, Possibility]]:
         """The plain verdict matrix, comparable against ``EXPECTED_TABLE_4``."""
@@ -256,6 +277,11 @@ class ExploredTable4:
         return sum(cell.stalled for row in self.cells.values()
                    for cell in row.values())
 
+    def total_pruned_variants(self) -> int:
+        """Variant spaces skipped by the static-impossibility pass."""
+        return sum(cell.pruned_variants for row in self.cells.values()
+                   for cell in row.values())
+
     def render(self, title: Optional[str] = None) -> str:
         """ASCII matrix: verdict + manifestation frequency per cell."""
         headers = ["Isolation level"] + list(self.columns)
@@ -271,7 +297,12 @@ class ExploredTable4:
             f"{self.total_schedules()} schedules, "
             f"{self.total_stalled()} stalled (P/N/S + % of schedules manifesting)"
         )
-        return render_table(headers, rows, title=header)
+        table = render_table(headers, rows, title=header)
+        pruned = self.total_pruned_variants()
+        if pruned:
+            table += (f"\nnote: * = {pruned} variant space(s) skipped as "
+                      f"statically impossible (counted not-manifesting)")
+        return table
 
 
 def build_coverage_report(result, codes: Optional[Sequence[str]] = None) -> CoverageReport:
@@ -315,6 +346,25 @@ def build_coverage_report(result, codes: Optional[Sequence[str]] = None) -> Cove
             level=level, schedules=total, serializable=serializable,
             stalled=stalled, phenomena=phenomena,
         )
+    notes: List[str] = []
+    space = result.space
+    if space.mode == "sample" and not getattr(space, "dedupe", True):
+        # _should_dedupe refused the seen-set (distinct-tracking would exceed
+        # its memory cap), so the sample may repeat schedules — a caveat that
+        # previously lived only in ``space.distinct is None``.
+        notes.append(
+            f"sampled {space.selected} of {space.total} schedules without "
+            f"dedupe tracking (seen-set cap exceeded): counts may include "
+            f"repeated schedules")
+    pruned_by_level = []
+    for level, exploration in result.levels.items():
+        stats = getattr(exploration, "cache_stats", None) or {}
+        count = stats.get("static_pruned_detectors", 0)
+        if count:
+            pruned_by_level.append(f"{level.value}: {count}")
+    if pruned_by_level:
+        notes.append("statically pruned detectors — " +
+                     "; ".join(pruned_by_level))
     return CoverageReport(
         spec=result.spec.describe(),
         mode=result.space.mode,
@@ -322,4 +372,5 @@ def build_coverage_report(result, codes: Optional[Sequence[str]] = None) -> Cove
         explored=result.space.selected,
         columns=columns,
         levels=levels,
+        notes=tuple(notes),
     )

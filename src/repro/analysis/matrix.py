@@ -131,7 +131,8 @@ def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVEL
                             mode: str = "auto",
                             max_schedules: int = DEFAULT_MAX_SCHEDULES,
                             seed: int = 0,
-                            reduction: str = "sleep-set") -> ExploredTable4:
+                            reduction: str = "sleep-set",
+                            static_pruning: bool = False) -> ExploredTable4:
     """The explorer-driven behavioural anomaly matrix.
 
     Each cell exhausts (or, above ``max_schedules``, samples) the full
@@ -143,13 +144,24 @@ def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVEL
     counted, not fatal.  The default budget covers every curated variant
     space exhaustively, so ``compute_table4_explored()`` is a strict
     strengthening of the curated table.
+
+    ``static_pruning`` consults the static dependency graph
+    (:mod:`repro.static_analysis`) first and skips every variant space whose
+    scenario is statically impossible at the level: the cell verdicts are
+    unchanged (a pruned variant counts as non-manifesting, which is exactly
+    what executing it would measure — CI gates this agreement), but roughly
+    half the Table 4 grid stops paying for schedule execution.  Pruned counts
+    are reported per cell (``ExploredCell.pruned_variants``) and in the
+    rendered table; the default stays off so the headline reproduction keeps
+    executing every cell.
     """
     cells = {
         level: {
             scenario.code: build_explored_cell(
                 explore_scenario(scenario, level, mode=mode,
                                  max_schedules=max_schedules, seed=seed,
-                                 reduction=reduction)
+                                 reduction=reduction,
+                                 static_pruning=static_pruning)
             )
             for scenario in scenarios
         }
@@ -162,6 +174,7 @@ def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVEL
         reduction=reduction,
         columns=tuple(scenario.code for scenario in scenarios),
         cells=cells,
+        static_pruning=static_pruning,
     )
 
 

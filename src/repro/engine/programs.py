@@ -149,6 +149,11 @@ class WriteItem(Step):
 class SelectPredicate(Step):
     """Read the rows satisfying a predicate, binding the list to a variable."""
 
+    #: The matched row set depends on runtime table contents, so the static
+    #: analyzer must treat the footprint as opaque (explicit marker audited
+    #: by repolint's footprint-coverage check).
+    opaque_footprint = True
+
     predicate: Predicate
     into: Optional[str] = None
 
@@ -165,6 +170,10 @@ class SelectPredicate(Step):
 @dataclass
 class InsertRow(Step):
     """Insert a row; the row may be computed from the context."""
+
+    #: The row (and hence its key) may be computed from the runtime context,
+    #: so the written item is statically unknown: opaque by declaration.
+    opaque_footprint = True
 
     table: str
     row: ValueSpec
@@ -219,6 +228,10 @@ class DeleteRow(Step):
 class OpenCursor(Step):
     """Open a cursor over a list of named items."""
 
+    #: Which item a later Fetch/CursorUpdate touches depends on cursor
+    #: position at runtime; the whole cursor family is opaque by declaration.
+    opaque_footprint = True
+
     cursor: str
     items: Sequence[str]
 
@@ -232,6 +245,8 @@ class OpenCursor(Step):
 @dataclass
 class Fetch(Step):
     """Fetch the next item of a cursor (the paper's ``rc``)."""
+
+    opaque_footprint = True  # reads whichever item the cursor points at
 
     cursor: str
     into: Optional[str] = None
@@ -250,6 +265,8 @@ class Fetch(Step):
 class CursorUpdate(Step):
     """Write the current item of a cursor (the paper's ``wc``)."""
 
+    opaque_footprint = True  # writes whichever item the cursor points at
+
     cursor: str
     value: ValueSpec = None
 
@@ -263,6 +280,8 @@ class CursorUpdate(Step):
 @dataclass
 class CloseCursor(Step):
     """Close a cursor."""
+
+    opaque_footprint = True  # releases cursor state; no statically known items
 
     cursor: str
 

@@ -138,6 +138,16 @@ class RunnerCheckpoint:
 class ScheduleRunner:
     """Drives a set of programs through an engine under a chosen interleaving."""
 
+    #: Deliberately outside the checkpoint token (see repolint's
+    #: checkpoint-completeness check): the programs, their order, and the
+    #: attempt budget are per-runner configuration; the compiled-step tables
+    #: and the dispatch function are one-way setup (enable_compiled); the
+    #: operation-interning cache memoizes a pure function, so a stale entry
+    #: can never change a realized operation.
+    _checkpoint_stable = ("_programs", "_order", "_max_attempts",
+                          "_collect_traces", "_compiled", "_compiled_tables",
+                          "_attempt_fn", "_op_cache")
+
     def __init__(self, engine: Engine, programs: Sequence[TransactionProgram],
                  interleaving: Optional[Sequence[int]] = None,
                  max_attempts: Optional[int] = None,

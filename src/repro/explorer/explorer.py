@@ -51,6 +51,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.isolation import IsolationLevelName
+from ..core.phenomena import ALL_PHENOMENA
+from ..static_analysis import StaticVerdict, Verdict, analyze_programs
 from ..workloads.program_sets import ProgramSetSpec, resolve_program_set
 from .memo import BatchClassifier
 from .reduction import StreamingReducer, terminal_scope_for
@@ -131,6 +133,17 @@ class ExplorationResult:
     levels: Dict[IsolationLevelName, LevelExploration]
     reduction: str = "none"
     outcome_memo: bool = False
+    #: Per-level static verdicts from the SDG pass (always attached), and
+    #: whether statically-impossible detectors were actually skipped.
+    static_verdicts: Dict[IsolationLevelName, Dict[str, StaticVerdict]] = \
+        dataclasses.field(default_factory=dict)
+    static_pruning: bool = False
+
+    def pruned_detectors(self, level: IsolationLevelName) -> Tuple[str, ...]:
+        """The detector codes statically proven impossible for one level."""
+        verdicts = self.static_verdicts.get(level, {})
+        return tuple(code for code, verdict in verdicts.items()
+                     if verdict.verdict is Verdict.IMPOSSIBLE)
 
     def fingerprint(self) -> str:
         """SHA-256 over every record, in order — identical runs hash identically.
@@ -282,7 +295,8 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
                    chunks: _ChunkStreamCache, plan: Optional[_ScopePlan],
                    chunk_size: int, builder, initial_items,
                    pool, shared_cache, outcome_memo: bool = False,
-                   shared_outcomes=None) -> LevelExploration:
+                   shared_outcomes=None,
+                   codes: Optional[Tuple[str, ...]] = None) -> LevelExploration:
     """Stream one level's chunks through execution (in-process or pooled).
 
     With a reduction plan, chunks are canonicalized as they stream (or the
@@ -290,7 +304,7 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
     assembly interleaves with result consumption, so no stage materializes
     the schedule stream.
     """
-    serial_classifier = (BatchClassifier(initial_items=initial_items)
+    serial_classifier = (BatchClassifier(codes=codes, initial_items=initial_items)
                          if pool is None else None)
     started = time.perf_counter()
     records: List[ScheduleRecord] = []
@@ -311,7 +325,7 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
             for index, chunk in chunk_schedules:
                 yield ChunkTask(index, spec, level, chunk, builder, shared_cache,
                                 outcome_memo=outcome_memo,
-                                shared_outcomes=shared_outcomes)
+                                shared_outcomes=shared_outcomes, codes=codes)
 
         for result in _run_tasks(tasks(), pool, serial_classifier):
             records.extend(result.records)
@@ -331,7 +345,8 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
         def tasks() -> Iterator[ChunkTask]:
             for index, (chunk, fresh) in enumerate(plan_stream):
                 pending.append((chunk, len(chunk)))
-                yield ChunkTask(index, spec, level, fresh, builder, shared_cache)
+                yield ChunkTask(index, spec, level, fresh, builder, shared_cache,
+                                codes=codes)
 
         position = 0
         for result in _run_tasks(tasks(), pool, serial_classifier):
@@ -386,7 +401,8 @@ def explore(spec: ProgramSetSpec,
             workers: Union[int, str] = 1, chunk_size: int = 64,
             reduction: str = "none",
             shared_cache: bool = True,
-            outcome_memo: Union[bool, str] = "auto") -> ExplorationResult:
+            outcome_memo: Union[bool, str] = "auto",
+            static_pruning: bool = False) -> ExplorationResult:
     """Explore the schedule space of a program set under several isolation levels.
 
     Parameters
@@ -448,6 +464,18 @@ def explore(spec: ProgramSetSpec,
         pure function of the explore() inputs — the canonical member (never
         the first-encountered one) is what executes, so worker count, chunk
         size, and memo warmth cannot change any record.
+    static_pruning:
+        Skip the phenomenon detectors the static dependency graph proves
+        impossible for this program set at each level (see
+        :mod:`repro.static_analysis`).  The per-level
+        :class:`~repro.static_analysis.StaticVerdict` map is attached to the
+        result either way (``result.static_verdicts``); pruning only controls
+        whether ``IMPOSSIBLE`` detectors are actually dropped from the
+        classification pass.  Sound — a pruned detector cannot fire on any
+        history realizable at its level, so records are byte-identical with
+        pruning on or off (the fingerprint tests assert exactly this); the
+        skipped detector count is reported per level as the
+        ``static_pruned_detectors`` cache stat.
     """
     workers = _resolve_worker_count(workers)
     if chunk_size < 1:
@@ -490,6 +518,24 @@ def explore(spec: ProgramSetSpec,
             plans[scope] = _ScopePlan(programs, scope)
         return plans[scope]
 
+    # The static pass runs unconditionally (it is a few microseconds of set
+    # algebra over the footprints) so every result carries its verdict map;
+    # only the detector skipping is gated on ``static_pruning``.
+    static_verdicts: Dict[IsolationLevelName, Dict[str, StaticVerdict]] = {}
+    level_codes: Dict[IsolationLevelName, Optional[Tuple[str, ...]]] = {}
+    for level in levels:
+        try:
+            verdicts = analyze_programs(programs, level)
+        except KeyError:  # a level without an engine profile: never prune
+            level_codes[level] = None
+            continue
+        static_verdicts[level] = verdicts
+        pruned = frozenset(code for code, verdict in verdicts.items()
+                           if verdict.verdict is Verdict.IMPOSSIBLE)
+        level_codes[level] = (
+            tuple(code for code in ALL_PHENOMENA if code not in pruned)
+            if static_pruning and pruned else None)
+
     chunk_cache = _ChunkStreamCache(space)
     explorations: Dict[IsolationLevelName, LevelExploration] = {}
     if workers == 1:
@@ -497,7 +543,7 @@ def explore(spec: ProgramSetSpec,
             explorations[level] = _explore_level(
                 spec, level, chunk_cache, _plan_for(level), chunk_size, builder,
                 initial_items, pool=None, shared_cache=None,
-                outcome_memo=outcome_memo,
+                outcome_memo=outcome_memo, codes=level_codes[level],
             )
     else:
         manager = multiprocessing.Manager() if shared_cache else None
@@ -523,10 +569,17 @@ def explore(spec: ProgramSetSpec,
                         builder, initial_items, pool=pool, shared_cache=shared,
                         outcome_memo=outcome_memo,
                         shared_outcomes=outcome_logs[level],
+                        codes=level_codes[level],
                     )
         finally:
             if manager is not None:
                 manager.shutdown()
+    for level, exploration in explorations.items():
+        codes = level_codes[level]
+        exploration.cache_stats["static_pruned_detectors"] = (
+            len(ALL_PHENOMENA) - len(codes) if codes is not None else 0)
     return ExplorationResult(spec=spec, space=space, workers=workers,
                              chunk_size=chunk_size, levels=explorations,
-                             reduction=reduction, outcome_memo=outcome_memo)
+                             reduction=reduction, outcome_memo=outcome_memo,
+                             static_verdicts=static_verdicts,
+                             static_pruning=static_pruning)

@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.isolation import IsolationLevelName, Possibility
 from ..engine.programs import TransactionProgram
 from ..engine.scheduler import ScheduleRunner
+from ..static_analysis import Verdict, analyze_scenario_programs
 from ..testbed import make_engine
 from ..workloads.scenarios import AnomalyScenario, ScenarioVariant
 from .explorer import REDUCTIONS, terminal_scope_for
@@ -108,6 +109,11 @@ class VariantExploration:
     engine_aborted: int
     witness: Optional[Interleaving]
     witness_history: Optional[str]
+    #: True when the static dependency graph proved the scenario impossible
+    #: at this level and the whole space was skipped unexecuted.
+    pruned: bool = False
+    #: The static proof sketch, when pruned.
+    static_reason: str = ""
 
     @property
     def manifests(self) -> bool:
@@ -157,11 +163,17 @@ class ScenarioExploration:
         """Stalled schedules across every variant space."""
         return sum(variant.stalled for variant in self.variants)
 
+    @property
+    def pruned_variants(self) -> int:
+        """Variant spaces skipped by the static-impossibility pass."""
+        return sum(1 for variant in self.variants if variant.pruned)
+
 
 def explore_variant(variant: ScenarioVariant, level: IsolationLevelName,
                     scenario_code: str = "", mode: str = "auto",
                     max_schedules: int = DEFAULT_MAX_SCHEDULES, seed: int = 0,
-                    reduction: str = "sleep-set") -> VariantExploration:
+                    reduction: str = "sleep-set",
+                    static_pruning: bool = False) -> VariantExploration:
     """Evaluate ``variant.manifests`` over its whole interleaving space.
 
     Every schedule runs against a fresh database and a fresh engine for
@@ -171,10 +183,27 @@ def explore_variant(variant: ScenarioVariant, level: IsolationLevelName,
     the first manifesting schedule in the space's deterministic stream order;
     under reduction its recorded history is its class representative's
     (identical up to the order of commuting adjacent steps).
+
+    With ``static_pruning`` (and a ``scenario_code``), the static dependency
+    graph is consulted first: a variant whose scenario is statically
+    ``IMPOSSIBLE`` at this level returns immediately with ``pruned=True``,
+    zero schedules executed, and the proof sketch in ``static_reason`` —
+    sound because an impossible scenario's ``manifests`` predicate cannot be
+    satisfied by any schedule in the space.
     """
     if reduction not in REDUCTIONS:
         raise ValueError(f"unknown reduction {reduction!r}; choose from {REDUCTIONS}")
     programs = variant.build_programs()
+    if static_pruning and scenario_code:
+        verdict = analyze_scenario_programs(programs, scenario_code, level)
+        if verdict.verdict is Verdict.IMPOSSIBLE:
+            return VariantExploration(
+                scenario_code=scenario_code, variant_name=variant.name,
+                level=level, mode="pruned", space_size=0, schedules=0,
+                executed=0, manifested=0, stalled=0, deadlocked=0,
+                engine_aborted=0, witness=None, witness_history=None,
+                pruned=True, static_reason=verdict.reason,
+            )
     space = schedule_space(programs, mode=mode, max_schedules=max_schedules,
                            seed=seed)
     schedules = space.schedules
@@ -242,8 +271,15 @@ def explore_variant(variant: ScenarioVariant, level: IsolationLevelName,
 def explore_scenario(scenario: AnomalyScenario, level: IsolationLevelName,
                      mode: str = "auto",
                      max_schedules: int = DEFAULT_MAX_SCHEDULES, seed: int = 0,
-                     reduction: str = "sleep-set") -> ScenarioExploration:
-    """Explore every variant space of a scenario under one isolation level."""
+                     reduction: str = "sleep-set",
+                     static_pruning: bool = False) -> ScenarioExploration:
+    """Explore every variant space of a scenario under one isolation level.
+
+    ``static_pruning`` skips the variant spaces the static dependency graph
+    proves impossible at this level (they count as non-manifesting, exactly
+    the verdict executing them would reach); the cell aggregation is
+    unchanged.
+    """
     if not scenario.variants:
         raise ValueError(
             f"scenario {scenario.code} has no variants; refusing to call an "
@@ -255,7 +291,7 @@ def explore_scenario(scenario: AnomalyScenario, level: IsolationLevelName,
         variants=tuple(
             explore_variant(variant, level, scenario_code=scenario.code,
                             mode=mode, max_schedules=max_schedules, seed=seed,
-                            reduction=reduction)
+                            reduction=reduction, static_pruning=static_pruning)
             for variant in scenario.variants
         ),
     )

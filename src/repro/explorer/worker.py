@@ -131,6 +131,13 @@ class ChunkTask:
     #: across workers, exactly like ``shared_cache`` but for schedule-level
     #: outcomes keyed by canonical interleaving.
     shared_outcomes: Optional[Any] = None
+    #: Phenomenon codes the classifier should detect; ``None`` means all.
+    #: Set by the static pruning pass, which drops the codes proven
+    #: impossible for (spec, level) — sound because a pruned code occurs in
+    #: no history realizable at this level, so restricted and full
+    #: classifications agree on every history the chunk can produce (and the
+    #: cross-level shared cache stays coherent).
+    codes: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -233,7 +240,7 @@ def execute_chunk(task: ChunkTask,
     chunk_local = classifier is None
     executor, initial_items, programs, build_us = _testbed_for(task)
     if classifier is None:
-        classifier = BatchClassifier(initial_items=initial_items)
+        classifier = BatchClassifier(codes=task.codes, initial_items=initial_items)
         if task.shared_cache is not None:
             classifier.preload(_shared_snapshot(task.shared_cache))
     memo: Optional[ScheduleOutcomeMemo] = None

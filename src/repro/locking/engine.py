@@ -65,6 +65,13 @@ class LockingEngine(Engine):
 
     supports_checkpoints = True
 
+    #: Outside the checkpoint token by design: the policy (and the names and
+    #: lock plans derived from it) is immutable per-engine configuration, and
+    #: the blocked-result cache interns immutable values of a pure function
+    #: of its key — restoring around either cannot change any outcome.
+    _checkpoint_stable = ("policy", "level", "name", "_read_plan",
+                          "_write_plan", "_blocked_results")
+
     def __init__(self, database: Database,
                  level: IsolationLevelName = IsolationLevelName.SERIALIZABLE,
                  policy: Optional[LockingPolicy] = None):

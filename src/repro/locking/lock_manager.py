@@ -68,6 +68,10 @@ _GRANTED = LockRequestResult(granted=True)
 class LockManager:
     """Tracks granted locks and answers (non-blocking) lock requests."""
 
+    #: The ItemTarget interning cache stays out of the checkpoint token: one
+    #: immutable target per item name, a pure function of the name.
+    _checkpoint_stable = ("_item_targets",)
+
     def __init__(self) -> None:
         self._locks: List[HeldLock] = []
         #: Cumulative count of requests that came back blocked (for benchmarks).

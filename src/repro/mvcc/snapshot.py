@@ -73,6 +73,10 @@ class SnapshotIsolationEngine(Engine):
     level = IsolationLevelName.SNAPSHOT_ISOLATION
     supports_checkpoints = True
 
+    #: Immutable per-engine configuration, deliberately outside the
+    #: checkpoint token (audited by repolint's checkpoint-completeness check).
+    _checkpoint_stable = ("first_committer_wins", "name")
+
     def __init__(self, database: Database,
                  authority: Optional[TimestampAuthority] = None,
                  first_committer_wins: bool = True):

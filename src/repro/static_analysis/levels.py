@@ -1,0 +1,105 @@
+"""Per-level semantic profiles driving the static verdict rules.
+
+A :class:`LevelProfile` distills what the verdict rules need to know about
+an engine level into a handful of booleans.  For the six locking levels the
+profile is *derived from the Table 2 policy itself* (:data:`POLICIES`), so a
+policy change automatically flows into the static analysis; the two
+multiversion levels (Snapshot Isolation, Oracle Read Consistency) are
+described by the operational semantics of their engines in
+:mod:`repro.mvcc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.isolation import IsolationLevelName
+from ..locking.modes import LockDuration
+from ..locking.policy import POLICIES, LockRule
+
+__all__ = ["LevelProfile", "profile_for", "PROFILED_LEVELS"]
+
+
+def _long(rule: Optional[LockRule]) -> bool:
+    return rule is not None and rule.duration is LockDuration.LONG
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """The facts about one isolation level the static rules reason from."""
+
+    level: IsolationLevelName
+    #: Single-version engine: an uncommitted write is visible in place.
+    #: Multiversion engines keep writes private until commit, and the
+    #: single-valued history mapping emits them atomically with the terminal.
+    single_version: bool
+    #: Write locks are exclusive and held to the terminal (all levels above
+    #: Degree 0 in Table 2).
+    write_locks_long: bool = False
+    #: Every kind of read (item, predicate, cursor) takes at least a short
+    #: shared lock, so no read can see data under an exclusive lock.
+    all_reads_locked: bool = False
+    #: Item read locks are held to the terminal.
+    item_read_locks_long: bool = False
+    #: Cursor read locks are held to the terminal (not merely to cursor move).
+    cursor_read_locks_long: bool = False
+    #: Predicate read locks are held to the terminal.
+    predicate_read_locks_long: bool = False
+    #: Reads come from a snapshot fixed at transaction start (SI), so a
+    #: transaction's foreign reads are all from one instant.
+    snapshot_reads: bool = False
+
+    @property
+    def read_locks_long(self) -> bool:
+        """Item *and* cursor reads lock to the terminal — kills every
+        ``r1[x] .. w2[x]``-before-terminal pattern on exact footprints."""
+        return self.item_read_locks_long and self.cursor_read_locks_long
+
+
+def _locking_profile(level: IsolationLevelName) -> LevelProfile:
+    policy = POLICIES[level]
+    reads = (policy.item_read, policy.predicate_read, policy.cursor_read)
+    return LevelProfile(
+        level=level,
+        single_version=True,
+        write_locks_long=_long(policy.write),
+        all_reads_locked=all(rule is not None for rule in reads),
+        item_read_locks_long=_long(policy.item_read),
+        cursor_read_locks_long=_long(policy.cursor_read),
+        predicate_read_locks_long=_long(policy.predicate_read),
+    )
+
+
+_MV_PROFILES = {
+    # SI: reads from the transaction-start snapshot, first-committer-wins on
+    # ww conflicts, no locks.
+    IsolationLevelName.SNAPSHOT_ISOLATION: LevelProfile(
+        level=IsolationLevelName.SNAPSHOT_ISOLATION,
+        single_version=False,
+        snapshot_reads=True,
+    ),
+    # ORC: statement-level read consistency — each read sees the latest
+    # committed version at its own instant, so two reads of one item can
+    # straddle a foreign commit.
+    IsolationLevelName.ORACLE_READ_CONSISTENCY: LevelProfile(
+        level=IsolationLevelName.ORACLE_READ_CONSISTENCY,
+        single_version=False,
+    ),
+}
+
+
+def profile_for(level: IsolationLevelName) -> LevelProfile:
+    """The static-analysis profile for any engine-backed level."""
+    if level in POLICIES:
+        return _locking_profile(level)
+    try:
+        return _MV_PROFILES[level]
+    except KeyError:
+        raise KeyError(
+            f"{level.value} has no engine, so no static profile") from None
+
+
+#: Every level :func:`profile_for` can answer for, in Table 2 + Section 4 order.
+PROFILED_LEVELS: Tuple[IsolationLevelName, ...] = (
+    tuple(POLICIES) + tuple(_MV_PROFILES))

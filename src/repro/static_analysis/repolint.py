@@ -1,0 +1,323 @@
+"""Repo invariant linter: the rules the codebase silently depends on, enforced.
+
+Four invariants keep the explorer's determinism and checkpoint/restore
+contracts honest, and none of them is expressible in a generic linter:
+
+* **determinism** (AST) — no wall-clock reads (``time.time``,
+  ``datetime.now`` and friends) and no module-level ``random.*`` calls
+  (which share interpreter-global state) anywhere under ``src/repro``.
+  ``time.perf_counter`` is fine (timing stats are excluded from result
+  fingerprints) and seeded ``random.Random(...)`` instances are fine (their
+  streams are pure functions of the seed).
+* **checkpoint-completeness** (AST) — any class that defines both
+  ``__init__`` and ``checkpoint`` must reference every attribute its
+  ``__init__`` assigns somewhere in its checkpoint/restore machinery,
+  or list it in a class-level ``_checkpoint_stable`` tuple (the explicit
+  "immutable configuration, not state" marker).  A mutable attribute
+  missing from both is exactly the bug that makes trie-executor restores
+  diverge from fresh runs.
+* **picklability** (runtime) — every registered program set must survive
+  the process boundary the parallel explorer ships it across:
+  ``ProgramSetSpec`` round-trips through pickle and the registered builder
+  pickles by reference.
+* **footprint-coverage** (runtime) — every concrete
+  :class:`~repro.engine.programs.Step` subclass either overrides
+  ``footprint()`` or carries ``opaque_footprint = True``, the explicit
+  "this step is opaque to the static analyzer" marker.  A step with
+  neither would silently default to an opaque footprint, quietly degrading
+  both partial-order reduction and the static dependency graph.
+
+Run as ``python -m repro.static_analysis.repolint [root]`` (exits non-zero
+on any violation); CI runs it repo-wide and requires zero.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import pickle
+import pkgutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "lint_determinism",
+    "lint_checkpoints",
+    "lint_picklability",
+    "lint_footprints",
+    "lint_tree",
+    "lint_paths",
+    "lint_repo",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: which check, where, and what is wrong."""
+
+    check: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+# -- determinism ---------------------------------------------------------------------
+
+#: ``module.attr`` calls that read the wall clock or ambient entropy.
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: The only ``random.*`` attribute that may be called: seeded generator
+#: construction.  Module-level functions (``random.random``, ``shuffle``...)
+#: draw from the interpreter-global stream and are banned.
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+
+def _dotted(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``("time", "time")`` for a ``time.time`` attribute access, else None."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id, node.attr
+    return None
+
+
+def lint_determinism(tree: ast.AST, path: str) -> List[Violation]:
+    """Wall-clock reads and global-stream randomness, anywhere in a module."""
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _dotted(node.func)
+        if target is None:
+            continue
+        if target in _WALL_CLOCK_CALLS:
+            violations.append(Violation(
+                "determinism", path, node.lineno,
+                f"wall-clock call {target[0]}.{target[1]}() breaks the "
+                f"explorer's determinism contract (use a logical clock, or "
+                f"time.perf_counter for timing stats)"))
+        elif target[0] == "random" and target[1] not in _RANDOM_ALLOWED:
+            violations.append(Violation(
+                "determinism", path, node.lineno,
+                f"module-level random.{target[1]}() draws from interpreter-"
+                f"global state; use a seeded random.Random instance"))
+    return violations
+
+
+# -- checkpoint completeness ---------------------------------------------------------
+
+
+def _assigned_self_attrs(func: ast.FunctionDef) -> List[Tuple[str, int]]:
+    """``self.X`` names assigned anywhere in a function, with line numbers."""
+    found: List[Tuple[str, int]] = []
+    seen: Set[str] = set()
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr not in seen):
+                seen.add(target.attr)
+                found.append((target.attr, target.lineno))
+    return found
+
+
+def _referenced_self_attrs(funcs: Iterable[ast.FunctionDef]) -> Set[str]:
+    """Every ``self.X`` referenced (read or written) across the functions."""
+    names: Set[str] = set()
+    for func in funcs:
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                names.add(node.attr)
+    return names
+
+
+def _stable_names(cls: ast.ClassDef) -> Set[str]:
+    """The class-level ``_checkpoint_stable`` exemption tuple, if declared."""
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "_checkpoint_stable":
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except ValueError:
+                        return set()
+                    return {str(name) for name in value}
+    return set()
+
+
+def lint_checkpoints(tree: ast.AST, path: str) -> List[Violation]:
+    """Every ``__init__``-assigned attribute must reach the checkpoint token.
+
+    The reference scan covers the class's ``checkpoint`` and ``restore``
+    methods plus any sibling method whose name mentions ``checkpoint`` (the
+    helper pattern), so tokens assembled via ``self._base_checkpoint()``
+    count.  ``_checkpoint_stable = ("attr", ...)`` marks immutable
+    configuration that deliberately stays out of the token.
+    """
+    violations: List[Violation] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        methods = {node.name: node for node in cls.body
+                   if isinstance(node, ast.FunctionDef)}
+        init = methods.get("__init__")
+        checkpoint = methods.get("checkpoint")
+        if init is None or checkpoint is None:
+            continue
+        body = [stmt for stmt in checkpoint.body
+                if not (isinstance(stmt, ast.Expr)
+                        and isinstance(stmt.value, ast.Constant))]
+        if all(isinstance(stmt, ast.Raise) for stmt in body):
+            continue  # an unsupported-checkpoint stub has no token to audit
+        scan = [func for name, func in methods.items()
+                if name in ("checkpoint", "restore") or "checkpoint" in name]
+        referenced = _referenced_self_attrs(scan)
+        stable = _stable_names(cls)
+        for attr, line in _assigned_self_attrs(init):
+            if attr in referenced or attr in stable:
+                continue
+            violations.append(Violation(
+                "checkpoint-completeness", path, line,
+                f"{cls.name}.__init__ assigns self.{attr} but "
+                f"{cls.name}.checkpoint/restore never references it; add it "
+                f"to the token or declare it in _checkpoint_stable"))
+    return violations
+
+
+# -- runtime checks ------------------------------------------------------------------
+
+
+def lint_picklability() -> List[Violation]:
+    """Registered program sets must cross the worker process boundary."""
+    from ..workloads.program_sets import (
+        ProgramSetSpec,
+        available_program_sets,
+        resolve_program_set,
+    )
+
+    violations: List[Violation] = []
+    for name in available_program_sets():
+        spec = ProgramSetSpec.make(name)
+        try:
+            clone = pickle.loads(pickle.dumps(spec))
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            violations.append(Violation(
+                "picklability", "repro.workloads.program_sets", 0,
+                f"spec for program set {name!r} does not pickle: {error}"))
+            continue
+        if clone != spec:
+            violations.append(Violation(
+                "picklability", "repro.workloads.program_sets", 0,
+                f"spec for program set {name!r} does not round-trip by value"))
+        builder = resolve_program_set(spec)
+        try:
+            pickle.loads(pickle.dumps(builder))
+        except Exception as error:  # noqa: BLE001
+            violations.append(Violation(
+                "picklability", "repro.workloads.program_sets", 0,
+                f"builder for program set {name!r} does not pickle by "
+                f"reference: {error}"))
+    return violations
+
+
+def _import_repro_modules() -> None:
+    """Import every repro submodule so Step subclasses register themselves."""
+    import repro
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        importlib.import_module(info.name)
+
+
+def _concrete_subclasses(base: type) -> List[type]:
+    found: List[type] = []
+    for sub in base.__subclasses__():
+        found.append(sub)
+        found.extend(_concrete_subclasses(sub))
+    return found
+
+
+def lint_footprints() -> List[Violation]:
+    """Every concrete Step overrides ``footprint`` or is marked opaque."""
+    _import_repro_modules()
+    from ..engine.programs import Step
+
+    violations: List[Violation] = []
+    for sub in _concrete_subclasses(Step):
+        overrides = "footprint" in sub.__dict__ or any(
+            "footprint" in ancestor.__dict__
+            for ancestor in sub.__mro__[1:-1] if ancestor is not Step)
+        marked = getattr(sub, "opaque_footprint", False)
+        if not overrides and not marked:
+            violations.append(Violation(
+                "footprint-coverage", sys.modules[sub.__module__].__file__ or
+                sub.__module__, 0,
+                f"Step subclass {sub.__name__} neither overrides footprint() "
+                f"nor sets opaque_footprint = True; the static analyzer "
+                f"would silently treat it as opaque"))
+    return violations
+
+
+# -- drivers -------------------------------------------------------------------------
+
+
+def lint_tree(tree: ast.AST, path: str) -> List[Violation]:
+    """All AST checks over one parsed module."""
+    return lint_determinism(tree, path) + lint_checkpoints(tree, path)
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Violation]:
+    """All AST checks over a set of Python files."""
+    violations: List[Violation] = []
+    for path in sorted(paths):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        violations.extend(lint_tree(tree, str(path)))
+    return violations
+
+
+def lint_repo(root: Optional[Path] = None,
+              runtime: bool = True) -> List[Violation]:
+    """The full pass: AST checks over ``src/repro`` plus the runtime checks."""
+    if root is None:
+        root = Path(__file__).resolve().parents[2]  # .../src
+    violations = lint_paths((root / "repro").rglob("*.py"))
+    if runtime:
+        violations.extend(lint_picklability())
+        violations.extend(lint_footprints())
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(args[0]) if args else None
+    violations = lint_repo(root)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"repolint: {len(violations)} violation(s)")
+        return 1
+    print("repolint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""The static dependency graph: conflict edges between program footprints.
+
+A :class:`ConflictEdge` says "some interleaving could order this pair of
+steps so that they conflict on this item" — ``ww`` (write/write), ``wr``
+(write then read), or ``rw`` (read then write, an antidependency).  ``wr``
+and ``rw`` edges are *directed* — the phenomena patterns care about order
+(P2 is ``r1 .. w2``, P1 is ``w1 .. r2``) — while the symmetric ``ww``
+conflict is recorded once per step pair (lower transaction id first).
+
+Opaque steps (predicate selects, cursor operations, computed inserts) have
+no statically-known footprint; the graph records their positions so verdict
+rules can refuse to claim ``IMPOSSIBLE`` from structure alone whenever any
+program contains one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..engine.programs import TransactionProgram
+
+__all__ = ["Verdict", "ConflictEdge", "StaticDependencyGraph", "build_sdg"]
+
+
+class Verdict(enum.Enum):
+    """The outcome of a static (phenomenon, level) query."""
+
+    #: No interleaving of these programs can realize the pattern — sound.
+    IMPOSSIBLE = "impossible"
+    #: The defining edge pattern exists; the witnessing edges explain how.
+    POSSIBLE = "possible"
+    #: Opaque footprints leave the question statically undecidable.
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ConflictEdge:
+    """A directed potential conflict between two program steps on one item."""
+
+    kind: str  #: ``"ww"``, ``"wr"``, or ``"rw"``
+    src_txn: int
+    src_step: int
+    dst_txn: int
+    dst_step: int
+    item: str
+
+    def describe(self) -> str:
+        """``T1.s0 -ww[x]-> T2.s1`` for human-readable explanations."""
+        return (f"T{self.src_txn}.s{self.src_step} -{self.kind}[{self.item}]-> "
+                f"T{self.dst_txn}.s{self.dst_step}")
+
+
+@dataclass(frozen=True)
+class StaticDependencyGraph:
+    """Every potential conflict edge among a program set, plus opacity info.
+
+    ``reads``/``writes`` map each transaction id to its ``(step, item)``
+    pairs in program order (exact footprints only); ``opaque_steps`` lists
+    the ``(txn, step)`` positions whose footprints are opaque.
+    """
+
+    txns: Tuple[int, ...]
+    edges: Tuple[ConflictEdge, ...]
+    opaque_steps: Tuple[Tuple[int, int], ...]
+    reads: Tuple[Tuple[int, Tuple[Tuple[int, str], ...]], ...]
+    writes: Tuple[Tuple[int, Tuple[Tuple[int, str], ...]], ...]
+
+    @property
+    def has_opaque(self) -> bool:
+        """True when any step's footprint is statically unknown."""
+        return bool(self.opaque_steps)
+
+    def edges_of(self, kind: str) -> Tuple[ConflictEdge, ...]:
+        """All edges of one kind (``ww``/``wr``/``rw``), enumeration order."""
+        return tuple(edge for edge in self.edges if edge.kind == kind)
+
+    def reads_of(self, txn: int) -> Tuple[Tuple[int, str], ...]:
+        """``(step, item)`` read pairs of one transaction, program order."""
+        return dict(self.reads)[txn]
+
+    def writes_of(self, txn: int) -> Tuple[Tuple[int, str], ...]:
+        """``(step, item)`` write pairs of one transaction, program order."""
+        return dict(self.writes)[txn]
+
+    def read_items(self, txn: int) -> FrozenSet[str]:
+        """The set of items a transaction reads (exact footprints only)."""
+        return frozenset(item for _, item in self.reads_of(txn))
+
+    def write_items(self, txn: int) -> FrozenSet[str]:
+        """The set of items a transaction writes (exact footprints only)."""
+        return frozenset(item for _, item in self.writes_of(txn))
+
+    # -- pattern candidate queries ---------------------------------------------------
+
+    def repeated_reads(self) -> Tuple[Tuple[int, str], ...]:
+        """``(txn, item)`` pairs where one transaction reads an item twice."""
+        found: List[Tuple[int, str]] = []
+        for txn, pairs in self.reads:
+            seen: Set[str] = set()
+            for _, item in pairs:
+                if item in seen and (txn, item) not in found:
+                    found.append((txn, item))
+                seen.add(item)
+        return tuple(found)
+
+    def read_then_write_pairs(self) -> Tuple[Tuple[int, str], ...]:
+        """``(txn, item)`` pairs where a read of an item precedes a write of it."""
+        found: List[Tuple[int, str]] = []
+        writes = dict(self.writes)
+        for txn, pairs in self.reads:
+            for read_step, item in pairs:
+                later = any(step > read_step and written == item
+                            for step, written in writes[txn])
+                if later and (txn, item) not in found:
+                    found.append((txn, item))
+        return tuple(found)
+
+    def write_then_read_pairs(self) -> Tuple[Tuple[int, str], ...]:
+        """``(txn, item)`` pairs where a write of an item precedes a read of it.
+
+        Non-empty means a transaction can observe its *own* update, which is
+        what distinguishes "all reads come from one snapshot instant" from
+        "reads mix snapshot versions with own writes" under SI.
+        """
+        found: List[Tuple[int, str]] = []
+        reads = dict(self.reads)
+        for txn, pairs in self.writes:
+            for write_step, item in pairs:
+                later = any(step > write_step and read == item
+                            for step, read in reads[txn])
+                if later and (txn, item) not in found:
+                    found.append((txn, item))
+        return tuple(found)
+
+    def read_skew_candidates(self) -> Tuple[Tuple[int, int, str, str], ...]:
+        """``(reader, writer, x, y)``: reader reads both items, writer writes both."""
+        found: List[Tuple[int, int, str, str]] = []
+        for reader in self.txns:
+            seen = self.read_items(reader)
+            if len(seen) < 2:
+                continue
+            for writer in self.txns:
+                if writer == reader:
+                    continue
+                common = sorted(seen & self.write_items(writer))
+                if len(common) >= 2:
+                    found.append((reader, writer, common[0], common[1]))
+        return tuple(found)
+
+    def write_skew_candidates(self) -> Tuple[Tuple[int, int, str, str], ...]:
+        """``(t1, t2, x, y)``: t1 reads x / t2 writes x, t2 reads y / t1 writes y.
+
+        A crossed pair of rw-antidependencies on distinct items — the static
+        shape of an A5B cycle.
+        """
+        found: List[Tuple[int, int, str, str]] = []
+        for i, t1 in enumerate(self.txns):
+            for t2 in self.txns[i + 1:]:
+                forward = sorted(self.read_items(t1) & self.write_items(t2))
+                backward = sorted(self.read_items(t2) & self.write_items(t1))
+                for x in forward:
+                    for y in backward:
+                        if x != y:
+                            found.append((t1, t2, x, y))
+        return tuple(found)
+
+
+def build_sdg(programs: Sequence[TransactionProgram]) -> StaticDependencyGraph:
+    """Enumerate every potential conflict edge among ``programs``.
+
+    Edges are enumerated deterministically: source transactions in program
+    order, then destination transactions, then step order, so witnessing edge
+    sets are stable across runs.
+    """
+    reads: Dict[int, List[Tuple[int, str]]] = {}
+    writes: Dict[int, List[Tuple[int, str]]] = {}
+    opaque: List[Tuple[int, int]] = []
+    txns: List[int] = []
+    for program in programs:
+        txn = program.txn
+        txns.append(txn)
+        reads[txn] = []
+        writes[txn] = []
+        for step_index, footprint in enumerate(program.footprints()):
+            if footprint.opaque:
+                opaque.append((txn, step_index))
+                continue
+            for item in sorted(footprint.reads):
+                reads[txn].append((step_index, item))
+            for item in sorted(footprint.writes):
+                writes[txn].append((step_index, item))
+
+    edges: List[ConflictEdge] = []
+    for src in txns:
+        for dst in txns:
+            if src == dst:
+                continue
+            for src_step, item in writes[src]:
+                for dst_step, other in writes[dst]:
+                    if src < dst and item == other:
+                        edges.append(ConflictEdge(
+                            "ww", src, src_step, dst, dst_step, item))
+                for dst_step, other in reads[dst]:
+                    if item == other:
+                        edges.append(ConflictEdge(
+                            "wr", src, src_step, dst, dst_step, item))
+            for src_step, item in reads[src]:
+                for dst_step, other in writes[dst]:
+                    if item == other:
+                        edges.append(ConflictEdge(
+                            "rw", src, src_step, dst, dst_step, item))
+
+    return StaticDependencyGraph(
+        txns=tuple(txns),
+        edges=tuple(edges),
+        opaque_steps=tuple(opaque),
+        reads=tuple((txn, tuple(pairs)) for txn, pairs in reads.items()),
+        writes=tuple((txn, tuple(pairs)) for txn, pairs in writes.items()),
+    )

@@ -48,6 +48,10 @@ class DatabaseSnapshot:
 class Database:
     """Named data items + tables + registered constraints."""
 
+    #: Constraints are registered at setup time and intentionally excluded
+    #: from snapshot/restore, which covers data (items + tables) only.
+    _checkpoint_stable = ("_constraints",)
+
     def __init__(self) -> None:
         self._items: Dict[str, Any] = {}
         self._tables: Dict[str, Table] = {}

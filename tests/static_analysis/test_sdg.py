@@ -1,0 +1,177 @@
+"""Unit tests for footprint conflicts and static dependency graph construction."""
+
+from __future__ import annotations
+
+from repro.engine.programs import (
+    Commit,
+    ReadItem,
+    SelectPredicate,
+    StepFootprint,
+    TransactionProgram,
+    WriteItem,
+)
+from repro.static_analysis import build_sdg
+from repro.storage.predicates import whole_table
+from repro.workloads.program_sets import (
+    ProgramSetSpec,
+    available_program_sets,
+    build_program_set,
+)
+from repro.workloads.scenarios import ALL_SCENARIOS
+
+
+def _program(txn, *steps):
+    return TransactionProgram(txn=txn, steps=list(steps))
+
+
+class TestConflictsWith:
+    def test_opaque_conflicts_with_everything(self):
+        opaque = StepFootprint(opaque=True)
+        empty = StepFootprint()
+        read = StepFootprint(reads=frozenset("x"))
+        assert opaque.conflicts_with(opaque)
+        assert opaque.conflicts_with(empty)
+        assert empty.conflicts_with(opaque)
+        assert opaque.conflicts_with(read)
+        assert read.conflicts_with(opaque)
+
+    def test_empty_footprints_do_not_conflict(self):
+        assert not StepFootprint().conflicts_with(StepFootprint())
+
+    def test_read_read_overlap_is_not_a_conflict(self):
+        a = StepFootprint(reads=frozenset(("x", "y")))
+        b = StepFootprint(reads=frozenset(("y", "z")))
+        assert not a.conflicts_with(b)
+        assert not b.conflicts_with(a)
+
+    def test_write_write_overlap_conflicts(self):
+        a = StepFootprint(writes=frozenset(("x",)))
+        b = StepFootprint(writes=frozenset(("x",)))
+        assert a.conflicts_with(b)
+
+    def test_write_read_overlap_conflicts_both_ways(self):
+        writer = StepFootprint(writes=frozenset(("x",)))
+        reader = StepFootprint(reads=frozenset(("x",)))
+        assert writer.conflicts_with(reader)
+        assert reader.conflicts_with(writer)
+
+    def test_disjoint_items_do_not_conflict(self):
+        a = StepFootprint(reads=frozenset(("x",)), writes=frozenset(("y",)))
+        b = StepFootprint(reads=frozenset(("z",)), writes=frozenset(("w",)))
+        assert not a.conflicts_with(b)
+        assert not b.conflicts_with(a)
+
+    def test_predicate_select_is_opaque(self):
+        select = SelectPredicate(whole_table("all-tasks", "tasks"))
+        assert select.footprint().opaque
+        item = ReadItem("x").footprint()
+        assert select.footprint().conflicts_with(item)
+
+
+class TestBuildSdg:
+    def test_enumerates_all_three_edge_kinds(self):
+        programs = [
+            _program(1,ReadItem("x"), WriteItem("x", 1), Commit()),
+            _program(2,WriteItem("x", 2), Commit()),
+        ]
+        sdg = build_sdg(programs)
+        ww = {(e.src_txn, e.dst_txn, e.item) for e in sdg.edges_of("ww")}
+        wr = {(e.src_txn, e.dst_txn, e.item) for e in sdg.edges_of("wr")}
+        rw = {(e.src_txn, e.dst_txn, e.item) for e in sdg.edges_of("rw")}
+        assert ww == {(1, 2, "x")}  # recorded once per unordered pair
+        assert wr == {(2, 1, "x")}  # T2's write vs T1's read
+        assert rw == {(1, 2, "x")}  # T1's read vs T2's write
+        assert not sdg.has_opaque
+
+    def test_no_intra_transaction_edges(self):
+        programs = [_program(1,ReadItem("x"), WriteItem("x", 1), Commit())]
+        sdg = build_sdg(programs)
+        assert sdg.edges == ()
+
+    def test_opaque_steps_recorded_and_excluded_from_items(self):
+        select = SelectPredicate(whole_table("all-tasks", "tasks"))
+        programs = [
+            _program(1,select, Commit()),
+            _program(2,WriteItem("x", 1), Commit()),
+        ]
+        sdg = build_sdg(programs)
+        assert sdg.has_opaque
+        assert (1, 0) in sdg.opaque_steps
+        assert sdg.read_items(1) == frozenset()
+        assert sdg.write_items(2) == frozenset(("x",))
+        # Opaque steps contribute no concrete edges — the rules handle them.
+        assert sdg.edges == ()
+
+    def test_deterministic_construction(self):
+        programs = [
+            _program(1,ReadItem("y"), ReadItem("x"), WriteItem("y", 1), Commit()),
+            _program(2,WriteItem("x", 2), WriteItem("y", 3), Commit()),
+        ]
+        assert build_sdg(programs) == build_sdg(programs)
+
+    def test_candidate_helpers_on_lost_update_shape(self):
+        programs = [
+            _program(1,ReadItem("x"), WriteItem("x", 1), Commit()),
+            _program(2,ReadItem("x"), WriteItem("x", 2), Commit()),
+        ]
+        sdg = build_sdg(programs)
+        assert (1, "x") in sdg.read_then_write_pairs()
+        assert (2, "x") in sdg.read_then_write_pairs()
+
+    def test_write_skew_candidates_require_crossed_pairs(self):
+        crossed = build_sdg([
+            _program(1,ReadItem("x"), ReadItem("y"), WriteItem("x", 1), Commit()),
+            _program(2,ReadItem("x"), ReadItem("y"), WriteItem("y", 2), Commit()),
+        ])
+        assert crossed.write_skew_candidates()
+        uncrossed = build_sdg([
+            _program(1,ReadItem("x"), WriteItem("x", 1), Commit()),
+            _program(2,ReadItem("y"), WriteItem("y", 2), Commit()),
+        ])
+        assert not uncrossed.write_skew_candidates()
+
+    def test_edge_describe_is_readable(self):
+        programs = [
+            _program(1,WriteItem("x", 1), Commit()),
+            _program(2,WriteItem("x", 2), Commit()),
+        ]
+        (edge,) = build_sdg(programs).edges_of("ww")
+        assert "ww" in edge.describe() and "x" in edge.describe()
+
+
+class TestRegisteredWorkloads:
+    def test_every_program_set_builds_a_consistent_sdg(self):
+        for name in available_program_sets():
+            _, programs = build_program_set(ProgramSetSpec.make(name))
+            sdg = build_sdg(programs)
+            ids = {program.txn for program in programs}
+            assert set(sdg.txns) == ids
+            for edge in sdg.edges:
+                assert edge.src_txn in ids
+                assert edge.dst_txn in ids
+                assert edge.src_txn != edge.dst_txn
+                assert edge.kind in ("ww", "wr", "rw")
+                if edge.kind == "ww":
+                    assert edge.item in sdg.write_items(edge.src_txn)
+                    assert edge.item in sdg.write_items(edge.dst_txn)
+                elif edge.kind == "wr":
+                    assert edge.item in sdg.write_items(edge.src_txn)
+                    assert edge.item in sdg.read_items(edge.dst_txn)
+                else:
+                    assert edge.item in sdg.read_items(edge.src_txn)
+                    assert edge.item in sdg.write_items(edge.dst_txn)
+
+    def test_contending_program_sets_have_edges(self):
+        _, programs = build_program_set(ProgramSetSpec.make("increments"))
+        assert build_sdg(programs).edges_of("ww")
+        _, programs = build_program_set(ProgramSetSpec.make("write-skew"))
+        assert build_sdg(programs).write_skew_candidates()
+
+    def test_every_scenario_variant_builds_an_sdg(self):
+        for scenario in ALL_SCENARIOS:
+            for variant in scenario.variants:
+                sdg = build_sdg(variant.build_programs())
+                assert len(sdg.txns) >= 2
+                # Every curated anomaly scenario has contention somewhere:
+                # either concrete conflict edges or opaque steps.
+                assert sdg.edges or sdg.has_opaque
