@@ -8,8 +8,12 @@ Usage: python benchmarks/check_bench_regression.py BASELINE.json FRESH.json
 
 Every throughput section present in *both* files is compared and its measured
 ratio reported (fresh / baseline), so a regression report shows the whole
-picture, not just the failing number — but only the serial headline is
-*gated*; the others are informational (they carry more machine variance).
+picture, not just the failing number — but only the serial headline and the
+batch-kernel aggregate are *gated*; the others are informational (they carry
+more machine variance).  The fresh ``batch_kernel`` section is additionally
+checked for correctness flags: every level must report ``byte_equal: true``
+and fast-path ``occupancy`` of 1.0 (the benchmark workload is item-only, so
+any ejection means the kernel stopped covering it).
 A section missing from either file is reported by name with which file lacks
 it: that means the two files came from different benchmark versions or from
 partial runs (e.g. ``-k`` selections), not that performance regressed.
@@ -33,6 +37,8 @@ from typing import Any, Dict, List, Optional, Tuple
 #: metric.  ``gated`` marks the metrics whose regression fails the check.
 SECTIONS: Tuple[Tuple[Tuple[str, ...], str, bool], ...] = (
     (("serial", "schedules_per_sec"), "serial schedules/sec", True),
+    (("batch_kernel", "aggregate", "schedules_per_sec"),
+     "batch kernel aggregate schedules/sec", True),
     (("parallel", "schedules_per_sec"), "parallel schedules/sec", False),
     (("trie_executor", "trie_schedules_per_sec"), "trie executor schedules/sec", False),
     (("table4_explored", "schedules_per_sec"), "explored Table 4 schedules/sec", False),
@@ -60,6 +66,35 @@ def _load(path: str) -> Optional[Dict[str, Any]]:
     except json.JSONDecodeError as error:
         print(f"benchmark file {path} is not valid JSON: {error}")
     return None
+
+
+def _check_batch_kernel(fresh: Dict[str, Any]) -> List[str]:
+    """Correctness flags inside the fresh ``batch_kernel`` section.
+
+    Throughput is handled by the SECTIONS table; this checks the things that
+    are wrong at *any* speed — a level whose kernel output diverged from the
+    stepwise path (``byte_equal`` false) or whose fast path silently ejected
+    rows on a registered workload (``occupancy`` below 1).  An absent section
+    is fine here (no numpy on the runner); the gated SECTIONS entry already
+    reports that.
+    """
+    section = fresh.get("batch_kernel")
+    if not isinstance(section, dict):
+        return []
+    failures: List[str] = []
+    for level, entry in sorted(section.items()):
+        if level == "aggregate" or not isinstance(entry, dict):
+            continue
+        byte_equal = entry.get("byte_equal")
+        occupancy = entry.get("occupancy")
+        print(f"batch kernel @ {level}: "
+              f"{entry.get('batch_schedules_per_sec', 0):,.1f}/s, "
+              f"occupancy {occupancy}, byte_equal {byte_equal}")
+        if byte_equal is not True:
+            failures.append(f"batch kernel @ {level}: byte_equal is {byte_equal!r}")
+        if not isinstance(occupancy, (int, float)) or occupancy < 1.0:
+            failures.append(f"batch kernel @ {level}: occupancy {occupancy!r} < 1.0")
+    return failures
 
 
 def main(baseline_path: str, fresh_path: str) -> int:
@@ -107,6 +142,7 @@ def main(baseline_path: str, fresh_path: str) -> int:
         if regressed:
             failures.append(f"{label}: {fresh_value:,.1f} < floor {floor:,.1f}")
 
+    failures.extend(_check_batch_kernel(fresh))
     if compared == 0 and not failures:
         print("no comparable sections found in either file — nothing was checked")
         return 1

@@ -281,6 +281,18 @@ class Engine:
         """
         return None
 
+    def blocking_version_for(self, item: Optional[str]) -> Optional[int]:
+        """The :meth:`blocking_version` stamp restricted to one item, or None.
+
+        A blocked *item* operation can only depend on state attached to that
+        item (for the locking engines, the item's own locks) — engines with
+        per-item version counters return the item's counter so a parked
+        blocked attempt survives lock traffic on unrelated items.  ``None``
+        as the item (a non-item step) and the default implementation both
+        fall back to the whole-state :meth:`blocking_version`.
+        """
+        return self.blocking_version()
+
     # -- checkpoint / restore (the prefix-sharing executor contract) ------------------------
 
     #: Whether this engine implements :meth:`checkpoint` / :meth:`restore`.

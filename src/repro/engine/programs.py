@@ -50,6 +50,9 @@ __all__ = [
     "compile_step",
     "compile_program",
     "compile_programs",
+    "BatchProgram",
+    "BatchTableSet",
+    "emit_batch_tables",
 ]
 
 #: A value in a step may be a literal or a callable computing it from the
@@ -464,4 +467,93 @@ def compile_programs(programs: Sequence[TransactionProgram]) -> CompiledProgramS
     return CompiledProgramSet(
         programs=tuple(compile_program(program, item_ids) for program in programs),
         item_ids=item_ids,
+    )
+
+
+# -- batch table emission (the explorer's vectorized batch-drain kernel) -----------------
+#
+# The batch kernel (repro.explorer.batch_kernel) executes many schedules of
+# one program set against flat per-transaction step tables: plain int tuples
+# of op codes and item ids that pack directly into numpy arrays.  Emission
+# lives here, next to compile_step, because the tables are a projection of the
+# compiled step tables — the kernel reaches value specs, ``into`` bindings,
+# and the per-step operation-interning caches through the CompiledProgramSet
+# it was built from, so both kernels share one set of interned Operations.
+
+@dataclass(frozen=True)
+class BatchProgram:
+    """One program's steps as flat int tables (indices into the item table).
+
+    ``item_ids[i]`` is ``-1`` for steps without an item (commit/abort);
+    ``supported`` is False when any step compiles to :data:`OP_GENERIC` —
+    such programs cannot run on the batch kernel and must take the stepwise
+    path.
+    """
+
+    txn: int
+    opcodes: Tuple[int, ...]
+    item_ids: Tuple[int, ...]
+    supported: bool
+
+
+@dataclass(frozen=True)
+class BatchTableSet:
+    """Every program of a set as batch tables over one shared item table.
+
+    ``item_names`` maps item id -> name (the table's own interning order:
+    first encounter across programs in step order).  The set is numpy-free by
+    design — packing into arrays happens lazily inside the batch kernel, so
+    importing this module never pulls in the optional dependency.
+    """
+
+    programs: Tuple[BatchProgram, ...]
+    item_names: Tuple[str, ...]
+    supported: bool
+
+    def by_txn(self) -> Dict[int, BatchProgram]:
+        return {program.txn: program for program in self.programs}
+
+
+def emit_batch_tables(compiled: CompiledProgramSet) -> BatchTableSet:
+    """Project a compiled program set onto flat batch tables.
+
+    Item names are interned into a fresh table (the compiled set's
+    ``item_ids`` covers only static footprints, which by construction agree
+    with step items for the core step types — but the batch tables stand on
+    their own mapping so emission never depends on footprint completeness).
+    """
+    ids: Dict[str, int] = {}
+    programs: List[BatchProgram] = []
+    all_supported = True
+    for program in compiled.programs:
+        opcodes: List[int] = []
+        items: List[int] = []
+        supported = True
+        for cstep in program.steps:
+            opcode = cstep[0]
+            opcodes.append(opcode)
+            name = cstep[1]
+            if name is None:
+                items.append(-1)
+            else:
+                idx = ids.get(name)
+                if idx is None:
+                    idx = ids[name] = len(ids)
+                items.append(idx)
+            if opcode == OP_GENERIC:
+                supported = False
+        all_supported = all_supported and supported
+        programs.append(BatchProgram(
+            txn=program.txn,
+            opcodes=tuple(opcodes),
+            item_ids=tuple(items),
+            supported=supported,
+        ))
+    names = [""] * len(ids)
+    for name, idx in ids.items():
+        names[idx] = name
+    return BatchTableSet(
+        programs=tuple(programs),
+        item_names=tuple(names),
+        supported=all_supported,
     )

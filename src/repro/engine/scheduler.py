@@ -89,10 +89,14 @@ class _ProgramState:
         #: Compiled step table (see repro.engine.programs.compile_step), or
         #: None when the runner drives the stepwise path.
         self.compiled = compiled
-        #: (step counter, blocking version, result) of the last blocked
+        #: (step counter, blocking version, result, item) of the last blocked
         #: attempt — the runner's blocked-result memo, stored on the state
-        #: slot so the hot path skips a dict lookup per attempt.
-        self.parked: Optional[Tuple[int, int, OpResult]] = None
+        #: slot so the hot path skips a dict lookup per attempt.  The version
+        #: is per-item (``blocking_version_for(item)``) when the blocked step
+        #: names an item, so parked attempts survive unrelated lock traffic;
+        #: ``item`` is None for non-item steps, falling back to the global
+        #: blocking version.
+        self.parked: Optional[Tuple[int, int, OpResult, Optional[str]]] = None
         #: Precomputed terminal operations: a committed/aborted terminal
         #: realizes the same value-equal Operation every time.
         self.commit_op = Operation(OperationKind.COMMIT, program.txn)
@@ -132,7 +136,7 @@ class RunnerCheckpoint:
     stalled: bool
     waits_maybe_cyclic: bool
     terminal_recorded: FrozenSet[int] = frozenset()
-    blocked_memo: Tuple[Tuple[int, Tuple[int, int, OpResult]], ...] = ()
+    blocked_memo: Tuple[Tuple[int, Tuple[int, int, OpResult, Optional[str]]], ...] = ()
 
 
 class ScheduleRunner:
@@ -312,17 +316,19 @@ class ScheduleRunner:
 
         Retries are *version-gated*: a transaction whose last attempt came
         back blocked is only re-attempted once the engine's blocking state
-        has changed (another transaction was granted or released a lock) — an
-        unchanged version makes the retry a provable no-op, so skipping it
-        leaves the realized history, statuses, and deadlocks untouched and
-        only stops inflating ``blocked_events`` with futile submissions.
-        Deadlocks formed while every blocked transaction is parked are still
-        caught: the no-progress branch below runs full detection, and a
-        broken victim's released locks bump the version, waking the rest.
+        *for the blocked item* has changed (a lock on that item was granted,
+        strengthened, or released) — an unchanged per-item version makes the
+        retry a provable no-op, so skipping it leaves the realized history,
+        statuses, and deadlocks untouched and only stops inflating
+        ``blocked_events`` with futile submissions; unrelated lock traffic no
+        longer wakes parked attempts.  Deadlocks formed while every blocked
+        transaction is parked are still caught: the no-progress branch below
+        runs full detection, and breaking a victim releases its locks, which
+        bumps its items' versions and wakes the transactions it blocked.
         """
         states = self._states
         attempt = self._attempt_fn
-        blocking_version = self.engine.blocking_version
+        blocking_version_for = self.engine.blocking_version_for
         while self._attempts < self._max_attempts:
             # Attempting only unfinished transactions, in schedule order, makes
             # exactly the same effectful attempts as iterating the full order
@@ -340,7 +346,7 @@ class ScheduleRunner:
                 parked = state.parked
                 if (parked is not None
                         and parked[0] == state.counter
-                        and parked[1] == blocking_version()):
+                        and parked[1] == blocking_version_for(parked[3])):
                     continue
                 made = attempt(txn)
                 self._attempts += made
@@ -428,7 +434,7 @@ class ScheduleRunner:
         memo = state.parked
         replayed = False
         if memo is not None and memo[0] == counter:
-            version = self.engine.blocking_version()
+            version = self.engine.blocking_version_for(memo[3])
             if version is not None and version == memo[1]:
                 result = memo[2]
                 replayed = True
@@ -444,9 +450,10 @@ class ScheduleRunner:
         status = result.status
         if status is OpStatus.BLOCKED:
             if not replayed:
-                version = self.engine.blocking_version()
+                item = getattr(step, "item", None)
+                version = self.engine.blocking_version_for(item)
                 if version is not None:
-                    state.parked = (counter, version, result)
+                    state.parked = (counter, version, result, item)
             self._blocked_events += 1
             self._waits.set_waits(txn, result.blockers)
             # Detection is skippable when the graph is provably acyclic: a new
@@ -502,7 +509,7 @@ class ScheduleRunner:
         result = None
         replayed = False
         if memo is not None and memo[0] == counter:
-            version = engine.blocking_version()
+            version = engine.blocking_version_for(memo[3])
             if version is not None and version == memo[1]:
                 result = memo[2]
                 replayed = True
@@ -528,9 +535,10 @@ class ScheduleRunner:
         status = result.status
         if status is OpStatus.BLOCKED:
             if not replayed:
-                version = engine.blocking_version()
+                item = cstep[1]
+                version = engine.blocking_version_for(item)
                 if version is not None:
-                    state.parked = (counter, version, result)
+                    state.parked = (counter, version, result, item)
             self._blocked_events += 1
             self._waits.set_waits(txn, result.blockers)
             if self._waits_maybe_cyclic or self._waits.any_waiting(result.blockers):

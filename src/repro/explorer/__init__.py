@@ -48,6 +48,7 @@ from .reduction import (
     StreamingReducer,
     build_execution_plan,
 )
+from .batch_kernel import BatchStats, build_batch_kernel, numpy_available
 from .trie_executor import TrieExecutor, TrieStats
 from .scenarios import (
     ScenarioExploration,
@@ -86,6 +87,9 @@ __all__ = [
     "ExecutionPlan",
     "StreamingReducer",
     "build_execution_plan",
+    "BatchStats",
+    "build_batch_kernel",
+    "numpy_available",
     "TrieExecutor",
     "TrieStats",
     "ScenarioExploration",

@@ -1,0 +1,1133 @@
+"""The vectorized batch-drain kernel: flat-array schedule execution.
+
+The trie executor replays schedules through full engine objects — lock lists,
+undo logs, OpResult values, deep checkpoint tokens.  For the program shapes
+the explorer actually enumerates (item reads/writes + commit/abort, compiled
+to :func:`repro.engine.programs.emit_batch_tables` int tables), every engine
+rule the runner can observe is a small arithmetic fact over per-item holder
+bitmasks and counters.  This module executes whole batches against that flat
+representation:
+
+* Schedules are packed into one flat numpy int array, lexsorted, and their
+  consecutive common prefixes computed in a single vectorized pass — the
+  numpy stage of the kernel.  numpy is optional (the ``repro[fast]`` extra):
+  without it :func:`build_batch_kernel` returns None and callers stay on the
+  stepwise trie executor.
+* Each schedule then advances through a per-level flat emulator
+  (:class:`_LockingFlat`, :class:`_ReadConsistencyFlat`) or a static
+  per-transaction stream fold (:class:`_SnapshotKernel`), reusing the deepest
+  shared checkpoint exactly like the trie executor's DFS.
+* Rows the tables cannot express (``OP_GENERIC`` steps, custom engine
+  options) never reach the kernel — :func:`build_batch_kernel` refuses to
+  build and the caller keeps the stepwise path; a per-row escape hatch
+  (``fallback``) ejects any row an emulator declines at runtime.
+
+Determinism contract: kernel outcomes are value-identical to the stepwise
+runner's — history, statuses, contexts, abort reasons, blocked counts,
+deadlocks, stall flag, and the shared database's items at yield time —
+for every supported engine level.  ``tests/explorer/test_batch_kernel.py``
+gates this against randomized schedule sweeps, including stalled and
+deadlock-aborted prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core.history import History
+from ..core.isolation import IsolationLevelName
+from ..core.operations import Operation, OperationKind
+from ..engine.interface import (
+    OP_ABORT,
+    OP_COMMIT,
+    OP_READ,
+    OP_WRITE,
+    TransactionState,
+)
+from ..engine.outcomes import ExecutionOutcome
+from ..engine.programs import (
+    BatchTableSet,
+    CompiledProgramSet,
+    TransactionProgram,
+    compile_programs,
+    emit_batch_tables,
+)
+from ..locking.deadlock import WaitsForGraph
+from ..locking.modes import LockDuration, LockMode
+from ..locking.policy import POLICIES, policy_for
+from ..storage.database import Database
+
+__all__ = ["BatchStats", "build_batch_kernel", "numpy_available"]
+
+#: Sentinel for "item absent from the database" — mirrors the undo log's
+#: missing-item marker so before-image rollback can delete created items.
+_ABSENT = object()
+
+#: Lazily imported numpy module (None = not probed yet, False = unavailable).
+_NUMPY: Any = None
+
+
+def _numpy() -> Any:
+    """The numpy module, or None when the optional dependency is missing.
+
+    Import is deferred to first use so that ``import repro`` (and every core
+    module) never pays for — or requires — the optional ``repro[fast]``
+    extra; repolint's ``no-eager-numpy`` check enforces the discipline.
+    """
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy
+            _NUMPY = numpy
+        except ImportError:
+            _NUMPY = False
+    return _NUMPY or None
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy dependency can be imported."""
+    return _numpy() is not None
+
+
+class BatchStats:
+    """Cumulative work counters of one batch kernel (benchmarks / reports)."""
+
+    __slots__ = ("schedules", "rows_fast", "rows_ejected", "slots_total",
+                 "slots_executed", "checkpoints_created", "restores")
+
+    def __init__(self) -> None:
+        self.schedules = 0
+        #: Rows fully executed on the flat kernel vs. ejected to the
+        #: stepwise fallback.
+        self.rows_fast = 0
+        self.rows_ejected = 0
+        self.slots_total = 0
+        self.slots_executed = 0
+        self.checkpoints_created = 0
+        self.restores = 0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of rows that stayed on the flat fast path."""
+        if not self.schedules:
+            return 1.0
+        return self.rows_fast / self.schedules
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schedules": self.schedules,
+            "rows_fast": self.rows_fast,
+            "rows_ejected": self.rows_ejected,
+            "slots_total": self.slots_total,
+            "slots_executed": self.slots_executed,
+            "checkpoints_created": self.checkpoints_created,
+            "restores": self.restores,
+            "occupancy": self.occupancy,
+        }
+
+
+def _sorted_order_and_lcps(schedules: Sequence[Sequence[int]],
+                           sort: bool) -> Tuple[List[int], List[int]]:
+    """DFS order of a batch plus each row's common prefix with its predecessor.
+
+    Uniform-length batches take the vectorized path: one flat ``(R, S)`` int
+    array, ``lexsort`` for the ordering, and a single elementwise-compare /
+    argmax pass for every consecutive LCP.  Ragged batches (mixed prefix
+    lengths) fall back to python sorting with pairwise scans.
+    """
+    count = len(schedules)
+    if count == 0:
+        return [], []
+    np = _numpy()
+    lengths = {len(schedule) for schedule in schedules}
+    if np is not None and len(lengths) == 1 and lengths != {0}:
+        width = lengths.pop()
+        arr = np.asarray([tuple(schedule) for schedule in schedules],
+                         dtype=np.int64).reshape(count, width)
+        if sort:
+            # lexsort keys run least-significant first: reverse the columns.
+            order_arr = np.lexsort(arr.T[::-1])
+        else:
+            order_arr = np.arange(count)
+        ranked = arr[order_arr]
+        lcps = [0]
+        if count > 1:
+            neq = ranked[1:] != ranked[:-1]
+            any_diff = neq.any(axis=1)
+            first_diff = neq.argmax(axis=1)
+            shared = np.where(any_diff, first_diff, width)
+            lcps.extend(int(value) for value in shared)
+        return [int(index) for index in order_arr], lcps
+    if sort:
+        order = sorted(range(count), key=lambda index: tuple(schedules[index]))
+    else:
+        order = list(range(count))
+    lcps = [0]
+    previous = schedules[order[0]]
+    for index in order[1:]:
+        current = schedules[index]
+        limit = min(len(previous), len(current))
+        shared = 0
+        while shared < limit and previous[shared] == current[shared]:
+            shared += 1
+        lcps.append(shared)
+        previous = current
+    return order, lcps
+
+
+def _intern_step_op(cache: Dict[Any, Operation], kind: OperationKind,
+                    txn: int, item: str, value: Any,
+                    version: Optional[int]) -> Operation:
+    """Per-step operation interning — same policy as the compiled runner."""
+    key = (value, version)
+    try:
+        operation = cache.get(key)
+    except TypeError:  # unhashable recorded value
+        return Operation(kind, txn, item=item, value=value, version=version)
+    if operation is None:
+        operation = Operation(kind, txn, item=item, value=value, version=version)
+        if len(cache) < 4096:
+            cache[key] = operation
+    return operation
+
+
+class _FlatPrograms:
+    """The per-transaction step tables every flat emulator dispatches on."""
+
+    __slots__ = ("txns", "tindex", "opcodes", "items", "into", "values",
+                 "calls", "kinds", "totals", "commit_ops", "abort_ops",
+                 "op_caches", "item_names", "max_attempts", "order", "steps")
+
+    def __init__(self, compiled: CompiledProgramSet, tables: BatchTableSet):
+        by_txn = {program.txn: program for program in compiled.programs}
+        self.txns: List[int] = [program.txn for program in tables.programs]
+        self.order = list(range(len(self.txns)))
+        self.tindex: Dict[int, int] = {txn: ti for ti, txn in enumerate(self.txns)}
+        self.item_names: Tuple[str, ...] = tables.item_names
+        self.opcodes: List[Tuple[int, ...]] = []
+        self.items: List[Tuple[int, ...]] = []
+        self.into: List[Tuple[Optional[str], ...]] = []
+        self.values: List[Tuple[Any, ...]] = []
+        self.calls: List[Tuple[bool, ...]] = []
+        self.kinds: List[Tuple[OperationKind, ...]] = []
+        self.totals: List[int] = []
+        self.commit_ops: List[Operation] = []
+        self.abort_ops: List[Operation] = []
+        #: Shared with the compiled runner's step tables (cstep[8]), so both
+        #: kernels realize the same interned Operation instances.
+        self.op_caches: List[Tuple[Dict[Any, Operation], ...]] = []
+        #: One tuple per step — (opcode, item, value, call, into, kind,
+        #: op_cache) — so the emulator hot loop does a single subscript +
+        #: unpack per attempt instead of seven double-index lookups.
+        self.steps: List[Tuple[Tuple[Any, ...], ...]] = []
+        for program in tables.programs:
+            csteps = by_txn[program.txn].steps
+            self.opcodes.append(program.opcodes)
+            self.items.append(program.item_ids)
+            self.into.append(tuple(cstep[4] for cstep in csteps))
+            self.values.append(tuple(cstep[2] for cstep in csteps))
+            self.calls.append(tuple(cstep[3] for cstep in csteps))
+            self.kinds.append(tuple(cstep[5] for cstep in csteps))
+            self.op_caches.append(tuple(cstep[8] for cstep in csteps))
+            self.steps.append(tuple(
+                (opcode, item, cstep[2], cstep[3], cstep[4], cstep[5], cstep[8])
+                for opcode, item, cstep
+                in zip(program.opcodes, program.item_ids, csteps)))
+            self.totals.append(len(program.opcodes))
+            self.commit_ops.append(Operation(OperationKind.COMMIT, program.txn))
+            self.abort_ops.append(Operation(OperationKind.ABORT, program.txn))
+        self.max_attempts = sum(self.totals) * 20 + 100
+
+
+#: Engine lifecycle codes of the flat emulators (index into _STATES).
+_ACTIVE, _COMMITTED, _ABORTED = 0, 1, 2
+_STATES = (TransactionState.ACTIVE, TransactionState.COMMITTED,
+           TransactionState.ABORTED)
+
+
+class _LockingFlat:
+    """Flat emulator of LockingEngine + ScheduleRunner for item-only programs.
+
+    Per-item Share/Exclusive holder bitmasks and version counters reproduce
+    the lock manager's arithmetic exactly (transient short locks net to zero,
+    own-lock upgrades bump, release-all bumps per held item); a
+    first-before-image map reproduces reverse undo (the final restored value
+    of an item is its oldest before-image); the waits-for graph, blocked-memo
+    parking, deadlock resolution, and attempt budget mirror the runner line
+    for line.  Cursor Stability's CURSOR read duration behaves as LONG here:
+    item-only programs never move or close a cursor, and release-all drops
+    every duration alike.
+    """
+
+    #: Immutable configuration plus the blockers interning memo (keyed by
+    #: holder bitmask, value-determined), deliberately outside the token.
+    _checkpoint_stable = ("flat", "_read_locked", "_read_transient",
+                          "_write_transient", "_seed", "_blockers_cache")
+
+    def __init__(self, flat: _FlatPrograms, level: IsolationLevelName,
+                 seed: List[Any]):
+        self.flat = flat
+        policy = policy_for(level)
+        exclusive = LockMode.EXCLUSIVE
+        short = LockDuration.SHORT
+        read_rule = policy.item_read
+        #: (has_rule, transient) per action kind; reads are always Share,
+        #: writes always Exclusive in Table 2.
+        self._read_locked = read_rule is not None
+        self._read_transient = (read_rule is not None
+                                and read_rule.duration is short)
+        write_rule = policy.write
+        self._write_transient = write_rule.duration is short
+        assert write_rule.mode is exclusive
+        self._seed = seed
+        item_count = len(flat.item_names)
+        txn_count = len(flat.txns)
+        self.db: List[Any] = list(seed)
+        self.s_mask: List[int] = [0] * item_count
+        self.x_mask: List[int] = [0] * item_count
+        self.iver: List[int] = [0] * item_count
+        self.fb: List[Dict[int, Any]] = [{} for _ in range(txn_count)]
+        self.held: List[Set[int]] = [set() for _ in range(txn_count)]
+        self.est: List[int] = [_ACTIVE] * txn_count
+        self.counter: List[int] = [0] * txn_count
+        self.finished: List[bool] = [False] * txn_count
+        self.ctx: List[Dict[str, Any]] = [{} for _ in range(txn_count)]
+        self.parked: List[Optional[Tuple[int, int, Any, int]]] = [None] * txn_count
+        self.waits = WaitsForGraph()
+        self.ops: List[Operation] = []
+        self.deadlocks: List[Any] = []
+        self.abort_reasons: Dict[int, str] = {}
+        self.terminal: Set[int] = set()
+        self.blocked_events = 0
+        self.attempts = 0
+        self.stalled = False
+        self.maybe_cyclic = False
+        #: Superset bitmask of transactions possibly waiting in the waits-for
+        #: graph (a finished blocker can silently drop a waiter's last edge,
+        #: so bits can be stale-set, never stale-clear).  It gates the
+        #: clear-waits call on every successful attempt — a redundant clear is
+        #: skipped, a needed one never is.
+        self.wmask = 0
+        #: Interned blockers frozensets keyed by holder bitmask.
+        self._blockers_cache: Dict[int, Any] = {}
+
+    def _blockers(self, mask: int) -> Any:
+        cached = self._blockers_cache.get(mask)
+        if cached is None:
+            txns = self.flat.txns
+            cached = frozenset(txns[ti] for ti in range(len(txns))
+                               if mask >> ti & 1)
+            self._blockers_cache[mask] = cached
+        return cached
+
+    def _release_all(self, ti: int) -> None:
+        bit = 1 << ti
+        iver = self.iver
+        for k in self.held[ti]:
+            self.s_mask[k] &= ~bit
+            self.x_mask[k] &= ~bit
+            iver[k] += 1
+        self.held[ti].clear()
+
+    def _abort_engine(self, ti: int) -> None:
+        """engine.abort on an active transaction: undo, release, mark."""
+        db = self.db
+        for k, before in self.fb[ti].items():
+            db[k] = before
+        self.fb[ti].clear()
+        self._release_all(ti)
+        self.est[ti] = _ABORTED
+
+    def _resolve_deadlock(self) -> bool:
+        deadlock = self.waits.detect()
+        if deadlock is None:
+            self.maybe_cyclic = False
+            return False
+        self.maybe_cyclic = True
+        self.deadlocks.append(deadlock)
+        victim = deadlock.victim
+        vi = self.flat.tindex.get(victim)
+        if vi is not None and self.est[vi] == _ACTIVE:
+            self._abort_engine(vi)
+        self.abort_reasons[victim] = "deadlock victim"
+        if victim not in self.terminal:
+            if vi is not None:
+                self.ops.append(self.flat.abort_ops[vi])
+            else:  # pragma: no cover - victims always come from the programs
+                self.ops.append(Operation(OperationKind.ABORT, victim))
+            self.terminal.add(victim)
+        if vi is not None:
+            self.finished[vi] = True
+            self.wmask &= ~(1 << vi)
+        self.waits.remove_transaction(victim)
+        return True
+
+    def _attempt(self, ti: int) -> int:
+        if self.finished[ti]:
+            return 0
+        flat = self.flat
+        j = self.counter[ti]
+        total = flat.totals[ti]
+        if j >= total:
+            return 0
+        opcode, k, value, call, into, kind, cache = flat.steps[ti][j]
+        txn = flat.txns[ti]
+        bit = 1 << ti
+        s_mask = self.s_mask
+        x_mask = self.x_mask
+        iver = self.iver
+        # Blocked-result memo fast path — same rule as the runner's attempt.
+        memo = self.parked[ti]
+        blocked_mask = -1
+        replayed = False
+        if memo is not None and memo[0] == j and iver[memo[3]] == memo[1]:
+            blockers = memo[2]
+            replayed = True
+        elif opcode == OP_READ:
+            if self._read_locked:
+                blocked_mask = x_mask[k] & ~bit
+                if not blocked_mask:
+                    if self._read_transient:
+                        # grant_transient_item: net zero unless a lock is
+                        # already held (then the grant bumps the item).
+                        if (s_mask[k] | x_mask[k]) & bit:
+                            iver[k] += 1
+                    else:
+                        iver[k] += 1
+                        if not (s_mask[k] | x_mask[k]) & bit:
+                            s_mask[k] |= bit
+                            self.held[ti].add(k)
+            else:
+                blocked_mask = 0
+            if not blocked_mask:
+                value = self.db[k]
+                if value is _ABSENT:
+                    value = None
+                self.ctx[ti][into] = value
+        elif opcode == OP_WRITE:
+            # The runner computes the (possibly callable) value before the
+            # engine call, even for attempts that come back blocked.
+            if call:
+                value = value(self.ctx[ti])
+            blocked_mask = (s_mask[k] | x_mask[k]) & ~bit
+            if not blocked_mask:
+                own = (s_mask[k] | x_mask[k]) & bit
+                if self._write_transient:
+                    if own:
+                        iver[k] += 1
+                        if s_mask[k] & bit:
+                            s_mask[k] &= ~bit
+                            x_mask[k] |= bit
+                else:
+                    iver[k] += 1
+                    if own:
+                        if s_mask[k] & bit:
+                            s_mask[k] &= ~bit
+                            x_mask[k] |= bit
+                    else:
+                        x_mask[k] |= bit
+                        self.held[ti].add(k)
+                fb = self.fb[ti]
+                if k not in fb:
+                    fb[k] = self.db[k]
+                self.db[k] = value
+        elif opcode == OP_COMMIT:
+            self.fb[ti].clear()
+            self._release_all(ti)
+            self.est[ti] = _COMMITTED
+        else:  # OP_ABORT (program abort)
+            if self.est[ti] == _ACTIVE:
+                self._abort_engine(ti)
+
+        if blocked_mask > 0 or replayed:
+            if not replayed:
+                blockers = self._blockers(blocked_mask)
+                self.parked[ti] = (j, iver[k], blockers, k)
+                # Replays skip this: every blocker holds a lock on the item,
+                # so a blocker leaving bumps ``iver[k]`` and invalidates the
+                # memo — an unchanged memo means the edge is already exact.
+                self.waits.set_waits(txn, blockers)
+            self.blocked_events += 1
+            self.wmask |= bit
+            if self.maybe_cyclic or self.waits.any_waiting(blockers):
+                self._resolve_deadlock()
+            return 1
+
+        if self.wmask & bit:
+            self.waits.clear_waits(txn)
+            self.wmask &= ~bit
+        # No engine call in kernel scope ever returns ABORTED (commit always
+        # succeeds under locking; aborts happen through deadlock resolution).
+        if opcode == OP_READ or opcode == OP_WRITE:
+            key = (value, None)
+            try:
+                operation = cache.get(key)
+            except TypeError:  # unhashable recorded value
+                operation = Operation(kind, txn, item=flat.item_names[k],
+                                      value=value, version=None)
+            else:
+                if operation is None:
+                    operation = Operation(kind, txn, item=flat.item_names[k],
+                                          value=value, version=None)
+                    if len(cache) < 4096:
+                        cache[key] = operation
+            self.ops.append(operation)
+        elif opcode == OP_COMMIT:
+            self.ops.append(flat.commit_ops[ti])
+            self.terminal.add(txn)
+        else:
+            self.ops.append(flat.abort_ops[ti])
+            self.terminal.add(txn)
+        j += 1
+        self.counter[ti] = j
+        if opcode == OP_COMMIT or opcode == OP_ABORT or j >= total:
+            self.finished[ti] = True
+            self.waits.remove_transaction(txn)
+            self.wmask &= ~bit
+            if opcode == OP_ABORT:
+                self.abort_reasons.setdefault(txn, "program abort")
+        return 1
+
+    # -- the runner's slot / drain protocol --------------------------------------
+
+    def apply_slots(self, slots: Sequence[int]) -> None:
+        tindex = self.flat.tindex
+        attempt = self._attempt
+        attempts = self.attempts
+        limit = self.flat.max_attempts
+        for txn in slots:
+            if attempts >= limit:
+                break
+            ti = tindex.get(txn)
+            if ti is not None:
+                attempts += attempt(ti)
+        self.attempts = attempts
+
+    def drain(self) -> None:
+        flat = self.flat
+        counter = self.counter
+        finished = self.finished
+        totals = flat.totals
+        iver = self.iver
+        limit = flat.max_attempts
+        order = flat.order
+        txns = flat.txns
+        parked = self.parked
+        attempt = self._attempt
+        is_waiting = self.waits.is_waiting
+        while self.attempts < limit:
+            active = [ti for ti in order
+                      if not finished[ti] and counter[ti] < totals[ti]]
+            if not active:
+                break
+            progressed = False
+            for ti in active:
+                if self.attempts >= limit:
+                    break
+                memo = parked[ti]
+                if (memo is not None and memo[0] == counter[ti]
+                        and memo[1] == iver[memo[3]]):
+                    continue
+                made = attempt(ti)
+                self.attempts += made
+                if made and not is_waiting(txns[ti]):
+                    progressed = True
+            if not progressed:
+                if not self._resolve_deadlock():
+                    self.stalled = True
+                    break
+
+    # -- checkpoint / restore (trie discipline: backwards along one path) ---------
+
+    def checkpoint(self) -> Tuple:
+        return (
+            list(self.db), list(self.s_mask), list(self.x_mask),
+            list(self.iver),
+            [dict(fb) for fb in self.fb], [set(held) for held in self.held],
+            list(self.est), list(self.counter), list(self.finished),
+            [dict(ctx) for ctx in self.ctx], list(self.parked),
+            self.waits.checkpoint(), len(self.ops), len(self.deadlocks),
+            self.blocked_events, dict(self.abort_reasons), self.attempts,
+            self.stalled, self.maybe_cyclic, set(self.terminal), self.wmask,
+        )
+
+    def restore(self, token: Tuple) -> None:
+        (db, s_mask, x_mask, iver, fb, held, est, counter, finished, ctx,
+         parked, waits, ops_len, deadlocks_len, blocked_events, abort_reasons,
+         attempts, stalled, maybe_cyclic, terminal, wmask) = token
+        self.db = list(db)
+        self.s_mask = list(s_mask)
+        self.x_mask = list(x_mask)
+        self.iver = list(iver)
+        self.fb = [dict(entry) for entry in fb]
+        self.held = [set(entry) for entry in held]
+        self.est = list(est)
+        self.counter = list(counter)
+        self.finished = list(finished)
+        self.ctx = [dict(entry) for entry in ctx]
+        self.parked = list(parked)
+        self.waits.restore(waits)
+        del self.ops[ops_len:]
+        del self.deadlocks[deadlocks_len:]
+        self.blocked_events = blocked_events
+        self.abort_reasons = dict(abort_reasons)
+        self.attempts = attempts
+        self.stalled = stalled
+        self.maybe_cyclic = maybe_cyclic
+        self.terminal = set(terminal)
+        self.wmask = wmask
+
+    # -- outcome ------------------------------------------------------------------
+
+    def sync_database(self, database: Database) -> None:
+        db = self.db
+        for k, name in enumerate(self.flat.item_names):
+            value = db[k]
+            if value is _ABSENT:
+                database.delete_item(name)
+            else:
+                database.set_item(name, value)
+
+    def build_outcome(self, engine_name: str, database: Database) -> ExecutionOutcome:
+        self.sync_database(database)
+        flat = self.flat
+        return ExecutionOutcome(
+            engine_name=engine_name,
+            history=History(self.ops, validate=False),
+            statuses={flat.txns[ti]: _STATES[self.est[ti]] for ti in flat.order},
+            contexts={flat.txns[ti]: dict(self.ctx[ti]) for ti in flat.order},
+            database=database,
+            abort_reasons=dict(self.abort_reasons),
+            blocked_events=self.blocked_events,
+            deadlocks=list(self.deadlocks),
+            traces=[],
+            stalled=self.stalled,
+        )
+
+
+class _ReadConsistencyFlat(_LockingFlat):
+    """Flat emulator of ReadConsistencyEngine: versioned reads, X write locks.
+
+    Reads never block and report the newest committed chain version (every
+    commit timestamp is <= the statement's clock reading, so the tip is
+    always visible: value = tip, version = chain length - 1).  Writes take
+    long Exclusive item locks through the same bitmask arithmetic as the
+    locking emulator and buffer until commit, which installs the buffer in
+    insertion order (chain += 1, tip = value, database tip synced).
+    """
+
+    #: Immutable configuration plus the blockers interning memo; `s_mask`
+    #: stays all-zero here (reads never lock), so it never needs restoring.
+    _checkpoint_stable = ("flat", "_seed", "s_mask", "_blockers_cache")
+
+    def __init__(self, flat: _FlatPrograms, seed: List[Any]):
+        item_count = len(flat.item_names)
+        txn_count = len(flat.txns)
+        self.flat = flat
+        self._seed = seed
+        self.chain_len: List[int] = [0 if value is _ABSENT else 1
+                                     for value in seed]
+        self.tip: List[Any] = [None if value is _ABSENT else value
+                               for value in seed]
+        self.s_mask: List[int] = [0] * item_count  # unused; _release_all shape
+        self.x_mask: List[int] = [0] * item_count
+        self.iver: List[int] = [0] * item_count
+        self.buf: List[Dict[int, Any]] = [{} for _ in range(txn_count)]
+        self.held: List[Set[int]] = [set() for _ in range(txn_count)]
+        self.est: List[int] = [_ACTIVE] * txn_count
+        self.counter: List[int] = [0] * txn_count
+        self.finished: List[bool] = [False] * txn_count
+        self.ctx: List[Dict[str, Any]] = [{} for _ in range(txn_count)]
+        self.parked: List[Optional[Tuple[int, int, Any, int]]] = [None] * txn_count
+        self.waits = WaitsForGraph()
+        self.ops: List[Operation] = []
+        self.deadlocks: List[Any] = []
+        self.abort_reasons: Dict[int, str] = {}
+        self.terminal: Set[int] = set()
+        self.blocked_events = 0
+        self.attempts = 0
+        self.stalled = False
+        self.maybe_cyclic = False
+        self.wmask = 0
+        self._blockers_cache = {}
+
+    def _abort_engine(self, ti: int) -> None:
+        # Writes were buffered: abort discards the buffer, no undo needed.
+        self.buf[ti].clear()
+        self._release_all(ti)
+        self.est[ti] = _ABORTED
+
+    def _attempt(self, ti: int) -> int:
+        if self.finished[ti]:
+            return 0
+        flat = self.flat
+        j = self.counter[ti]
+        total = flat.totals[ti]
+        if j >= total:
+            return 0
+        opcode, k, value, call, into, kind, cache = flat.steps[ti][j]
+        txn = flat.txns[ti]
+        bit = 1 << ti
+        memo = self.parked[ti]
+        blocked_mask = -1
+        replayed = False
+        version: Optional[int] = None
+        if memo is not None and memo[0] == j and self.iver[memo[3]] == memo[1]:
+            blockers = memo[2]
+            replayed = True
+        elif opcode == OP_READ:
+            buf = self.buf[ti]
+            if k in buf:
+                value = buf[k]
+            elif self.chain_len[k]:
+                value = self.tip[k]
+                version = self.chain_len[k] - 1
+            else:
+                value = None
+            self.ctx[ti][into] = value
+            blocked_mask = 0
+        elif opcode == OP_WRITE:
+            if call:
+                value = value(self.ctx[ti])
+            x_mask = self.x_mask
+            blocked_mask = x_mask[k] & ~bit
+            if not blocked_mask:
+                self.iver[k] += 1
+                if not x_mask[k] & bit:
+                    x_mask[k] |= bit
+                    self.held[ti].add(k)
+                self.buf[ti][k] = value
+        elif opcode == OP_COMMIT:
+            for k, buffered in self.buf[ti].items():
+                self.chain_len[k] += 1
+                self.tip[k] = buffered
+            self.buf[ti].clear()
+            self._release_all(ti)
+            self.est[ti] = _COMMITTED
+        else:  # OP_ABORT (program abort)
+            if self.est[ti] == _ACTIVE:
+                self._abort_engine(ti)
+
+        if blocked_mask > 0 or replayed:
+            if not replayed:
+                blockers = self._blockers(blocked_mask)
+                self.parked[ti] = (j, self.iver[k], blockers, k)
+            self.blocked_events += 1
+            self.waits.set_waits(txn, blockers)
+            self.wmask |= bit
+            if self.maybe_cyclic or self.waits.any_waiting(blockers):
+                self._resolve_deadlock()
+            return 1
+
+        if self.wmask & bit:
+            self.waits.clear_waits(txn)
+            self.wmask &= ~bit
+        if opcode == OP_READ or opcode == OP_WRITE:
+            # `version` is None unless the READ branch set it; WRITE records
+            # version=None, same as the stepwise engine.
+            key = (value, version)
+            try:
+                operation = cache.get(key)
+            except TypeError:  # unhashable recorded value
+                operation = Operation(kind, txn, item=flat.item_names[k],
+                                      value=value, version=version)
+            else:
+                if operation is None:
+                    operation = Operation(kind, txn, item=flat.item_names[k],
+                                          value=value, version=version)
+                    if len(cache) < 4096:
+                        cache[key] = operation
+            self.ops.append(operation)
+        elif opcode == OP_COMMIT:
+            self.ops.append(flat.commit_ops[ti])
+            self.terminal.add(txn)
+        else:
+            self.ops.append(flat.abort_ops[ti])
+            self.terminal.add(txn)
+        j += 1
+        self.counter[ti] = j
+        if opcode == OP_COMMIT or opcode == OP_ABORT or j >= total:
+            self.finished[ti] = True
+            self.waits.remove_transaction(txn)
+            self.wmask &= ~bit
+            if opcode == OP_ABORT:
+                self.abort_reasons.setdefault(txn, "program abort")
+        return 1
+
+    def checkpoint(self) -> Tuple:
+        return (
+            list(self.chain_len), list(self.tip), list(self.x_mask),
+            list(self.iver),
+            [dict(buf) for buf in self.buf], [set(held) for held in self.held],
+            list(self.est), list(self.counter), list(self.finished),
+            [dict(ctx) for ctx in self.ctx], list(self.parked),
+            self.waits.checkpoint(), len(self.ops), len(self.deadlocks),
+            self.blocked_events, dict(self.abort_reasons), self.attempts,
+            self.stalled, self.maybe_cyclic, set(self.terminal), self.wmask,
+        )
+
+    def restore(self, token: Tuple) -> None:
+        (chain_len, tip, x_mask, iver, buf, held, est, counter, finished, ctx,
+         parked, waits, ops_len, deadlocks_len, blocked_events, abort_reasons,
+         attempts, stalled, maybe_cyclic, terminal, wmask) = token
+        self.chain_len = list(chain_len)
+        self.tip = list(tip)
+        self.x_mask = list(x_mask)
+        self.iver = list(iver)
+        self.buf = [dict(entry) for entry in buf]
+        self.held = [set(entry) for entry in held]
+        self.est = list(est)
+        self.counter = list(counter)
+        self.finished = list(finished)
+        self.ctx = [dict(entry) for entry in ctx]
+        self.parked = list(parked)
+        self.waits.restore(waits)
+        del self.ops[ops_len:]
+        del self.deadlocks[deadlocks_len:]
+        self.blocked_events = blocked_events
+        self.abort_reasons = dict(abort_reasons)
+        self.attempts = attempts
+        self.stalled = stalled
+        self.maybe_cyclic = maybe_cyclic
+        self.terminal = set(terminal)
+        self.wmask = wmask
+
+    def sync_database(self, database: Database) -> None:
+        chain_len = self.chain_len
+        tip = self.tip
+        for k, name in enumerate(self.flat.item_names):
+            if chain_len[k]:
+                database.set_item(name, tip[k])
+            else:
+                database.delete_item(name)
+
+
+class _EmulatorKernel:
+    """DFS batch driver over one flat emulator, mirroring the trie executor.
+
+    Schedules are lexsorted (numpy), consecutive common prefixes computed in
+    one vectorized pass, and each row restores the deepest shared emulator
+    checkpoint before applying only its divergent suffix — the same
+    one-lookahead branch-point discipline as
+    :meth:`repro.explorer.trie_executor.TrieExecutor.run_batch`.
+    """
+
+    def __init__(self, emulator: Any, database: Database, engine_name: str,
+                 flat: _FlatPrograms,
+                 fallback: Optional[Callable[..., ExecutionOutcome]] = None):
+        self.stats = BatchStats()
+        self.engine_name = engine_name
+        self._database = database
+        self._flat = flat
+        self._known = frozenset(flat.txns)
+        self._emulator = emulator
+        self.fallback = fallback
+        self._stack: List[Tuple[int, Tuple]] = [(0, emulator.checkpoint())]
+        self.stats.checkpoints_created += 1
+        self._previous: Optional[Sequence[int]] = None
+
+    @staticmethod
+    def _common_prefix(first: Sequence[int], second: Sequence[int]) -> int:
+        limit = min(len(first), len(second))
+        shared = 0
+        while shared < limit and first[shared] == second[shared]:
+            shared += 1
+        return shared
+
+    def run_one(self, schedule: Sequence[int],
+                shared: Optional[int] = None,
+                prepare: Optional[int] = None) -> ExecutionOutcome:
+        """Execute one schedule from the deepest checkpoint it shares.
+
+        ``shared`` is the known common-prefix length with the previously
+        executed schedule (computed vectorized by :meth:`run_batch`);
+        ``prepare`` the branch point of the schedule that will run next,
+        where the single lookahead checkpoint goes.
+        """
+        if not self._known.issuperset(schedule):
+            # Slots referencing transactions outside the compiled tables take
+            # the stepwise path (the runner treats them as no-ops; ejecting
+            # keeps the kernel's tables closed over the program set).
+            if self.fallback is None:
+                raise ValueError(
+                    "schedule references transactions outside the program set"
+                    " and no stepwise fallback is attached")
+            self.stats.schedules += 1
+            self.stats.rows_ejected += 1
+            self.stats.slots_total += len(schedule)
+            return self.fallback(schedule)
+        emulator = self._emulator
+        if shared is None:
+            shared = (self._common_prefix(self._previous, schedule)
+                      if self._previous is not None else 0)
+        stack = self._stack
+        while stack[-1][0] > shared:
+            stack.pop()
+        depth, token = stack[-1]
+        emulator.restore(token)
+        self.stats.restores += 1
+        total = len(schedule)
+        if prepare is not None and depth < prepare < total:
+            emulator.apply_slots(schedule[depth:prepare])
+            stack.append((prepare, emulator.checkpoint()))
+            self.stats.checkpoints_created += 1
+            emulator.apply_slots(schedule[prepare:total])
+        else:
+            emulator.apply_slots(schedule[depth:total])
+        emulator.drain()
+        self.stats.schedules += 1
+        self.stats.rows_fast += 1
+        self.stats.slots_total += total
+        self.stats.slots_executed += total - depth
+        self._previous = schedule
+        return emulator.build_outcome(self.engine_name, self._database)
+
+    def run_batch(self, schedules: Sequence[Sequence[int]],
+                  sort: bool = True) -> Iterator[Tuple[int, ExecutionOutcome]]:
+        """Execute a batch, yielding ``(original_index, outcome)`` pairs."""
+        order, lcps = _sorted_order_and_lcps(schedules, sort)
+        count = len(order)
+        for position, index in enumerate(order):
+            schedule = schedules[index]
+            # The first row of a batch may still share a prefix with the last
+            # row of the previous batch (the executor persists across chunks).
+            shared = lcps[position] if position else None
+            prepare = lcps[position + 1] if position + 1 < count else None
+            yield index, self.run_one(schedule, shared, prepare)
+
+
+class _SnapshotKernel:
+    """Batch kernel for Snapshot Isolation: static streams + a commit fold.
+
+    With every transaction beginning before any slot runs, all snapshots read
+    timestamp 0: a transaction's reads, writes, contexts, and realized
+    operations are a pure function of its own program prefix and the seed
+    database — computed once per program set.  What a schedule decides is
+    only the interleaving of those per-transaction streams and which commits
+    First-Committer-Wins aborts, folded per row over an installed-items
+    bitmask in event order.  No blocking, no deadlocks, no checkpoints.
+    """
+
+    def __init__(self, flat: _FlatPrograms, seed: List[Any],
+                 database: Database, engine_name: str,
+                 fallback: Optional[Callable[..., ExecutionOutcome]] = None):
+        self.stats = BatchStats()
+        self.engine_name = engine_name
+        self.fallback = fallback
+        self._database = database
+        self._flat = flat
+        self._seed = seed
+        self._known = frozenset(flat.txns)
+        txn_count = len(flat.txns)
+        #: Per-transaction static stream: realized ops per step (None at the
+        #: terminal step — commit vs abort is decided per row), effective
+        #: length, terminal kind, final context, write buffer, write bitmask.
+        self._pre_ops: List[List[Optional[Operation]]] = []
+        self._eff: List[int] = []
+        self._terminal: List[int] = []  # 0 none, 1 commit, 2 abort
+        self._ctx: List[Dict[str, Any]] = []
+        self._buf: List[Dict[int, Any]] = []
+        self._wmask: List[int] = []
+        for ti in range(txn_count):
+            txn = flat.txns[ti]
+            ctx: Dict[str, Any] = {}
+            buf: Dict[int, Any] = {}
+            pre_ops: List[Optional[Operation]] = []
+            terminal = 0
+            eff = flat.totals[ti]
+            for j in range(flat.totals[ti]):
+                opcode = flat.opcodes[ti][j]
+                if opcode == OP_READ:
+                    k = flat.items[ti][j]
+                    version: Optional[int] = None
+                    if k in buf:
+                        value = buf[k]
+                    elif seed[k] is not _ABSENT:
+                        value = seed[k]
+                        version = 0
+                    else:
+                        value = None
+                    pre_ops.append(_intern_step_op(
+                        flat.op_caches[ti][j], flat.kinds[ti][j], txn,
+                        flat.item_names[k], value, version))
+                    ctx[flat.into[ti][j]] = value
+                elif opcode == OP_WRITE:
+                    value = flat.values[ti][j]
+                    if flat.calls[ti][j]:
+                        value = value(ctx)
+                    k = flat.items[ti][j]
+                    buf[k] = value
+                    pre_ops.append(_intern_step_op(
+                        flat.op_caches[ti][j], flat.kinds[ti][j], txn,
+                        flat.item_names[k], value, None))
+                else:
+                    terminal = 1 if opcode == OP_COMMIT else 2
+                    eff = j + 1
+                    pre_ops.append(None)
+                    break
+            self._pre_ops.append(pre_ops)
+            self._eff.append(eff)
+            self._terminal.append(terminal)
+            self._ctx.append(ctx)
+            self._buf.append(buf)
+            wmask = 0
+            for k in buf:
+                wmask |= 1 << k
+            self._wmask.append(wmask)
+
+    def _run_row(self, schedule: Sequence[int]) -> ExecutionOutcome:
+        flat = self._flat
+        order = flat.order
+        tindex = flat.tindex
+        eff = self._eff
+        terminal = self._terminal
+        pre_ops = self._pre_ops
+        counters = [0] * len(order)
+        finished = [False] * len(order)
+        est = [_ACTIVE] * len(order)
+        installed = 0
+        ops: List[Operation] = []
+        abort_reasons: Dict[int, str] = {}
+        db = list(self._seed)
+
+        def event(ti: int) -> None:
+            j = counters[ti]
+            counters[ti] = j + 1
+            if j == eff[ti] - 1 and terminal[ti]:
+                txn = flat.txns[ti]
+                if terminal[ti] == 1:
+                    conflict = self._wmask[ti] & installed
+                    if conflict:
+                        for k in self._buf[ti]:  # write-set insertion order
+                            if installed >> k & 1:
+                                name = flat.item_names[k]
+                                break
+                        reason = (f"first-committer-wins: {name} was committed"
+                                  f" by another transaction after this"
+                                  f" transaction's snapshot")
+                        ops.append(flat.abort_ops[ti])
+                        est[ti] = _ABORTED
+                        abort_reasons[txn] = reason
+                    else:
+                        ops.append(flat.commit_ops[ti])
+                        est[ti] = _COMMITTED
+                        nonlocal_install(ti)
+                else:
+                    ops.append(flat.abort_ops[ti])
+                    est[ti] = _ABORTED
+                    abort_reasons.setdefault(txn, "program abort")
+                finished[ti] = True
+            else:
+                ops.append(pre_ops[ti][j])
+                if counters[ti] >= eff[ti]:
+                    finished[ti] = True
+
+        def nonlocal_install(ti: int) -> None:
+            nonlocal installed
+            installed |= self._wmask[ti]
+            for k, value in self._buf[ti].items():
+                db[k] = value
+
+        for txn in schedule:
+            ti = tindex.get(txn)
+            if ti is None or finished[ti] or counters[ti] >= eff[ti]:
+                continue
+            event(ti)
+        while True:
+            active = [ti for ti in order
+                      if not finished[ti] and counters[ti] < eff[ti]]
+            if not active:
+                break
+            for ti in active:
+                event(ti)
+
+        database = self._database
+        for k, name in enumerate(flat.item_names):
+            value = db[k]
+            if value is _ABSENT:
+                database.delete_item(name)
+            else:
+                database.set_item(name, value)
+        return ExecutionOutcome(
+            engine_name=self.engine_name,
+            history=History(ops, validate=False),
+            statuses={flat.txns[ti]: _STATES[est[ti]] for ti in order},
+            contexts={flat.txns[ti]: dict(self._ctx[ti]) for ti in order},
+            database=database,
+            abort_reasons=abort_reasons,
+            blocked_events=0,
+            deadlocks=[],
+            traces=[],
+            stalled=False,
+        )
+
+    def run_one(self, schedule: Sequence[int],
+                shared: Optional[int] = None,
+                prepare: Optional[int] = None) -> ExecutionOutcome:
+        if not self._known.issuperset(schedule):
+            if self.fallback is None:
+                raise ValueError(
+                    "schedule references transactions outside the program set"
+                    " and no stepwise fallback is attached")
+            self.stats.schedules += 1
+            self.stats.rows_ejected += 1
+            self.stats.slots_total += len(schedule)
+            return self.fallback(schedule)
+        self.stats.schedules += 1
+        self.stats.rows_fast += 1
+        self.stats.slots_total += len(schedule)
+        self.stats.slots_executed += len(schedule)
+        return self._run_row(schedule)
+
+    def run_batch(self, schedules: Sequence[Sequence[int]],
+                  sort: bool = True) -> Iterator[Tuple[int, ExecutionOutcome]]:
+        """Execute a batch, yielding ``(original_index, outcome)`` pairs."""
+        order, _ = _sorted_order_and_lcps(schedules, sort)
+        for index in order:
+            yield index, self.run_one(schedules[index])
+
+
+def build_batch_kernel(database: Database,
+                       programs: Sequence[TransactionProgram],
+                       level: IsolationLevelName,
+                       engine_name: str,
+                       engine_options: Optional[Dict[str, Any]] = None,
+                       fallback: Optional[Callable[..., ExecutionOutcome]] = None):
+    """A batch kernel for one testbed, or None when the fast path can't apply.
+
+    Returns None — callers then keep the stepwise trie path — when numpy is
+    unavailable, when any program compiles to an ``OP_GENERIC`` step (rows,
+    predicates, cursors), when the engine was built with non-default options
+    (e.g. the First-Committer-Wins ablation), or when the level has no flat
+    emulation.  ``fallback`` (typically ``TrieExecutor.run_one``) handles
+    per-row ejection for schedules the kernel declines at runtime.
+    """
+    if engine_options:
+        return None
+    if _numpy() is None:
+        return None
+    compiled = compile_programs(programs)
+    tables = emit_batch_tables(compiled)
+    if not tables.supported or not tables.programs:
+        return None
+    flat = _FlatPrograms(compiled, tables)
+    seed = [database.get_item(name, _ABSENT) for name in flat.item_names]
+    if level in POLICIES:
+        return _EmulatorKernel(_LockingFlat(flat, level, seed), database,
+                               engine_name, flat, fallback)
+    if level is IsolationLevelName.ORACLE_READ_CONSISTENCY:
+        return _EmulatorKernel(_ReadConsistencyFlat(flat, seed), database,
+                               engine_name, flat, fallback)
+    if level is IsolationLevelName.SNAPSHOT_ISOLATION:
+        return _SnapshotKernel(flat, seed, database, engine_name, fallback)
+    return None

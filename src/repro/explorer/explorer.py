@@ -296,7 +296,8 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
                    chunk_size: int, builder, initial_items,
                    pool, shared_cache, outcome_memo: bool = False,
                    shared_outcomes=None,
-                   codes: Optional[Tuple[str, ...]] = None) -> LevelExploration:
+                   codes: Optional[Tuple[str, ...]] = None,
+                   batch_kernel: Optional[str] = None) -> LevelExploration:
     """Stream one level's chunks through execution (in-process or pooled).
 
     With a reduction plan, chunks are canonicalized as they stream (or the
@@ -325,7 +326,8 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
             for index, chunk in chunk_schedules:
                 yield ChunkTask(index, spec, level, chunk, builder, shared_cache,
                                 outcome_memo=outcome_memo,
-                                shared_outcomes=shared_outcomes, codes=codes)
+                                shared_outcomes=shared_outcomes, codes=codes,
+                                batch_kernel=batch_kernel)
 
         for result in _run_tasks(tasks(), pool, serial_classifier):
             records.extend(result.records)
@@ -346,7 +348,7 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
             for index, (chunk, fresh) in enumerate(plan_stream):
                 pending.append((chunk, len(chunk)))
                 yield ChunkTask(index, spec, level, fresh, builder, shared_cache,
-                                codes=codes)
+                                codes=codes, batch_kernel=batch_kernel)
 
         position = 0
         for result in _run_tasks(tasks(), pool, serial_classifier):
@@ -402,7 +404,8 @@ def explore(spec: ProgramSetSpec,
             reduction: str = "none",
             shared_cache: bool = True,
             outcome_memo: Union[bool, str] = "auto",
-            static_pruning: bool = False) -> ExplorationResult:
+            static_pruning: bool = False,
+            batch_kernel: Optional[str] = None) -> ExplorationResult:
     """Explore the schedule space of a program set under several isolation levels.
 
     Parameters
@@ -476,10 +479,21 @@ def explore(spec: ProgramSetSpec,
         pruning on or off (the fingerprint tests assert exactly this); the
         skipped detector count is reported per level as the
         ``static_pruned_detectors`` cache stat.
+    batch_kernel:
+        Batch-drain kernel mode for the executors: ``"auto"`` uses the
+        vectorized flat-array kernel when numpy is importable and the
+        (level, workload) is supported, falling back to the stepwise trie
+        walk otherwise; ``"on"`` raises when the kernel cannot be built;
+        ``"off"`` disables it.  ``None`` (the default) defers to the
+        ``EXPLORER_BATCH_KERNEL`` environment variable (default ``"auto"``).
+        Pure optimization — records are byte-identical in every mode.
     """
     workers = _resolve_worker_count(workers)
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    if batch_kernel not in (None, "auto", "on", "off"):
+        raise ValueError(f"batch_kernel must be None, 'auto', 'on', or 'off', "
+                         f"got {batch_kernel!r}")
     if reduction not in REDUCTIONS:
         raise ValueError(f"unknown reduction {reduction!r}; choose from {REDUCTIONS}")
     if not (outcome_memo in (True, False) or outcome_memo == "auto"):
@@ -544,6 +558,7 @@ def explore(spec: ProgramSetSpec,
                 spec, level, chunk_cache, _plan_for(level), chunk_size, builder,
                 initial_items, pool=None, shared_cache=None,
                 outcome_memo=outcome_memo, codes=level_codes[level],
+                batch_kernel=batch_kernel,
             )
     else:
         manager = multiprocessing.Manager() if shared_cache else None
@@ -570,6 +585,7 @@ def explore(spec: ProgramSetSpec,
                         outcome_memo=outcome_memo,
                         shared_outcomes=outcome_logs[level],
                         codes=level_codes[level],
+                        batch_kernel=batch_kernel,
                     )
         finally:
             if manager is not None:

@@ -42,9 +42,12 @@ from ..engine.programs import TransactionProgram
 from ..engine.scheduler import RunnerCheckpoint, ScheduleRunner
 from ..storage.database import Database
 from ..testbed import make_engine
+from .batch_kernel import BatchStats, build_batch_kernel
 from .schedules import Interleaving
 
 __all__ = ["TrieExecutor", "TrieStats"]
+
+_BATCH_KERNEL_MODES = ("auto", "on", "off")
 
 
 class TrieStats:
@@ -98,19 +101,35 @@ class TrieExecutor:
         (default: on, unless ``EXPLORER_COMPILED_KERNEL=0`` — see README
         "Performance knobs").  The kernel is byte-equal to stepwise execution
         for every engine level, so this only changes speed, never results.
+    batch_kernel:
+        Route :meth:`run_batch` through the vectorized flat-array batch-drain
+        kernel (:mod:`repro.explorer.batch_kernel`) when one can be built for
+        this (level, program set).  ``"auto"`` (the default, or via
+        ``EXPLORER_BATCH_KERNEL``) silently falls back to the stepwise trie
+        walk when numpy is missing or the workload is unsupported; ``"on"``
+        raises instead; ``"off"`` never builds the kernel.  Byte-equal to the
+        stepwise path by construction — contended or unsupported rows are
+        ejected back to :meth:`run_one`, the source of truth.
     """
 
     def __init__(self, database: Database, programs: Sequence[TransactionProgram],
                  level: IsolationLevelName, checkpoint_spacing: int = 1,
                  compiled: Optional[bool] = None,
+                 batch_kernel: Optional[str] = None,
                  **engine_options):
         if checkpoint_spacing < 1:
             raise ValueError("checkpoint_spacing must be >= 1")
         if compiled is None:
             compiled = os.environ.get("EXPLORER_COMPILED_KERNEL", "1") != "0"
+        if batch_kernel is None:
+            batch_kernel = os.environ.get("EXPLORER_BATCH_KERNEL", "auto")
+        if batch_kernel not in _BATCH_KERNEL_MODES:
+            raise ValueError(f"batch_kernel must be one of {_BATCH_KERNEL_MODES},"
+                             f" got {batch_kernel!r}")
         self.level = level
         self.spacing = checkpoint_spacing
         self.compiled = bool(compiled)
+        self.batch_kernel = batch_kernel
         self.stats = TrieStats()
         self._engine = make_engine(database, level, **engine_options)
         if not self._engine.supports_checkpoints:
@@ -125,6 +144,23 @@ class TrieExecutor:
         ]
         self.stats.checkpoints_created += 1
         self._previous: Optional[Interleaving] = None
+        # Built after the root checkpoint: begin_all never touches item
+        # values, so the kernel still captures the pristine seed database.
+        self._batch = None
+        if batch_kernel != "off":
+            self._batch = build_batch_kernel(
+                database, programs, level, self._engine.name,
+                engine_options=engine_options or None, fallback=self.run_one)
+            if self._batch is None and batch_kernel == "on":
+                raise ValueError(
+                    f"batch_kernel='on' but no batch kernel is available for "
+                    f"{level.value!r} (numpy missing, engine options set, or "
+                    f"non-item steps in the programs)")
+
+    @property
+    def batch_stats(self) -> BatchStats:
+        """Fast-path counters of the batch-drain kernel (zeros when unused)."""
+        return self._batch.stats if self._batch is not None else BatchStats()
 
     # -- execution -------------------------------------------------------------------
 
@@ -209,7 +245,15 @@ class TrieExecutor:
         individual outcome (see the determinism contract above).  The walk
         uses one-schedule lookahead, so each execution places only the single
         checkpoint its successor will restore to.
+
+        When the batch-drain kernel is active (``batch_kernel`` above), the
+        whole batch routes through its flat-array emulator instead; rows it
+        cannot handle are ejected back to :meth:`run_one`.  Outcomes are
+        byte-identical either way.
         """
+        if self._batch is not None:
+            yield from self._batch.run_batch(schedules, sort=sort)
+            return
         if sort:
             order = sorted(range(len(schedules)), key=schedules.__getitem__)
         else:

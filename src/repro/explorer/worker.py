@@ -48,11 +48,11 @@ from .trie_executor import TrieExecutor
 
 __all__ = ["ChunkTask", "ScheduleRecord", "ChunkResult", "execute_chunk"]
 
-#: Per-process testbeds, one per (spec, level): the trie executor, the
-#: workload's initial item set (captured *before* any execution mutates the
-#: database), and the programs.  Builders are deterministic by the explorer's
-#: contract, so a cached testbed is equivalent to a fresh build.
-_TESTBED_CACHE: Dict[Tuple[ProgramSetSpec, IsolationLevelName],
+#: Per-process testbeds, one per (spec, level, batch-kernel mode): the trie
+#: executor, the workload's initial item set (captured *before* any execution
+#: mutates the database), and the programs.  Builders are deterministic by the
+#: explorer's contract, so a cached testbed is equivalent to a fresh build.
+_TESTBED_CACHE: Dict[Tuple[ProgramSetSpec, IsolationLevelName, Optional[str]],
                      Tuple[TrieExecutor, Tuple[str, ...],
                            Tuple[TransactionProgram, ...]]] = {}
 
@@ -138,6 +138,10 @@ class ChunkTask:
     #: classifications agree on every history the chunk can produce (and the
     #: cross-level shared cache stays coherent).
     codes: Optional[Tuple[str, ...]] = None
+    #: Batch-drain kernel mode for the executor ("auto"/"on"/"off"); ``None``
+    #: defers to ``EXPLORER_BATCH_KERNEL`` (default "auto").  Pure
+    #: optimization — the kernel is byte-equal to the stepwise trie walk.
+    batch_kernel: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -179,7 +183,7 @@ def _testbed_for(task: ChunkTask) -> Tuple[TrieExecutor, Tuple[str, ...],
     Returns the build time in microseconds as the fourth element (0 on a
     cache hit) for the benchmark's phase breakdown.
     """
-    key = (task.spec, task.level)
+    key = (task.spec, task.level, task.batch_kernel)
     cached = _TESTBED_CACHE.get(key)
     if cached is not None:
         return cached[0], cached[1], cached[2], 0
@@ -192,7 +196,8 @@ def _testbed_for(task: ChunkTask) -> Tuple[TrieExecutor, Tuple[str, ...],
     # (see README "Performance knobs"); 1 checkpoints at every branch point.
     spacing = int(os.environ.get("EXPLORER_CHECKPOINT_SPACING", "1"))
     executor = TrieExecutor(database, programs, task.level,
-                            checkpoint_spacing=spacing)
+                            checkpoint_spacing=spacing,
+                            batch_kernel=task.batch_kernel)
     build_us = int((time.perf_counter() - started) * 1e6)
     programs = tuple(programs)
     _TESTBED_CACHE[key] = (executor, items, programs)
@@ -264,6 +269,7 @@ def execute_chunk(task: ChunkTask,
         keys = None
         to_execute = task.schedules
     trie_before = executor.stats.as_dict()
+    batch_before = executor.batch_stats.as_dict()
     records: List[Optional[ScheduleRecord]] = [None] * len(task.schedules)
     execute_us = 0
     classify_us = 0
@@ -328,6 +334,10 @@ def execute_chunk(task: ChunkTask,
     trie_after = executor.stats.as_dict()
     for name in ("slots_total", "slots_executed", "checkpoints_created", "restores"):
         stats[f"trie_{name}"] = trie_after[name] - trie_before[name]
+    batch_after = executor.batch_stats.as_dict()
+    for name in ("schedules", "rows_fast", "rows_ejected",
+                 "slots_total", "slots_executed"):
+        stats[f"batch_{name}"] = batch_after[name] - batch_before[name]
     if chunk_local and task.shared_cache is not None:
         fresh = classifier.exports()
         stats["shared_published"] = len(fresh)

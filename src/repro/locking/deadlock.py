@@ -101,6 +101,14 @@ class WaitsForGraph:
 
     def find_cycle(self) -> Optional[List[int]]:
         """Some cycle in the waits-for graph, or None."""
+        edges = self._edges
+        # Every edge on a cycle targets a node that itself waits; when no
+        # edge does, the DFS cannot find anything — skip it.
+        for holders in edges.values():
+            if not holders.isdisjoint(edges.keys()):
+                break
+        else:
+            return None
         visiting: Set[int] = set()
         visited: Set[int] = set()
         stack: List[int] = []

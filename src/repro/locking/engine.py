@@ -121,6 +121,12 @@ class LockingEngine(Engine):
         # update_row/delete_row.
         return self.locks.version
 
+    def blocking_version_for(self, item: Optional[str]) -> int:
+        # An item step can only be blocked by locks on that item; non-item
+        # steps (rows, predicates, cursors) fall back to the table version.
+        locks = self.locks
+        return locks.version_for(item) if item is not None else locks.version
+
     # -- small helpers ----------------------------------------------------------------
 
     def _acquire(self, txn: int, target, rule: Optional[LockRule],

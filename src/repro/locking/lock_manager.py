@@ -84,6 +84,15 @@ class LockManager:
         #: Interned ItemTargets for the compiled-kernel fast path: one
         #: immutable target instance per item name serves every request.
         self._item_targets: Dict[str, ItemTarget] = {}
+        #: Per-item-name version counters, bumped alongside ``version``
+        #: whenever a table change touches a lock on that :class:`ItemTarget`.
+        #: An item lock request can only be blocked by locks on the same item
+        #: name (ItemTargets never overlap row or predicate targets), so a
+        #: blocked item request's outcome is a pure function of the item's
+        #: counter — the schedule runner keys its parked blocked-result memos
+        #: on :meth:`version_for` and parked attempts survive unrelated lock
+        #: traffic.  Missing names read as 0.
+        self._item_versions: Dict[str, int] = {}
         #: The (version, lock) of a just-granted NEW short-duration lock, used
         #: by release_short to recognise a transient grant/release pair within
         #: one engine action and roll the version back to its pre-grant value.
@@ -122,6 +131,19 @@ class LockManager:
         """Every granted lock (a copy)."""
         return list(self._locks)
 
+    def version_for(self, name: str) -> int:
+        """The per-item version counter of one item name (0 until first touched).
+
+        Bumped exactly when a table change adds, removes, or strengthens a
+        lock on ``ItemTarget(name)`` — the only state a blocked item request
+        on that name can depend on.
+        """
+        return self._item_versions.get(name, 0)
+
+    def _bump_item(self, name: str) -> None:
+        versions = self._item_versions
+        versions[name] = versions.get(name, 0) + 1
+
     # -- checkpoints -----------------------------------------------------------------
 
     def checkpoint(self) -> Tuple:
@@ -140,14 +162,16 @@ class LockManager:
                   for lock in self._locks),
             self.blocked_requests,
             self.version,
+            dict(self._item_versions),
         )
 
     def restore(self, token: Tuple) -> None:
         """Reset the granted-lock table to a :meth:`checkpoint` token (reusable)."""
-        entries, blocked, version = token
+        entries, blocked, version, item_versions = token
         self._locks = [HeldLock(*entry) for entry in entries]
         self.blocked_requests = blocked
         self.version = version
+        self._item_versions = dict(item_versions)
         self._short_grant = None
 
     # -- acquisition ---------------------------------------------------------------
@@ -176,6 +200,8 @@ class LockManager:
             return LockRequestResult.blocked(blockers)
 
         self.version += 1
+        if type(target) is ItemTarget:
+            self._bump_item(target.name)
         existing = self._find(txn, target)
         if existing is not None:
             # Upgrade mode and extend duration rather than duplicating.
@@ -230,6 +256,7 @@ class LockManager:
             return LockRequestResult.blocked(blockers)
 
         self.version += 1
+        self._bump_item(name)
         if own is not None:
             if mode is exclusive:
                 own.mode = exclusive
@@ -285,6 +312,7 @@ class LockManager:
             return LockRequestResult.blocked(blockers)
         if own is not None:
             self.version += 1
+            self._bump_item(name)
             if mode is exclusive:
                 own.mode = exclusive
         # No lock already held: the unfused pair appends a new SHORT entry
@@ -309,6 +337,8 @@ class LockManager:
         ]
         if len(kept) != len(self._locks):
             self.version += 1
+            if type(target) is ItemTarget:
+                self._bump_item(target.name)
             self._locks = kept
 
     def release_short(self, txn: int) -> None:
@@ -337,15 +367,25 @@ class LockManager:
                 and marker[1].duration is LockDuration.SHORT):
             self._locks.remove(marker[1])
             self.version -= 1
+            target = marker[1].target
+            if type(target) is ItemTarget:
+                # Roll the per-item counter back too: the transient pair left
+                # that item's lock population exactly as it was.
+                self._item_versions[target.name] -= 1
             return
         if not any(lock.txn == txn and lock.duration is LockDuration.SHORT
                    for lock in self._locks):
             return
         self.version += 1
-        self._locks = [
-            lock for lock in self._locks
-            if not (lock.txn == txn and lock.duration is LockDuration.SHORT)
-        ]
+        kept = []
+        for lock in self._locks:
+            if lock.txn == txn and lock.duration is LockDuration.SHORT:
+                target = lock.target
+                if type(target) is ItemTarget:
+                    self._bump_item(target.name)
+            else:
+                kept.append(lock)
+        self._locks = kept
 
     def release_cursor(self, txn: int, cursor: str) -> None:
         """Release CURSOR-duration locks held through a specific cursor.
@@ -355,23 +395,36 @@ class LockManager:
         not affected.
         """
         self._short_grant = None
-        kept = [
-            lock for lock in self._locks
-            if not (
-                lock.txn == txn
-                and lock.duration is LockDuration.CURSOR
-                and lock.cursor == cursor
-            )
-        ]
-        if len(kept) != len(self._locks):
+        kept = []
+        removed = False
+        for lock in self._locks:
+            if (lock.txn == txn
+                    and lock.duration is LockDuration.CURSOR
+                    and lock.cursor == cursor):
+                removed = True
+                target = lock.target
+                if type(target) is ItemTarget:
+                    self._bump_item(target.name)
+            else:
+                kept.append(lock)
+        if removed:
             self.version += 1
             self._locks = kept
 
     def release_all(self, txn: int) -> None:
         """Release every lock of a transaction (at commit or abort)."""
         self._short_grant = None
-        kept = [lock for lock in self._locks if lock.txn != txn]
-        if len(kept) != len(self._locks):
+        kept = []
+        removed = False
+        for lock in self._locks:
+            if lock.txn == txn:
+                removed = True
+                target = lock.target
+                if type(target) is ItemTarget:
+                    self._bump_item(target.name)
+            else:
+                kept.append(lock)
+        if removed:
             self.version += 1
             self._locks = kept
 

@@ -104,6 +104,11 @@ class ReadConsistencyEngine(Engine):
         # writer's locks), so the table version covers blocked outcomes.
         return self.locks.version
 
+    def blocking_version_for(self, item: Optional[str]) -> int:
+        # A blocked write waits only for write locks on its own item.
+        locks = self.locks
+        return locks.version_for(item) if item is not None else locks.version
+
     # -- compiled-kernel entry point -----------------------------------------------------
 
     def apply_step(self, opcode: int, txn: int, item: Optional[str] = None,

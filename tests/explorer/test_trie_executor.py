@@ -68,7 +68,10 @@ def test_sampled_stream_byte_equal_to_from_scratch(level):
     schedules = schedule_space(programs, mode="sample", max_schedules=60,
                                seed=11).schedules
     expected = from_scratch_keys(CONTENTION, level, schedules)
-    actual, executor = trie_keys(CONTENTION, level, schedules)
+    # This module gates the stepwise trie walk itself; the batch-drain kernel
+    # (the default run_batch route) has its own suite in test_batch_kernel.py.
+    actual, executor = trie_keys(CONTENTION, level, schedules,
+                                 batch_kernel="off")
     assert actual == expected
     # Prefix sharing actually happened: strictly fewer slots executed than fed.
     assert executor.stats.slots_executed < executor.stats.slots_total
@@ -88,7 +91,8 @@ def test_exhaustive_stream_byte_equal_across_key_levels(spec):
                   IsolationLevelName.SNAPSHOT_ISOLATION,
                   IsolationLevelName.SERIALIZABLE):
         expected = from_scratch_keys(spec, level, schedules)
-        actual, executor = trie_keys(spec, level, schedules)
+        actual, executor = trie_keys(spec, level, schedules,
+                                     batch_kernel="off")
         assert actual == expected, (spec.name, level)
         assert executor.stats.replayed_ratio < 1.0
 

@@ -9,6 +9,7 @@ from repro.static_analysis.repolint import (
     lint_checkpoints,
     lint_determinism,
     lint_footprints,
+    lint_optional_imports,
     lint_picklability,
     lint_repo,
     lint_tree,
@@ -129,6 +130,41 @@ class TestCheckpoints:
         assert _lint(source, "checkpoints") == []
 
 
+class TestOptionalImports:
+    def _lint(self, source):
+        return lint_optional_imports(ast.parse(textwrap.dedent(source)), "<test>")
+
+    def test_flags_module_scope_numpy_import(self):
+        (violation,) = self._lint("import numpy as np\n")
+        assert violation.check == "optional-imports"
+        assert "numpy" in violation.message
+
+    def test_flags_from_import_and_guarded_import(self):
+        source = """
+            from numpy import ndarray
+            try:
+                import numpy.linalg
+            except ImportError:
+                pass
+        """
+        violations = self._lint(source)
+        assert len(violations) == 2
+
+    def test_allows_function_local_import(self):
+        source = """
+            def _probe():
+                try:
+                    import numpy
+                except ImportError:
+                    return None
+                return numpy
+        """
+        assert self._lint(source) == []
+
+    def test_ignores_required_dependencies(self):
+        assert self._lint("import os\nfrom dataclasses import dataclass\n") == []
+
+
 class TestRepoWide:
     def test_runtime_checks_are_clean(self):
         assert lint_picklability() == []
@@ -142,9 +178,10 @@ class TestRepoWide:
         assert main([]) == 0
         assert "repolint: clean" in capsys.readouterr().out
 
-    def test_lint_tree_combines_both_ast_checks(self):
+    def test_lint_tree_combines_all_ast_checks(self):
         source = textwrap.dedent("""
             import time
+            import numpy
             class Engine:
                 def __init__(self):
                     self.extra = 1
@@ -154,4 +191,4 @@ class TestRepoWide:
         """)
         violations = lint_tree(ast.parse(source), "<test>")
         assert {violation.check for violation in violations} == \
-            {"determinism", "checkpoint-completeness"}
+            {"determinism", "checkpoint-completeness", "optional-imports"}
