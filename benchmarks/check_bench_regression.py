@@ -13,7 +13,11 @@ batch-kernel aggregate are *gated*; the others are informational (they carry
 more machine variance).  The fresh ``batch_kernel`` section is additionally
 checked for correctness flags: every level must report ``byte_equal: true``
 and fast-path ``occupancy`` of 1.0 (the benchmark workload is item-only, so
-any ejection means the kernel stopped covering it).
+any ejection means the kernel stopped covering it).  The fresh
+``persistence`` section is likewise gated on its own machine-independent
+flag: ``serial_overhead_ratio`` (store-attached vs. store-free serial
+throughput, measured in the same run) must stay at or above
+``BENCH_PERSIST_MIN_RATIO`` (default 0.85 — the within-15% bar).
 A section missing from either file is reported by name with which file lacks
 it: that means the two files came from different benchmark versions or from
 partial runs (e.g. ``-k`` selections), not that performance regressed.
@@ -45,7 +49,13 @@ SECTIONS: Tuple[Tuple[Tuple[str, ...], str, bool], ...] = (
     (("streaming", "schedules_per_sec"), "streaming generation schedules/sec", False),
     (("outcome_memo", "speedup"), "outcome-memo speedup", False),
     (("static_pruning", "speedup"), "static-pruning speedup", False),
+    (("persistence", "store_schedules_per_sec"),
+     "sqlite-store schedules/sec", False),
 )
+
+#: The ISSUE 8 bar for the fresh ``persistence`` section: a SqliteStore may
+#: cost at most 15% of serial throughput versus the store-free run.
+PERSIST_MIN_RATIO = float(os.environ.get("BENCH_PERSIST_MIN_RATIO", "0.85"))
 
 
 def _lookup(data: Dict[str, Any], path: Tuple[str, ...]) -> Optional[float]:
@@ -97,6 +107,28 @@ def _check_batch_kernel(fresh: Dict[str, Any]) -> List[str]:
     return failures
 
 
+def _check_persistence(fresh: Dict[str, Any]) -> List[str]:
+    """The store-overhead flag inside the fresh ``persistence`` section.
+
+    ``serial_overhead_ratio`` is a same-run, same-machine comparison (store
+    attached vs. store-free), so unlike the absolute throughput sections it
+    carries no cross-machine variance and gets its own fixed floor: the
+    ISSUE 8 bar of staying within 15% of store-free throughput.  An absent
+    section means a partial run; the SECTIONS entry reports that.
+    """
+    section = fresh.get("persistence")
+    if not isinstance(section, dict):
+        return []
+    ratio = section.get("serial_overhead_ratio")
+    print(f"sqlite-store overhead: ratio {ratio} "
+          f"(floor {PERSIST_MIN_RATIO}), resume wall "
+          f"{section.get('resume_wall_s')}s")
+    if not isinstance(ratio, (int, float)) or ratio < PERSIST_MIN_RATIO:
+        return [f"persistence: store/plain throughput ratio {ratio!r} is "
+                f"below {PERSIST_MIN_RATIO} (tune via BENCH_PERSIST_MIN_RATIO)"]
+    return []
+
+
 def main(baseline_path: str, fresh_path: str) -> int:
     tolerance = float(os.environ.get("BENCH_SMOKE_TOLERANCE", "0.30"))
     baseline = _load(baseline_path)
@@ -143,6 +175,7 @@ def main(baseline_path: str, fresh_path: str) -> int:
             failures.append(f"{label}: {fresh_value:,.1f} < floor {floor:,.1f}")
 
     failures.extend(_check_batch_kernel(fresh))
+    failures.extend(_check_persistence(fresh))
     if compared == 0 and not failures:
         print("no comparable sections found in either file — nothing was checked")
         return 1

@@ -23,6 +23,7 @@ __all__ = [
     "LevelCoverage",
     "CoverageReport",
     "build_coverage_report",
+    "coverage_report_from_store",
     "coverage_mismatches",
     "ExploredCell",
     "ExploredTable4",
@@ -374,3 +375,75 @@ def build_coverage_report(result, codes: Optional[Sequence[str]] = None) -> Cove
         levels=levels,
         notes=tuple(notes),
     )
+
+
+@dataclass(frozen=True)
+class _StoredLevel:
+    """Shim matching ``LevelExploration`` structurally for report building."""
+
+    records: Tuple
+    cache_stats: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class _StoredResult:
+    """Shim matching ``ExplorationResult`` structurally for report building."""
+
+    spec: object
+    space: object
+    levels: Dict[IsolationLevelName, _StoredLevel]
+
+
+def coverage_report_from_store(store, campaign_id: str,
+                               codes: Optional[Sequence[str]] = None,
+                               levels: Optional[Sequence[IsolationLevelName]]
+                               = None) -> CoverageReport:
+    """Rebuild a campaign's coverage report from its persisted records.
+
+    The store-reading constructor: loads every stored scope's record stream
+    from a :class:`~repro.persist.CampaignStore` and aggregates it exactly
+    like :func:`build_coverage_report` does for a live
+    :class:`~repro.explorer.ExplorationResult` — for a completed campaign the
+    two renders are byte-identical (the kill-and-resume determinism tests
+    assert this).  The schedule space is re-derived from the stored campaign
+    config; deterministic, so the header and sampling notes match too.
+
+    ``levels`` fixes the report's row order (matching the ``levels`` the
+    campaign was explored with); by default the explorer's
+    ``DEFAULT_LEVELS`` order is used for the scopes present, any others
+    following in enum declaration order.
+    """
+    # Imported lazily: analysis must stay import-cycle-free of explorer and
+    # persist at module scope (both import this module).
+    from ..explorer.explorer import DEFAULT_LEVELS
+    from ..explorer.schedules import schedule_space
+    from ..workloads.program_sets import ProgramSetSpec, resolve_program_set
+
+    info = store.get_campaign(campaign_id)
+    if info is None:
+        raise KeyError(f"campaign {campaign_id!r} is not in the store")
+    config = dict(info.config)
+    spec = ProgramSetSpec.make(config["spec_name"],
+                               **{key: value
+                                  for key, value in config["spec_params"]})
+    _, programs = resolve_program_set(spec)(**spec.kwargs())
+    space = schedule_space(programs, mode=config["mode"],
+                           max_schedules=config["max_schedules"],
+                           seed=config["seed"])
+    progress = store.scope_progress(campaign_id)
+    if levels is None:
+        ordered = [level for level in DEFAULT_LEVELS if level.value in progress]
+        ordered += [level for level in IsolationLevelName
+                    if level.value in progress and level not in ordered]
+    else:
+        ordered = [level for level in levels if level.value in progress]
+    stored_levels: Dict[IsolationLevelName, _StoredLevel] = {}
+    for level in ordered:
+        state = progress[level.value]
+        stored_levels[level] = _StoredLevel(
+            records=tuple(store.iter_records(campaign_id, level.value)),
+            cache_stats=dict(state.stats),
+        )
+    return build_coverage_report(
+        _StoredResult(spec=spec, space=space, levels=stored_levels),
+        codes=codes)

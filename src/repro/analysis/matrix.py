@@ -47,6 +47,7 @@ __all__ = [
     "compute_table4_row",
     "compute_table4",
     "compute_table4_explored",
+    "table4_explored_from_store",
     "variant_manifestation_profile",
     "phenomenon_level_profile",
     "compute_phenomenon_table",
@@ -126,13 +127,32 @@ def compute_table4(levels: Sequence[IsolationLevelName] = TABLE_4_LEVELS,
     }
 
 
+def _table4_campaign_config(levels: Sequence[IsolationLevelName],
+                            scenarios: Sequence[AnomalyScenario],
+                            mode: str, max_schedules: int, seed: int,
+                            reduction: str, static_pruning: bool) -> Dict[str, object]:
+    """The persisted identity of a Table 4 campaign: its cell-affecting inputs."""
+    return {
+        "kind": "table4-explored",
+        "levels": [level.value for level in levels],
+        "scenarios": [scenario.code for scenario in scenarios],
+        "mode": mode,
+        "max_schedules": max_schedules,
+        "seed": seed,
+        "reduction": reduction,
+        "static_pruning": static_pruning,
+    }
+
+
 def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVELS,
                             scenarios: Sequence[AnomalyScenario] = ALL_SCENARIOS,
                             mode: str = "auto",
                             max_schedules: int = DEFAULT_MAX_SCHEDULES,
                             seed: int = 0,
                             reduction: str = "sleep-set",
-                            static_pruning: bool = False) -> ExploredTable4:
+                            static_pruning: bool = False,
+                            store=None,
+                            campaign_id: Optional[str] = None) -> ExploredTable4:
     """The explorer-driven behavioural anomaly matrix.
 
     Each cell exhausts (or, above ``max_schedules``, samples) the full
@@ -154,17 +174,48 @@ def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVEL
     are reported per cell (``ExploredCell.pruned_variants``) and in the
     rendered table; the default stays off so the headline reproduction keeps
     executing every cell.
+
+    With ``store`` (a :class:`~repro.persist.CampaignStore`), the matrix
+    itself becomes a resumable campaign at (level, scenario)-cell granularity:
+    each finished cell is committed as it completes, and a re-run — after a
+    crash or on a later day — skips every stored cell and explores only the
+    missing ones.  The campaign's identity is the cell-affecting inputs
+    (levels, scenarios, mode, budget, seed, reduction, static pruning);
+    reopening it with different inputs raises
+    :class:`~repro.persist.CampaignConfigMismatch` rather than silently
+    mixing incompatible cells.
     """
+    stored_cells: Dict[Tuple[str, str], str] = {}
+    if store is not None:
+        from ..persist.records import cell_to_payload, config_fingerprint
+        config = _table4_campaign_config(levels, scenarios, mode, max_schedules,
+                                         seed, reduction, static_pruning)
+        if campaign_id is None:
+            campaign_id = f"table4-{config_fingerprint(config)}"
+        store.open_campaign(campaign_id, config)
+        stored_cells = store.load_table4_cells(campaign_id)
+    elif campaign_id is not None:
+        raise ValueError("campaign_id requires a store")
+
+    def cell(level: IsolationLevelName, scenario: AnomalyScenario):
+        if store is not None:
+            from ..persist.records import cell_from_payload
+            payload = stored_cells.get((level.value, scenario.code))
+            if payload is not None:
+                return cell_from_payload(payload)
+        built = build_explored_cell(
+            explore_scenario(scenario, level, mode=mode,
+                             max_schedules=max_schedules, seed=seed,
+                             reduction=reduction,
+                             static_pruning=static_pruning)
+        )
+        if store is not None:
+            store.save_table4_cell(campaign_id, level.value, scenario.code,
+                                   cell_to_payload(built))
+        return built
+
     cells = {
-        level: {
-            scenario.code: build_explored_cell(
-                explore_scenario(scenario, level, mode=mode,
-                                 max_schedules=max_schedules, seed=seed,
-                                 reduction=reduction,
-                                 static_pruning=static_pruning)
-            )
-            for scenario in scenarios
-        }
+        level: {scenario.code: cell(level, scenario) for scenario in scenarios}
         for level in levels
     }
     return ExploredTable4(
@@ -175,6 +226,47 @@ def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVEL
         columns=tuple(scenario.code for scenario in scenarios),
         cells=cells,
         static_pruning=static_pruning,
+    )
+
+
+def table4_explored_from_store(store, campaign_id: str) -> ExploredTable4:
+    """Rebuild a completed explored Table 4 purely from its stored cells.
+
+    The campaign must have been produced by :func:`compute_table4_explored`
+    with a ``store``; raises :class:`~repro.persist.store.StoreError` when
+    any configured cell is missing (i.e. the campaign is unfinished — resume
+    it by calling :func:`compute_table4_explored` with the same inputs).
+    """
+    from ..persist.records import cell_from_payload
+    from ..persist.store import StoreError
+    info = store.get_campaign(campaign_id)
+    if info is None:
+        raise StoreError(f"unknown campaign {campaign_id!r}")
+    config = info.config
+    if config.get("kind") != "table4-explored":
+        raise StoreError(f"campaign {campaign_id!r} is not a Table 4 campaign: "
+                         f"{config}")
+    payloads = store.load_table4_cells(campaign_id)
+    levels = tuple(IsolationLevelName(value) for value in config["levels"])
+    columns = tuple(config["scenarios"])
+    missing = [(level.value, code) for level in levels for code in columns
+               if (level.value, code) not in payloads]
+    if missing:
+        raise StoreError(f"campaign {campaign_id!r} is unfinished: "
+                         f"{len(missing)} cells missing, e.g. {missing[0]}")
+    cells = {
+        level: {code: cell_from_payload(payloads[(level.value, code)])
+                for code in columns}
+        for level in levels
+    }
+    return ExploredTable4(
+        mode=config["mode"],
+        max_schedules=config["max_schedules"],
+        seed=config["seed"],
+        reduction=config["reduction"],
+        columns=columns,
+        cells=cells,
+        static_pruning=config["static_pruning"],
     )
 
 

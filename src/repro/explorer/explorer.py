@@ -297,45 +297,97 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
                    pool, shared_cache, outcome_memo: bool = False,
                    shared_outcomes=None,
                    codes: Optional[Tuple[str, ...]] = None,
-                   batch_kernel: Optional[str] = None) -> LevelExploration:
+                   batch_kernel: Optional[str] = None,
+                   persistence=None, programs=None) -> LevelExploration:
     """Stream one level's chunks through execution (in-process or pooled).
 
     With a reduction plan, chunks are canonicalized as they stream (or the
     recorded plan replayed) and only fresh representatives are executed;
     assembly interleaves with result consumption, so no stage materializes
     the schedule stream.
+
+    With ``persistence`` (a :class:`repro.persist.session.LevelPersistence`)
+    attached, chunks below the stored cursor are *loaded* instead of
+    executed, every freshly executed chunk is committed atomically as its
+    result arrives — results come back in chunk-index order, so the cursor
+    stays a contiguous high-water mark — and the serial dedupe tiers are
+    preloaded from the store.  The stored prefix of the stream always comes
+    before every live chunk, so loaded records land in stream order.
     """
     serial_classifier = (BatchClassifier(codes=codes, initial_items=initial_items)
                          if pool is None else None)
+    if persistence is not None:
+        if serial_classifier is not None:
+            persistence.preload_classifier(serial_classifier)
+        persistence.preload_outcome_memo(spec, programs)
     started = time.perf_counter()
     records: List[ScheduleRecord] = []
     executed_records: List[ScheduleRecord] = []
     stats_parts: List[Dict[str, int]] = []
     executed = 0
+    cursor = persistence.cursor if persistence is not None else 0
+    # Entries appear in stream order; stored entries (chunk index < cursor)
+    # form a strict prefix of the stream, so draining them before each live
+    # result (and after the last) reassembles records in stream order.  The
+    # list is appended by the task generator (the pool's feeder thread when
+    # parallel — same single-producer pattern as ``pending`` below) and
+    # consumed only by this parent loop.
+    order: List[Tuple] = []
+    consumed = 0
+    loaded_records = 0
+    loaded_reps = 0
+    export_outcomes = (persistence is not None and outcome_memo
+                       and pool is None)
 
     if plan is None:
         # In-process execution has no load-balancing constraint, so batch the
         # stream coarser than chunk_size: bigger sorted batches share longer
         # prefixes in the trie executor.  Records are identical either way —
         # per-schedule outcomes are independent of batching by the trie
-        # executor's byte-equality contract.
-        batch_size = chunk_size if pool is not None else max(chunk_size, 2048)
+        # executor's byte-equality contract.  A campaign store pins the batch
+        # to chunk_size: the progress cursor counts *campaign* chunks, which
+        # must mean the same boundaries in every run that touches the store.
+        if persistence is not None or pool is not None:
+            batch_size = chunk_size
+        else:
+            batch_size = max(chunk_size, 2048)
         chunk_schedules = chunks.iter_chunks(batch_size)
 
         def tasks() -> Iterator[ChunkTask]:
             for index, chunk in chunk_schedules:
+                if index < cursor:
+                    order.append(("stored", index, len(chunk)))
+                    continue
+                order.append(("live", index))
                 yield ChunkTask(index, spec, level, chunk, builder, shared_cache,
                                 outcome_memo=outcome_memo,
                                 shared_outcomes=shared_outcomes, codes=codes,
-                                batch_kernel=batch_kernel)
+                                batch_kernel=batch_kernel,
+                                export_outcomes=export_outcomes)
+
+        def drain_stored() -> None:
+            nonlocal consumed, loaded_records
+            while consumed < len(order) and order[consumed][0] == "stored":
+                _, index, _length = order[consumed]
+                stored_records, _reps = persistence.load_chunk(index)
+                records.extend(stored_records)
+                loaded_records += len(stored_records)
+                consumed += 1
 
         for result in _run_tasks(tasks(), pool, serial_classifier):
+            drain_stored()
+            entry = order[consumed]
+            consumed += 1
             records.extend(result.records)
             stats_parts.append(result.cache_stats)
+            if persistence is not None:
+                persistence.commit_chunk(entry[1], result.records,
+                                         fresh_outcomes=result.fresh_outcomes)
+        drain_stored()
         if outcome_memo:
             executed = sum(part.get("outcome_executed", 0) for part in stats_parts)
         else:
-            executed = len(records)
+            executed = len(records) - loaded_records
     else:
         plan_stream = plan.stream(chunks.iter_chunks(chunk_size))
         # The task generator advances the plan stream; assembly pulls the
@@ -346,19 +398,44 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
 
         def tasks() -> Iterator[ChunkTask]:
             for index, (chunk, fresh) in enumerate(plan_stream):
+                if index < cursor:
+                    order.append(("stored", index, len(chunk)))
+                    continue
+                order.append(("live", index))
                 pending.append((chunk, len(chunk)))
                 yield ChunkTask(index, spec, level, fresh, builder, shared_cache,
                                 codes=codes, batch_kernel=batch_kernel)
 
         position = 0
+
+        def drain_stored() -> None:
+            nonlocal consumed, position, loaded_records, loaded_reps
+            while consumed < len(order) and order[consumed][0] == "stored":
+                _, index, length = order[consumed]
+                stored_records, stored_reps = persistence.load_chunk(index)
+                records.extend(stored_records)
+                executed_records.extend(stored_reps)
+                loaded_records += len(stored_records)
+                loaded_reps += len(stored_reps)
+                position += length
+                consumed += 1
+
         for result in _run_tasks(tasks(), pool, serial_classifier):
+            drain_stored()
+            entry = order[consumed]
+            consumed += 1
             executed_records.extend(result.records)
             stats_parts.append(result.cache_stats)
             chunk, length = pending.pop(0)
             slots = plan.assignment[position:position + length]
             position += length
+            assembled_start = len(records)
             _assemble_chunk(records, executed_records, chunk, slots)
-        executed = len(executed_records)
+            if persistence is not None:
+                persistence.commit_chunk(entry[1], records[assembled_start:],
+                                         rep_records=result.records)
+        drain_stored()
+        executed = len(executed_records) - loaded_reps
 
     if serial_classifier is not None:
         merged = _merge_stats(stats_parts)
@@ -368,6 +445,9 @@ def _explore_level(spec: ProgramSetSpec, level: IsolationLevelName,
         stats = merged
     else:
         stats = _merge_stats(stats_parts)
+    if persistence is not None:
+        persistence.finish(len(order), classifier=serial_classifier)
+        stats.update(persistence.stats)
     duration = time.perf_counter() - started
     return LevelExploration(level, tuple(records), stats, duration,
                             executed=executed)
@@ -405,7 +485,8 @@ def explore(spec: ProgramSetSpec,
             shared_cache: bool = True,
             outcome_memo: Union[bool, str] = "auto",
             static_pruning: bool = False,
-            batch_kernel: Optional[str] = None) -> ExplorationResult:
+            batch_kernel: Optional[str] = None,
+            store=None, campaign_id: Optional[str] = None) -> ExplorationResult:
     """Explore the schedule space of a program set under several isolation levels.
 
     Parameters
@@ -487,6 +568,29 @@ def explore(spec: ProgramSetSpec,
         ``"off"`` disables it.  ``None`` (the default) defers to the
         ``EXPLORER_BATCH_KERNEL`` environment variable (default ``"auto"``).
         Pure optimization — records are byte-identical in every mode.
+    store:
+        An optional :class:`repro.persist.CampaignStore` making the run a
+        **persistent campaign**: every chunk of every level commits
+        atomically (records + progress cursor) as its result arrives, so a
+        killed run resumes from its last durable chunk — skipping the stored
+        prefix of the stream by *loading* its records — and produces a
+        byte-identical result to an uninterrupted run.  The store also backs
+        the dedupe tiers across runs and workloads: memoized canonical-form
+        outcomes (per workload+level) and history classifications (shared by
+        every workload) are preloaded from and saved to the store, so
+        re-running a completed campaign executes ~0 fresh schedules.
+        ``cache_stats`` gains ``store_*`` counters.  With a store attached
+        the serial path pins its execution batches to ``chunk_size`` (the
+        cursor must mean the same chunk boundaries in every run), so prefer
+        a generous ``chunk_size`` (512+) for serial campaigns.
+    campaign_id:
+        Identifies the campaign within the store (default: derived from the
+        campaign config, so identical explore() inputs resume the same
+        campaign).  Resuming an existing campaign validates that the
+        record-affecting inputs (spec, mode, max_schedules, seed, reduction,
+        chunk_size) match the stored config and raises
+        :class:`repro.persist.CampaignConfigMismatch` otherwise.  Requires
+        ``store``.
     """
     workers = _resolve_worker_count(workers)
     if chunk_size < 1:
@@ -499,6 +603,8 @@ def explore(spec: ProgramSetSpec,
     if not (outcome_memo in (True, False) or outcome_memo == "auto"):
         raise ValueError(
             f"outcome_memo must be True, False, or 'auto', got {outcome_memo!r}")
+    if campaign_id is not None and store is None:
+        raise ValueError("campaign_id requires a store")
     # Resolve the builder here, in the caller's process, so sets registered by
     # the calling script reach spawn-started workers (pickled by reference).
     builder = resolve_program_set(spec)
@@ -550,6 +656,27 @@ def explore(spec: ProgramSetSpec,
             tuple(code for code in ALL_PHENOMENA if code not in pruned)
             if static_pruning and pruned else None)
 
+    session = None
+    if store is not None:
+        # Imported lazily: repro.persist imports this package at module
+        # scope, so the dependency must point one way only.
+        from ..persist.session import CampaignSession, campaign_config
+        session = CampaignSession(
+            store, spec,
+            campaign_config(spec, mode=mode, max_schedules=max_schedules,
+                            seed=seed, reduction=reduction,
+                            chunk_size=chunk_size),
+            campaign_id=campaign_id)
+
+    def _persistence_for(level: IsolationLevelName, serial: bool):
+        if session is None:
+            return None
+        persistence = session.level(level, outcome_memo, serial)
+        codes = level_codes[level]
+        persistence.static_pruned = (len(ALL_PHENOMENA) - len(codes)
+                                     if codes is not None else 0)
+        return persistence
+
     chunk_cache = _ChunkStreamCache(space)
     explorations: Dict[IsolationLevelName, LevelExploration] = {}
     if workers == 1:
@@ -559,6 +686,8 @@ def explore(spec: ProgramSetSpec,
                 initial_items, pool=None, shared_cache=None,
                 outcome_memo=outcome_memo, codes=level_codes[level],
                 batch_kernel=batch_kernel,
+                persistence=_persistence_for(level, serial=True),
+                programs=programs,
             )
     else:
         manager = multiprocessing.Manager() if shared_cache else None
@@ -577,6 +706,17 @@ def explore(spec: ProgramSetSpec,
                         if manager is not None and outcome_memo else None)
                 for level in levels
             }
+            # A campaign store seeds the fresh logs with its stored dedupe
+            # tiers (workers preload them through the normal incremental
+            # pull) and drains worker-published batches back afterwards.
+            seed_batches = (session.seed_classification_log(shared)
+                            if session is not None and shared is not None else 0)
+            outcome_seeds = {
+                level: (session.seed_outcome_log(outcome_logs[level], level.value)
+                        if session is not None and outcome_logs[level] is not None
+                        else 0)
+                for level in levels
+            }
             with multiprocessing.Pool(processes=workers) as pool:
                 for level in levels:
                     explorations[level] = _explore_level(
@@ -586,7 +726,17 @@ def explore(spec: ProgramSetSpec,
                         shared_outcomes=outcome_logs[level],
                         codes=level_codes[level],
                         batch_kernel=batch_kernel,
+                        persistence=_persistence_for(level, serial=False),
+                        programs=programs,
                     )
+            if session is not None:
+                if shared is not None:
+                    session.drain_classification_log(shared, seed_batches)
+                for level in levels:
+                    log = outcome_logs[level]
+                    if log is not None:
+                        session.drain_outcome_log(log, level.value,
+                                                  outcome_seeds[level])
         finally:
             if manager is not None:
                 manager.shutdown()

@@ -23,6 +23,17 @@ per chunk in each direction.  Freshness is keyed on the log length, which
 grows monotonically with every publish; the earlier dict-based design keyed
 freshness on ``len(dict)`` and went stale whenever a concurrent worker
 overwrote existing keys without changing the size.
+
+The logs are bounded: once a log holds ``EXPLORER_SHARED_LOG_CAP`` entries
+(default 200,000; ``-1`` disables the cap), further publishes are dropped
+instead of appended, so a long campaign cannot grow the manager log without
+limit.  True compaction is off the table by design — workers key their
+incremental pulls on batch indices, which rewriting the log would invalidate.
+Dropped entries are surfaced per chunk in ``cache_stats`` as
+``shared_evicted`` / ``outcomes_evicted``; the cap is approximate under
+concurrency (each worker checks it against its own snapshot of the log
+length).  Dropping a publish is always sound: the log is a pure cache, and a
+worker that misses an entry simply recomputes it.
 """
 
 from __future__ import annotations
@@ -46,7 +57,11 @@ from .reduction import terminal_scope_for
 from .schedules import Interleaving
 from .trie_executor import TrieExecutor
 
-__all__ = ["ChunkTask", "ScheduleRecord", "ChunkResult", "execute_chunk"]
+__all__ = ["ChunkTask", "ScheduleRecord", "ChunkResult", "execute_chunk",
+           "preload_outcome_entries", "SHARED_LOG_CAP_DEFAULT"]
+
+#: Default entry cap for the append-only shared logs (see module docstring).
+SHARED_LOG_CAP_DEFAULT = 200_000
 
 #: Per-process testbeds, one per (spec, level, batch-kernel mode): the trie
 #: executor, the workload's initial item set (captured *before* any execution
@@ -62,9 +77,10 @@ _OUTCOME_MEMO_CACHE: Dict[Tuple[ProgramSetSpec, IsolationLevelName],
                           ScheduleOutcomeMemo] = {}
 
 #: Per-process shared-log cursors, keyed by the log proxy's manager token:
-#: (batches consumed so far, merged entries).  The batch count only grows, so
-#: freshness checks cannot go stale.
-_SHARED_LOG_STATE: Dict[str, Tuple[int, Dict[str, HistoryClassification]]] = {}
+#: (batches consumed so far, merged entries, total entries seen across those
+#: batches).  The batch count only grows, so freshness checks cannot go
+#: stale; the entry total backs the publish-side size cap.
+_SHARED_LOG_STATE: Dict[str, Tuple[int, Dict[str, HistoryClassification], int]] = {}
 
 
 def _shared_log_key(proxy: Any) -> Optional[str]:
@@ -72,6 +88,15 @@ def _shared_log_key(proxy: Any) -> Optional[str]:
         return str(proxy._token)
     except AttributeError:  # plain list in tests
         return None
+
+
+def _shared_log_cap() -> int:
+    """Entry cap for shared logs; ``-1`` disables (read per publish, cheap)."""
+    try:
+        return int(os.environ.get("EXPLORER_SHARED_LOG_CAP",
+                                  str(SHARED_LOG_CAP_DEFAULT)))
+    except ValueError:
+        return SHARED_LOG_CAP_DEFAULT
 
 
 def _shared_snapshot(proxy: Any) -> Dict[str, HistoryClassification]:
@@ -82,20 +107,38 @@ def _shared_snapshot(proxy: Any) -> Dict[str, HistoryClassification]:
     empty slice per chunk.
     """
     key = _shared_log_key(proxy)
-    consumed, merged = _SHARED_LOG_STATE.get(key, (0, {})) if key is not None else (0, {})
+    consumed, merged, total = (_SHARED_LOG_STATE.get(key, (0, {}, 0))
+                               if key is not None else (0, {}, 0))
     fresh_batches = list(proxy[consumed:])
     if fresh_batches:
         merged = dict(merged)
         for batch in fresh_batches:
             merged.update(batch)
+            total += len(batch)
     if key is not None:
-        _SHARED_LOG_STATE[key] = (consumed + len(fresh_batches), merged)
+        _SHARED_LOG_STATE[key] = (consumed + len(fresh_batches), merged, total)
     return merged
 
 
-def _publish_shared(proxy: Any, fresh: Dict[str, HistoryClassification]) -> None:
-    """Append one batch of locally computed classifications to the log."""
+def _shared_log_total(proxy: Any) -> int:
+    """Entries this process knows the log to hold (exact for plain lists)."""
+    key = _shared_log_key(proxy)
+    if key is None:
+        return sum(len(batch) for batch in list(proxy))
+    return _SHARED_LOG_STATE.get(key, (0, {}, 0))[2]
+
+
+def _publish_shared(proxy: Any, fresh: Dict[str, HistoryClassification]) -> bool:
+    """Append one batch of locally computed classifications to the log.
+
+    Returns ``False`` (dropping the batch) when the log has reached the
+    ``EXPLORER_SHARED_LOG_CAP`` entry cap — see the module docstring.
+    """
+    cap = _shared_log_cap()
+    if cap >= 0 and _shared_log_total(proxy) + len(fresh) > cap:
+        return False
     proxy.append(fresh)
+    return True
 
 
 @dataclass(frozen=True)
@@ -142,6 +185,11 @@ class ChunkTask:
     #: defers to ``EXPLORER_BATCH_KERNEL`` (default "auto").  Pure
     #: optimization — the kernel is byte-equal to the stepwise trie walk.
     batch_kernel: Optional[str] = None
+    #: Return the chunk's freshly executed outcome-memo entries in
+    #: ``ChunkResult.fresh_outcomes``.  The serial persistence path needs
+    #: them in the result (its shared classifier suppresses the chunk-local
+    #: publish path), so the parent can write them to a campaign store.
+    export_outcomes: bool = False
 
 
 @dataclass(frozen=True)
@@ -166,6 +214,9 @@ class ChunkResult:
     chunk_index: int
     records: Tuple[ScheduleRecord, ...]
     cache_stats: Dict[str, int]
+    #: Outcome-memo entries executed by this chunk, present only when the
+    #: task set ``export_outcomes`` (the serial campaign-store path).
+    fresh_outcomes: Optional[Dict[Interleaving, ScheduleOutcome]] = None
 
 
 def _initial_items(database: Database) -> Tuple[str, ...]:
@@ -218,6 +269,26 @@ def _outcome_memo_for(task: ChunkTask,
         memo = _OUTCOME_MEMO_CACHE[key] = ScheduleOutcomeMemo(
             programs, terminal_scope=terminal_scope_for(task.level))
     return memo
+
+
+def preload_outcome_entries(spec: ProgramSetSpec, level: IsolationLevelName,
+                            programs: Tuple[TransactionProgram, ...],
+                            entries) -> int:
+    """Seed this process's outcome memo for (spec, level) with stored entries.
+
+    The campaign store's serial path runs in the parent process, where the
+    memo lives in this module's per-process cache; preloading it here lets a
+    resumed or repeated campaign answer whole equivalence classes from the
+    store without executing them.  Sound for the same reason worker preloads
+    are: an entry is a pure function of (programs, level, canonical key).
+    """
+    key = (spec, level)
+    memo = _OUTCOME_MEMO_CACHE.get(key)
+    if memo is None:
+        memo = _OUTCOME_MEMO_CACHE[key] = ScheduleOutcomeMemo(
+            programs, terminal_scope=terminal_scope_for(level))
+    memo.preload(entries)
+    return len(entries)
 
 
 def execute_chunk(task: ChunkTask,
@@ -340,15 +411,22 @@ def execute_chunk(task: ChunkTask,
         stats[f"batch_{name}"] = batch_after[name] - batch_before[name]
     if chunk_local and task.shared_cache is not None:
         fresh = classifier.exports()
+        if fresh and not _publish_shared(task.shared_cache, fresh):
+            stats["shared_evicted"] = len(fresh)
+            fresh = {}
         stats["shared_published"] = len(fresh)
-        if fresh:
-            _publish_shared(task.shared_cache, fresh)
+    exported_outcomes: Optional[Dict[Interleaving, ScheduleOutcome]] = None
     if memo is not None:
         # Drain unconditionally: the memo is per-process and long-lived, and
         # an undrained fresh set would retain every outcome twice forever.
         fresh_outcomes = memo.drain_fresh()
+        if task.export_outcomes:
+            exported_outcomes = fresh_outcomes
         if chunk_local and task.shared_outcomes is not None:
+            if fresh_outcomes and not _publish_shared(task.shared_outcomes,
+                                                      fresh_outcomes):
+                stats["outcomes_evicted"] = len(fresh_outcomes)
+                fresh_outcomes = {}
             stats["outcomes_published"] = len(fresh_outcomes)
-            if fresh_outcomes:
-                _publish_shared(task.shared_outcomes, fresh_outcomes)
-    return ChunkResult(task.chunk_index, tuple(records), stats)
+    return ChunkResult(task.chunk_index, tuple(records), stats,
+                       fresh_outcomes=exported_outcomes)

@@ -1,0 +1,59 @@
+"""Campaign persistence: resumable exploration, cross-run dedupe, SQL analytics.
+
+**Not to be confused with** :mod:`repro.storage`.  The repo has two layers
+with "storage" in their nature, on opposite sides of the experiment:
+
+* :mod:`repro.storage` is the *simulated database under test* — the items,
+  rows, tables, predicates, and recovery machinery that the paper's
+  transactions read and write.  It is part of the system being measured.
+* :mod:`repro.persist` (this package) is the *measurement infrastructure* —
+  where exploration campaigns durably record their own progress, results,
+  and caches so they survive the exploring process.  It never participates
+  in a schedule's semantics; attaching a store cannot change a single
+  record (the kill-and-resume tests assert byte-identical coverage).
+
+What lives here:
+
+* :mod:`~repro.persist.records` — canonical serialization of everything a
+  store persists (schedule records, memoized outcomes, classifications,
+  Table 4 cells);
+* :mod:`~repro.persist.store` — the :class:`CampaignStore` abstract
+  interface and the dict-backed :class:`InMemoryStore`;
+* :mod:`~repro.persist.sqlite_store` — :class:`SqliteStore`: WAL-mode
+  SQLite with atomic chunk commits and window-function analytics;
+* :mod:`~repro.persist.session` — parent-side glue ``explore(store=...)``
+  drives (progress cursors, chunk commits, dedupe-tier exchange);
+* :mod:`~repro.persist.analytics` — coverage/witness-edge persistence and
+  the SQL-shaped analytics front end;
+* :mod:`~repro.persist.cli` — ``python -m repro.persist.cli`` to run,
+  resume, and inspect campaigns.
+"""
+
+from .records import default_campaign_id, workload_key
+from .sqlite_store import SqliteStore
+from .store import (
+    AnomalyFrequencyRow,
+    CampaignConfigMismatch,
+    CampaignInfo,
+    CampaignStore,
+    ConflictEdgeRow,
+    InMemoryStore,
+    ScopeProgress,
+    StoredWitness,
+    StoreError,
+)
+
+__all__ = [
+    "CampaignStore",
+    "InMemoryStore",
+    "SqliteStore",
+    "CampaignInfo",
+    "ScopeProgress",
+    "StoreError",
+    "CampaignConfigMismatch",
+    "AnomalyFrequencyRow",
+    "StoredWitness",
+    "ConflictEdgeRow",
+    "workload_key",
+    "default_campaign_id",
+]

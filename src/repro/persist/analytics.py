@@ -1,0 +1,105 @@
+"""Persisting derived artifacts and querying them back: the analytics front end.
+
+The store's row tables make anomaly analytics *queries* instead of python
+walks (frequency over logical time, witness lookup by Table 4 cell,
+conflict-edge aggregation — see :class:`~repro.persist.store.CampaignStore`'s
+analytics methods and their SQL in :mod:`repro.persist.sqlite_store`).  This
+module is the write side and the human-facing summary:
+
+* :func:`persist_result` — after a campaign finishes, derive and store its
+  coverage cells and the dependency (conflict) edges of every witnessed
+  cell's witness history, so edge aggregation has rows to rank;
+* :func:`campaign_summary` — the CLI's ``inspect`` payload: progress per
+  scope, coverage, and the analytics tables rendered as plain text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.dependency import build_dependency_graph
+from ..core.history import History
+from .records import canonical_json, encode_interleaving
+from .store import CampaignStore
+
+__all__ = ["persist_result", "witness_edge_rows", "campaign_summary"]
+
+
+def witness_edge_rows(report) -> List[Tuple[str, str, int, int, str,
+                                            Optional[str]]]:
+    """Dependency-edge rows of every witnessed cell of a coverage report.
+
+    One row per labelled edge of the witness history's dependency graph:
+    ``(scope, code, source, target, kind, item)``.  The witness history is a
+    shorthand string, so this parses and rebuilds the graph — a few dozen
+    operations per witnessed cell, paid once per campaign.
+    """
+    rows: List[Tuple[str, str, int, int, str, Optional[str]]] = []
+    for level, coverage in report.levels.items():
+        for code, cell in coverage.phenomena.items():
+            if not cell.witness_history:
+                continue
+            graph = build_dependency_graph(History.parse(cell.witness_history))
+            for edge in graph.edges:
+                rows.append((level.value, code, edge.source, edge.target,
+                             edge.kind, edge.item))
+    return rows
+
+
+def persist_result(store: CampaignStore, campaign_id: str, result,
+                   codes: Optional[Tuple[str, ...]] = None):
+    """Derive and store a finished campaign's coverage cells and witness edges.
+
+    ``result`` is the :class:`~repro.explorer.ExplorationResult` the campaign
+    produced.  Returns the built
+    :class:`~repro.analysis.coverage.CoverageReport`.
+    """
+    from ..analysis.coverage import build_coverage_report
+    report = build_coverage_report(result, codes=codes)
+    coverage_rows = []
+    for level, coverage in report.levels.items():
+        for code, cell in coverage.phenomena.items():
+            interleaving = (encode_interleaving(cell.witness_interleaving)
+                            if cell.witness_interleaving is not None else None)
+            coverage_rows.append((level.value, code, cell.witnessed,
+                                  interleaving, cell.witness_history))
+    store.save_coverage(campaign_id, coverage_rows)
+    store.save_witness_edges(campaign_id, witness_edge_rows(report))
+    return report
+
+
+def campaign_summary(store: CampaignStore, campaign_id: str,
+                     codes: Tuple[str, ...] = ("P1", "P2", "P3", "A5A", "A5B"),
+                     ) -> str:
+    """A plain-text inspection of one campaign: progress, analytics, edges."""
+    info = store.get_campaign(campaign_id)
+    if info is None:
+        return f"campaign {campaign_id!r}: not found"
+    lines = [f"campaign {campaign_id}",
+             f"  store: {store.description()}",
+             f"  config: {canonical_json(dict(info.config))}"]
+    progress = store.scope_progress(campaign_id)
+    if not progress:
+        lines.append("  no progress recorded yet")
+    for scope in sorted(progress):
+        state = progress[scope]
+        status = "complete" if state.complete else f"cursor={state.cursor}"
+        lines.append(f"  [{scope}] {status}, {state.records} records")
+        for code in codes:
+            series = store.anomaly_frequency(campaign_id, scope, code)
+            total = series[-1].cumulative if series else 0
+            if not total:
+                continue
+            witness = store.witness_for(campaign_id, scope, code)
+            assert witness is not None
+            lines.append(f"    {code}: {total} witnesses over "
+                         f"{len(series)} chunks; first at schedule "
+                         f"#{witness.schedule_index}: "
+                         f"{encode_interleaving(witness.interleaving)}")
+    edges = store.conflict_edge_summary(campaign_id)
+    if edges:
+        lines.append("  witness conflict edges (count-ranked per scope):")
+        for row in edges:
+            lines.append(f"    [{row.scope}] {row.kind}: {row.count} "
+                         f"(rank {row.rank})")
+    return "\n".join(lines)

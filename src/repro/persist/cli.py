@@ -1,0 +1,263 @@
+"""``python -m repro.persist.cli`` — run, resume, and inspect campaigns.
+
+Subcommands:
+
+* ``run``     — start (or transparently resume) an exploration campaign
+  against a SQLite store; prints the coverage report when it finishes and
+  persists the derived coverage cells and witness edges for SQL analytics.
+* ``resume``  — continue an existing campaign from its stored config; no
+  workload flags needed (or allowed) — the campaign *is* the config.
+* ``inspect`` — progress, anomaly-frequency, witness, and conflict-edge
+  analytics of one campaign (or a one-line listing of all of them).
+* ``list``    — every campaign in the store, with completion status.
+
+The store path is plain SQLite: anything that speaks SQL can query the
+tables directly; this CLI only wraps the common operations.
+
+``--throttle-ms`` injects a sleep into every chunk commit.  That exists for
+the kill-and-resume CI job (it widens the window in which a SIGKILL lands
+mid-campaign) and for demos; it changes wall-clock only, never records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.isolation import IsolationLevelName
+from ..workloads.program_sets import ProgramSetSpec, available_program_sets
+from .analytics import campaign_summary, persist_result
+from .sqlite_store import SqliteStore
+from .store import CampaignStore
+
+__all__ = ["main"]
+
+
+class _ThrottledStore:
+    """A store proxy that sleeps per chunk commit (CI kill-window widening)."""
+
+    def __init__(self, inner: CampaignStore, delay_s: float):
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._inner, name)
+        if name != "commit_chunk":
+            return attr
+
+        def commit_chunk(*args: Any, **kwargs: Any) -> Any:
+            time.sleep(self._delay_s)
+            return attr(*args, **kwargs)
+
+        return commit_chunk
+
+
+def _parse_param(raw: str) -> Any:
+    """``key=value`` values as JSON when possible, bare strings otherwise."""
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def _spec_from_args(args: argparse.Namespace) -> ProgramSetSpec:
+    params: Dict[str, Any] = {}
+    for item in args.set or []:
+        if "=" not in item:
+            raise SystemExit(f"--set expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        params[key] = _parse_param(value)
+    return ProgramSetSpec.make(args.program_set, **params)
+
+
+def _levels_from_arg(raw: Optional[str]) -> Optional[List[IsolationLevelName]]:
+    if raw is None:
+        return None
+    levels = []
+    for part in raw.split(","):
+        part = part.strip()
+        try:
+            levels.append(IsolationLevelName(part))
+        except ValueError:
+            known = ", ".join(level.value for level in IsolationLevelName)
+            raise SystemExit(f"unknown isolation level {part!r}; one of: {known}")
+    return levels
+
+
+def _workers_from_arg(raw: str):
+    return raw if raw == "auto" else int(raw)
+
+
+def _maybe_throttled(store: CampaignStore, throttle_ms: float):
+    if throttle_ms <= 0:
+        return store
+    return _ThrottledStore(store, throttle_ms / 1000.0)
+
+
+def _run_explore(store: CampaignStore, spec: ProgramSetSpec,
+                 args: argparse.Namespace, config: Dict[str, Any],
+                 campaign_id: Optional[str]) -> int:
+    from ..explorer.explorer import explore
+    from .records import default_campaign_id
+
+    levels = _levels_from_arg(getattr(args, "levels", None))
+    kwargs: Dict[str, Any] = dict(
+        mode=config["mode"], max_schedules=config["max_schedules"],
+        seed=config["seed"], reduction=config["reduction"],
+        chunk_size=config["chunk_size"],
+        workers=_workers_from_arg(args.workers),
+        store=_maybe_throttled(store, args.throttle_ms),
+        campaign_id=campaign_id or default_campaign_id(config),
+    )
+    if levels is not None:
+        kwargs["levels"] = levels
+    result = explore(spec, **kwargs)
+    campaign = kwargs["campaign_id"]
+    report = persist_result(store, campaign, result)
+    executed = result.executed_schedules()
+    print(report.render(title=f"campaign {campaign}"))
+    print(f"campaign {campaign}: {executed} schedules executed this run, "
+          f"{result.space.selected} in the space")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .session import campaign_config
+
+    spec = _spec_from_args(args)
+    config = campaign_config(spec, mode=args.mode,
+                             max_schedules=args.max_schedules, seed=args.seed,
+                             reduction=args.reduction,
+                             chunk_size=args.chunk_size)
+    with_store = SqliteStore(args.store)
+    try:
+        return _run_explore(with_store, spec, args, config, args.campaign)
+    finally:
+        with_store.close()
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store = SqliteStore(args.store)
+    try:
+        info = store.get_campaign(args.campaign)
+        if info is None:
+            known = ", ".join(c.campaign_id for c in store.list_campaigns())
+            raise SystemExit(f"unknown campaign {args.campaign!r}; "
+                             f"store has: {known or '<none>'}")
+        config = info.config
+        if config.get("kind") == "table4-explored":
+            raise SystemExit(
+                f"campaign {args.campaign!r} is a Table 4 campaign; resume it "
+                f"by re-running compute_table4_explored with the same store")
+        spec = ProgramSetSpec.make(config["spec_name"],
+                                   **{key: value
+                                      for key, value in config["spec_params"]})
+        return _run_explore(store, spec, args, config, args.campaign)
+    finally:
+        store.close()
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    store = SqliteStore(args.store)
+    try:
+        if args.campaign is None:
+            for info in store.list_campaigns():
+                print(campaign_summary(store, info.campaign_id))
+            if not store.list_campaigns():
+                print("no campaigns in store")
+            return 0
+        print(campaign_summary(store, args.campaign))
+        if args.report:
+            from ..analysis.coverage import coverage_report_from_store
+            report = coverage_report_from_store(store, args.campaign)
+            print(report.render(title=f"campaign {args.campaign}"))
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    store = SqliteStore(args.store)
+    try:
+        campaigns = store.list_campaigns()
+        if not campaigns:
+            print("no campaigns in store")
+            return 0
+        for info in campaigns:
+            progress = store.scope_progress(info.campaign_id)
+            done = sum(1 for state in progress.values() if state.complete)
+            records = sum(state.records for state in progress.values())
+            print(f"{info.campaign_id}: {done}/{len(progress)} scopes complete, "
+                  f"{records} records")
+        return 0
+    finally:
+        store.close()
+
+
+def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--levels", default=None,
+                        help="comma-separated isolation levels "
+                             "(default: the explorer's DEFAULT_LEVELS)")
+    parser.add_argument("--workers", default="1",
+                        help="worker processes, or 'auto' (default: 1)")
+    parser.add_argument("--throttle-ms", type=float, default=0.0,
+                        help="sleep this long before every chunk commit "
+                             "(CI kill-window widening; wall-clock only)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.persist.cli",
+        description="Run, resume, and inspect persistent exploration campaigns.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="start (or resume) a campaign")
+    run.add_argument("--store", required=True, help="SQLite store path")
+    run.add_argument("--program-set", required=True,
+                     help=f"one of: {', '.join(available_program_sets())}")
+    run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                     help="program-set parameter (repeatable; JSON values)")
+    run.add_argument("--campaign", default=None,
+                     help="campaign id (default: derived from the config)")
+    run.add_argument("--mode", default="auto",
+                     choices=["auto", "exhaustive", "sample"])
+    run.add_argument("--max-schedules", type=int, default=1000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--chunk-size", type=int, default=64)
+    run.add_argument("--reduction", default="none",
+                     choices=["none", "sleep-set"])
+    _add_common_run_flags(run)
+    run.set_defaults(func=_cmd_run)
+
+    resume = sub.add_parser("resume",
+                            help="continue a campaign from its stored config")
+    resume.add_argument("--store", required=True, help="SQLite store path")
+    resume.add_argument("--campaign", required=True)
+    _add_common_run_flags(resume)
+    resume.set_defaults(func=_cmd_resume)
+
+    inspect = sub.add_parser("inspect", help="progress and anomaly analytics")
+    inspect.add_argument("--store", required=True, help="SQLite store path")
+    inspect.add_argument("--campaign", default=None,
+                         help="campaign id (default: summarize all)")
+    inspect.add_argument("--report", action="store_true",
+                         help="also rebuild and print the coverage report "
+                              "from stored records")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    listing = sub.add_parser("list", help="one line per campaign")
+    listing.add_argument("--store", required=True, help="SQLite store path")
+    listing.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Canonical serialization of campaign records: dataclasses ↔ stored rows.
+
+Everything a :class:`~repro.persist.store.CampaignStore` persists crosses
+through this module, in both directions, so the two backends cannot drift:
+per-schedule :class:`~repro.explorer.worker.ScheduleRecord` rows, memoized
+:class:`~repro.explorer.memo.ScheduleOutcome` entries keyed by canonical
+interleaving, shared :class:`~repro.explorer.memo.HistoryClassification`
+entries keyed by history shorthand, and measured
+:class:`~repro.analysis.coverage.ExploredCell` payloads for the explored
+Table 4.
+
+The encoding is deliberately boring and deliberately *canonical*: flat row
+tuples of SQL-native scalars (ints and strings), with every collection
+rendered as JSON with sorted keys and fixed separators.  Canonicality is a
+determinism requirement, not cosmetics — resumed campaigns must reproduce
+byte-identical coverage reports, so ``decode(encode(x)) == x`` exactly and
+``encode`` itself is a pure function (the repo invariant linter's
+``store-records`` check and the round-trip property tests in
+``tests/persist/test_records_roundtrip.py`` both enforce this across all
+five supported isolation levels, stalled and deadlock-aborted outcomes
+included).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.coverage import ExploredCell
+from ..core.isolation import Possibility
+from ..explorer.memo import HistoryClassification, ScheduleOutcome
+from ..explorer.schedules import Interleaving
+from ..explorer.worker import ScheduleRecord
+from ..workloads.program_sets import ProgramSetSpec
+
+__all__ = [
+    "RECORD_COLUMNS",
+    "OUTCOME_COLUMNS",
+    "CLASSIFICATION_COLUMNS",
+    "encode_interleaving",
+    "decode_interleaving",
+    "encode_ints",
+    "decode_ints",
+    "encode_strs",
+    "decode_strs",
+    "canonical_json",
+    "record_to_row",
+    "record_from_row",
+    "record_to_bytes",
+    "record_from_bytes",
+    "outcome_to_row",
+    "outcome_from_row",
+    "classification_to_row",
+    "classification_from_row",
+    "cell_to_payload",
+    "cell_from_payload",
+    "workload_key",
+    "config_fingerprint",
+]
+
+#: Column order of a serialized :class:`ScheduleRecord` row (after whatever
+#: key prefix the backend adds).
+RECORD_COLUMNS: Tuple[str, ...] = (
+    "interleaving", "history", "serializable", "phenomena", "committed",
+    "aborted", "blocked_events", "deadlocks", "stalled",
+)
+
+#: Column order of a serialized :class:`ScheduleOutcome` row.
+OUTCOME_COLUMNS: Tuple[str, ...] = (
+    "history", "serializable", "phenomena", "committed", "aborted",
+    "blocked_events", "deadlocks", "stalled",
+)
+
+#: Column order of a serialized :class:`HistoryClassification` row.
+CLASSIFICATION_COLUMNS: Tuple[str, ...] = (
+    "serializable", "phenomena", "committed", "aborted",
+)
+
+
+def encode_interleaving(interleaving: Interleaving) -> str:
+    """``(1, 2, 1)`` → ``"1,2,1"`` — compact, order-preserving, canonical."""
+    return ",".join(map(str, interleaving))
+
+
+def decode_interleaving(text: str) -> Interleaving:
+    return tuple(int(part) for part in text.split(",")) if text else ()
+
+
+def encode_ints(values: Sequence[int]) -> str:
+    """A tuple of ints as canonical JSON (committed/aborted sets, sorted upstream).
+
+    Hand-assembled rather than ``json.dumps``: ints never need escaping, the
+    output is byte-identical, and this runs several times per record on the
+    campaign commit path, where encoding (not SQLite) dominates the store's
+    serial overhead.
+    """
+    return "[%s]" % ",".join(map(str, values)) if values else "[]"
+
+
+def decode_ints(text: str) -> Tuple[int, ...]:
+    return tuple(int(value) for value in json.loads(text))
+
+
+def encode_strs(values: Sequence[str]) -> str:
+    """A tuple of strings as canonical JSON (phenomenon codes, sorted upstream)."""
+    # Most records manifest no phenomena; skip json.dumps for the common case.
+    return json.dumps(list(values), separators=(",", ":")) if values else "[]"
+
+
+def decode_strs(text: str) -> Tuple[str, ...]:
+    return tuple(str(value) for value in json.loads(text))
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, fixed separators, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- ScheduleRecord -------------------------------------------------------------------
+
+
+def record_to_row(record: ScheduleRecord) -> Tuple:
+    """A record as a flat tuple of SQL-native scalars, in RECORD_COLUMNS order."""
+    return (
+        encode_interleaving(record.interleaving),
+        record.history,
+        int(record.serializable),
+        encode_strs(record.phenomena),
+        encode_ints(record.committed),
+        encode_ints(record.aborted),
+        int(record.blocked_events),
+        int(record.deadlocks),
+        int(record.stalled),
+    )
+
+
+def record_from_row(row: Sequence) -> ScheduleRecord:
+    """The exact record a :func:`record_to_row` row encodes."""
+    return ScheduleRecord(
+        interleaving=decode_interleaving(row[0]),
+        history=row[1],
+        serializable=bool(row[2]),
+        phenomena=decode_strs(row[3]),
+        committed=decode_ints(row[4]),
+        aborted=decode_ints(row[5]),
+        blocked_events=int(row[6]),
+        deadlocks=int(row[7]),
+        stalled=bool(row[8]),
+    )
+
+
+def record_to_bytes(record: ScheduleRecord) -> bytes:
+    """One record as canonical bytes (the property-test and fingerprint currency)."""
+    return canonical_json(list(record_to_row(record))).encode("utf-8")
+
+
+def record_from_bytes(blob: bytes) -> ScheduleRecord:
+    return record_from_row(json.loads(blob.decode("utf-8")))
+
+
+# -- ScheduleOutcome (cross-run execution dedupe) -------------------------------------
+
+
+def outcome_to_row(key: Interleaving, outcome: ScheduleOutcome) -> Tuple:
+    """``(canonical key, *OUTCOME_COLUMNS)`` for the store's outcome table."""
+    return (
+        encode_interleaving(key),
+        outcome.history,
+        int(outcome.serializable),
+        encode_strs(outcome.phenomena),
+        encode_ints(outcome.committed),
+        encode_ints(outcome.aborted),
+        int(outcome.blocked_events),
+        int(outcome.deadlocks),
+        int(outcome.stalled),
+    )
+
+
+def outcome_from_row(row: Sequence) -> Tuple[Interleaving, ScheduleOutcome]:
+    return decode_interleaving(row[0]), ScheduleOutcome(
+        history=row[1],
+        serializable=bool(row[2]),
+        phenomena=decode_strs(row[3]),
+        committed=decode_ints(row[4]),
+        aborted=decode_ints(row[5]),
+        blocked_events=int(row[6]),
+        deadlocks=int(row[7]),
+        stalled=bool(row[8]),
+    )
+
+
+# -- HistoryClassification (cross-run *and* cross-workload dedupe) --------------------
+
+
+def classification_to_row(shorthand: str,
+                          classification: HistoryClassification) -> Tuple:
+    """``(shorthand, *CLASSIFICATION_COLUMNS)`` for the classification table."""
+    return (
+        shorthand,
+        int(classification.serializable),
+        encode_strs(classification.phenomena),
+        encode_ints(classification.committed),
+        encode_ints(classification.aborted),
+    )
+
+
+def classification_from_row(row: Sequence) -> Tuple[str, HistoryClassification]:
+    shorthand = row[0]
+    return shorthand, HistoryClassification(
+        shorthand=shorthand,
+        serializable=bool(row[1]),
+        phenomena=decode_strs(row[2]),
+        committed=decode_ints(row[3]),
+        aborted=decode_ints(row[4]),
+    )
+
+
+# -- ExploredCell (the measured Table 4) ----------------------------------------------
+
+
+def cell_to_payload(cell: ExploredCell) -> str:
+    """One measured Table 4 cell as canonical JSON."""
+    witness = None
+    if cell.witness is not None:
+        variant, interleaving, history = cell.witness
+        witness = [variant, list(interleaving), history]
+    return canonical_json({
+        "code": cell.code,
+        "possibility": cell.possibility.name,
+        "schedules": cell.schedules,
+        "manifested": cell.manifested,
+        "stalled": cell.stalled,
+        "witness": witness,
+        "variant_frequencies": [[name, frequency]
+                                for name, frequency in cell.variant_frequencies],
+        "pruned_variants": cell.pruned_variants,
+        "static_reasons": [[name, reason]
+                           for name, reason in cell.static_reasons],
+    })
+
+
+def cell_from_payload(payload: str) -> ExploredCell:
+    data = json.loads(payload)
+    witness = None
+    if data["witness"] is not None:
+        variant, interleaving, history = data["witness"]
+        witness = (variant, tuple(interleaving), history)
+    return ExploredCell(
+        code=data["code"],
+        possibility=Possibility[data["possibility"]],
+        schedules=data["schedules"],
+        manifested=data["manifested"],
+        stalled=data["stalled"],
+        witness=witness,
+        variant_frequencies=tuple(
+            (name, frequency) for name, frequency in data["variant_frequencies"]),
+        pruned_variants=data["pruned_variants"],
+        static_reasons=tuple(
+            (name, reason) for name, reason in data["static_reasons"]),
+    )
+
+
+# -- keys -----------------------------------------------------------------------------
+
+
+def workload_key(spec: ProgramSetSpec) -> str:
+    """The cross-run dedupe key of a workload: builder name + parameters.
+
+    Registered builders are deterministic by the explorer's contract, so two
+    specs with the same key build identical programs — the precondition for
+    reusing a canonical schedule's memoized outcome across runs.
+    """
+    return f"{spec.name}|{canonical_json(dict(spec.params))}"
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """A short stable digest of a campaign config (the default campaign id)."""
+    digest = hashlib.sha256(canonical_json(dict(config)).encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+def default_campaign_id(config: Mapping[str, Any],
+                        prefix: Optional[str] = None) -> str:
+    """``<spec name>-<config digest>`` — readable and collision-resistant."""
+    head = prefix or str(config.get("spec_name", "campaign"))
+    return f"{head}-{config_fingerprint(config)}"
+
+
+__all__.append("default_campaign_id")
+
+
+def merge_stats(into: Dict[str, int], extra: Mapping[str, int]) -> None:
+    """Accumulate counter dicts (the cache_stats convention)."""
+    for key, value in extra.items():
+        into[key] = into.get(key, 0) + value
+
+
+__all__.append("merge_stats")

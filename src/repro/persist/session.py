@@ -1,0 +1,196 @@
+"""Parent-side glue between ``explore()`` and a :class:`CampaignStore`.
+
+A :class:`CampaignSession` owns one campaign of one ``explore()`` call: it
+derives the canonical campaign config from the explore inputs, opens (or
+validates) the campaign row, and hands each isolation level a
+:class:`LevelPersistence` that the level loop drives:
+
+* ``cursor`` — how many chunks of this scope are already durable; the level
+  loop skips executing those and loads their records instead;
+* ``commit_chunk`` — one atomic store write per freshly executed chunk
+  (records + cursor advance, plus the chunk's fresh outcome-memo entries);
+* ``preload_classifier`` / ``preload_outcome_memo`` — seed the serial
+  dedupe tiers from the store before the level streams;
+* ``finish`` — persist the level's fresh classifications and mark the scope
+  complete.
+
+Everything here runs in the parent process only.  Workers never see the
+store: the parent commits chunks as their results arrive in chunk order,
+which is what makes the cursor a contiguous high-water mark and a SIGKILL
+at any moment resumable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.isolation import IsolationLevelName
+from ..explorer.memo import BatchClassifier, ScheduleOutcome
+from ..explorer.schedules import Interleaving
+from ..explorer.worker import ScheduleRecord, preload_outcome_entries
+from ..workloads.program_sets import ProgramSetSpec
+from .records import default_campaign_id, workload_key
+from .store import CampaignStore
+
+__all__ = ["CampaignSession", "LevelPersistence", "campaign_config"]
+
+
+def campaign_config(spec: ProgramSetSpec, mode: str, max_schedules: int,
+                    seed: int, reduction: str, chunk_size: int) -> Dict[str, Any]:
+    """The canonical campaign config: every input the record stream depends on.
+
+    Deliberately excludes workers, shared_cache, outcome_memo, static_pruning,
+    and batch_kernel — those change wall-clock behaviour only, never records
+    (the explorer's determinism contract), so a campaign may be resumed with
+    different values for them.  ``chunk_size`` *is* included: it fixes the
+    chunk boundaries the progress cursor counts.
+    """
+    return {
+        "spec_name": spec.name,
+        "spec_params": [[key, value] for key, value in spec.params],
+        "mode": mode,
+        "max_schedules": max_schedules,
+        "seed": seed,
+        "reduction": reduction,
+        "chunk_size": chunk_size,
+    }
+
+
+class LevelPersistence:
+    """One scope's resume cursor, chunk commits, and dedupe preloads."""
+
+    def __init__(self, session: "CampaignSession", level: IsolationLevelName,
+                 outcome_memo: bool, serial: bool):
+        self.session = session
+        self.level = level
+        self.scope = level.value
+        self.serial = serial
+        self.outcome_memo = outcome_memo
+        store = session.store
+        self.cursor = store.cursor(session.campaign_id, self.scope)
+        #: Statically pruned detector count, stored with the scope stats so
+        #: store-read coverage reports carry the same pruning note.
+        self.static_pruned = 0
+        self.stats: Dict[str, int] = {}
+        self._committed = 0
+
+    # -- resume ------------------------------------------------------------------------
+
+    def load_chunk(self, chunk_index: int,
+                   ) -> Tuple[Tuple[ScheduleRecord, ...], Tuple[ScheduleRecord, ...]]:
+        records, reps = self.session.store.load_chunk(
+            self.session.campaign_id, self.scope, chunk_index)
+        self.stats["store_chunks_loaded"] = self.stats.get("store_chunks_loaded", 0) + 1
+        self.stats["store_records_loaded"] = (
+            self.stats.get("store_records_loaded", 0) + len(records))
+        return records, reps
+
+    # -- commits -----------------------------------------------------------------------
+
+    def commit_chunk(self, chunk_index: int,
+                     records: Sequence[ScheduleRecord],
+                     rep_records: Optional[Sequence[ScheduleRecord]] = None,
+                     fresh_outcomes: Optional[Mapping[Interleaving,
+                                                      ScheduleOutcome]] = None,
+                     ) -> None:
+        store = self.session.store
+        store.commit_chunk(self.session.campaign_id, self.scope, chunk_index,
+                           records, rep_records)
+        if fresh_outcomes:
+            store.save_outcomes(self.session.workload, self.scope, fresh_outcomes)
+        self._committed += 1
+        self.stats["store_chunks_committed"] = self._committed
+        self.stats["store_records_committed"] = (
+            self.stats.get("store_records_committed", 0) + len(records))
+
+    def finish(self, total_chunks: int,
+               classifier: Optional[BatchClassifier] = None) -> None:
+        """Persist fresh classifications and mark the scope durably complete."""
+        if classifier is not None:
+            fresh = classifier.exports()
+            if fresh:
+                self.session.store.save_classifications(fresh)
+        stats = dict(self.stats)
+        stats["static_pruned_detectors"] = self.static_pruned
+        self.session.store.mark_scope_complete(
+            self.session.campaign_id, self.scope, total_chunks, stats)
+
+    # -- dedupe preloads ---------------------------------------------------------------
+
+    def preload_classifier(self, classifier: BatchClassifier) -> None:
+        stored = self.session.classifications()
+        if stored:
+            classifier.preload(stored)
+            self.stats["store_classifications_preloaded"] = len(stored)
+
+    def preload_outcome_memo(self, spec: ProgramSetSpec, programs) -> None:
+        """Seed the parent-process outcome memo from the store (serial path)."""
+        if not (self.serial and self.outcome_memo):
+            return
+        stored = self.session.store.load_outcomes(self.session.workload, self.scope)
+        if stored:
+            preload_outcome_entries(spec, self.level, programs, stored)
+            self.stats["store_outcomes_preloaded"] = len(stored)
+
+
+class CampaignSession:
+    """One campaign of one ``explore()`` call against one store."""
+
+    def __init__(self, store: CampaignStore, spec: ProgramSetSpec,
+                 config: Mapping[str, Any],
+                 campaign_id: Optional[str] = None):
+        self.store = store
+        self.spec = spec
+        self.config = dict(config)
+        self.campaign_id = campaign_id or default_campaign_id(self.config)
+        self.workload = workload_key(spec)
+        store.open_campaign(self.campaign_id, self.config)
+        self._classifications: Optional[Dict[str, Any]] = None
+
+    def classifications(self) -> Dict[str, Any]:
+        """Stored classifications, loaded once per session (shared by levels)."""
+        if self._classifications is None:
+            self._classifications = self.store.load_classifications()
+        return self._classifications
+
+    def level(self, level: IsolationLevelName, outcome_memo: bool,
+              serial: bool) -> LevelPersistence:
+        return LevelPersistence(self, level, outcome_memo, serial)
+
+    # -- parallel dedupe-tier exchange -------------------------------------------------
+
+    def seed_classification_log(self, log: Any) -> int:
+        """Append the stored classifications to a fresh manager log.
+
+        Returns the number of seed batches appended (0 or 1): the caller
+        skips them when draining worker-published batches back to the store.
+        """
+        stored = self.classifications()
+        if stored:
+            log.append(stored)
+            return 1
+        return 0
+
+    def seed_outcome_log(self, log: Any, scope: str) -> int:
+        stored = self.store.load_outcomes(self.workload, scope)
+        if stored:
+            log.append(stored)
+            return 1
+        return 0
+
+    def drain_classification_log(self, log: Any, seed_batches: int) -> int:
+        """Persist every worker-published classification batch to the store."""
+        merged: Dict[str, Any] = {}
+        for batch in list(log)[seed_batches:]:
+            merged.update(batch)
+        if merged:
+            self.store.save_classifications(merged)
+        return len(merged)
+
+    def drain_outcome_log(self, log: Any, scope: str, seed_batches: int) -> int:
+        merged: Dict[Interleaving, ScheduleOutcome] = {}
+        for batch in list(log)[seed_batches:]:
+            merged.update(batch)
+        if merged:
+            self.store.save_outcomes(self.workload, scope, merged)
+        return len(merged)

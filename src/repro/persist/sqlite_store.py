@@ -1,0 +1,513 @@
+"""SQLite campaign store: durable chunks, WAL crash-safety, SQL analytics.
+
+The schema follows the row encodings of :mod:`repro.persist.records` —
+every collection column is canonical JSON, so the JSON1 functions
+(``json_each``) can unnest phenomenon lists inside queries, and the
+analytics that used to be bespoke python walks become plain SQL with
+window functions:
+
+* anomaly frequency over logical time — per-chunk witness counts with a
+  running total via ``SUM(...) OVER (ORDER BY chunk_index)``;
+* witness lookup by Table 4 cell — earliest stored witness via ``ORDER BY
+  schedule_index LIMIT 1`` over a ``json_each`` containment probe;
+* conflict-edge aggregation — ``RANK() OVER (PARTITION BY scope ORDER BY
+  COUNT(*) DESC)`` over the witness-edge table.
+
+Durability: the connection runs in WAL mode and every ``commit_chunk`` is
+one transaction inserting the chunk's record rows and advancing the scope
+cursor, so a SIGKILL between any two statements leaves the cursor pointing
+at a fully materialized prefix of the stream.  Workers never open the
+database — only the parent process writes — which keeps the concurrency
+story to SQLite's single-writer default.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from ..explorer.memo import HistoryClassification, ScheduleOutcome
+from ..explorer.schedules import Interleaving
+from ..explorer.worker import ScheduleRecord
+from . import records as rec
+from .store import (
+    AnomalyFrequencyRow,
+    CampaignConfigMismatch,
+    CampaignInfo,
+    CampaignStore,
+    ConflictEdgeRow,
+    ScopeProgress,
+    StoredWitness,
+    StoreError,
+)
+
+__all__ = ["SqliteStore", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign TEXT PRIMARY KEY,
+    config   TEXT NOT NULL,
+    seq      INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cursors (
+    campaign     TEXT NOT NULL,
+    scope        TEXT NOT NULL,
+    cursor       INTEGER NOT NULL,
+    records      INTEGER NOT NULL,
+    complete     INTEGER NOT NULL DEFAULT 0,
+    total_chunks INTEGER,
+    stats        TEXT,
+    PRIMARY KEY (campaign, scope)
+);
+CREATE TABLE IF NOT EXISTS records (
+    campaign       TEXT NOT NULL,
+    scope          TEXT NOT NULL,
+    chunk_index    INTEGER NOT NULL,
+    schedule_index INTEGER NOT NULL,
+    interleaving   TEXT NOT NULL,
+    history        TEXT NOT NULL,
+    serializable   INTEGER NOT NULL,
+    phenomena      TEXT NOT NULL,
+    committed      TEXT NOT NULL,
+    aborted        TEXT NOT NULL,
+    blocked_events INTEGER NOT NULL,
+    deadlocks      INTEGER NOT NULL,
+    stalled        INTEGER NOT NULL,
+    PRIMARY KEY (campaign, scope, schedule_index)
+);
+CREATE INDEX IF NOT EXISTS records_by_chunk
+    ON records (campaign, scope, chunk_index);
+CREATE TABLE IF NOT EXISTS rep_records (
+    campaign       TEXT NOT NULL,
+    scope          TEXT NOT NULL,
+    chunk_index    INTEGER NOT NULL,
+    position       INTEGER NOT NULL,
+    interleaving   TEXT NOT NULL,
+    history        TEXT NOT NULL,
+    serializable   INTEGER NOT NULL,
+    phenomena      TEXT NOT NULL,
+    committed      TEXT NOT NULL,
+    aborted        TEXT NOT NULL,
+    blocked_events INTEGER NOT NULL,
+    deadlocks      INTEGER NOT NULL,
+    stalled        INTEGER NOT NULL,
+    PRIMARY KEY (campaign, scope, chunk_index, position)
+);
+CREATE TABLE IF NOT EXISTS outcomes (
+    workload       TEXT NOT NULL,
+    scope          TEXT NOT NULL,
+    key            TEXT NOT NULL,
+    history        TEXT NOT NULL,
+    serializable   INTEGER NOT NULL,
+    phenomena      TEXT NOT NULL,
+    committed      TEXT NOT NULL,
+    aborted        TEXT NOT NULL,
+    blocked_events INTEGER NOT NULL,
+    deadlocks      INTEGER NOT NULL,
+    stalled        INTEGER NOT NULL,
+    PRIMARY KEY (workload, scope, key)
+);
+CREATE TABLE IF NOT EXISTS classifications (
+    shorthand    TEXT PRIMARY KEY,
+    serializable INTEGER NOT NULL,
+    phenomena    TEXT NOT NULL,
+    committed    TEXT NOT NULL,
+    aborted      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS coverage (
+    campaign             TEXT NOT NULL,
+    scope                TEXT NOT NULL,
+    code                 TEXT NOT NULL,
+    witnessed            INTEGER NOT NULL,
+    witness_interleaving TEXT,
+    witness_history      TEXT,
+    PRIMARY KEY (campaign, scope, code)
+);
+CREATE TABLE IF NOT EXISTS witness_edges (
+    campaign TEXT NOT NULL,
+    scope    TEXT NOT NULL,
+    code     TEXT NOT NULL,
+    source   INTEGER NOT NULL,
+    target   INTEGER NOT NULL,
+    kind     TEXT NOT NULL,
+    item     TEXT
+);
+CREATE INDEX IF NOT EXISTS witness_edges_by_campaign
+    ON witness_edges (campaign, scope, kind);
+CREATE TABLE IF NOT EXISTS table4_cells (
+    campaign TEXT NOT NULL,
+    scope    TEXT NOT NULL,
+    code     TEXT NOT NULL,
+    payload  TEXT NOT NULL,
+    PRIMARY KEY (campaign, scope, code)
+);
+"""
+
+_RECORD_INSERT = """
+INSERT INTO records (campaign, scope, chunk_index, schedule_index,
+                     interleaving, history, serializable, phenomena, committed,
+                     aborted, blocked_events, deadlocks, stalled)
+VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+"""
+
+_REP_INSERT = """
+INSERT INTO rep_records (campaign, scope, chunk_index, position,
+                         interleaving, history, serializable, phenomena,
+                         committed, aborted, blocked_events, deadlocks, stalled)
+VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+"""
+
+_RECORD_COLS = ("interleaving, history, serializable, phenomena, committed, "
+                "aborted, blocked_events, deadlocks, stalled")
+
+
+class SqliteStore(CampaignStore):
+    """Campaign store on a single SQLite file (stdlib ``sqlite3``, WAL mode)."""
+
+    def __init__(self, path: Union[str, Path],
+                 synchronous: str = "NORMAL") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.isolation_level = None      # explicit BEGIN/COMMIT below
+        cur = self._conn.cursor()
+        cur.execute("PRAGMA journal_mode=WAL")
+        cur.execute(f"PRAGMA synchronous={synchronous}")
+        cur.executescript(_SCHEMA)
+        cur.execute("INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)))
+        stored = cur.execute("SELECT value FROM meta WHERE key = ?",
+                             ("schema_version",)).fetchone()[0]
+        if int(stored) != SCHEMA_VERSION:
+            raise StoreError(f"store {self.path!r} has schema version {stored}, "
+                             f"this build expects {SCHEMA_VERSION}")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def description(self) -> str:
+        return f"SqliteStore ({self.path}, schema v{SCHEMA_VERSION})"
+
+    # -- campaigns --------------------------------------------------------------------
+
+    def open_campaign(self, campaign_id: str,
+                      config: Optional[Mapping[str, Any]] = None) -> CampaignInfo:
+        cur = self._conn.cursor()
+        row = cur.execute("SELECT config FROM campaigns WHERE campaign = ?",
+                          (campaign_id,)).fetchone()
+        if row is None:
+            if config is None:
+                raise StoreError(f"unknown campaign {campaign_id!r} and no config "
+                                 f"supplied to create it")
+            encoded = rec.canonical_json(dict(config))
+            seq = cur.execute("SELECT COUNT(*) FROM campaigns").fetchone()[0]
+            cur.execute("INSERT INTO campaigns (campaign, config, seq) "
+                        "VALUES (?, ?, ?)", (campaign_id, encoded, seq))
+            self._conn.commit()
+            return CampaignInfo(campaign_id, dict(config))
+        stored = row[0]
+        if config is not None and rec.canonical_json(dict(config)) != stored:
+            raise CampaignConfigMismatch(
+                f"campaign {campaign_id!r} exists with a different config: "
+                f"stored {stored}, got {rec.canonical_json(dict(config))}")
+        return CampaignInfo(campaign_id, json.loads(stored))
+
+    def get_campaign(self, campaign_id: str) -> Optional[CampaignInfo]:
+        row = self._conn.execute("SELECT config FROM campaigns WHERE campaign = ?",
+                                 (campaign_id,)).fetchone()
+        if row is None:
+            return None
+        return CampaignInfo(campaign_id, json.loads(row[0]))
+
+    def list_campaigns(self) -> Tuple[CampaignInfo, ...]:
+        rows = self._conn.execute(
+            "SELECT campaign, config FROM campaigns ORDER BY seq").fetchall()
+        return tuple(CampaignInfo(cid, json.loads(cfg)) for cid, cfg in rows)
+
+    # -- progress ---------------------------------------------------------------------
+
+    def _require_campaign(self, campaign_id: str) -> None:
+        row = self._conn.execute("SELECT 1 FROM campaigns WHERE campaign = ?",
+                                 (campaign_id,)).fetchone()
+        if row is None:
+            raise StoreError(f"unknown campaign {campaign_id!r}")
+
+    def scope_progress(self, campaign_id: str) -> Dict[str, ScopeProgress]:
+        self._require_campaign(campaign_id)
+        out: Dict[str, ScopeProgress] = {}
+        rows = self._conn.execute(
+            "SELECT scope, cursor, records, complete, total_chunks, stats "
+            "FROM cursors WHERE campaign = ?", (campaign_id,)).fetchall()
+        for scope, cursor, count, complete, total, stats in rows:
+            out[scope] = ScopeProgress(scope, cursor, count, bool(complete), total,
+                                       json.loads(stats) if stats else {})
+        return out
+
+    def commit_chunk(self, campaign_id: str, scope: str, chunk_index: int,
+                     records: Sequence[ScheduleRecord],
+                     rep_records: Optional[Sequence[ScheduleRecord]] = None) -> None:
+        self._require_campaign(campaign_id)
+        cur = self._conn.cursor()
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            row = cur.execute(
+                "SELECT cursor, records FROM cursors WHERE campaign = ? AND "
+                "scope = ?", (campaign_id, scope)).fetchone()
+            cursor, base = row if row is not None else (0, 0)
+            if chunk_index != cursor:
+                raise StoreError(f"non-contiguous commit: chunk {chunk_index} with "
+                                 f"cursor {cursor} ({campaign_id!r}/{scope!r})")
+            cur.executemany(_RECORD_INSERT, [
+                (campaign_id, scope, chunk_index, base + offset)
+                + rec.record_to_row(record)
+                for offset, record in enumerate(records)])
+            if rep_records:
+                cur.executemany(_REP_INSERT, [
+                    (campaign_id, scope, chunk_index, position)
+                    + rec.record_to_row(record)
+                    for position, record in enumerate(rep_records)])
+            if row is None:
+                cur.execute("INSERT INTO cursors (campaign, scope, cursor, records) "
+                            "VALUES (?, ?, ?, ?)",
+                            (campaign_id, scope, chunk_index + 1,
+                             base + len(records)))
+            else:
+                cur.execute("UPDATE cursors SET cursor = ?, records = ? "
+                            "WHERE campaign = ? AND scope = ?",
+                            (chunk_index + 1, base + len(records),
+                             campaign_id, scope))
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def load_chunk(self, campaign_id: str, scope: str, chunk_index: int,
+                   ) -> Tuple[Tuple[ScheduleRecord, ...], Tuple[ScheduleRecord, ...]]:
+        row = self._conn.execute(
+            "SELECT cursor FROM cursors WHERE campaign = ? AND scope = ?",
+            (campaign_id, scope)).fetchone()
+        if row is None or chunk_index >= row[0]:
+            raise StoreError(f"chunk {chunk_index} of {campaign_id!r}/{scope!r} "
+                             f"is not committed")
+        records = tuple(rec.record_from_row(r) for r in self._conn.execute(
+            f"SELECT {_RECORD_COLS} FROM records WHERE campaign = ? AND scope = ? "
+            f"AND chunk_index = ? ORDER BY schedule_index",
+            (campaign_id, scope, chunk_index)).fetchall())
+        reps = tuple(rec.record_from_row(r) for r in self._conn.execute(
+            f"SELECT {_RECORD_COLS} FROM rep_records WHERE campaign = ? AND "
+            f"scope = ? AND chunk_index = ? ORDER BY position",
+            (campaign_id, scope, chunk_index)).fetchall())
+        return records, reps
+
+    def mark_scope_complete(self, campaign_id: str, scope: str, total_chunks: int,
+                            stats: Optional[Mapping[str, int]] = None) -> None:
+        self._require_campaign(campaign_id)
+        encoded = rec.canonical_json(dict(stats)) if stats else None
+        cur = self._conn.cursor()
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute(
+                "INSERT INTO cursors (campaign, scope, cursor, records, complete, "
+                "total_chunks, stats) VALUES (?, ?, 0, 0, 1, ?, ?) "
+                "ON CONFLICT (campaign, scope) DO UPDATE SET complete = 1, "
+                "total_chunks = excluded.total_chunks, stats = excluded.stats",
+                (campaign_id, scope, total_chunks, encoded))
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def iter_records(self, campaign_id: str, scope: str) -> Iterator[ScheduleRecord]:
+        for row in self._conn.execute(
+                f"SELECT {_RECORD_COLS} FROM records WHERE campaign = ? AND "
+                f"scope = ? ORDER BY schedule_index", (campaign_id, scope)):
+            yield rec.record_from_row(row)
+
+    # -- dedupe tiers -----------------------------------------------------------------
+
+    def load_outcomes(self, workload: str, scope: str,
+                      ) -> Dict[Interleaving, ScheduleOutcome]:
+        out: Dict[Interleaving, ScheduleOutcome] = {}
+        for row in self._conn.execute(
+                "SELECT key, history, serializable, phenomena, committed, aborted, "
+                "blocked_events, deadlocks, stalled FROM outcomes "
+                "WHERE workload = ? AND scope = ?", (workload, scope)):
+            key, outcome = rec.outcome_from_row(row)
+            out[key] = outcome
+        return out
+
+    def save_outcomes(self, workload: str, scope: str,
+                      entries: Mapping[Interleaving, ScheduleOutcome]) -> int:
+        if not entries:
+            return 0
+        cur = self._conn.cursor()
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            before = cur.execute(
+                "SELECT COUNT(*) FROM outcomes WHERE workload = ? AND scope = ?",
+                (workload, scope)).fetchone()[0]
+            cur.executemany(
+                "INSERT OR REPLACE INTO outcomes (workload, scope, key, history, "
+                "serializable, phenomena, committed, aborted, blocked_events, "
+                "deadlocks, stalled) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(workload, scope) + rec.outcome_to_row(key, outcome)
+                 for key, outcome in entries.items()])
+            after = cur.execute(
+                "SELECT COUNT(*) FROM outcomes WHERE workload = ? AND scope = ?",
+                (workload, scope)).fetchone()[0]
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+        return after - before
+
+    def load_classifications(self) -> Dict[str, HistoryClassification]:
+        out: Dict[str, HistoryClassification] = {}
+        for row in self._conn.execute(
+                "SELECT shorthand, serializable, phenomena, committed, aborted "
+                "FROM classifications"):
+            shorthand, classification = rec.classification_from_row(row)
+            out[shorthand] = classification
+        return out
+
+    def save_classifications(self,
+                             entries: Mapping[str, HistoryClassification]) -> int:
+        if not entries:
+            return 0
+        cur = self._conn.cursor()
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            before = cur.execute("SELECT COUNT(*) FROM classifications").fetchone()[0]
+            cur.executemany(
+                "INSERT OR REPLACE INTO classifications (shorthand, serializable, "
+                "phenomena, committed, aborted) VALUES (?, ?, ?, ?, ?)",
+                [rec.classification_to_row(shorthand, classification)
+                 for shorthand, classification in entries.items()])
+            after = cur.execute("SELECT COUNT(*) FROM classifications").fetchone()[0]
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+        return after - before
+
+    # -- derived artifacts ------------------------------------------------------------
+
+    def save_coverage(self, campaign_id: str,
+                      rows: Sequence[Tuple[str, str, int, Optional[str],
+                                           Optional[str]]]) -> None:
+        self._require_campaign(campaign_id)
+        cur = self._conn.cursor()
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute("DELETE FROM coverage WHERE campaign = ?", (campaign_id,))
+            cur.executemany(
+                "INSERT INTO coverage (campaign, scope, code, witnessed, "
+                "witness_interleaving, witness_history) VALUES (?, ?, ?, ?, ?, ?)",
+                [(campaign_id,) + tuple(row) for row in rows])
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def save_witness_edges(self, campaign_id: str,
+                           rows: Sequence[Tuple[str, str, int, int, str,
+                                                Optional[str]]]) -> None:
+        self._require_campaign(campaign_id)
+        cur = self._conn.cursor()
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute("DELETE FROM witness_edges WHERE campaign = ?",
+                        (campaign_id,))
+            cur.executemany(
+                "INSERT INTO witness_edges (campaign, scope, code, source, target, "
+                "kind, item) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [(campaign_id,) + tuple(row) for row in rows])
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def save_table4_cell(self, campaign_id: str, scope: str, code: str,
+                         payload: str) -> None:
+        self._require_campaign(campaign_id)
+        cur = self._conn.cursor()
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute(
+                "INSERT OR REPLACE INTO table4_cells (campaign, scope, code, "
+                "payload) VALUES (?, ?, ?, ?)", (campaign_id, scope, code, payload))
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def load_table4_cells(self, campaign_id: str) -> Dict[Tuple[str, str], str]:
+        return {(scope, code): payload for scope, code, payload in
+                self._conn.execute("SELECT scope, code, payload FROM table4_cells "
+                                   "WHERE campaign = ?", (campaign_id,))}
+
+    # -- SQL analytics ----------------------------------------------------------------
+
+    def anomaly_frequency(self, campaign_id: str, scope: str,
+                          code: str) -> Tuple[AnomalyFrequencyRow, ...]:
+        rows = self._conn.execute(
+            """
+            SELECT chunk_index,
+                   COUNT(*) AS schedules,
+                   SUM(hit) AS witnessed,
+                   SUM(SUM(hit)) OVER (ORDER BY chunk_index
+                                       ROWS UNBOUNDED PRECEDING) AS cumulative
+            FROM (
+                SELECT chunk_index,
+                       EXISTS (SELECT 1 FROM json_each(r.phenomena) j
+                               WHERE j.value = ?) AS hit
+                FROM records r
+                WHERE r.campaign = ? AND r.scope = ?
+            )
+            GROUP BY chunk_index
+            ORDER BY chunk_index
+            """, (code, campaign_id, scope)).fetchall()
+        return tuple(AnomalyFrequencyRow(chunk, schedules, witnessed, cumulative)
+                     for chunk, schedules, witnessed, cumulative in rows)
+
+    def witness_for(self, campaign_id: str, scope: str,
+                    code: str) -> Optional[StoredWitness]:
+        row = self._conn.execute(
+            """
+            SELECT schedule_index, interleaving, history
+            FROM (
+                SELECT schedule_index, interleaving, history,
+                       ROW_NUMBER() OVER (ORDER BY schedule_index) AS rn
+                FROM records r
+                WHERE r.campaign = ? AND r.scope = ?
+                  AND EXISTS (SELECT 1 FROM json_each(r.phenomena) j
+                              WHERE j.value = ?)
+            )
+            WHERE rn = 1
+            """, (campaign_id, scope, code)).fetchone()
+        if row is None:
+            return None
+        index, interleaving, history = row
+        return StoredWitness(index, rec.decode_interleaving(interleaving), history)
+
+    def conflict_edge_summary(self, campaign_id: str) -> Tuple[ConflictEdgeRow, ...]:
+        rows = self._conn.execute(
+            """
+            SELECT scope, kind, COUNT(*) AS n,
+                   RANK() OVER (PARTITION BY scope
+                                ORDER BY COUNT(*) DESC) AS rnk
+            FROM witness_edges
+            WHERE campaign = ?
+            GROUP BY scope, kind
+            ORDER BY scope, rnk, kind
+            """, (campaign_id,)).fetchall()
+        return tuple(ConflictEdgeRow(scope, kind, n, rank)
+                     for scope, kind, n, rank in rows)

@@ -1,6 +1,6 @@
 """Repo invariant linter: the rules the codebase silently depends on, enforced.
 
-Four invariants keep the explorer's determinism and checkpoint/restore
+Six invariants keep the explorer's determinism and checkpoint/restore
 contracts honest, and none of them is expressible in a generic linter:
 
 * **determinism** (AST) — no wall-clock reads (``time.time``,
@@ -31,6 +31,13 @@ contracts honest, and none of them is expressible in a generic linter:
   "this step is opaque to the static analyzer" marker.  A step with
   neither would silently default to an opaque footprint, quietly degrading
   both partial-order reduction and the static dependency graph.
+* **store-records** (runtime) — the campaign store's serialization
+  (:mod:`repro.persist.records`) is canonical and lossless:
+  ``decode(encode(x)) == x`` exactly, encoding is a pure function, and
+  every row element is an SQL-native scalar, across representative
+  schedule records, memoized outcomes, classifications, and Table 4 cells
+  (stalled and deadlock-aborted shapes included).  This is the invariant
+  that makes resumed campaigns byte-identical to uninterrupted ones.
 
 Run as ``python -m repro.static_analysis.repolint [root]`` (exits non-zero
 on any violation); CI runs it repo-wide and requires zero.
@@ -54,6 +61,7 @@ __all__ = [
     "lint_optional_imports",
     "lint_picklability",
     "lint_footprints",
+    "lint_store_records",
     "lint_tree",
     "lint_paths",
     "lint_repo",
@@ -336,6 +344,95 @@ def lint_footprints() -> List[Violation]:
     return violations
 
 
+def _store_record_fixtures():
+    """Representative campaign-store payloads, worst cases included."""
+    from ..analysis.coverage import ExploredCell
+    from ..core.isolation import Possibility
+    from ..explorer.memo import HistoryClassification, ScheduleOutcome
+    from ..explorer.worker import ScheduleRecord
+
+    records = [
+        ScheduleRecord((1, 2, 1, 2), "w1[x] r2[x] c1 c2", True, (),
+                       (1, 2), (), 0, 0, False),
+        ScheduleRecord((1, 2), "w1[x] w2[x] a1 c2", False, ("P0", "P4"),
+                       (2,), (1,), 1, 1, False),          # deadlock-aborted
+        ScheduleRecord((10, 11, 10), "w10[x] r11[x]", False, ("P1",),
+                       (), (10, 11), 3, 0, True),         # stalled, 2-digit txns
+    ]
+    outcomes = [ScheduleOutcome(r.history, r.serializable, r.phenomena,
+                                r.committed, r.aborted, r.blocked_events,
+                                r.deadlocks, r.stalled) for r in records]
+    classification = HistoryClassification(
+        shorthand="w1[x] c1", serializable=True, phenomena=(),
+        committed=(1,), aborted=())
+    cell = ExploredCell(
+        code="P2", possibility=Possibility.SOMETIMES_POSSIBLE, schedules=12,
+        manifested=3, stalled=1, witness=("variant-a", (1, 2, 1), "r1[x] w2[x]"),
+        variant_frequencies=(("variant-a", 0.5), ("variant-b", 0.0)),
+        pruned_variants=1, static_reasons=(("variant-c", "no rw edge"),))
+    return records, outcomes, classification, cell
+
+
+def lint_store_records() -> List[Violation]:
+    """Campaign-store serialization is canonical and lossless.
+
+    The persist layer's determinism contract: ``decode(encode(x)) == x``
+    exactly, ``encode`` is a pure function (same input → same row twice),
+    and every row element is an SQL-native scalar — for schedule records,
+    memoized outcomes, shared classifications, and explored Table 4 cells,
+    including stalled and deadlock-aborted shapes.  A breach here is the bug
+    that makes a resumed campaign's coverage report drift from the
+    uninterrupted one.
+    """
+    from ..persist import records as rec
+
+    where = "repro.persist.records"
+    violations: List[Violation] = []
+
+    def check(kind: str, value, encode, decode) -> None:
+        row = encode(value)
+        again = encode(value)
+        if row != again:
+            violations.append(Violation(
+                "store-records", where, 0,
+                f"{kind} encoding is not deterministic: {row!r} != {again!r}"))
+        flat = row if isinstance(row, tuple) else (row,)
+        for element in flat:
+            if not isinstance(element, (int, str, type(None))):
+                violations.append(Violation(
+                    "store-records", where, 0,
+                    f"{kind} row element {element!r} is not an SQL-native "
+                    f"scalar (int/str/None)"))
+        try:
+            decoded = decode(row)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            violations.append(Violation(
+                "store-records", where, 0,
+                f"{kind} decoding crashed on its own encoding: {error}"))
+            return
+        if decoded != value:
+            violations.append(Violation(
+                "store-records", where, 0,
+                f"{kind} does not round-trip: {value!r} -> {decoded!r}"))
+
+    records, outcomes, classification, cell = _store_record_fixtures()
+    for record in records:
+        check("ScheduleRecord", record, rec.record_to_row, rec.record_from_row)
+        if rec.record_from_bytes(rec.record_to_bytes(record)) != record:
+            violations.append(Violation(
+                "store-records", where, 0,
+                f"ScheduleRecord bytes round-trip fails for {record!r}"))
+    for outcome in outcomes:
+        check("ScheduleOutcome", outcome,
+              lambda value: rec.outcome_to_row((1, 2, 1), value),
+              lambda row: rec.outcome_from_row(row)[1])
+    check("HistoryClassification", classification,
+          lambda value: rec.classification_to_row(value.shorthand, value),
+          lambda row: rec.classification_from_row(row)[1])
+    check("ExploredCell", cell, rec.cell_to_payload, rec.cell_from_payload)
+    return violations
+
+
 # -- drivers -------------------------------------------------------------------------
 
 
@@ -363,6 +460,7 @@ def lint_repo(root: Optional[Path] = None,
     if runtime:
         violations.extend(lint_picklability())
         violations.extend(lint_footprints())
+        violations.extend(lint_store_records())
     return violations
 
 

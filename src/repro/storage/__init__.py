@@ -1,4 +1,18 @@
-"""Storage substrate: items, rows, tables, predicates, constraints, recovery."""
+"""The simulated database *under test*: items, rows, tables, predicates,
+constraints, recovery.
+
+This is the storage substrate the paper's transactions operate on — the
+thing whose isolation behaviour the repo measures.  Every read, write,
+predicate evaluation, and undo that a schedule performs happens against
+these structures, so this package is squarely *inside* the experiment.
+
+**Not to be confused with** :mod:`repro.persist`, the campaign persistence
+layer: that package durably records the *explorer's own* progress, results,
+and caches (so campaigns resume and dedupe across runs) and sits entirely
+*outside* the experiment — it can never affect what a schedule does here.
+Rule of thumb: ``repro.storage`` is what transactions touch;
+``repro.persist`` is what remembers the exploration.
+"""
 
 from .rows import Row, Table
 from .predicates import Predicate, attribute_equals, attribute_between, whole_table

@@ -56,7 +56,7 @@ class TestAppendOnlyLogProtocol:
         _publish_shared(log, {"c": classification("c")})
         merged = _shared_snapshot(log)
         assert set(merged) == {"a", "b", "c"}
-        consumed, _ = _SHARED_LOG_STATE[str(log._token)]
+        consumed, _, _ = _SHARED_LOG_STATE[str(log._token)]
         assert consumed == 3
         # A pull with nothing new leaves the cursor and the merge unchanged.
         again = _shared_snapshot(log)
@@ -90,3 +90,64 @@ class TestSharedCacheEndToEnd:
             assert snapshot["h"].shorthand == "one"
             _publish_shared(log, {"h": classification("two")})
             assert _shared_snapshot(log)["h"].shorthand == "two"
+
+
+class TestSharedLogCap:
+    """The size cap on the append-only logs: publishes are refused, not lost
+    work — a dropped batch only means other processes re-derive those entries.
+    """
+
+    def test_publish_below_cap_succeeds(self, monkeypatch):
+        monkeypatch.setenv("EXPLORER_SHARED_LOG_CAP", "3")
+        log = []
+        assert _publish_shared(log, {"a": classification("a"),
+                                     "b": classification("b")})
+        assert len(log) == 1
+
+    def test_publish_over_cap_is_refused(self, monkeypatch):
+        monkeypatch.setenv("EXPLORER_SHARED_LOG_CAP", "3")
+        log = []
+        assert _publish_shared(log, {"a": classification("a"),
+                                     "b": classification("b")})
+        refused = {"c": classification("c"), "d": classification("d")}
+        assert not _publish_shared(log, refused)
+        assert len(log) == 1  # nothing appended
+        # a batch that still fits is accepted after a refusal
+        assert _publish_shared(log, {"e": classification("e")})
+
+    def test_cap_disabled_with_minus_one(self, monkeypatch):
+        monkeypatch.setenv("EXPLORER_SHARED_LOG_CAP", "-1")
+        log = []
+        for index in range(50):
+            batch = {f"h{index}": classification(str(index))}
+            assert _publish_shared(log, batch)
+        assert len(log) == 50
+
+    def test_unparsable_cap_falls_back_to_default(self, monkeypatch):
+        from repro.explorer.worker import SHARED_LOG_CAP_DEFAULT, _shared_log_cap
+        monkeypatch.setenv("EXPLORER_SHARED_LOG_CAP", "not-a-number")
+        assert _shared_log_cap() == SHARED_LOG_CAP_DEFAULT
+
+    def test_eviction_is_surfaced_in_cache_stats(self, monkeypatch):
+        """A capped run reports dropped publishes instead of hiding them."""
+        monkeypatch.setenv("EXPLORER_SHARED_LOG_CAP", "1")
+        spec = ProgramSetSpec.make("contention", transactions=3, items=3,
+                                   hot_items=2, operations_per_transaction=2)
+        result = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
+                         mode="sample", max_schedules=48, seed=6, workers=2,
+                         chunk_size=8, shared_cache=True)
+        stats = result.levels[IsolationLevelName.READ_COMMITTED].cache_stats
+        assert stats.get("shared_evicted", 0) > 0
+
+    def test_capped_run_changes_no_records(self, monkeypatch):
+        """Dropping publishes is sound: the log is a cache, never the truth."""
+        spec = ProgramSetSpec.make("contention", transactions=3, items=3,
+                                   hot_items=2, operations_per_transaction=2)
+        kwargs = dict(levels=(IsolationLevelName.READ_COMMITTED,),
+                      mode="sample", max_schedules=48, seed=6, workers=2,
+                      chunk_size=8, shared_cache=True)
+        monkeypatch.setenv("EXPLORER_SHARED_LOG_CAP", "1")
+        capped = explore(spec, **kwargs)
+        monkeypatch.delenv("EXPLORER_SHARED_LOG_CAP")
+        uncapped = explore(spec, **kwargs)
+        assert capped.fingerprint() == uncapped.fingerprint()

@@ -1,0 +1,18 @@
+"""Shared fixtures: both store backends behind one parametrized fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.persist import InMemoryStore, SqliteStore
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    """One of each backend; every test in this package runs against both."""
+    if request.param == "memory":
+        backing = InMemoryStore()
+    else:
+        backing = SqliteStore(tmp_path / "campaign.sqlite")
+    yield backing
+    backing.close()

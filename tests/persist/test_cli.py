@@ -1,0 +1,85 @@
+"""The campaign CLI: run, resume, inspect, list — against a real SQLite file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.persist import SqliteStore
+from repro.persist.cli import main
+
+RUN = ["run", "--program-set", "increments", "--max-schedules", "120",
+       "--chunk-size", "16", "--campaign", "demo"]
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "campaigns.sqlite")
+
+
+def test_run_completes_and_prints_report(store_path, capsys):
+    assert main(RUN + ["--store", store_path]) == 0
+    out = capsys.readouterr().out
+    assert "Isolation level" in out      # the coverage report table
+    assert "schedules executed this run" in out
+
+    store = SqliteStore(store_path)
+    progress = store.scope_progress("demo")
+    assert progress and all(state.complete for state in progress.values())
+    store.close()
+
+
+def test_rerun_executes_nothing(store_path, capsys):
+    assert main(RUN + ["--store", store_path]) == 0
+    capsys.readouterr()
+    assert main(RUN + ["--store", store_path]) == 0
+    assert "0 schedules executed this run" in capsys.readouterr().out
+
+
+def test_resume_needs_no_workload_flags(store_path, capsys):
+    assert main(RUN + ["--store", store_path]) == 0
+    capsys.readouterr()
+    assert main(["resume", "--store", store_path, "--campaign", "demo"]) == 0
+    assert "0 schedules executed this run" in capsys.readouterr().out
+
+
+def test_resume_unknown_campaign_fails(store_path):
+    assert main(RUN + ["--store", store_path]) == 0
+    with pytest.raises(SystemExit):
+        main(["resume", "--store", store_path, "--campaign", "ghost"])
+
+
+def test_inspect_and_list(store_path, capsys):
+    assert main(RUN + ["--store", store_path]) == 0
+    capsys.readouterr()
+
+    assert main(["inspect", "--store", store_path, "--campaign", "demo"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign demo" in out
+    assert "complete" in out
+
+    assert main(["inspect", "--store", store_path, "--campaign", "demo",
+                 "--report"]) == 0
+    assert "Isolation level" in capsys.readouterr().out
+
+    assert main(["list", "--store", store_path]) == 0
+    assert "demo: 5/5 scopes complete" in capsys.readouterr().out
+
+
+def test_program_set_params_accept_json_values(store_path, capsys):
+    argv = ["run", "--store", store_path, "--program-set", "increments",
+            "--set", "transactions=3", "--max-schedules", "60",
+            "--chunk-size", "16", "--campaign", "p3"]
+    assert main(argv) == 0
+    store = SqliteStore(store_path)
+    config = store.get_campaign("p3").config
+    assert config["spec_params"] == [["transactions", 3]]  # int, not "3"
+    store.close()
+
+
+def test_throttle_changes_no_records(store_path, capsys):
+    assert main(RUN + ["--store", store_path]) == 0
+    plain = capsys.readouterr().out
+    throttled_path = store_path + ".throttled"
+    assert main(RUN + ["--store", throttled_path, "--throttle-ms", "1"]) == 0
+    throttled = capsys.readouterr().out
+    assert plain == throttled

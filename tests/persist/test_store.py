@@ -1,0 +1,193 @@
+"""The store contract: campaigns, cursors, atomic chunk commits, dedupe tables.
+
+Every test runs against both backends via the parametrized ``store`` fixture
+— the contract is the point, not either implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explorer.memo import HistoryClassification, ScheduleOutcome
+from repro.explorer.worker import ScheduleRecord
+from repro.persist import (
+    CampaignConfigMismatch,
+    SqliteStore,
+    StoreError,
+)
+
+CONFIG = {"spec_name": "increments", "spec_params": [], "mode": "auto",
+          "max_schedules": 100, "seed": 0, "reduction": "none",
+          "chunk_size": 4}
+
+
+def record(index: int, stalled: bool = False) -> ScheduleRecord:
+    return ScheduleRecord(
+        interleaving=(1, 2, 1, index),
+        history=f"w1[x{index}] c1 c2",
+        serializable=index % 2 == 0,
+        phenomena=("P1",) if index % 3 == 0 else (),
+        committed=(1, 2),
+        aborted=(),
+        blocked_events=index,
+        deadlocks=0,
+        stalled=stalled,
+    )
+
+
+def outcome(index: int) -> ScheduleOutcome:
+    rec = record(index)
+    return ScheduleOutcome(rec.history, rec.serializable, rec.phenomena,
+                           rec.committed, rec.aborted, rec.blocked_events,
+                           rec.deadlocks, rec.stalled)
+
+
+class TestCampaigns:
+    def test_open_creates_and_returns_config(self, store):
+        info = store.open_campaign("c1", CONFIG)
+        assert info.campaign_id == "c1"
+        assert info.config == CONFIG
+
+    def test_reopen_validates_config(self, store):
+        store.open_campaign("c1", CONFIG)
+        assert store.open_campaign("c1", CONFIG).config == CONFIG
+        assert store.open_campaign("c1").config == CONFIG  # no config: loads
+
+    def test_reopen_with_different_config_is_refused(self, store):
+        store.open_campaign("c1", CONFIG)
+        with pytest.raises(CampaignConfigMismatch):
+            store.open_campaign("c1", {**CONFIG, "seed": 1})
+
+    def test_open_unknown_without_config_is_an_error(self, store):
+        with pytest.raises(StoreError):
+            store.open_campaign("missing")
+
+    def test_get_campaign(self, store):
+        assert store.get_campaign("c1") is None
+        store.open_campaign("c1", CONFIG)
+        assert store.get_campaign("c1").config == CONFIG
+
+    def test_list_campaigns_in_creation_order(self, store):
+        store.open_campaign("b", CONFIG)
+        store.open_campaign("a", {**CONFIG, "seed": 9})
+        assert [info.campaign_id for info in store.list_campaigns()] == ["b", "a"]
+
+
+class TestChunkCommits:
+    def test_cursor_starts_at_zero(self, store):
+        store.open_campaign("c1", CONFIG)
+        assert store.cursor("c1", "scope") == 0
+
+    def test_commit_advances_cursor_and_counts_records(self, store):
+        store.open_campaign("c1", CONFIG)
+        store.commit_chunk("c1", "scope", 0, [record(0), record(1)])
+        store.commit_chunk("c1", "scope", 1, [record(2)])
+        progress = store.scope_progress("c1")["scope"]
+        assert progress.cursor == 2
+        assert progress.records == 3
+        assert not progress.complete
+
+    def test_out_of_order_commit_is_refused(self, store):
+        store.open_campaign("c1", CONFIG)
+        store.commit_chunk("c1", "scope", 0, [record(0)])
+        for bad_index in (0, 2, 5):
+            with pytest.raises(StoreError):
+                store.commit_chunk("c1", "scope", bad_index, [record(9)])
+        assert store.cursor("c1", "scope") == 1  # refusals left no trace
+
+    def test_commit_against_unknown_campaign_is_refused(self, store):
+        with pytest.raises(StoreError):
+            store.commit_chunk("ghost", "scope", 0, [record(0)])
+
+    def test_load_chunk_round_trips_records(self, store):
+        store.open_campaign("c1", CONFIG)
+        chunk = (record(0), record(1, stalled=True))
+        store.commit_chunk("c1", "scope", 0, chunk)
+        loaded, reps = store.load_chunk("c1", "scope", 0)
+        assert loaded == chunk
+        assert reps == ()
+
+    def test_load_chunk_round_trips_rep_records(self, store):
+        store.open_campaign("c1", CONFIG)
+        chunk = (record(0), record(1), record(2))
+        reps = (record(1),)
+        store.commit_chunk("c1", "scope", 0, chunk, rep_records=reps)
+        loaded, loaded_reps = store.load_chunk("c1", "scope", 0)
+        assert loaded == chunk
+        assert loaded_reps == reps
+
+    def test_load_uncommitted_chunk_is_an_error(self, store):
+        store.open_campaign("c1", CONFIG)
+        with pytest.raises(StoreError):
+            store.load_chunk("c1", "scope", 0)
+
+    def test_iter_records_preserves_stream_order(self, store):
+        store.open_campaign("c1", CONFIG)
+        store.commit_chunk("c1", "scope", 0, [record(0), record(1)])
+        store.commit_chunk("c1", "scope", 1, [record(2)])
+        assert list(store.iter_records("c1", "scope")) == [
+            record(0), record(1), record(2)]
+
+    def test_scopes_are_independent(self, store):
+        store.open_campaign("c1", CONFIG)
+        store.commit_chunk("c1", "a", 0, [record(0)])
+        assert store.cursor("c1", "a") == 1
+        assert store.cursor("c1", "b") == 0
+
+    def test_mark_scope_complete_persists_stats(self, store):
+        store.open_campaign("c1", CONFIG)
+        store.commit_chunk("c1", "scope", 0, [record(0)])
+        store.mark_scope_complete("c1", "scope", 1, {"executed": 1})
+        progress = store.scope_progress("c1")["scope"]
+        assert progress.complete
+        assert progress.total_chunks == 1
+        assert progress.stats == {"executed": 1}
+
+
+class TestDedupeTables:
+    def test_outcomes_round_trip(self, store):
+        entries = {(1, 2): outcome(0), (2, 1): outcome(1)}
+        assert store.save_outcomes("workload", "scope", entries) == 2
+        assert store.load_outcomes("workload", "scope") == entries
+
+    def test_outcome_saves_report_only_new_entries(self, store):
+        store.save_outcomes("workload", "scope", {(1, 2): outcome(0)})
+        added = store.save_outcomes("workload", "scope",
+                                    {(1, 2): outcome(0), (2, 1): outcome(1)})
+        assert added == 1
+
+    def test_outcomes_are_keyed_by_workload_and_scope(self, store):
+        store.save_outcomes("w1", "s1", {(1, 2): outcome(0)})
+        assert store.load_outcomes("w1", "s2") == {}
+        assert store.load_outcomes("w2", "s1") == {}
+
+    def test_classifications_round_trip_and_are_global(self, store):
+        entry = HistoryClassification(shorthand="w1[x] c1", serializable=True,
+                                      phenomena=(), committed=(1,), aborted=())
+        assert store.save_classifications({"w1[x] c1": entry}) == 1
+        assert store.save_classifications({"w1[x] c1": entry}) == 0
+        assert store.load_classifications() == {"w1[x] c1": entry}
+
+
+class TestSqlitePersistence:
+    def test_data_survives_close_and_reopen(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        store = SqliteStore(path)
+        store.open_campaign("c1", CONFIG)
+        store.commit_chunk("c1", "scope", 0, [record(0)])
+        store.close()
+
+        reopened = SqliteStore(path)
+        assert reopened.get_campaign("c1").config == CONFIG
+        assert list(reopened.iter_records("c1", "scope")) == [record(0)]
+        reopened.close()
+
+    def test_schema_version_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        store = SqliteStore(path)
+        store._conn.execute("UPDATE meta SET value = '999' "
+                            "WHERE key = 'schema_version'")
+        store._conn.commit()
+        store.close()
+        with pytest.raises(StoreError):
+            SqliteStore(path)

@@ -12,6 +12,7 @@ from repro.static_analysis.repolint import (
     lint_optional_imports,
     lint_picklability,
     lint_repo,
+    lint_store_records,
     lint_tree,
     main,
 )
@@ -165,10 +166,48 @@ class TestOptionalImports:
         assert self._lint("import os\nfrom dataclasses import dataclass\n") == []
 
 
+class TestStoreRecords:
+    def test_current_serialization_is_clean(self):
+        assert lint_store_records() == []
+
+    def test_broken_round_trip_is_flagged(self, monkeypatch):
+        """A decoder that drops information must produce a violation."""
+        from repro.persist import records as rec
+
+        original = rec.record_from_row
+
+        def lossy(row):
+            record = original(row)
+            return record.__class__(**{**record.__dict__, "blocked_events": 0})
+
+        monkeypatch.setattr(rec, "record_from_row", lossy)
+        violations = lint_store_records()
+        assert violations
+        assert all(violation.check == "store-records"
+                   for violation in violations)
+
+    def test_nondeterministic_encoding_is_flagged(self, monkeypatch):
+        from itertools import count
+
+        from repro.persist import records as rec
+
+        original = rec.cell_to_payload
+        ticker = count()
+
+        def impure(cell):
+            return original(cell) + f"/*{next(ticker)}*/"
+
+        monkeypatch.setattr(rec, "cell_to_payload", impure)
+        violations = lint_store_records()
+        assert any("not deterministic" in violation.message
+                   for violation in violations)
+
+
 class TestRepoWide:
     def test_runtime_checks_are_clean(self):
         assert lint_picklability() == []
         assert lint_footprints() == []
+        assert lint_store_records() == []
 
     def test_whole_repo_is_clean(self):
         """The CI gate: zero violations across src/repro, AST + runtime."""
