@@ -897,3 +897,76 @@ def test_streaming_million_schedule_sampling(print_report):
              ["materialized list", "no"]],
         ),
     )
+
+
+def test_distributed_campaign_throughput(print_report, tmp_path):
+    """Distributed campaign throughput plus worker-kill recovery latency.
+
+    Informational, not gated: on a single-core container two worker
+    processes cannot beat serial (the committed baseline records the
+    honest overhead), and the recovery latency is dominated by tunable
+    lease/heartbeat intervals rather than code speed.  What *is* asserted
+    at any speed is the contract: both the clean and the faulted run must
+    reproduce the serial fingerprint byte for byte, and the kill must
+    actually cost a respawn.
+    """
+    from repro.distrib import CampaignRunner, FaultPlan
+    from repro.persist import SqliteStore, fingerprint_from_store
+
+    workers = 2
+    total = SCHEDULES * len(LEVELS)
+    kwargs = dict(levels=LEVELS, mode="sample", max_schedules=SCHEDULES,
+                  seed=SEED, chunk_size=64, workers=workers,
+                  lease_duration=2.0, heartbeat_interval=0.25,
+                  deadline_s=600.0)
+
+    def run(name, faults):
+        store = SqliteStore(tmp_path / f"distrib-{name}.sqlite")
+        try:
+            started = time.perf_counter()
+            result = CampaignRunner(store, SPEC, faults=faults,
+                                    **kwargs).run()
+            wall = time.perf_counter() - started
+            assert result.success, (name, result)
+            fingerprint = fingerprint_from_store(store, result.campaign_id)
+        finally:
+            store.close()
+        return result, wall, fingerprint
+
+    control = explore(SPEC, levels=LEVELS, mode="sample",
+                      max_schedules=SCHEDULES, seed=SEED, chunk_size=64)
+    clean, clean_wall, clean_fingerprint = run("clean", FaultPlan())
+    assert clean_fingerprint == control.fingerprint(), \
+        "distributing the campaign changed the record stream"
+
+    plan = FaultPlan.parse(["kill:worker=0:ordinal=1"])
+    faulted, fault_wall, fault_fingerprint = run("kill", plan)
+    assert fault_fingerprint == control.fingerprint(), \
+        "a worker kill changed the record stream"
+    assert faulted.respawns >= 1
+    recovery_ms = (faulted.recovery_latency_s or 0.0) * 1000
+
+    _BASELINE["distrib"] = {
+        "backend": "sqlite",
+        "workers": workers,
+        "schedules_per_sec": round(total / clean_wall, 1),
+        "faulted_schedules_per_sec": round(total / fault_wall, 1),
+        "clean_wall_s": round(clean_wall, 3),
+        "fault_wall_s": round(fault_wall, 3),
+        "fault_plan": list(plan.encode()),
+        "respawns": faulted.respawns,
+        "recovery_latency_ms": round(recovery_ms, 1),
+        "byte_equal": True,
+    }
+    print_report(
+        f"Distributed campaign ({SCHEDULES} schedules x {len(LEVELS)} "
+        f"levels, {workers} workers, SqliteStore)",
+        render_table(
+            ["metric", "value"],
+            [["schedules/sec (fault-free)", f"{total / clean_wall:,.0f}"],
+             ["schedules/sec (worker killed)", f"{total / fault_wall:,.0f}"],
+             ["workers respawned", str(faulted.respawns)],
+             ["kill recovery latency", f"{recovery_ms:.0f} ms"],
+             ["byte-identical to serial", "yes"]],
+        ),
+    )

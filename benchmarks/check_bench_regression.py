@@ -51,6 +51,8 @@ SECTIONS: Tuple[Tuple[Tuple[str, ...], str, bool], ...] = (
     (("static_pruning", "speedup"), "static-pruning speedup", False),
     (("persistence", "store_schedules_per_sec"),
      "sqlite-store schedules/sec", False),
+    (("distrib", "schedules_per_sec"),
+     "distributed campaign schedules/sec", False),
 )
 
 #: The ISSUE 8 bar for the fresh ``persistence`` section: a SqliteStore may
@@ -129,6 +131,27 @@ def _check_persistence(fresh: Dict[str, Any]) -> List[str]:
     return []
 
 
+def _check_distrib(fresh: Dict[str, Any]) -> List[str]:
+    """Correctness flags inside the fresh ``distrib`` section.
+
+    Throughput and recovery latency are informational (worker-process
+    overhead and lease tuning dominate both, and they vary by machine
+    class), but ``byte_equal`` is wrong at any speed: the distributed run
+    and the worker-kill run must both reproduce the serial fingerprint.
+    """
+    section = fresh.get("distrib")
+    if not isinstance(section, dict):
+        return []
+    byte_equal = section.get("byte_equal")
+    print(f"distributed campaign: "
+          f"{section.get('schedules_per_sec', 0):,.1f}/s at "
+          f"{section.get('workers')} workers, kill recovery "
+          f"{section.get('recovery_latency_ms')} ms, byte_equal {byte_equal}")
+    if byte_equal is not True:
+        return [f"distrib: byte_equal is {byte_equal!r}"]
+    return []
+
+
 def main(baseline_path: str, fresh_path: str) -> int:
     tolerance = float(os.environ.get("BENCH_SMOKE_TOLERANCE", "0.30"))
     baseline = _load(baseline_path)
@@ -176,6 +199,7 @@ def main(baseline_path: str, fresh_path: str) -> int:
 
     failures.extend(_check_batch_kernel(fresh))
     failures.extend(_check_persistence(fresh))
+    failures.extend(_check_distrib(fresh))
     if compared == 0 and not failures:
         print("no comparable sections found in either file — nothing was checked")
         return 1

@@ -1,0 +1,79 @@
+"""Worker-side heartbeat thread: liveness for the currently held lease.
+
+A :class:`HeartbeatSender` runs one daemon thread inside each worker
+process.  While the worker executes a chunk, the thread emits the held
+lease's identity every ``interval`` seconds through a caller-supplied
+``emit`` callable (the worker's pipe, behind its send lock); the parent
+renews the lease on every beat.  A worker that stops beating — killed,
+hung, or deliberately paused by the fault injector — misses renewals, its
+lease deadline lapses, and the parent reclaims the chunk.
+
+The sender is deliberately dumb: it never decides anything, it only
+reports.  Lease-loss policy (reclaim, backoff, poison, fencing) lives
+entirely in the parent's :class:`~repro.distrib.queue.LeaseQueue`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Tuple
+
+__all__ = ["HeartbeatSender"]
+
+
+class HeartbeatSender:
+    """Emit ``(scope, chunk_index, token)`` beats while a lease is held."""
+
+    def __init__(self, emit: Callable[[str, int, int], None],
+                 interval: float) -> None:
+        self._emit = emit
+        self._interval = float(interval)
+        self._lock = threading.Lock()
+        self._current: Optional[Tuple[str, int, int]] = None
+        self._paused = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    # -- lease lifecycle --------------------------------------------------------------
+
+    def begin(self, scope: str, chunk_index: int, token: int) -> None:
+        """Start beating for one lease (beats immediately, then periodically)."""
+        with self._lock:
+            self._current = (scope, chunk_index, token)
+        self._beat()
+
+    def end(self) -> None:
+        with self._lock:
+            self._current = None
+
+    # -- fault injection --------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Suppress beats without dropping the lease — the 'hung worker'
+        fault: the parent sees silence, reclaims, and this worker becomes a
+        zombie whose eventual result must be fenced off."""
+        with self._lock:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._lock:
+            self._paused = False
+
+    # -- internals --------------------------------------------------------------------
+
+    def _beat(self) -> None:
+        with self._lock:
+            current = None if self._paused else self._current
+        if current is not None:
+            self._emit(*current)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._beat()

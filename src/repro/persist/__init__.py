@@ -29,7 +29,8 @@ What lives here:
   resume, and inspect campaigns.
 """
 
-from .records import default_campaign_id, workload_key
+from .analytics import fingerprint_from_store
+from .records import LeaseRecord, default_campaign_id, workload_key
 from .sqlite_store import SqliteStore
 from .store import (
     AnomalyFrequencyRow,
@@ -39,6 +40,7 @@ from .store import (
     ConflictEdgeRow,
     InMemoryStore,
     ScopeProgress,
+    StaleLeaseError,
     StoredWitness,
     StoreError,
 )
@@ -51,9 +53,12 @@ __all__ = [
     "ScopeProgress",
     "StoreError",
     "CampaignConfigMismatch",
+    "StaleLeaseError",
+    "LeaseRecord",
     "AnomalyFrequencyRow",
     "StoredWitness",
     "ConflictEdgeRow",
     "workload_key",
     "default_campaign_id",
+    "fingerprint_from_store",
 ]

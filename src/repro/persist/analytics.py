@@ -15,6 +15,7 @@ module is the write side and the human-facing summary:
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Tuple
 
 from ..core.dependency import build_dependency_graph
@@ -22,7 +23,28 @@ from ..core.history import History
 from .records import canonical_json, encode_interleaving
 from .store import CampaignStore
 
-__all__ = ["persist_result", "witness_edge_rows", "campaign_summary"]
+__all__ = ["persist_result", "witness_edge_rows", "campaign_summary",
+           "campaign_summary_data", "fingerprint_from_store"]
+
+
+def fingerprint_from_store(store: CampaignStore, campaign_id: str) -> str:
+    """The campaign's record fingerprint, rebuilt purely from stored rows.
+
+    Byte-compatible with ``ExplorationResult.fingerprint()``: scopes are
+    visited in sorted order (identical to sorting levels by their ``value``)
+    and each record hashes as the same ``repr`` tuple, so a completed
+    campaign's stored fingerprint equals the live run's.
+    """
+    digest = hashlib.sha256()
+    for scope in sorted(store.scope_progress(campaign_id)):
+        digest.update(scope.encode())
+        for record in store.iter_records(campaign_id, scope):
+            digest.update(repr((
+                record.interleaving, record.history, record.serializable,
+                record.phenomena, record.committed, record.aborted,
+                record.blocked_events, record.deadlocks, record.stalled,
+            )).encode())
+    return digest.hexdigest()
 
 
 def witness_edge_rows(report) -> List[Tuple[str, str, int, int, str,
@@ -66,6 +88,47 @@ def persist_result(store: CampaignStore, campaign_id: str, result,
     store.save_coverage(campaign_id, coverage_rows)
     store.save_witness_edges(campaign_id, witness_edge_rows(report))
     return report
+
+
+def campaign_summary_data(store: CampaignStore, campaign_id: str,
+                          codes: Tuple[str, ...] = ("P1", "P2", "P3",
+                                                    "A5A", "A5B"),
+                          ) -> Optional[dict]:
+    """The ``inspect --json`` payload: :func:`campaign_summary` as data.
+
+    Same queries, machine-shaped: one dict per campaign with per-scope
+    progress, per-code anomaly totals and first witnesses, and the ranked
+    conflict-edge summary.  ``None`` when the campaign does not exist.
+    """
+    info = store.get_campaign(campaign_id)
+    if info is None:
+        return None
+    scopes = []
+    progress = store.scope_progress(campaign_id)
+    for scope in sorted(progress):
+        state = progress[scope]
+        anomalies = []
+        for code in codes:
+            series = store.anomaly_frequency(campaign_id, scope, code)
+            total = series[-1].cumulative if series else 0
+            if not total:
+                continue
+            witness = store.witness_for(campaign_id, scope, code)
+            assert witness is not None
+            anomalies.append({
+                "code": code, "witnesses": total, "chunks": len(series),
+                "first_schedule": witness.schedule_index,
+                "witness": encode_interleaving(witness.interleaving),
+            })
+        scopes.append({"scope": scope, "complete": state.complete,
+                       "cursor": state.cursor, "records": state.records,
+                       "anomalies": anomalies})
+    edges = [{"scope": row.scope, "kind": row.kind, "count": row.count,
+              "rank": row.rank}
+             for row in store.conflict_edge_summary(campaign_id)]
+    return {"campaign_id": campaign_id, "store": store.description(),
+            "config": dict(info.config), "scopes": scopes,
+            "conflict_edges": edges}
 
 
 def campaign_summary(store: CampaignStore, campaign_id: str,

@@ -23,17 +23,30 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.isolation import IsolationLevelName
 from ..workloads.program_sets import ProgramSetSpec, available_program_sets
-from .analytics import campaign_summary, persist_result
+from .analytics import campaign_summary, campaign_summary_data, persist_result
 from .sqlite_store import SqliteStore
-from .store import CampaignStore
+from .store import CampaignStore, StoreError
 
 __all__ = ["main"]
+
+
+def _existing_store(path: str) -> SqliteStore:
+    """Open a store that must already exist (resume/inspect/list).
+
+    ``sqlite3.connect`` would happily create an empty database at a
+    mistyped path and then report "unknown campaign" — confusing.  Fail
+    up front with the real problem instead.
+    """
+    if not os.path.exists(path):
+        raise SystemExit(f"store file not found: {path}")
+    return SqliteStore(path)
 
 
 class _ThrottledStore:
@@ -140,7 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    store = SqliteStore(args.store)
+    store = _existing_store(args.store)
     try:
         info = store.get_campaign(args.campaign)
         if info is None:
@@ -161,8 +174,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    store = SqliteStore(args.store)
+    store = _existing_store(args.store)
     try:
+        if args.json:
+            if args.campaign is None:
+                payload: Any = [campaign_summary_data(store, info.campaign_id)
+                                for info in store.list_campaigns()]
+            else:
+                payload = campaign_summary_data(store, args.campaign)
+                if payload is None:
+                    raise SystemExit(f"unknown campaign {args.campaign!r}")
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         if args.campaign is None:
             for info in store.list_campaigns():
                 print(campaign_summary(store, info.campaign_id))
@@ -180,7 +203,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    store = SqliteStore(args.store)
+    store = _existing_store(args.store)
     try:
         campaigns = store.list_campaigns()
         if not campaigns:
@@ -246,6 +269,8 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--report", action="store_true",
                          help="also rebuild and print the coverage report "
                               "from stored records")
+    inspect.add_argument("--json", action="store_true",
+                         help="emit the summary as JSON instead of text")
     inspect.set_defaults(func=_cmd_inspect)
 
     listing = sub.add_parser("list", help="one line per campaign")
@@ -256,7 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except StoreError as error:
+        # Config mismatches and store-invariant violations are user errors
+        # (wrong flags, wrong campaign, wrong store) — report them cleanly
+        # instead of dumping a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.coverage import ExploredCell
@@ -55,6 +56,11 @@ __all__ = [
     "classification_from_row",
     "cell_to_payload",
     "cell_from_payload",
+    "LEASE_STATES",
+    "LEASE_COLUMNS",
+    "LeaseRecord",
+    "lease_to_row",
+    "lease_from_row",
     "workload_key",
     "config_fingerprint",
 ]
@@ -258,6 +264,69 @@ def cell_from_payload(payload: str) -> ExploredCell:
         pruned_variants=data["pruned_variants"],
         static_reasons=tuple(
             (name, reason) for name, reason in data["static_reasons"]),
+    )
+
+
+# -- LeaseRecord (the distributed runner's durable chunk-lease state) -----------------
+
+#: The lease state machine's vocabulary, in lifecycle order.  ``pending``
+#: chunks are grantable, ``leased`` chunks are owned by exactly one worker
+#: until their deadline passes, ``done`` chunks are durably committed (the
+#: transition happens inside the fenced ``commit_chunk`` transaction), and
+#: ``poisoned`` chunks exhausted their retry budget and are quarantined.
+LEASE_STATES: Tuple[str, ...] = ("pending", "leased", "done", "poisoned")
+
+#: Column order of a serialized :class:`LeaseRecord` row (after whatever
+#: key prefix the backend adds).
+LEASE_COLUMNS: Tuple[str, ...] = (
+    "scope", "chunk_index", "state", "token", "owner", "attempts",
+)
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """Durable state of one schedule chunk's lease.
+
+    Deadlines are deliberately *not* part of the durable record: they are
+    measured on the supervising parent's monotonic clock and mean nothing to
+    a later process.  What must survive a crash is the state, the fencing
+    ``token`` (monotonically increasing per grant, campaign-wide — a commit
+    carrying any older token is rejected), and the ``attempts`` count that
+    feeds the retry backoff and the poison quarantine.
+    """
+
+    scope: str
+    chunk_index: int
+    state: str
+    token: int
+    owner: Optional[str] = None
+    attempts: int = 0
+
+
+def lease_to_row(lease: LeaseRecord) -> Tuple:
+    """A lease as a flat tuple of SQL-native scalars, in LEASE_COLUMNS order."""
+    if lease.state not in LEASE_STATES:
+        raise ValueError(f"unknown lease state {lease.state!r} "
+                         f"(expected one of {LEASE_STATES})")
+    return (
+        lease.scope,
+        int(lease.chunk_index),
+        lease.state,
+        int(lease.token),
+        lease.owner,
+        int(lease.attempts),
+    )
+
+
+def lease_from_row(row: Sequence) -> LeaseRecord:
+    """The exact lease a :func:`lease_to_row` row encodes."""
+    return LeaseRecord(
+        scope=row[0],
+        chunk_index=int(row[1]),
+        state=row[2],
+        token=int(row[3]),
+        owner=row[4],
+        attempts=int(row[5]),
     )
 
 

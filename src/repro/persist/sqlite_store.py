@@ -19,14 +19,30 @@ cursor, so a SIGKILL between any two statements leaves the cursor pointing
 at a fully materialized prefix of the stream.  Workers never open the
 database — only the parent process writes — which keeps the concurrency
 story to SQLite's single-writer default.
+
+Crash hardening: every write transaction goes through one ``_write``
+wrapper that sets ``PRAGMA busy_timeout`` and retries transient
+``database is locked`` / ``database is busy`` errors a bounded number of
+times with exponential backoff and seeded jitter (other processes — CI
+inspectors, a second campaign, backup tooling — may hold the file briefly).
+Retry counts surface through :meth:`SqliteStore.stats`, and the fault-
+injection harness can force transient lock errors beneath the wrapper via
+``busy_fault_hook`` to prove the retry path end to end.
+
+Schema v2 adds the ``leases`` table: the distributed runner's durable
+work-queue state (chunk lease state, fencing token, attempt count).  v1
+stores migrate in place — the table is purely additive.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import sqlite3
+import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, Iterator, Mapping, Optional, Sequence,
+                    Tuple, TypeVar, Union)
 
 from ..explorer.memo import HistoryClassification, ScheduleOutcome
 from ..explorer.schedules import Interleaving
@@ -39,13 +55,16 @@ from .store import (
     CampaignStore,
     ConflictEdgeRow,
     ScopeProgress,
+    StaleLeaseError,
     StoredWitness,
     StoreError,
 )
 
 __all__ = ["SqliteStore", "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+_T = TypeVar("_T")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -149,6 +168,16 @@ CREATE TABLE IF NOT EXISTS table4_cells (
     payload  TEXT NOT NULL,
     PRIMARY KEY (campaign, scope, code)
 );
+CREATE TABLE IF NOT EXISTS leases (
+    campaign    TEXT NOT NULL,
+    scope       TEXT NOT NULL,
+    chunk_index INTEGER NOT NULL,
+    state       TEXT NOT NULL,
+    token       INTEGER NOT NULL,
+    owner       TEXT,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (campaign, scope, chunk_index)
+);
 """
 
 _RECORD_INSERT = """
@@ -173,19 +202,38 @@ class SqliteStore(CampaignStore):
     """Campaign store on a single SQLite file (stdlib ``sqlite3``, WAL mode)."""
 
     def __init__(self, path: Union[str, Path],
-                 synchronous: str = "NORMAL") -> None:
+                 synchronous: str = "NORMAL",
+                 busy_timeout_ms: int = 5000,
+                 busy_retries: int = 5,
+                 busy_backoff_s: float = 0.01,
+                 busy_jitter_seed: int = 0) -> None:
         self.path = str(path)
+        self._busy_retries = int(busy_retries)
+        self._busy_backoff_s = float(busy_backoff_s)
+        self._busy_rng = random.Random(busy_jitter_seed)
+        self._stats: Dict[str, int] = {"write_transactions": 0, "busy_retries": 0}
+        #: Test/fault-injection hook: consulted once per write-transaction
+        #: attempt; returning True makes that attempt fail with a transient
+        #: ``database is locked`` error beneath the retry wrapper.
+        self.busy_fault_hook: Optional[Callable[[], bool]] = None
         self._conn = sqlite3.connect(self.path)
         self._conn.isolation_level = None      # explicit BEGIN/COMMIT below
         cur = self._conn.cursor()
         cur.execute("PRAGMA journal_mode=WAL")
         cur.execute(f"PRAGMA synchronous={synchronous}")
+        cur.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
         cur.executescript(_SCHEMA)
         cur.execute("INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(SCHEMA_VERSION)))
-        stored = cur.execute("SELECT value FROM meta WHERE key = ?",
-                             ("schema_version",)).fetchone()[0]
-        if int(stored) != SCHEMA_VERSION:
+        stored = int(cur.execute("SELECT value FROM meta WHERE key = ?",
+                                 ("schema_version",)).fetchone()[0])
+        if stored == 1:
+            # v1 → v2 is purely additive (the executescript above already
+            # created the empty leases table); stamp the store in place.
+            cur.execute("UPDATE meta SET value = ? WHERE key = ?",
+                        (str(SCHEMA_VERSION), "schema_version"))
+            stored = SCHEMA_VERSION
+        if stored != SCHEMA_VERSION:
             raise StoreError(f"store {self.path!r} has schema version {stored}, "
                              f"this build expects {SCHEMA_VERSION}")
         self._conn.commit()
@@ -196,24 +244,84 @@ class SqliteStore(CampaignStore):
     def description(self) -> str:
         return f"SqliteStore ({self.path}, schema v{SCHEMA_VERSION})"
 
+    def stats(self) -> Dict[str, int]:
+        return dict(self._stats)
+
+    # -- write transactions -----------------------------------------------------------
+
+    def _write(self, fn: Callable[[sqlite3.Cursor], _T]) -> _T:
+        """Run ``fn`` inside ``BEGIN IMMEDIATE``..``COMMIT`` with busy-retry.
+
+        Transient ``database is locked`` / ``busy`` errors — a concurrent
+        reader holding the file, a checkpoint, an injected fault — are
+        retried up to ``busy_retries`` times with exponential backoff and
+        seeded jitter; anything else (including store-invariant errors
+        raised by ``fn`` itself) rolls back and propagates immediately.
+        """
+        attempt = 0
+        while True:
+            cur = self._conn.cursor()
+            try:
+                if self.busy_fault_hook is not None and self.busy_fault_hook():
+                    raise sqlite3.OperationalError("database is locked (injected)")
+                cur.execute("BEGIN IMMEDIATE")
+                result = fn(cur)
+                cur.execute("COMMIT")
+            except sqlite3.OperationalError as error:
+                self._rollback(cur)
+                message = str(error).lower()
+                if ("locked" not in message and "busy" not in message) \
+                        or attempt >= self._busy_retries:
+                    raise
+                attempt += 1
+                self._stats["busy_retries"] += 1
+                delay = self._busy_backoff_s * (2 ** (attempt - 1))
+                time.sleep(delay * (0.5 + self._busy_rng.random()))
+            except BaseException:
+                self._rollback(cur)
+                raise
+            else:
+                self._stats["write_transactions"] += 1
+                return result
+
+    def _rollback(self, cur: sqlite3.Cursor) -> None:
+        try:
+            cur.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass                    # the failed attempt never opened a txn
+
     # -- campaigns --------------------------------------------------------------------
 
     def open_campaign(self, campaign_id: str,
                       config: Optional[Mapping[str, Any]] = None) -> CampaignInfo:
-        cur = self._conn.cursor()
-        row = cur.execute("SELECT config FROM campaigns WHERE campaign = ?",
-                          (campaign_id,)).fetchone()
-        if row is None:
+        row = self._conn.execute(
+            "SELECT config FROM campaigns WHERE campaign = ?",
+            (campaign_id,)).fetchone()
+        if row is not None:
+            stored = row[0]
+        else:
             if config is None:
                 raise StoreError(f"unknown campaign {campaign_id!r} and no config "
                                  f"supplied to create it")
             encoded = rec.canonical_json(dict(config))
-            seq = cur.execute("SELECT COUNT(*) FROM campaigns").fetchone()[0]
-            cur.execute("INSERT INTO campaigns (campaign, config, seq) "
-                        "VALUES (?, ?, ?)", (campaign_id, encoded, seq))
-            self._conn.commit()
-            return CampaignInfo(campaign_id, dict(config))
-        stored = row[0]
+
+            def txn(cur: sqlite3.Cursor) -> Optional[str]:
+                # Re-check under BEGIN IMMEDIATE: another process may have
+                # created the campaign between our read and this write.
+                existing = cur.execute(
+                    "SELECT config FROM campaigns WHERE campaign = ?",
+                    (campaign_id,)).fetchone()
+                if existing is not None:
+                    return existing[0]
+                seq = cur.execute("SELECT COUNT(*) FROM campaigns").fetchone()[0]
+                cur.execute("INSERT INTO campaigns (campaign, config, seq) "
+                            "VALUES (?, ?, ?)", (campaign_id, encoded, seq))
+                return None
+
+            created = self._write(txn)
+            if created is None:
+                return CampaignInfo(campaign_id, dict(config))
+            stored = created
         if config is not None and rec.canonical_json(dict(config)) != stored:
             raise CampaignConfigMismatch(
                 f"campaign {campaign_id!r} exists with a different config: "
@@ -253,11 +361,24 @@ class SqliteStore(CampaignStore):
 
     def commit_chunk(self, campaign_id: str, scope: str, chunk_index: int,
                      records: Sequence[ScheduleRecord],
-                     rep_records: Optional[Sequence[ScheduleRecord]] = None) -> None:
+                     rep_records: Optional[Sequence[ScheduleRecord]] = None,
+                     lease_token: Optional[int] = None) -> None:
         self._require_campaign(campaign_id)
-        cur = self._conn.cursor()
-        cur.execute("BEGIN IMMEDIATE")
-        try:
+
+        def txn(cur: sqlite3.Cursor) -> None:
+            if lease_token is not None:
+                lease = cur.execute(
+                    "SELECT state, token FROM leases WHERE campaign = ? AND "
+                    "scope = ? AND chunk_index = ?",
+                    (campaign_id, scope, chunk_index)).fetchone()
+                if lease is None or lease[0] != "leased" \
+                        or int(lease[1]) != lease_token:
+                    held = "no lease" if lease is None else \
+                        f"state={lease[0]!r} token={lease[1]}"
+                    raise StaleLeaseError(
+                        f"fenced commit of chunk {chunk_index} "
+                        f"({campaign_id!r}/{scope!r}) with token {lease_token} "
+                        f"rejected: {held}")
             row = cur.execute(
                 "SELECT cursor, records FROM cursors WHERE campaign = ? AND "
                 "scope = ?", (campaign_id, scope)).fetchone()
@@ -284,10 +405,12 @@ class SqliteStore(CampaignStore):
                             "WHERE campaign = ? AND scope = ?",
                             (chunk_index + 1, base + len(records),
                              campaign_id, scope))
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
+            if lease_token is not None:
+                cur.execute("UPDATE leases SET state = 'done' WHERE campaign = ? "
+                            "AND scope = ? AND chunk_index = ?",
+                            (campaign_id, scope, chunk_index))
+
+        self._write(txn)
 
     def load_chunk(self, campaign_id: str, scope: str, chunk_index: int,
                    ) -> Tuple[Tuple[ScheduleRecord, ...], Tuple[ScheduleRecord, ...]]:
@@ -311,25 +434,40 @@ class SqliteStore(CampaignStore):
                             stats: Optional[Mapping[str, int]] = None) -> None:
         self._require_campaign(campaign_id)
         encoded = rec.canonical_json(dict(stats)) if stats else None
-        cur = self._conn.cursor()
-        cur.execute("BEGIN IMMEDIATE")
-        try:
-            cur.execute(
-                "INSERT INTO cursors (campaign, scope, cursor, records, complete, "
-                "total_chunks, stats) VALUES (?, ?, 0, 0, 1, ?, ?) "
-                "ON CONFLICT (campaign, scope) DO UPDATE SET complete = 1, "
-                "total_chunks = excluded.total_chunks, stats = excluded.stats",
-                (campaign_id, scope, total_chunks, encoded))
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
+        self._write(lambda cur: cur.execute(
+            "INSERT INTO cursors (campaign, scope, cursor, records, complete, "
+            "total_chunks, stats) VALUES (?, ?, 0, 0, 1, ?, ?) "
+            "ON CONFLICT (campaign, scope) DO UPDATE SET complete = 1, "
+            "total_chunks = excluded.total_chunks, stats = excluded.stats",
+            (campaign_id, scope, total_chunks, encoded)))
 
     def iter_records(self, campaign_id: str, scope: str) -> Iterator[ScheduleRecord]:
         for row in self._conn.execute(
                 f"SELECT {_RECORD_COLS} FROM records WHERE campaign = ? AND "
                 f"scope = ? ORDER BY schedule_index", (campaign_id, scope)):
             yield rec.record_from_row(row)
+
+    # -- leases -----------------------------------------------------------------------
+
+    def load_leases(self, campaign_id: str,
+                    ) -> Dict[Tuple[str, int], rec.LeaseRecord]:
+        self._require_campaign(campaign_id)
+        out: Dict[Tuple[str, int], rec.LeaseRecord] = {}
+        for row in self._conn.execute(
+                "SELECT scope, chunk_index, state, token, owner, attempts "
+                "FROM leases WHERE campaign = ? ORDER BY scope, chunk_index",
+                (campaign_id,)):
+            lease = rec.lease_from_row(row)
+            out[(lease.scope, lease.chunk_index)] = lease
+        return out
+
+    def put_lease(self, campaign_id: str, lease: rec.LeaseRecord) -> None:
+        self._require_campaign(campaign_id)
+        row = rec.lease_to_row(lease)
+        self._write(lambda cur: cur.execute(
+            "INSERT OR REPLACE INTO leases (campaign, scope, chunk_index, state, "
+            "token, owner, attempts) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (campaign_id,) + row))
 
     # -- dedupe tiers -----------------------------------------------------------------
 
@@ -348,9 +486,8 @@ class SqliteStore(CampaignStore):
                       entries: Mapping[Interleaving, ScheduleOutcome]) -> int:
         if not entries:
             return 0
-        cur = self._conn.cursor()
-        cur.execute("BEGIN IMMEDIATE")
-        try:
+
+        def txn(cur: sqlite3.Cursor) -> int:
             before = cur.execute(
                 "SELECT COUNT(*) FROM outcomes WHERE workload = ? AND scope = ?",
                 (workload, scope)).fetchone()[0]
@@ -363,11 +500,9 @@ class SqliteStore(CampaignStore):
             after = cur.execute(
                 "SELECT COUNT(*) FROM outcomes WHERE workload = ? AND scope = ?",
                 (workload, scope)).fetchone()[0]
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
-        return after - before
+            return after - before
+
+        return self._write(txn)
 
     def load_classifications(self) -> Dict[str, HistoryClassification]:
         out: Dict[str, HistoryClassification] = {}
@@ -382,9 +517,8 @@ class SqliteStore(CampaignStore):
                              entries: Mapping[str, HistoryClassification]) -> int:
         if not entries:
             return 0
-        cur = self._conn.cursor()
-        cur.execute("BEGIN IMMEDIATE")
-        try:
+
+        def txn(cur: sqlite3.Cursor) -> int:
             before = cur.execute("SELECT COUNT(*) FROM classifications").fetchone()[0]
             cur.executemany(
                 "INSERT OR REPLACE INTO classifications (shorthand, serializable, "
@@ -392,11 +526,9 @@ class SqliteStore(CampaignStore):
                 [rec.classification_to_row(shorthand, classification)
                  for shorthand, classification in entries.items()])
             after = cur.execute("SELECT COUNT(*) FROM classifications").fetchone()[0]
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
-        return after - before
+            return after - before
+
+        return self._write(txn)
 
     # -- derived artifacts ------------------------------------------------------------
 
@@ -404,50 +536,37 @@ class SqliteStore(CampaignStore):
                       rows: Sequence[Tuple[str, str, int, Optional[str],
                                            Optional[str]]]) -> None:
         self._require_campaign(campaign_id)
-        cur = self._conn.cursor()
-        cur.execute("BEGIN IMMEDIATE")
-        try:
+
+        def txn(cur: sqlite3.Cursor) -> None:
             cur.execute("DELETE FROM coverage WHERE campaign = ?", (campaign_id,))
             cur.executemany(
                 "INSERT INTO coverage (campaign, scope, code, witnessed, "
                 "witness_interleaving, witness_history) VALUES (?, ?, ?, ?, ?, ?)",
                 [(campaign_id,) + tuple(row) for row in rows])
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
+
+        self._write(txn)
 
     def save_witness_edges(self, campaign_id: str,
                            rows: Sequence[Tuple[str, str, int, int, str,
                                                 Optional[str]]]) -> None:
         self._require_campaign(campaign_id)
-        cur = self._conn.cursor()
-        cur.execute("BEGIN IMMEDIATE")
-        try:
+
+        def txn(cur: sqlite3.Cursor) -> None:
             cur.execute("DELETE FROM witness_edges WHERE campaign = ?",
                         (campaign_id,))
             cur.executemany(
                 "INSERT INTO witness_edges (campaign, scope, code, source, target, "
                 "kind, item) VALUES (?, ?, ?, ?, ?, ?, ?)",
                 [(campaign_id,) + tuple(row) for row in rows])
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
+
+        self._write(txn)
 
     def save_table4_cell(self, campaign_id: str, scope: str, code: str,
                          payload: str) -> None:
         self._require_campaign(campaign_id)
-        cur = self._conn.cursor()
-        cur.execute("BEGIN IMMEDIATE")
-        try:
-            cur.execute(
-                "INSERT OR REPLACE INTO table4_cells (campaign, scope, code, "
-                "payload) VALUES (?, ?, ?, ?)", (campaign_id, scope, code, payload))
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
+        self._write(lambda cur: cur.execute(
+            "INSERT OR REPLACE INTO table4_cells (campaign, scope, code, "
+            "payload) VALUES (?, ?, ?, ?)", (campaign_id, scope, code, payload)))
 
     def load_table4_cells(self, campaign_id: str) -> Dict[Tuple[str, str], str]:
         return {(scope, code): payload for scope, code, payload in

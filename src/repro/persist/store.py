@@ -41,14 +41,19 @@ from . import records as rec
 __all__ = [
     "StoreError",
     "CampaignConfigMismatch",
+    "StaleLeaseError",
     "CampaignInfo",
     "ScopeProgress",
     "AnomalyFrequencyRow",
     "StoredWitness",
     "ConflictEdgeRow",
+    "LeaseRecord",
     "CampaignStore",
     "InMemoryStore",
 ]
+
+# Re-exported so lease users need not reach into the codec module.
+LeaseRecord = rec.LeaseRecord
 
 
 class StoreError(RuntimeError):
@@ -57,6 +62,14 @@ class StoreError(RuntimeError):
 
 class CampaignConfigMismatch(StoreError):
     """Resuming a campaign with a config that differs from the stored one."""
+
+
+class StaleLeaseError(StoreError):
+    """A fenced commit carried a lease token that is no longer current.
+
+    Raised *inside* the commit transaction, before any row lands: the zombie
+    worker's chunk result is discarded whole, never half-applied.
+    """
 
 
 @dataclass(frozen=True)
@@ -138,6 +151,14 @@ class CampaignStore(abc.ABC):
     def description(self) -> str:
         """One-line backend description for CLI output."""
 
+    def stats(self) -> Dict[str, int]:
+        """Backend health counters (busy retries, write transactions, ...).
+
+        The in-memory backend has nothing to report; the SQLite backend
+        surfaces its lock-contention retry counts here.
+        """
+        return {}
+
     # -- campaigns --------------------------------------------------------------------
 
     @abc.abstractmethod
@@ -172,7 +193,8 @@ class CampaignStore(abc.ABC):
     @abc.abstractmethod
     def commit_chunk(self, campaign_id: str, scope: str, chunk_index: int,
                      records: Sequence[ScheduleRecord],
-                     rep_records: Optional[Sequence[ScheduleRecord]] = None) -> None:
+                     rep_records: Optional[Sequence[ScheduleRecord]] = None,
+                     lease_token: Optional[int] = None) -> None:
         """Durably commit one chunk's records and advance the cursor, atomically.
 
         ``records`` are the assembled per-schedule records of the chunk (what
@@ -181,7 +203,24 @@ class CampaignStore(abc.ABC):
         (needed to rebuild the executed-representative stream on resume).
         ``chunk_index`` must equal the current cursor — chunks are committed
         contiguously, in stream order.
+
+        When ``lease_token`` is given the commit is *fenced*: inside the same
+        transaction the chunk's lease row must be in state ``leased`` holding
+        exactly this token, else :class:`StaleLeaseError` is raised and
+        nothing lands.  On success the lease row transitions to ``done``
+        atomically with the records and the cursor, so a reclaimed-and-
+        regranted chunk can only ever be committed by the current holder.
         """
+
+    # -- leases (the distributed runner's durable work-queue state) -------------------
+
+    @abc.abstractmethod
+    def load_leases(self, campaign_id: str) -> Dict[Tuple[str, int], rec.LeaseRecord]:
+        """Every stored lease of the campaign, keyed ``(scope, chunk_index)``."""
+
+    @abc.abstractmethod
+    def put_lease(self, campaign_id: str, lease: rec.LeaseRecord) -> None:
+        """Upsert one chunk's lease row (grant, reclaim, poison, requeue)."""
 
     @abc.abstractmethod
     def load_chunk(self, campaign_id: str, scope: str, chunk_index: int,
@@ -297,6 +336,7 @@ class InMemoryStore(CampaignStore):
         self._coverage: Dict[str, List[Tuple]] = {}
         self._witness_edges: Dict[str, List[Tuple]] = {}
         self._table4: Dict[str, Dict[Tuple[str, str], str]] = {}
+        self._leases: Dict[str, Dict[Tuple[str, int], Tuple]] = {}
 
     def description(self) -> str:
         return "InMemoryStore (process-local, dict-backed)"
@@ -354,12 +394,24 @@ class InMemoryStore(CampaignStore):
 
     def commit_chunk(self, campaign_id: str, scope: str, chunk_index: int,
                      records: Sequence[ScheduleRecord],
-                     rep_records: Optional[Sequence[ScheduleRecord]] = None) -> None:
+                     rep_records: Optional[Sequence[ScheduleRecord]] = None,
+                     lease_token: Optional[int] = None) -> None:
         state = self._scope(campaign_id, scope, create=True)
         assert state is not None
         if chunk_index != state.cursor:
             raise StoreError(f"non-contiguous commit: chunk {chunk_index} with "
                              f"cursor {state.cursor} ({campaign_id!r}/{scope!r})")
+        lease_row: Optional[Tuple] = None
+        if lease_token is not None:
+            lease_row = self._leases.get(campaign_id, {}).get((scope, chunk_index))
+            if lease_row is None or lease_row[2] != "leased" \
+                    or int(lease_row[3]) != lease_token:
+                held = "no lease" if lease_row is None else \
+                    f"state={lease_row[2]!r} token={lease_row[3]}"
+                raise StaleLeaseError(
+                    f"fenced commit of chunk {chunk_index} "
+                    f"({campaign_id!r}/{scope!r}) with token {lease_token} "
+                    f"rejected: {held}")
         for record in records:
             state.rows.append(rec.record_to_row(record))
             state.chunk_of_row.append(chunk_index)
@@ -367,6 +419,9 @@ class InMemoryStore(CampaignStore):
             state.rep_rows[chunk_index] = [rec.record_to_row(r) for r in rep_records]
         state.cursor = chunk_index + 1
         state.chunk_bounds.append(len(state.rows))
+        if lease_row is not None:
+            self._leases[campaign_id][(scope, chunk_index)] = \
+                lease_row[:2] + ("done",) + lease_row[3:]
 
     def load_chunk(self, campaign_id: str, scope: str, chunk_index: int,
                    ) -> Tuple[Tuple[ScheduleRecord, ...], Tuple[ScheduleRecord, ...]]:
@@ -395,6 +450,21 @@ class InMemoryStore(CampaignStore):
         state = self._scope(campaign_id, scope)
         for row in (state.rows if state is not None else ()):
             yield rec.record_from_row(row)
+
+    # -- leases -----------------------------------------------------------------------
+
+    def load_leases(self, campaign_id: str) -> Dict[Tuple[str, int], rec.LeaseRecord]:
+        if campaign_id not in self._campaigns:
+            raise StoreError(f"unknown campaign {campaign_id!r}")
+        return {key: rec.lease_from_row(row)
+                for key, row in sorted(self._leases.get(campaign_id, {}).items())}
+
+    def put_lease(self, campaign_id: str, lease: rec.LeaseRecord) -> None:
+        if campaign_id not in self._campaigns:
+            raise StoreError(f"unknown campaign {campaign_id!r}")
+        row = rec.lease_to_row(lease)
+        self._leases.setdefault(campaign_id, {})[
+            (lease.scope, lease.chunk_index)] = row
 
     # -- dedupe tiers -----------------------------------------------------------------
 

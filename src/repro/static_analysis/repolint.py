@@ -1,6 +1,6 @@
 """Repo invariant linter: the rules the codebase silently depends on, enforced.
 
-Six invariants keep the explorer's determinism and checkpoint/restore
+Seven invariants keep the explorer's determinism and checkpoint/restore
 contracts honest, and none of them is expressible in a generic linter:
 
 * **determinism** (AST) — no wall-clock reads (``time.time``,
@@ -38,6 +38,12 @@ contracts honest, and none of them is expressible in a generic linter:
   schedule records, memoized outcomes, classifications, and Table 4 cells
   (stalled and deadlock-aborted shapes included).  This is the invariant
   that makes resumed campaigns byte-identical to uninterrupted ones.
+* **lease-records** (runtime) — the distributed runner's lease rows obey
+  the same contract: every lease state round-trips losslessly through
+  ``lease_to_row``/``lease_from_row``, encoding is pure, row elements are
+  SQL-native scalars, and an out-of-vocabulary state is rejected rather
+  than silently persisted.  A drifting lease row is how a crashed
+  campaign resumes into the wrong work-queue state.
 
 Run as ``python -m repro.static_analysis.repolint [root]`` (exits non-zero
 on any violation); CI runs it repo-wide and requires zero.
@@ -62,6 +68,7 @@ __all__ = [
     "lint_picklability",
     "lint_footprints",
     "lint_store_records",
+    "lint_lease_records",
     "lint_tree",
     "lint_paths",
     "lint_repo",
@@ -433,6 +440,65 @@ def lint_store_records() -> List[Violation]:
     return violations
 
 
+def lint_lease_records() -> List[Violation]:
+    """Lease serialization is canonical, lossless, and state-checked.
+
+    One :class:`~repro.persist.records.LeaseRecord` fixture per legal state
+    (pending, leased, done, poisoned — owner present and absent) must
+    round-trip exactly through ``lease_to_row``/``lease_from_row`` with a
+    pure encoding and SQL-native row elements, and an invalid state must
+    raise instead of encoding.  The lease table is what a restarted parent
+    trusts to rebuild its work queue; a lossy row here resurrects
+    quarantined chunks or re-runs committed ones.
+    """
+    from ..persist import records as rec
+
+    where = "repro.persist.records"
+    violations: List[Violation] = []
+    fixtures = [
+        rec.LeaseRecord("SERIALIZABLE", 0, "pending", 0),
+        rec.LeaseRecord("READ COMMITTED", 3, "leased", 17, owner="w1",
+                        attempts=2),
+        rec.LeaseRecord("Snapshot Isolation", 11, "done", 4, owner="w0",
+                        attempts=1),
+        rec.LeaseRecord("REPEATABLE READ", 7, "poisoned", 99, attempts=5),
+    ]
+    for lease in fixtures:
+        row = rec.lease_to_row(lease)
+        if row != rec.lease_to_row(lease):
+            violations.append(Violation(
+                "lease-records", where, 0,
+                f"lease encoding is not deterministic for {lease!r}"))
+        for element in row:
+            if not isinstance(element, (int, str, type(None))):
+                violations.append(Violation(
+                    "lease-records", where, 0,
+                    f"lease row element {element!r} is not an SQL-native "
+                    f"scalar (int/str/None)"))
+        try:
+            decoded = rec.lease_from_row(row)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            violations.append(Violation(
+                "lease-records", where, 0,
+                f"lease decoding crashed on its own encoding: {error}"))
+            continue
+        if decoded != lease:
+            violations.append(Violation(
+                "lease-records", where, 0,
+                f"lease does not round-trip: {lease!r} -> {decoded!r}"))
+    bogus = rec.LeaseRecord("SERIALIZABLE", 0, "zombie", 1)
+    try:
+        rec.lease_to_row(bogus)
+    except ValueError:
+        pass
+    else:
+        violations.append(Violation(
+            "lease-records", where, 0,
+            "lease_to_row accepted out-of-vocabulary state 'zombie'; "
+            "unknown states must raise, not persist"))
+    return violations
+
+
 # -- drivers -------------------------------------------------------------------------
 
 
@@ -461,6 +527,7 @@ def lint_repo(root: Optional[Path] = None,
         violations.extend(lint_picklability())
         violations.extend(lint_footprints())
         violations.extend(lint_store_records())
+        violations.extend(lint_lease_records())
     return violations
 
 

@@ -1,0 +1,36 @@
+"""Shared fixtures: both store backends, plus a controllable clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.persist import InMemoryStore, SqliteStore
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    """One of each backend; lease-machine tests run against both."""
+    if request.param == "memory":
+        backing = InMemoryStore()
+    else:
+        backing = SqliteStore(tmp_path / "campaign.sqlite")
+    yield backing
+    backing.close()
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()

@@ -83,3 +83,49 @@ def test_throttle_changes_no_records(store_path, capsys):
     assert main(RUN + ["--store", throttled_path, "--throttle-ms", "1"]) == 0
     throttled = capsys.readouterr().out
     assert plain == throttled
+
+
+def test_missing_store_file_fails_cleanly(store_path, capsys):
+    """resume/inspect/list on a nonexistent path must not silently create
+    an empty database — and must exit nonzero with the real problem."""
+    for argv in (["resume", "--store", store_path, "--campaign", "demo"],
+                 ["inspect", "--store", store_path],
+                 ["list", "--store", store_path]):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert "store file not found" in str(excinfo.value)
+    import os
+    assert not os.path.exists(store_path)       # no empty file left behind
+
+
+def test_config_mismatch_exits_nonzero_without_traceback(store_path, capsys):
+    assert main(RUN + ["--store", store_path]) == 0
+    capsys.readouterr()
+    clash = ["run", "--program-set", "increments", "--max-schedules", "99",
+             "--chunk-size", "16", "--campaign", "demo",
+             "--store", store_path]
+    assert main(clash) == 2                     # clean exit, not a traceback
+    err = capsys.readouterr().err
+    assert "error:" in err and "different config" in err
+
+
+def test_inspect_json_is_machine_readable(store_path, capsys):
+    import json
+
+    assert main(RUN + ["--store", store_path]) == 0
+    capsys.readouterr()
+    assert main(["inspect", "--store", store_path, "--campaign", "demo",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["campaign_id"] == "demo"
+    assert len(payload["scopes"]) == 5
+    assert all(scope["complete"] for scope in payload["scopes"])
+
+    # Without --campaign: one entry per campaign in the store.
+    assert main(["inspect", "--store", store_path, "--json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert [entry["campaign_id"] for entry in listing] == ["demo"]
+
+    with pytest.raises(SystemExit):
+        main(["inspect", "--store", store_path, "--campaign", "ghost",
+              "--json"])
