@@ -48,6 +48,7 @@ from repro.analysis.report import matrix_matches, render_table
 from repro.core.isolation import IsolationLevelName, Possibility
 from repro.engine.scheduler import ScheduleRunner
 from repro.explorer import (
+    ExploreOptions,
     ProgramSetSpec,
     TrieExecutor,
     available_workers,
@@ -196,8 +197,9 @@ def _parallel_overheads(result, workers: int, chunk_size: int = 64):
 
 def _run(workers: int, schedules: int = SCHEDULES):
     started = time.perf_counter()
-    result = explore(SPEC, levels=LEVELS, mode="sample", max_schedules=schedules,
-                     seed=SEED, workers=workers, chunk_size=64)
+    result = explore(SPEC, ExploreOptions(
+        levels=LEVELS, mode="sample", max_schedules=schedules,
+        seed=SEED, workers=workers, chunk_size=64))
     duration = time.perf_counter() - started
     executed = result.total_schedules()
     return result, executed / duration, duration
@@ -355,8 +357,9 @@ def test_batch_kernel_vs_stepwise(print_report):
 
 def test_explorer_throughput_serial(benchmark, print_report):
     result = benchmark.pedantic(
-        lambda: explore(SPEC, levels=(IsolationLevelName.READ_COMMITTED,),
-                        mode="sample", max_schedules=min(SCHEDULES, 500), seed=SEED),
+        lambda: explore(SPEC, ExploreOptions(
+            levels=(IsolationLevelName.READ_COMMITTED,),
+            mode="sample", max_schedules=min(SCHEDULES, 500), seed=SEED)),
         rounds=3, iterations=1,
     )
     stats = result.levels[IsolationLevelName.READ_COMMITTED].cache_stats
@@ -565,12 +568,14 @@ def test_schedule_outcome_memo(print_report):
                    IsolationLevelName.SNAPSHOT_ISOLATION)
     budget = 5000
     started = time.perf_counter()
-    full = explore(memo_spec, levels=memo_levels, mode="sample",
-                   max_schedules=budget, seed=SEED, outcome_memo=False)
+    full = explore(memo_spec, ExploreOptions(
+        levels=memo_levels, mode="sample", max_schedules=budget, seed=SEED,
+        outcome_memo=False))
     full_time = time.perf_counter() - started
     started = time.perf_counter()
-    memoized = explore(memo_spec, levels=memo_levels, mode="sample",
-                       max_schedules=budget, seed=SEED, outcome_memo=True)
+    memoized = explore(memo_spec, ExploreOptions(
+        levels=memo_levels, mode="sample", max_schedules=budget, seed=SEED,
+        outcome_memo=True))
     memo_time = time.perf_counter() - started
 
     assert coverage_mismatches(full, memoized, levels=memo_levels) == []
@@ -617,11 +622,14 @@ def test_reduction_ratio_and_soundness(print_report):
                             operations_per_transaction=1),
         ProgramSetSpec.make("bank-transfer"),
     ):
-        full = explore(spec, levels=gate_levels, mode="exhaustive",
-                       max_schedules=5000)
+        full = explore(spec, ExploreOptions(levels=gate_levels,
+                                            mode="exhaustive",
+                                            max_schedules=5000))
         started = time.perf_counter()
-        reduced = explore(spec, levels=gate_levels, mode="exhaustive",
-                          max_schedules=5000, reduction="sleep-set")
+        reduced = explore(spec, ExploreOptions(levels=gate_levels,
+                                               mode="exhaustive",
+                                               max_schedules=5000,
+                                               reduction="sleep-set"))
         reduced_time = time.perf_counter() - started
         assert coverage_mismatches(full, reduced, levels=gate_levels) == []
         ratio = reduced.reduction_ratio()
@@ -799,7 +807,7 @@ def test_persistence_store_overhead(print_report, tmp_path):
         # whichever cache state test ordering happened to leave behind.
         _OUTCOME_MEMO_CACHE.clear()
         started = time.perf_counter()
-        result = explore(SPEC, **kwargs, **extra)
+        result = explore(SPEC, ExploreOptions(**kwargs, **extra))
         return result, time.perf_counter() - started
 
     timed()  # warm the process-global testbed caches out of the timing
@@ -933,8 +941,9 @@ def test_distributed_campaign_throughput(print_report, tmp_path):
             store.close()
         return result, wall, fingerprint
 
-    control = explore(SPEC, levels=LEVELS, mode="sample",
-                      max_schedules=SCHEDULES, seed=SEED, chunk_size=64)
+    control = explore(SPEC, ExploreOptions(
+        levels=LEVELS, mode="sample", max_schedules=SCHEDULES,
+        seed=SEED, chunk_size=64))
     clean, clean_wall, clean_fingerprint = run("clean", FaultPlan())
     assert clean_fingerprint == control.fingerprint(), \
         "distributing the campaign changed the record stream"
@@ -968,5 +977,53 @@ def test_distributed_campaign_throughput(print_report, tmp_path):
              ["workers respawned", str(faulted.respawns)],
              ["kill recovery latency", f"{recovery_ms:.0f} ms"],
              ["byte-identical to serial", "yes"]],
+        ),
+    )
+
+
+def test_service_throughput(print_report):
+    """ISSUE 10 acceptance: the online certifier under >= 50 concurrent clients.
+
+    Drives the seeded load generator through the in-process classifier path
+    (one :class:`OnlineClassifier` per client stream, per-op classify latency
+    timed around each ``feed``), then verifies every stream's final verdict
+    byte-equal against the offline ``BatchClassifier`` ground truth — the
+    service's correctness contract, enforced here on every bench run, not
+    just in the property suite.  Records anomalies/sec (certificates emitted
+    over classify busy time) and p50/p99 per-op classify latency.  Client
+    count honours ``BENCH_SERVICE_CLIENTS`` (default 50; smoke runs may
+    shrink it, the committed baseline must not).
+    """
+    from repro.service import LoadConfig, run_load
+
+    clients = int(os.environ.get("BENCH_SERVICE_CLIENTS", "50"))
+    config = LoadConfig(clients=clients, transactions_per_client=20,
+                        ops_per_transaction=6, seed=SEED)
+    report = run_load(config, verify=True)
+    assert report.byte_equal, \
+        "online verdicts diverged from the offline classifier"
+    assert report.certificates >= 1, \
+        "load generator produced no certified anomalies"
+
+    _BASELINE["service"] = {
+        "clients": report.clients,
+        "ops": report.ops,
+        "certificates": report.certificates,
+        "anomalies_per_sec": round(report.anomalies_per_sec, 1),
+        "p50_classify_us": round(report.p50_classify_us, 1),
+        "p99_classify_us": round(report.p99_classify_us, 1),
+        "wall_s": round(report.wall_s, 3),
+        "byte_equal": report.byte_equal,
+    }
+    print_report(
+        f"Online certifier service ({report.clients} clients, "
+        f"{report.ops} ops)",
+        render_table(
+            ["metric", "value"],
+            [["anomalies/sec", f"{report.anomalies_per_sec:,.0f}"],
+             ["certificates", str(report.certificates)],
+             ["p50 classify latency", f"{report.p50_classify_us:.0f} us"],
+             ["p99 classify latency", f"{report.p99_classify_us:.0f} us"],
+             ["byte-equal to offline", "yes"]],
         ),
     )

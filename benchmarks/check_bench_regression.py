@@ -53,6 +53,8 @@ SECTIONS: Tuple[Tuple[Tuple[str, ...], str, bool], ...] = (
      "sqlite-store schedules/sec", False),
     (("distrib", "schedules_per_sec"),
      "distributed campaign schedules/sec", False),
+    (("service", "anomalies_per_sec"),
+     "online certifier anomalies/sec", False),
 )
 
 #: The ISSUE 8 bar for the fresh ``persistence`` section: a SqliteStore may
@@ -152,6 +154,27 @@ def _check_distrib(fresh: Dict[str, Any]) -> List[str]:
     return []
 
 
+def _check_service(fresh: Dict[str, Any]) -> List[str]:
+    """Correctness flag inside the fresh ``service`` section.
+
+    Anomalies/sec and classify latency are informational (client count and
+    machine class dominate them), but ``byte_equal`` is wrong at any speed:
+    every online stream verdict must match the offline classifier on the
+    same ops — the certifier service's whole correctness contract.
+    """
+    section = fresh.get("service")
+    if not isinstance(section, dict):
+        return []
+    byte_equal = section.get("byte_equal")
+    print(f"online certifier: "
+          f"{section.get('anomalies_per_sec', 0):,.1f} anomalies/s at "
+          f"{section.get('clients')} clients, p99 classify "
+          f"{section.get('p99_classify_us')} us, byte_equal {byte_equal}")
+    if byte_equal is not True:
+        return [f"service: byte_equal is {byte_equal!r}"]
+    return []
+
+
 def main(baseline_path: str, fresh_path: str) -> int:
     tolerance = float(os.environ.get("BENCH_SMOKE_TOLERANCE", "0.30"))
     baseline = _load(baseline_path)
@@ -200,6 +223,7 @@ def main(baseline_path: str, fresh_path: str) -> int:
     failures.extend(_check_batch_kernel(fresh))
     failures.extend(_check_persistence(fresh))
     failures.extend(_check_distrib(fresh))
+    failures.extend(_check_service(fresh))
     if compared == 0 and not failures:
         print("no comparable sections found in either file — nothing was checked")
         return 1

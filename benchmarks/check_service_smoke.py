@@ -1,0 +1,126 @@
+"""Boot the online certifier service for real and certify anomalies over TCP.
+
+The ``service-smoke`` CI job runs this script.  It stages the ISSUE 10
+tentpole contract end to end, with a real server process and real sockets
+rather than the in-process classifier path the benchmarks time:
+
+1. **Boot** — start ``python -m repro serve`` as a subprocess on an
+   OS-assigned port with a SQLite store attached, and parse the listening
+   banner for the resolved address.
+2. **Drive** — run the seeded load generator's TCP client fleet against it;
+   every client opens its own stream, feeds its ops in bursts, and closes.
+3. **Certify** — the run must emit at least one anomaly certificate, the
+   server's stats must account for every op fed, and the certificates must
+   be durably committed to the store (read back out of plain SQLite).
+4. **Shutdown** — deliver SIGTERM; the server must print its stop banner
+   and exit 0 (the clean-shutdown contract of the serve CLI).
+
+The store file is left behind in ``--dir`` so CI can upload it as an
+artifact (plain SQLite — any client can autopsy a failure).
+
+Usage: python benchmarks/check_service_smoke.py [--dir OUTDIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The server subprocess needs ``repro`` importable too; prepending src/
+#: works for both the pip-installed CI case (harmless) and bare checkouts.
+SERVER_ENV = dict(os.environ)
+SERVER_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(REPO_ROOT / "src")] + ([SERVER_ENV["PYTHONPATH"]]
+                                if SERVER_ENV.get("PYTHONPATH") else []))
+
+from repro.persist import SqliteStore  # noqa: E402
+from repro.service import LoadConfig  # noqa: E402
+from repro.service.loadgen import run_load_tcp  # noqa: E402
+
+#: Modest client fleet: the smoke proves the protocol and lifecycle, the
+#: benchmark section proves throughput at 50 clients.
+CONFIG = LoadConfig(clients=8, transactions_per_client=10,
+                    ops_per_transaction=6, seed=0)
+BOOT_TIMEOUT_S = 30.0
+CAMPAIGN = "service-ci"
+
+
+def _wait_for_banner(proc: subprocess.Popen) -> "tuple[str, int]":
+    """Read the serve CLI's listening banner and return (host, port)."""
+    assert proc.stdout is not None
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before announcing its port "
+                f"(rc={proc.poll()})")
+        print(f"server: {line.rstrip()}")
+        if line.startswith("certifier listening on "):
+            address = line.split()[-1]
+            host, _, port = address.rpartition(":")
+            return host, int(port)
+    raise SystemExit("server never printed its listening banner")
+
+
+def main(outdir: Path) -> int:
+    outdir.mkdir(parents=True, exist_ok=True)
+    store_path = outdir / "service-smoke.sqlite"
+    command = [sys.executable, "-m", "repro", "serve", "--port", "0",
+               "--store", str(store_path), "--campaign", CAMPAIGN]
+    proc = subprocess.Popen(command, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True,
+                            env=SERVER_ENV)
+    try:
+        host, port = _wait_for_banner(proc)
+        report = asyncio.run(run_load_tcp(host, port, CONFIG))
+        print(f"drove {report.ops} ops over {report.clients} clients: "
+              f"{report.certificates} certificates, "
+              f"p99 classify {report.p99_classify_us:.0f} us")
+        if report.certificates < 1:
+            raise SystemExit("no certified anomalies — the load generator "
+                             "must provoke at least one")
+
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=30)
+        remainder = proc.stdout.read() if proc.stdout else ""
+        if remainder.strip():
+            print(f"server: {remainder.strip()}")
+        if rc != 0:
+            raise SystemExit(f"server exited {rc} on SIGTERM, expected 0")
+        if "certifier stopped" not in remainder:
+            raise SystemExit("server never printed its stop banner")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    store = SqliteStore(store_path)
+    try:
+        persisted = store.load_certificates(CAMPAIGN)
+    finally:
+        store.close()
+    print(f"store holds {len(persisted)} certificates for "
+          f"campaign {CAMPAIGN!r}")
+    if len(persisted) != report.certificates:
+        raise SystemExit(
+            f"store persisted {len(persisted)} certificates but the run "
+            f"emitted {report.certificates}")
+    print("service smoke OK: boot, certify, persist, clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="service-smoke-artifacts",
+                        help="directory for the store artifact")
+    sys.exit(main(Path(parser.parse_args().dir)))

@@ -17,7 +17,7 @@ import os
 import tempfile
 
 from repro.analysis.coverage import build_coverage_report, coverage_report_from_store
-from repro.explorer import ProgramSetSpec, explore
+from repro.explorer import ExploreOptions, ProgramSetSpec, explore
 from repro.persist import SqliteStore
 from repro.persist.analytics import campaign_summary, persist_result
 
@@ -50,21 +50,22 @@ class CrashingStore:
 def main() -> None:
     path = os.path.join(tempfile.mkdtemp(), "campaigns.sqlite")
     spec = ProgramSetSpec.make("increments")
-    kwargs = dict(max_schedules=200, chunk_size=8)
+    base = ExploreOptions(max_schedules=200, chunk_size=8)
 
     # 1. The control: an ordinary, store-less run to compare against.
-    control = explore(spec, **kwargs)
+    control = explore(spec, base)
 
     # 2. A campaign that "crashes" after three chunk commits.
     store = SqliteStore(path)
     try:
-        explore(spec, store=CrashingStore(store, 3), campaign_id="demo", **kwargs)
+        explore(spec, base.replace(store=CrashingStore(store, 3),
+                                   campaign_id="demo"))
     except SimulatedCrash:
         print("campaign killed mid-stream; 3 chunks are durable\n")
 
     # 3. Resume: same call, same store.  The durable prefix is loaded, the
     #    remainder executed; the result is byte-identical to the control.
-    resumed = explore(spec, store=store, campaign_id="demo", **kwargs)
+    resumed = explore(spec, base.replace(store=store, campaign_id="demo"))
     print(f"resume matches uninterrupted run: "
           f"{resumed.fingerprint() == control.fingerprint()}")
     stats = next(iter(resumed.levels.values())).cache_stats
@@ -72,7 +73,7 @@ def main() -> None:
           f"chunks, committed {stats.get('store_chunks_committed', 0)} new\n")
 
     # 4. Cross-run dedupe: a re-run of the completed campaign executes nothing.
-    rerun = explore(spec, store=store, campaign_id="demo", **kwargs)
+    rerun = explore(spec, base.replace(store=store, campaign_id="demo"))
     print(f"re-run of the finished campaign executed "
           f"{rerun.executed_schedules()} schedules\n")
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.analysis.coverage import build_coverage_report
 from repro.core.isolation import IsolationLevelName
-from repro.explorer import ProgramSetSpec, explore
+from repro.explorer import ExploreOptions, ProgramSetSpec, explore
 
 LEVELS = (
     IsolationLevelName.READ_COMMITTED,
@@ -26,7 +26,8 @@ LEVELS = (
 def main() -> None:
     # 1. Lost update: two increments of the same counter, all 20 interleavings.
     spec = ProgramSetSpec.make("increments", transactions=2)
-    result = explore(spec, levels=LEVELS, mode="exhaustive", max_schedules=100)
+    result = explore(spec, ExploreOptions(levels=LEVELS, mode="exhaustive",
+                                      max_schedules=100))
     report = build_coverage_report(result, codes=("P0", "P1", "P2", "P4"))
     print(report.render("Lost update (P4): two read-modify-write increments"))
     witness = report.witness(IsolationLevelName.READ_COMMITTED, "P4")
@@ -36,8 +37,9 @@ def main() -> None:
         print(f"  realized history:     {history}\n")
 
     # 2. Write skew: the A5B scenario SI admits but REPEATABLE READ prevents.
-    result = explore(ProgramSetSpec.make("write-skew"), levels=LEVELS,
-                     mode="exhaustive", max_schedules=100)
+    result = explore(ProgramSetSpec.make("write-skew"),
+                 ExploreOptions(levels=LEVELS, mode="exhaustive",
+                                max_schedules=100))
     print(build_coverage_report(result, codes=("P4", "A5A", "A5B")).render(
         "Write skew (A5B): disjoint writes after overlapping reads"))
     print()
@@ -45,8 +47,9 @@ def main() -> None:
     # 3. Partial-order reduction: a sharded workload where most interleavings
     #    differ only by commuting steps of disjoint transactions — one
     #    representative per equivalence class is executed, coverage unchanged.
-    result = explore(ProgramSetSpec.make("sharded-increments"), levels=LEVELS,
-                     mode="exhaustive", max_schedules=100, reduction="sleep-set")
+    result = explore(ProgramSetSpec.make("sharded-increments"),
+                 ExploreOptions(levels=LEVELS, mode="exhaustive",
+                                max_schedules=100, reduction="sleep-set"))
     print(build_coverage_report(result, codes=("P0", "P1", "P4")).render(
         "Sharded increments under sleep-set reduction"))
     print(f"\n  executed {result.executed_schedules() // len(LEVELS)} of "
@@ -57,8 +60,9 @@ def main() -> None:
     #    chunk across every usable core (workers="auto").
     spec = ProgramSetSpec.make("contention", transactions=4, items=4,
                                hot_items=2, operations_per_transaction=2)
-    result = explore(spec, levels=(IsolationLevelName.READ_COMMITTED,),
-                     mode="sample", max_schedules=2_000, seed=7, workers="auto")
+    result = explore(spec, ExploreOptions(
+        levels=(IsolationLevelName.READ_COMMITTED,), mode="sample",
+        max_schedules=2_000, seed=7, workers="auto"))
     report = build_coverage_report(result, codes=("P1", "P2", "P4", "A5A", "A5B"))
     print(report.render(
         f"Sampled contention: 2,000 of {result.space.total:,} interleavings "

@@ -27,6 +27,7 @@ from ..core.catalog import CATALOG
 from ..core.history import History
 from ..core.isolation import IsolationLevelName, PhenomenonBasedLevel, Possibility
 from ..core.phenomena import by_code
+from ..explorer.options import ExploreOptions
 from ..explorer.scenarios import DEFAULT_MAX_SCHEDULES, explore_scenario
 from ..testbed import engine_factory
 from ..workloads.generators import history_corpus
@@ -152,7 +153,9 @@ def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVEL
                             reduction: str = "sleep-set",
                             static_pruning: bool = False,
                             store=None,
-                            campaign_id: Optional[str] = None) -> ExploredTable4:
+                            campaign_id: Optional[str] = None,
+                            options: Optional[ExploreOptions] = None,
+                            ) -> ExploredTable4:
     """The explorer-driven behavioural anomaly matrix.
 
     Each cell exhausts (or, above ``max_schedules``, samples) the full
@@ -184,7 +187,19 @@ def compute_table4_explored(levels: Sequence[IsolationLevelName] = TABLE_4_LEVEL
     reopening it with different inputs raises
     :class:`~repro.persist.CampaignConfigMismatch` rather than silently
     mixing incompatible cells.
+
+    An :class:`~repro.explorer.options.ExploreOptions` may replace the loose
+    exploration knobs (``mode``/``max_schedules``/``seed``/``reduction``/
+    ``static_pruning``); ``levels``, ``store``, and ``campaign_id`` keep
+    their own parameters because the matrix aggregates per level and manages
+    its own campaign identity.
     """
+    if options is not None:
+        mode = options.mode
+        max_schedules = options.max_schedules
+        seed = options.seed
+        reduction = options.reduction
+        static_pruning = options.static_pruning
     stored_cells: Dict[Tuple[str, str], str] = {}
     if store is not None:
         from ..persist.records import cell_to_payload, config_fingerprint

@@ -259,14 +259,14 @@ def serial_reference(spec, levels, mode: str = "auto",
     bytes every chaos run must reproduce.
     """
     from ..analysis.coverage import build_coverage_report
-    from ..explorer import explore
+    from ..explorer import ExploreOptions, explore
     from ..explorer.explorer import DEFAULT_LEVELS
     from ..workloads.program_sets import ProgramSetSpec
     levels = tuple(levels) if levels is not None else DEFAULT_LEVELS
     spec = ProgramSetSpec.make(spec.name, **spec.kwargs())
-    result = explore(spec, levels=levels, mode=mode,
-                     max_schedules=max_schedules, seed=seed,
-                     chunk_size=chunk_size, batch_kernel=batch_kernel)
+    result = explore(spec, ExploreOptions(
+        levels=levels, mode=mode, max_schedules=max_schedules, seed=seed,
+        chunk_size=chunk_size, batch_kernel=batch_kernel))
     return build_coverage_report(result).render(), result.fingerprint()
 
 

@@ -41,6 +41,7 @@ from .explorer import (
     available_workers,
     explore,
 )
+from .options import REDUCTIONS, ExploreOptions
 from .memo import BatchClassifier, HistoryClassification, PrefixGraphBuilder
 from .reduction import (
     CommutationOracle,
@@ -76,6 +77,8 @@ from ..workloads.program_sets import (
 
 __all__ = [
     "DEFAULT_LEVELS",
+    "REDUCTIONS",
+    "ExploreOptions",
     "ExplorationResult",
     "LevelExploration",
     "available_workers",

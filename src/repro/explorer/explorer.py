@@ -46,6 +46,7 @@ import hashlib
 import multiprocessing
 import os
 import time
+import warnings
 from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -55,6 +56,7 @@ from ..core.phenomena import ALL_PHENOMENA
 from ..static_analysis import StaticVerdict, Verdict, analyze_programs
 from ..workloads.program_sets import ProgramSetSpec, resolve_program_set
 from .memo import BatchClassifier
+from .options import DEFAULT_LEVELS, REDUCTIONS, ExploreOptions
 from .reduction import StreamingReducer, terminal_scope_for
 from .schedules import Interleaving, ScheduleSpace, schedule_space
 from .worker import (
@@ -67,6 +69,7 @@ from .worker import (
 
 __all__ = [
     "DEFAULT_LEVELS",
+    "ExploreOptions",
     "LevelExploration",
     "ExplorationResult",
     "available_workers",
@@ -74,18 +77,8 @@ __all__ = [
     "explore",
 ]
 
-
-#: The Table 4 rows the coverage report mirrors by default.
-DEFAULT_LEVELS: Tuple[IsolationLevelName, ...] = (
-    IsolationLevelName.READ_UNCOMMITTED,
-    IsolationLevelName.READ_COMMITTED,
-    IsolationLevelName.REPEATABLE_READ,
-    IsolationLevelName.SNAPSHOT_ISOLATION,
-    IsolationLevelName.SERIALIZABLE,
-)
-
-#: Accepted reduction strategies.
-REDUCTIONS = ("none", "sleep-set")
+# DEFAULT_LEVELS and REDUCTIONS are defined in .options (the consolidated
+# configuration surface) and re-exported here for their historical importers.
 
 #: ``outcome_memo="auto"`` enables the schedule-level outcome memo only for
 #: spaces at most this big: small (exhaustive or oversampled) spaces revisit
@@ -478,22 +471,27 @@ def _resolve_worker_count(workers: Union[int, str]) -> int:
 
 
 def explore(spec: ProgramSetSpec,
-            levels: Sequence[IsolationLevelName] = DEFAULT_LEVELS,
-            mode: str = "auto", max_schedules: int = 1000, seed: int = 0,
-            workers: Union[int, str] = 1, chunk_size: int = 64,
-            reduction: str = "none",
-            shared_cache: bool = True,
-            outcome_memo: Union[bool, str] = "auto",
-            static_pruning: bool = False,
-            batch_kernel: Optional[str] = None,
-            store=None, campaign_id: Optional[str] = None) -> ExplorationResult:
+            options: Optional[ExploreOptions] = None,
+            **kwargs) -> ExplorationResult:
     """Explore the schedule space of a program set under several isolation levels.
+
+    The preferred call passes one :class:`~repro.explorer.options.ExploreOptions`
+    parameter object: ``explore(spec, ExploreOptions(workers=4, seed=7))``.
+    The historical loose-kwargs surface (``explore(spec, workers=4, seed=7)``)
+    remains as a deprecated shim: the kwargs are folded into an
+    ``ExploreOptions`` internally, so both spellings validate identically and
+    produce byte-identical results (the fingerprint equivalence tests gate
+    this).  Mixing both raises ``TypeError``.
 
     Parameters
     ----------
     spec:
         A :class:`~repro.workloads.program_sets.ProgramSetSpec` naming a
         registered builder (workers rebuild the programs from it).
+    options:
+        An :class:`~repro.explorer.options.ExploreOptions` carrying every
+        knob below (build one with :meth:`ExploreOptions.from_env` to read
+        the ``EXPLORER_*`` environment variables).
     levels:
         Isolation levels to run every schedule under (default: the Table 4 rows
         every engine implements).
@@ -592,19 +590,41 @@ def explore(spec: ProgramSetSpec,
         :class:`repro.persist.CampaignConfigMismatch` otherwise.  Requires
         ``store``.
     """
-    workers = _resolve_worker_count(workers)
-    if chunk_size < 1:
-        raise ValueError("chunk_size must be >= 1")
-    if batch_kernel not in (None, "auto", "on", "off"):
-        raise ValueError(f"batch_kernel must be None, 'auto', 'on', or 'off', "
-                         f"got {batch_kernel!r}")
-    if reduction not in REDUCTIONS:
-        raise ValueError(f"unknown reduction {reduction!r}; choose from {REDUCTIONS}")
-    if not (outcome_memo in (True, False) or outcome_memo == "auto"):
-        raise ValueError(
-            f"outcome_memo must be True, False, or 'auto', got {outcome_memo!r}")
-    if campaign_id is not None and store is None:
-        raise ValueError("campaign_id requires a store")
+    if options is not None:
+        if kwargs:
+            raise TypeError(
+                "explore() takes either an ExploreOptions object or legacy "
+                "keyword knobs, not both")
+        if not isinstance(options, ExploreOptions):
+            raise TypeError(
+                f"options must be an ExploreOptions, got "
+                f"{type(options).__name__}; legacy knobs must be passed by "
+                f"keyword")
+    else:
+        unknown = set(kwargs) - set(ExploreOptions.field_names())
+        if unknown:
+            raise TypeError(
+                f"explore() got unexpected keyword arguments: "
+                f"{', '.join(sorted(unknown))}")
+        if kwargs:
+            warnings.warn(
+                "passing explore() knobs as loose keyword arguments is "
+                "deprecated; pass an ExploreOptions object instead",
+                DeprecationWarning, stacklevel=2)
+        options = ExploreOptions(**kwargs)
+    levels = options.levels
+    mode = options.mode
+    max_schedules = options.max_schedules
+    seed = options.seed
+    chunk_size = options.chunk_size
+    reduction = options.reduction
+    shared_cache = options.shared_cache
+    outcome_memo = options.outcome_memo
+    static_pruning = options.static_pruning
+    batch_kernel = options.batch_kernel
+    store = options.store
+    campaign_id = options.campaign_id
+    workers = _resolve_worker_count(options.workers)
     # Resolve the builder here, in the caller's process, so sets registered by
     # the calling script reach spawn-started workers (pickled by reference).
     builder = resolve_program_set(spec)

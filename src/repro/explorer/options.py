@@ -1,0 +1,193 @@
+"""`ExploreOptions` — the consolidated configuration surface of :func:`explore`.
+
+Nine PRs grew :func:`repro.explorer.explore` to twelve loose keyword knobs
+plus a handful of ``EXPLORER_*`` environment variables read deep inside the
+workers.  This module consolidates them into one frozen dataclass:
+
+* :class:`ExploreOptions` carries every knob, validates them eagerly in
+  ``__post_init__`` (same error messages, same order as the historical
+  inline checks), and is immutable — pass it around, derive variants with
+  :meth:`ExploreOptions.replace`.
+* :meth:`ExploreOptions.from_env` builds one from the ``EXPLORER_*``
+  environment variables, so scripts and CI jobs configure a run without
+  threading a dozen flags.
+
+``explore(spec, options)`` is the preferred call; the legacy
+``explore(spec, workers=..., chunk_size=...)`` kwargs remain as a thin shim
+that builds an :class:`ExploreOptions` internally (see ``explorer.py``) and
+produces byte-identical results — the equivalence tests fingerprint both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.isolation import IsolationLevelName
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "REDUCTIONS",
+    "ExploreOptions",
+]
+
+#: The Table 4 rows the coverage report mirrors by default.
+DEFAULT_LEVELS: Tuple[IsolationLevelName, ...] = (
+    IsolationLevelName.READ_UNCOMMITTED,
+    IsolationLevelName.READ_COMMITTED,
+    IsolationLevelName.REPEATABLE_READ,
+    IsolationLevelName.SNAPSHOT_ISOLATION,
+    IsolationLevelName.SERIALIZABLE,
+)
+
+#: Accepted reduction strategies.
+REDUCTIONS = ("none", "sleep-set")
+
+
+def _env_bool(name: str, raw: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"{name} must be a boolean flag "
+                     f"(1/0/true/false/yes/no/on/off), got {raw!r}")
+
+
+def _env_int(name: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class ExploreOptions:
+    """Every knob of :func:`repro.explorer.explore`, validated and frozen.
+
+    Field semantics are documented on :func:`repro.explorer.explore` (this
+    class is its parameter object).  Validation happens eagerly at
+    construction, with the same messages the inline checks historically
+    raised, so ``ExploreOptions(workers=0)`` fails exactly like
+    ``explore(spec, workers=0)`` always did.
+    """
+
+    levels: Tuple[IsolationLevelName, ...] = DEFAULT_LEVELS
+    mode: str = "auto"
+    max_schedules: int = 1000
+    seed: int = 0
+    workers: Union[int, str] = 1
+    chunk_size: int = 64
+    reduction: str = "none"
+    shared_cache: bool = True
+    outcome_memo: Union[bool, str] = "auto"
+    static_pruning: bool = False
+    batch_kernel: Optional[str] = None
+    store: Any = field(default=None, compare=False)
+    campaign_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(self.levels))
+        workers = self.workers
+        if workers != "auto":
+            if isinstance(workers, bool) or not isinstance(workers, int):
+                raise ValueError(
+                    f"workers must be an int or 'auto', got {workers!r}")
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.batch_kernel not in (None, "auto", "on", "off"):
+            raise ValueError(
+                f"batch_kernel must be None, 'auto', 'on', or 'off', "
+                f"got {self.batch_kernel!r}")
+        if self.reduction not in REDUCTIONS:
+            raise ValueError(
+                f"unknown reduction {self.reduction!r}; choose from {REDUCTIONS}")
+        if not (self.outcome_memo in (True, False) or self.outcome_memo == "auto"):
+            raise ValueError(
+                f"outcome_memo must be True, False, or 'auto', "
+                f"got {self.outcome_memo!r}")
+        if self.campaign_id is not None and self.store is None:
+            raise ValueError("campaign_id requires a store")
+
+    def replace(self, **changes: Any) -> "ExploreOptions":
+        """A copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        """The knob names, in signature order (the legacy kwargs surface)."""
+        return tuple(f.name for f in dataclasses.fields(cls))
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None,
+                 **overrides: Any) -> "ExploreOptions":
+        """Build options from the ``EXPLORER_*`` environment variables.
+
+        Recognized variables (unset ones keep the dataclass default)::
+
+            EXPLORER_LEVELS          comma-separated level names
+            EXPLORER_MODE            auto | exhaustive | sample
+            EXPLORER_MAX_SCHEDULES   int
+            EXPLORER_SEED            int
+            EXPLORER_WORKERS         int or "auto"
+            EXPLORER_CHUNK_SIZE      int
+            EXPLORER_REDUCTION       none | sleep-set
+            EXPLORER_SHARED_CACHE    bool flag
+            EXPLORER_OUTCOME_MEMO    bool flag or "auto"
+            EXPLORER_STATIC_PRUNING  bool flag
+            EXPLORER_BATCH_KERNEL    auto | on | off
+
+        Explicit ``overrides`` win over the environment.  Malformed values
+        raise :class:`ValueError` naming the offending variable.
+        """
+        if environ is None:
+            import os
+            environ = os.environ
+        values: dict = {}
+        raw = environ.get("EXPLORER_LEVELS")
+        if raw is not None:
+            values["levels"] = tuple(
+                IsolationLevelName(part.strip())
+                for part in raw.split(",") if part.strip())
+        raw = environ.get("EXPLORER_MODE")
+        if raw is not None:
+            values["mode"] = raw
+        raw = environ.get("EXPLORER_MAX_SCHEDULES")
+        if raw is not None:
+            values["max_schedules"] = _env_int("EXPLORER_MAX_SCHEDULES", raw)
+        raw = environ.get("EXPLORER_SEED")
+        if raw is not None:
+            values["seed"] = _env_int("EXPLORER_SEED", raw)
+        raw = environ.get("EXPLORER_WORKERS")
+        if raw is not None:
+            values["workers"] = "auto" if raw.strip() == "auto" else _env_int(
+                "EXPLORER_WORKERS", raw)
+        raw = environ.get("EXPLORER_CHUNK_SIZE")
+        if raw is not None:
+            values["chunk_size"] = _env_int("EXPLORER_CHUNK_SIZE", raw)
+        raw = environ.get("EXPLORER_REDUCTION")
+        if raw is not None:
+            values["reduction"] = raw
+        raw = environ.get("EXPLORER_SHARED_CACHE")
+        if raw is not None:
+            values["shared_cache"] = _env_bool("EXPLORER_SHARED_CACHE", raw)
+        raw = environ.get("EXPLORER_OUTCOME_MEMO")
+        if raw is not None:
+            values["outcome_memo"] = (
+                "auto" if raw.strip() == "auto"
+                else _env_bool("EXPLORER_OUTCOME_MEMO", raw))
+        raw = environ.get("EXPLORER_STATIC_PRUNING")
+        if raw is not None:
+            values["static_pruning"] = _env_bool("EXPLORER_STATIC_PRUNING", raw)
+        raw = environ.get("EXPLORER_BATCH_KERNEL")
+        if raw is not None:
+            values["batch_kernel"] = raw
+        values.update(overrides)
+        return cls(**values)
+
+    def explore_kwargs(self) -> dict:
+        """The legacy keyword mapping (for shims and config fingerprints)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}

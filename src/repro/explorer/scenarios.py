@@ -39,6 +39,7 @@ from ..static_analysis import Verdict, analyze_scenario_programs
 from ..testbed import make_engine
 from ..workloads.scenarios import AnomalyScenario, ScenarioVariant
 from .explorer import REDUCTIONS, terminal_scope_for
+from .options import ExploreOptions
 from .reduction import ExecutionPlan, build_execution_plan
 from .schedules import Interleaving, ScheduleSpace, schedule_space
 
@@ -173,8 +174,16 @@ def explore_variant(variant: ScenarioVariant, level: IsolationLevelName,
                     scenario_code: str = "", mode: str = "auto",
                     max_schedules: int = DEFAULT_MAX_SCHEDULES, seed: int = 0,
                     reduction: str = "sleep-set",
-                    static_pruning: bool = False) -> VariantExploration:
+                    static_pruning: bool = False,
+                    options: Optional[ExploreOptions] = None,
+                    ) -> VariantExploration:
     """Evaluate ``variant.manifests`` over its whole interleaving space.
+
+    An :class:`~repro.explorer.options.ExploreOptions` may be passed instead
+    of the loose knobs; its ``mode``/``max_schedules``/``seed``/``reduction``/
+    ``static_pruning`` fields then take precedence (the level still comes
+    from the ``level`` argument — a variant exploration is per-level by
+    construction).
 
     Every schedule runs against a fresh database and a fresh engine for
     ``level``; stalled outcomes are non-manifesting by definition (their
@@ -191,6 +200,12 @@ def explore_variant(variant: ScenarioVariant, level: IsolationLevelName,
     sound because an impossible scenario's ``manifests`` predicate cannot be
     satisfied by any schedule in the space.
     """
+    if options is not None:
+        mode = options.mode
+        max_schedules = options.max_schedules
+        seed = options.seed
+        reduction = options.reduction
+        static_pruning = options.static_pruning
     if reduction not in REDUCTIONS:
         raise ValueError(f"unknown reduction {reduction!r}; choose from {REDUCTIONS}")
     programs = variant.build_programs()
@@ -272,13 +287,17 @@ def explore_scenario(scenario: AnomalyScenario, level: IsolationLevelName,
                      mode: str = "auto",
                      max_schedules: int = DEFAULT_MAX_SCHEDULES, seed: int = 0,
                      reduction: str = "sleep-set",
-                     static_pruning: bool = False) -> ScenarioExploration:
+                     static_pruning: bool = False,
+                     options: Optional[ExploreOptions] = None,
+                     ) -> ScenarioExploration:
     """Explore every variant space of a scenario under one isolation level.
 
     ``static_pruning`` skips the variant spaces the static dependency graph
     proves impossible at this level (they count as non-manifesting, exactly
     the verdict executing them would reach); the cell aggregation is
-    unchanged.
+    unchanged.  As with :func:`explore_variant`, an
+    :class:`~repro.explorer.options.ExploreOptions` may replace the loose
+    knobs.
     """
     if not scenario.variants:
         raise ValueError(
@@ -291,7 +310,8 @@ def explore_scenario(scenario: AnomalyScenario, level: IsolationLevelName,
         variants=tuple(
             explore_variant(variant, level, scenario_code=scenario.code,
                             mode=mode, max_schedules=max_schedules, seed=seed,
-                            reduction=reduction, static_pruning=static_pruning)
+                            reduction=reduction, static_pruning=static_pruning,
+                            options=options)
             for variant in scenario.variants
         ),
     )

@@ -30,7 +30,12 @@ What lives here:
 """
 
 from .analytics import fingerprint_from_store
-from .records import LeaseRecord, default_campaign_id, workload_key
+from .records import (
+    CertificateRecord,
+    LeaseRecord,
+    default_campaign_id,
+    workload_key,
+)
 from .sqlite_store import SqliteStore
 from .store import (
     AnomalyFrequencyRow,
@@ -55,6 +60,7 @@ __all__ = [
     "CampaignConfigMismatch",
     "StaleLeaseError",
     "LeaseRecord",
+    "CertificateRecord",
     "AnomalyFrequencyRow",
     "StoredWitness",
     "ConflictEdgeRow",

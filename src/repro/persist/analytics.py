@@ -20,8 +20,30 @@ from typing import List, Optional, Tuple
 
 from ..core.dependency import build_dependency_graph
 from ..core.history import History
-from .records import canonical_json, encode_interleaving
+from .records import LEASE_STATES, canonical_json, encode_interleaving
 from .store import CampaignStore
+
+
+def _lease_summary(store: CampaignStore, campaign_id: str) -> Optional[dict]:
+    """Per-state lease counts and the quarantined chunk list, or ``None``.
+
+    Distributed campaigns (and fault-injected ones) leave their durable
+    work-queue state in the ``leases`` table; ``inspect`` used to ignore it
+    entirely, so a campaign stalled on poisoned chunks summarized exactly
+    like a healthy one.  Campaigns never run distributed have no lease rows
+    and keep their summary unchanged (``None`` here, key omitted).
+    """
+    leases = store.load_leases(campaign_id)
+    if not leases:
+        return None
+    counts = {state: 0 for state in LEASE_STATES}
+    quarantined = []
+    for (scope, chunk_index), lease in sorted(leases.items()):
+        counts[lease.state] += 1
+        if lease.state == "poisoned":
+            quarantined.append({"scope": scope, "chunk_index": chunk_index,
+                                "attempts": lease.attempts})
+    return {"counts": counts, "quarantined": quarantined}
 
 __all__ = ["persist_result", "witness_edge_rows", "campaign_summary",
            "campaign_summary_data", "fingerprint_from_store"]
@@ -126,9 +148,16 @@ def campaign_summary_data(store: CampaignStore, campaign_id: str,
     edges = [{"scope": row.scope, "kind": row.kind, "count": row.count,
               "rank": row.rank}
              for row in store.conflict_edge_summary(campaign_id)]
-    return {"campaign_id": campaign_id, "store": store.description(),
-            "config": dict(info.config), "scopes": scopes,
-            "conflict_edges": edges}
+    payload = {"campaign_id": campaign_id, "store": store.description(),
+               "config": dict(info.config), "scopes": scopes,
+               "conflict_edges": edges}
+    leases = _lease_summary(store, campaign_id)
+    if leases is not None:
+        payload["leases"] = leases
+    certificates = store.load_certificates(campaign_id)
+    if certificates:
+        payload["certificates"] = len(certificates)
+    return payload
 
 
 def campaign_summary(store: CampaignStore, campaign_id: str,
@@ -165,4 +194,16 @@ def campaign_summary(store: CampaignStore, campaign_id: str,
         for row in edges:
             lines.append(f"    [{row.scope}] {row.kind}: {row.count} "
                          f"(rank {row.rank})")
+    leases = _lease_summary(store, campaign_id)
+    if leases is not None:
+        counts = leases["counts"]
+        lines.append("  chunk leases: " + ", ".join(
+            f"{counts[state]} {state}" for state in LEASE_STATES))
+        for chunk in leases["quarantined"]:
+            lines.append(f"    quarantined: [{chunk['scope']}] chunk "
+                         f"#{chunk['chunk_index']} after "
+                         f"{chunk['attempts']} attempts")
+    certificates = store.load_certificates(campaign_id)
+    if certificates:
+        lines.append(f"  anomaly certificates: {len(certificates)}")
     return "\n".join(lines)

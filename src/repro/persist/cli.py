@@ -114,6 +114,7 @@ def _run_explore(store: CampaignStore, spec: ProgramSetSpec,
                  args: argparse.Namespace, config: Dict[str, Any],
                  campaign_id: Optional[str]) -> int:
     from ..explorer.explorer import explore
+    from ..explorer.options import ExploreOptions
     from .records import default_campaign_id
 
     levels = _levels_from_arg(getattr(args, "levels", None))
@@ -127,7 +128,7 @@ def _run_explore(store: CampaignStore, spec: ProgramSetSpec,
     )
     if levels is not None:
         kwargs["levels"] = levels
-    result = explore(spec, **kwargs)
+    result = explore(spec, ExploreOptions(**kwargs))
     campaign = kwargs["campaign_id"]
     report = persist_result(store, campaign, result)
     executed = result.executed_schedules()

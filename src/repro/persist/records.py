@@ -330,6 +330,84 @@ def lease_from_row(row: Sequence) -> LeaseRecord:
     )
 
 
+# -- certificate records --------------------------------------------------------------
+
+
+#: Every code an anomaly certificate may carry: the paper's phenomenon codes
+#: plus ``CYCLE`` (the online certifier's serializability-violation
+#: certificate — a fresh cycle closed in the committed-transaction conflict
+#: graph).  Codec round-trips reject anything else, exactly like lease states.
+CERTIFICATE_CODES: Tuple[str, ...] = (
+    "P0", "P1", "P2", "P3", "A1", "A2", "A3", "P4", "P4C", "A5A", "A5B",
+    "CYCLE",
+)
+
+#: Column order of a serialized :class:`CertificateRecord` row (after whatever
+#: key prefix the backend adds).
+CERTIFICATE_COLUMNS: Tuple[str, ...] = (
+    "stream", "seq", "code", "txns", "items", "op_index", "witness",
+)
+
+
+@dataclass(frozen=True)
+class CertificateRecord:
+    """One anomaly certificate emitted by the online isolation certifier.
+
+    ``seq`` numbers certificates per stream (a stream fires each code at most
+    once — flags are sticky — so ``(stream, seq)`` is a stable identity).
+    ``op_index`` is the stream position whose arrival fired the code, and
+    ``witness`` is the shorthand fragment of the involved transactions' recent
+    operations still inside the certifier's witness window — enough to replay
+    the pattern, bounded regardless of stream length.
+    """
+
+    stream: str
+    seq: int
+    code: str
+    txns: Tuple[int, ...]
+    items: Tuple[str, ...]
+    op_index: int
+    witness: str
+
+
+def certificate_to_row(certificate: CertificateRecord) -> Tuple:
+    """A certificate as a flat tuple of SQL-native scalars, in CERTIFICATE_COLUMNS order."""
+    if certificate.code not in CERTIFICATE_CODES:
+        raise ValueError(f"unknown certificate code {certificate.code!r} "
+                         f"(expected one of {CERTIFICATE_CODES})")
+    return (
+        certificate.stream,
+        int(certificate.seq),
+        certificate.code,
+        encode_ints(certificate.txns),
+        encode_strs(certificate.items),
+        int(certificate.op_index),
+        certificate.witness,
+    )
+
+
+def certificate_from_row(row: Sequence) -> CertificateRecord:
+    """The exact certificate a :func:`certificate_to_row` row encodes."""
+    return CertificateRecord(
+        stream=row[0],
+        seq=int(row[1]),
+        code=row[2],
+        txns=decode_ints(row[3]),
+        items=decode_strs(row[4]),
+        op_index=int(row[5]),
+        witness=row[6],
+    )
+
+
+__all__.extend([
+    "CERTIFICATE_CODES",
+    "CERTIFICATE_COLUMNS",
+    "CertificateRecord",
+    "certificate_to_row",
+    "certificate_from_row",
+])
+
+
 # -- keys -----------------------------------------------------------------------------
 
 

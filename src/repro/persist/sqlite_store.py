@@ -30,8 +30,10 @@ injection harness can force transient lock errors beneath the wrapper via
 ``busy_fault_hook`` to prove the retry path end to end.
 
 Schema v2 adds the ``leases`` table: the distributed runner's durable
-work-queue state (chunk lease state, fencing token, attempt count).  v1
-stores migrate in place — the table is purely additive.
+work-queue state (chunk lease state, fencing token, attempt count).  v3
+adds the ``certificates`` table: the online certifier service's anomaly
+certificates, keyed ``(campaign, stream, seq)``.  Older stores migrate in
+place — both tables are purely additive.
 """
 
 from __future__ import annotations
@@ -62,7 +64,7 @@ from .store import (
 
 __all__ = ["SqliteStore", "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _T = TypeVar("_T")
 
@@ -178,6 +180,17 @@ CREATE TABLE IF NOT EXISTS leases (
     attempts    INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (campaign, scope, chunk_index)
 );
+CREATE TABLE IF NOT EXISTS certificates (
+    campaign TEXT NOT NULL,
+    stream   TEXT NOT NULL,
+    seq      INTEGER NOT NULL,
+    code     TEXT NOT NULL,
+    txns     TEXT NOT NULL,
+    items    TEXT NOT NULL,
+    op_index INTEGER NOT NULL,
+    witness  TEXT NOT NULL,
+    PRIMARY KEY (campaign, stream, seq)
+);
 """
 
 _RECORD_INSERT = """
@@ -227,9 +240,10 @@ class SqliteStore(CampaignStore):
                     ("schema_version", str(SCHEMA_VERSION)))
         stored = int(cur.execute("SELECT value FROM meta WHERE key = ?",
                                  ("schema_version",)).fetchone()[0])
-        if stored == 1:
-            # v1 → v2 is purely additive (the executescript above already
-            # created the empty leases table); stamp the store in place.
+        if stored in (1, 2):
+            # v1 → v2 (leases) and v2 → v3 (certificates) are purely additive
+            # (the executescript above already created the empty tables);
+            # stamp the store in place.
             cur.execute("UPDATE meta SET value = ? WHERE key = ?",
                         (str(SCHEMA_VERSION), "schema_version"))
             stored = SCHEMA_VERSION
@@ -468,6 +482,44 @@ class SqliteStore(CampaignStore):
             "INSERT OR REPLACE INTO leases (campaign, scope, chunk_index, state, "
             "token, owner, attempts) VALUES (?, ?, ?, ?, ?, ?, ?)",
             (campaign_id,) + row))
+
+    # -- anomaly certificates ---------------------------------------------------------
+
+    def save_certificates(self, campaign_id: str,
+                          certificates: Sequence[rec.CertificateRecord]) -> int:
+        self._require_campaign(campaign_id)
+        if not certificates:
+            return 0
+        rows = [rec.certificate_to_row(c) for c in certificates]
+
+        def txn(cur: sqlite3.Cursor) -> int:
+            before = cur.execute(
+                "SELECT COUNT(*) FROM certificates WHERE campaign = ?",
+                (campaign_id,)).fetchone()[0]
+            cur.executemany(
+                "INSERT OR REPLACE INTO certificates (campaign, stream, seq, "
+                "code, txns, items, op_index, witness) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                [(campaign_id,) + row for row in rows])
+            after = cur.execute(
+                "SELECT COUNT(*) FROM certificates WHERE campaign = ?",
+                (campaign_id,)).fetchone()[0]
+            return after - before
+
+        return self._write(txn)
+
+    def load_certificates(self, campaign_id: str, stream: Optional[str] = None,
+                          ) -> Tuple[rec.CertificateRecord, ...]:
+        self._require_campaign(campaign_id)
+        query = ("SELECT stream, seq, code, txns, items, op_index, witness "
+                 "FROM certificates WHERE campaign = ?")
+        params: Tuple[Any, ...] = (campaign_id,)
+        if stream is not None:
+            query += " AND stream = ?"
+            params += (stream,)
+        query += " ORDER BY stream, seq"
+        return tuple(rec.certificate_from_row(row)
+                     for row in self._conn.execute(query, params))
 
     # -- dedupe tiers -----------------------------------------------------------------
 

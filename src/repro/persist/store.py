@@ -236,6 +236,20 @@ class CampaignStore(abc.ABC):
     def iter_records(self, campaign_id: str, scope: str) -> Iterator[ScheduleRecord]:
         """Every committed record of the scope, in stream order."""
 
+    # -- anomaly certificates (the online certifier service) --------------------------
+
+    @abc.abstractmethod
+    def save_certificates(self, campaign_id: str,
+                          certificates: Sequence["rec.CertificateRecord"]) -> int:
+        """Upsert anomaly certificates keyed ``(stream, seq)``; returns how
+        many were new.  Re-saving a stream's certificates is idempotent."""
+
+    @abc.abstractmethod
+    def load_certificates(self, campaign_id: str, stream: Optional[str] = None,
+                          ) -> Tuple["rec.CertificateRecord", ...]:
+        """Stored certificates (optionally one stream's), ordered by
+        ``(stream, seq)``."""
+
     # -- dedupe tiers -----------------------------------------------------------------
 
     @abc.abstractmethod
@@ -337,6 +351,7 @@ class InMemoryStore(CampaignStore):
         self._witness_edges: Dict[str, List[Tuple]] = {}
         self._table4: Dict[str, Dict[Tuple[str, str], str]] = {}
         self._leases: Dict[str, Dict[Tuple[str, int], Tuple]] = {}
+        self._certificates: Dict[str, Dict[Tuple[str, int], Tuple]] = {}
 
     def description(self) -> str:
         return "InMemoryStore (process-local, dict-backed)"
@@ -465,6 +480,31 @@ class InMemoryStore(CampaignStore):
         row = rec.lease_to_row(lease)
         self._leases.setdefault(campaign_id, {})[
             (lease.scope, lease.chunk_index)] = row
+
+    # -- anomaly certificates ---------------------------------------------------------
+
+    def save_certificates(self, campaign_id: str,
+                          certificates: Sequence[rec.CertificateRecord]) -> int:
+        if campaign_id not in self._campaigns:
+            raise StoreError(f"unknown campaign {campaign_id!r}")
+        rows = self._certificates.setdefault(campaign_id, {})
+        fresh = 0
+        for certificate in certificates:
+            row = rec.certificate_to_row(certificate)
+            key = (certificate.stream, certificate.seq)
+            if key not in rows:
+                fresh += 1
+            rows[key] = row
+        return fresh
+
+    def load_certificates(self, campaign_id: str, stream: Optional[str] = None,
+                          ) -> Tuple[rec.CertificateRecord, ...]:
+        if campaign_id not in self._campaigns:
+            raise StoreError(f"unknown campaign {campaign_id!r}")
+        rows = self._certificates.get(campaign_id, {})
+        return tuple(rec.certificate_from_row(row)
+                     for key, row in sorted(rows.items())
+                     if stream is None or key[0] == stream)
 
     # -- dedupe tiers -----------------------------------------------------------------
 

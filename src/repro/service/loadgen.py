@@ -1,0 +1,285 @@
+"""Seeded load generator for the online certifier service.
+
+Drives :class:`~repro.service.server.CertifierServer` (or an in-process
+:class:`~repro.service.online.OnlineClassifier`) with many concurrent client
+streams shaped like real contended workloads:
+
+* **zipfian hotspots** — item choice follows a truncated zipf(s) law, so a
+  handful of hot keys absorb most of the traffic and actually collide;
+* **bursty arrival** — clients emit operations in bursts separated by pauses,
+  so transaction lifetimes overlap irregularly instead of in lockstep;
+* **configurable mix** — client count, transactions per client, multiplexing
+  width, write ratio, abort rate, stall rate, predicate rate.
+
+Everything is driven by ``random.Random(seed + client_index)`` — byte-identical
+streams across runs and platforms, which is what lets the bench re-drain the
+exact generated streams through the offline classifier to assert byte
+equality.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .online import OnlineClassifier
+
+__all__ = ["LoadConfig", "LoadReport", "generate_stream", "run_load"]
+
+#: Transaction ids are partitioned per client so streams never collide.
+_CLIENT_TXN_STRIDE = 1_000_000
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Knobs for one load campaign (frozen: a config is a cache key)."""
+
+    clients: int = 50
+    transactions_per_client: int = 20
+    ops_per_transaction: int = 6
+    concurrent_txns: int = 4
+    items: int = 12
+    zipf_s: float = 1.2
+    write_ratio: float = 0.45
+    abort_rate: float = 0.08
+    stall_rate: float = 0.05
+    predicate_rate: float = 0.10
+    burst: int = 8
+    burst_pause: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.transactions_per_client < 1:
+            raise ValueError("transactions_per_client must be >= 1")
+        if self.ops_per_transaction < 1:
+            raise ValueError("ops_per_transaction must be >= 1")
+        if self.concurrent_txns < 1:
+            raise ValueError("concurrent_txns must be >= 1")
+        if self.items < 1:
+            raise ValueError("items must be >= 1")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What a load run produced and how fast the certifier kept up."""
+
+    clients: int
+    ops: int
+    certificates: int
+    anomalies_per_sec: float
+    p50_classify_us: float
+    p99_classify_us: float
+    wall_s: float
+    byte_equal: Optional[bool]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "clients": self.clients,
+            "ops": self.ops,
+            "certificates": self.certificates,
+            "anomalies_per_sec": round(self.anomalies_per_sec, 3),
+            "p50_classify_us": round(self.p50_classify_us, 3),
+            "p99_classify_us": round(self.p99_classify_us, 3),
+            "wall_s": round(self.wall_s, 6),
+            "byte_equal": self.byte_equal,
+        }
+
+
+def _zipf_weights(n: int, s: float) -> List[float]:
+    return [1.0 / (rank ** s) for rank in range(1, n + 1)]
+
+
+def generate_stream(config: LoadConfig, client_index: int) -> List[str]:
+    """The client's full operation stream as shorthand tokens.
+
+    Deterministic in ``(config, client_index)``.  The stream multiplexes up to
+    ``config.concurrent_txns`` transactions so anomalies can actually form
+    *within* the stream (each stream gets its own classifier; cross-stream
+    interleaving is not observed).
+    """
+    rng = random.Random(config.seed * 7919 + client_index)
+    items = [f"k{i}" for i in range(config.items)]
+    weights = _zipf_weights(config.items, config.zipf_s)
+    predicates = ["P", "Q"]
+    base = client_index * _CLIENT_TXN_STRIDE + 1
+    ops: List[str] = []
+
+    remaining = config.transactions_per_client
+    next_txn = base
+    live: List[Tuple[int, int]] = []   # (txn, ops already emitted)
+
+    def open_txn() -> None:
+        nonlocal next_txn, remaining
+        live.append((next_txn, 0))
+        next_txn += 1
+        remaining -= 1
+
+    while remaining > 0 or live:
+        while remaining > 0 and len(live) < config.concurrent_txns:
+            open_txn()
+        slot = rng.randrange(len(live))
+        txn, done = live[slot]
+        if done >= config.ops_per_transaction:
+            roll = rng.random()
+            if roll < config.stall_rate:
+                pass        # stalled: drop with no terminal
+            elif roll < config.stall_rate + config.abort_rate:
+                ops.append(f"a{txn}")
+            else:
+                ops.append(f"c{txn}")
+            live.pop(slot)
+            continue
+        if rng.random() < config.predicate_rate:
+            pred = rng.choice(predicates)
+            if rng.random() < config.write_ratio:
+                (item,) = rng.choices(items, weights)
+                ops.append(f"w{txn}[{item}:{pred}]")
+            else:
+                ops.append(f"r{txn}[{pred}]")
+        else:
+            (item,) = rng.choices(items, weights)
+            if rng.random() < config.write_ratio:
+                ops.append(f"w{txn}[{item}]")
+            else:
+                kind = "rc" if rng.random() < 0.15 else "r"
+                ops.append(f"{kind}{txn}[{item}]")
+        live[slot] = (txn, done + 1)
+    return ops
+
+
+def drain_offline(config: LoadConfig, client_index: int):
+    """The offline classification of the client's realized stream.
+
+    Regenerates the exact stream (same seed), parses it as one history, and
+    classifies it with the batch classifier — the byte-equality reference.
+    """
+    from ..core.history import parse_history
+    from ..explorer.memo import BatchClassifier
+    text = " ".join(generate_stream(config, client_index))
+    history = parse_history(text, name=f"client-{client_index}")
+    return BatchClassifier().classify(history)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    pos = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[pos]
+
+
+def run_load(config: LoadConfig, *, verify: bool = True) -> LoadReport:
+    """Drive every client stream through in-process classifiers and report.
+
+    The in-process path measures the classifier itself (no socket framing);
+    the server bench path goes through :func:`run_load_tcp`.  With
+    ``verify=True`` every stream's final verdict is re-checked byte-for-byte
+    against the offline classifier.
+    """
+    latencies: List[float] = []
+    total_ops = 0
+    total_certs = 0
+    byte_equal: Optional[bool] = True if verify else None
+    start = time.perf_counter()
+    for client in range(config.clients):
+        tokens = generate_stream(config, client)
+        classifier = OnlineClassifier(f"client-{client}")
+        for token in tokens:
+            t0 = time.perf_counter()
+            classifier.feed_shorthand(token)
+            latencies.append((time.perf_counter() - t0) * 1e6)
+        total_ops += classifier.ops
+        total_certs += len(classifier.certificates)
+        if verify:
+            off = drain_offline(config, client)
+            v = classifier.verdict()
+            if v.classification_fields() != (off.serializable, off.phenomena,
+                                             off.committed, off.aborted):
+                byte_equal = False
+    wall = time.perf_counter() - start
+    latencies.sort()
+    return LoadReport(
+        clients=config.clients,
+        ops=total_ops,
+        certificates=total_certs,
+        anomalies_per_sec=total_certs / wall if wall > 0 else 0.0,
+        p50_classify_us=_percentile(latencies, 0.50),
+        p99_classify_us=_percentile(latencies, 0.99),
+        wall_s=wall,
+        byte_equal=byte_equal,
+    )
+
+
+async def _drive_client(host: str, port: int, config: LoadConfig,
+                        client_index: int) -> Tuple[int, int]:
+    """One TCP client session: open, feed bursts, verdict, close."""
+    reader, writer = await asyncio.open_connection(host, port)
+    stream = f"client-{client_index}"
+
+    async def call(payload: Dict[str, object]) -> Dict[str, object]:
+        writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    await call({"type": "open", "stream": stream})
+    tokens = generate_stream(config, client_index)
+    ops = 0
+    certs = 0
+    for i in range(0, len(tokens), config.burst):
+        burst = tokens[i:i + config.burst]
+        reply = await call({"type": "ops", "stream": stream,
+                            "ops": " ".join(burst)})
+        if reply.get("type") == "error":
+            raise RuntimeError(f"server error: {reply.get('error')}")
+        ops += int(reply.get("ops", 0))
+        certs += len(reply.get("certificates", ()))
+        if config.burst_pause > 0:
+            await asyncio.sleep(config.burst_pause)
+    await call({"type": "close", "stream": stream})
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return ops, certs
+
+
+async def run_load_tcp(host: str, port: int, config: LoadConfig) -> LoadReport:
+    """Drive a running :class:`CertifierServer` with N concurrent clients."""
+    start = time.perf_counter()
+    results = await asyncio.gather(*(
+        _drive_client(host, port, config, client)
+        for client in range(config.clients)))
+    wall = time.perf_counter() - start
+    total_ops = sum(r[0] for r in results)
+    total_certs = sum(r[1] for r in results)
+    # Pull the server-side classify latency distribution.
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b'{"type": "stats"}\n')
+    await writer.drain()
+    stats = json.loads((await reader.readline()).decode("utf-8"))
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return LoadReport(
+        clients=config.clients,
+        ops=total_ops,
+        certificates=total_certs,
+        anomalies_per_sec=total_certs / wall if wall > 0 else 0.0,
+        p50_classify_us=float(stats.get("p50_classify_us", 0.0)),
+        p99_classify_us=float(stats.get("p99_classify_us", 0.0)),
+        wall_s=wall,
+        byte_equal=None,
+    )

@@ -1,6 +1,6 @@
 """Repo invariant linter: the rules the codebase silently depends on, enforced.
 
-Seven invariants keep the explorer's determinism and checkpoint/restore
+Eight invariants keep the explorer's determinism and checkpoint/restore
 contracts honest, and none of them is expressible in a generic linter:
 
 * **determinism** (AST) — no wall-clock reads (``time.time``,
@@ -44,6 +44,13 @@ contracts honest, and none of them is expressible in a generic linter:
   SQL-native scalars, and an out-of-vocabulary state is rejected rather
   than silently persisted.  A drifting lease row is how a crashed
   campaign resumes into the wrong work-queue state.
+* **certificate-records** (runtime) — the online certifier's anomaly
+  certificates obey the same contract: every phenomenon code round-trips
+  losslessly through ``certificate_to_row``/``certificate_from_row``,
+  encoding is pure, row elements are SQL-native scalars, and an unknown
+  certificate code is rejected rather than silently persisted.  A lossy
+  certificate row would make persisted service evidence disagree with
+  what the classifier actually witnessed.
 
 Run as ``python -m repro.static_analysis.repolint [root]`` (exits non-zero
 on any violation); CI runs it repo-wide and requires zero.
@@ -69,6 +76,7 @@ __all__ = [
     "lint_footprints",
     "lint_store_records",
     "lint_lease_records",
+    "lint_certificate_records",
     "lint_tree",
     "lint_paths",
     "lint_repo",
@@ -499,6 +507,67 @@ def lint_lease_records() -> List[Violation]:
     return violations
 
 
+def lint_certificate_records() -> List[Violation]:
+    """Certificate serialization is canonical, lossless, and code-checked.
+
+    One :class:`~repro.persist.records.CertificateRecord` fixture per legal
+    certificate code (every phenomenon plus ``CYCLE``) must round-trip
+    exactly through ``certificate_to_row``/``certificate_from_row`` with a
+    pure encoding and SQL-native row elements, and an unknown code must
+    raise instead of encoding.  Certificates are the service's durable
+    evidence; a lossy row here would let the persisted record disagree with
+    the verdict the online classifier actually certified.
+    """
+    from ..persist import records as rec
+
+    where = "repro.persist.records"
+    violations: List[Violation] = []
+    fixtures = [
+        rec.CertificateRecord(f"stream-{index % 3}", index, code,
+                              txns=(index + 1, index + 2),
+                              items=("x", "y")[: index % 3],
+                              op_index=index * 7,
+                              witness=f"r{index + 1}[x] w{index + 2}[x]")
+        for index, code in enumerate(rec.CERTIFICATE_CODES)
+    ]
+    for certificate in fixtures:
+        row = rec.certificate_to_row(certificate)
+        if row != rec.certificate_to_row(certificate):
+            violations.append(Violation(
+                "certificate-records", where, 0,
+                f"certificate encoding is not deterministic for "
+                f"{certificate!r}"))
+        for element in row:
+            if not isinstance(element, (int, str, type(None))):
+                violations.append(Violation(
+                    "certificate-records", where, 0,
+                    f"certificate row element {element!r} is not an "
+                    f"SQL-native scalar (int/str/None)"))
+        try:
+            decoded = rec.certificate_from_row(row)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            violations.append(Violation(
+                "certificate-records", where, 0,
+                f"certificate decoding crashed on its own encoding: {error}"))
+            continue
+        if decoded != certificate:
+            violations.append(Violation(
+                "certificate-records", where, 0,
+                f"certificate does not round-trip: {certificate!r} -> "
+                f"{decoded!r}"))
+    bogus = rec.CertificateRecord("s", 0, "P99", (1,), (), 0, "")
+    try:
+        rec.certificate_to_row(bogus)
+    except ValueError:
+        pass
+    else:
+        violations.append(Violation(
+            "certificate-records", where, 0,
+            "certificate_to_row accepted unknown code 'P99'; unknown codes "
+            "must raise, not persist"))
+    return violations
+
+
 # -- drivers -------------------------------------------------------------------------
 
 
@@ -528,6 +597,7 @@ def lint_repo(root: Optional[Path] = None,
         violations.extend(lint_footprints())
         violations.extend(lint_store_records())
         violations.extend(lint_lease_records())
+        violations.extend(lint_certificate_records())
     return violations
 
 

@@ -1,0 +1,202 @@
+"""ExploreOptions: validation, from_env, and legacy-kwargs equivalence.
+
+The ISSUE 10 API contract: ``explore(spec, ExploreOptions(...))`` and the
+deprecated ``explore(spec, **kwargs)`` spelling must produce byte-identical
+``ExplorationResult`` streams (same determinism fingerprint), validate with
+the same error messages, and never silently mix.  ``from_env`` is the CI
+configuration surface — malformed variables must fail naming the variable.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isolation import IsolationLevelName
+from repro.explorer import ExploreOptions, explore
+from repro.explorer.options import DEFAULT_LEVELS, REDUCTIONS
+from repro.workloads.program_sets import ProgramSetSpec
+
+SPEC = ProgramSetSpec.make("contention", transactions=2, items=2, hot_items=1,
+                           operations_per_transaction=2)
+LEVELS = (IsolationLevelName.READ_COMMITTED,
+          IsolationLevelName.SNAPSHOT_ISOLATION)
+
+COMMON_SETTINGS = settings(max_examples=15, deadline=None)
+
+
+class TestValidation:
+    def test_defaults_match_legacy_signature(self):
+        options = ExploreOptions()
+        assert options.levels == DEFAULT_LEVELS
+        assert options.mode == "auto"
+        assert options.max_schedules == 1000
+        assert options.workers == 1
+        assert options.chunk_size == 64
+        assert options.reduction == "none"
+        assert options.outcome_memo == "auto"
+        assert options.batch_kernel is None
+
+    def test_levels_sequence_normalized_to_tuple(self):
+        options = ExploreOptions(levels=list(LEVELS))
+        assert options.levels == LEVELS
+        assert isinstance(options.levels, tuple)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExploreOptions().mode = "sample"
+
+    def test_replace_revalidates(self):
+        base = ExploreOptions(seed=3)
+        assert base.replace(seed=4).seed == 4
+        assert base.seed == 3
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            base.replace(workers=0)
+
+    @pytest.mark.parametrize("kwargs,message", [
+        (dict(workers=0), "workers must be >= 1"),
+        (dict(workers=1.5), "workers must be an int or 'auto'"),
+        (dict(workers=True), "workers must be an int or 'auto'"),
+        (dict(chunk_size=0), "chunk_size must be >= 1"),
+        (dict(reduction="dpor"), "unknown reduction 'dpor'"),
+        (dict(outcome_memo="always"), "outcome_memo must be True, False"),
+        (dict(batch_kernel="maybe"), "batch_kernel must be None, 'auto'"),
+        (dict(campaign_id="c"), "campaign_id requires a store"),
+    ])
+    def test_bad_values_rejected_eagerly(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            ExploreOptions(**kwargs)
+
+    def test_explore_rejects_same_values_identically(self):
+        # The shim folds kwargs into ExploreOptions, so the loose spelling
+        # fails with the parameter object's exact message.
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            explore(SPEC, ExploreOptions(workers=0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="workers must be >= 1"):
+                explore(SPEC, workers=0)
+
+    def test_field_names_are_the_legacy_surface(self):
+        assert ExploreOptions.field_names() == (
+            "levels", "mode", "max_schedules", "seed", "workers",
+            "chunk_size", "reduction", "shared_cache", "outcome_memo",
+            "static_pruning", "batch_kernel", "store", "campaign_id")
+
+    def test_explore_kwargs_round_trips(self):
+        options = ExploreOptions(mode="sample", max_schedules=7, seed=9)
+        assert ExploreOptions(**options.explore_kwargs()) == options
+
+
+class TestFromEnv:
+    def test_empty_environment_gives_defaults(self):
+        assert ExploreOptions.from_env({}) == ExploreOptions()
+
+    def test_reads_every_variable(self):
+        options = ExploreOptions.from_env({
+            "EXPLORER_LEVELS": "READ COMMITTED, SERIALIZABLE",
+            "EXPLORER_MODE": "sample",
+            "EXPLORER_MAX_SCHEDULES": "123",
+            "EXPLORER_SEED": "7",
+            "EXPLORER_WORKERS": "auto",
+            "EXPLORER_CHUNK_SIZE": "16",
+            "EXPLORER_REDUCTION": "sleep-set",
+            "EXPLORER_SHARED_CACHE": "off",
+            "EXPLORER_OUTCOME_MEMO": "true",
+            "EXPLORER_STATIC_PRUNING": "1",
+            "EXPLORER_BATCH_KERNEL": "off",
+        })
+        assert options.levels == (IsolationLevelName.READ_COMMITTED,
+                                  IsolationLevelName.SERIALIZABLE)
+        assert options.mode == "sample"
+        assert options.max_schedules == 123
+        assert options.seed == 7
+        assert options.workers == "auto"
+        assert options.chunk_size == 16
+        assert options.reduction == "sleep-set"
+        assert options.shared_cache is False
+        assert options.outcome_memo is True
+        assert options.static_pruning is True
+        assert options.batch_kernel == "off"
+
+    def test_overrides_beat_environment(self):
+        options = ExploreOptions.from_env({"EXPLORER_SEED": "7"}, seed=11,
+                                          mode="exhaustive")
+        assert options.seed == 11
+        assert options.mode == "exhaustive"
+
+    @pytest.mark.parametrize("name,raw,match", [
+        ("EXPLORER_MAX_SCHEDULES", "many", "EXPLORER_MAX_SCHEDULES"),
+        ("EXPLORER_SEED", "1.5", "EXPLORER_SEED"),
+        ("EXPLORER_WORKERS", "two", "EXPLORER_WORKERS"),
+        ("EXPLORER_CHUNK_SIZE", "", "EXPLORER_CHUNK_SIZE"),
+        ("EXPLORER_SHARED_CACHE", "maybe", "EXPLORER_SHARED_CACHE"),
+        ("EXPLORER_OUTCOME_MEMO", "sometimes", "EXPLORER_OUTCOME_MEMO"),
+        ("EXPLORER_STATIC_PRUNING", "2", "EXPLORER_STATIC_PRUNING"),
+    ])
+    def test_malformed_values_name_the_variable(self, name, raw, match):
+        with pytest.raises(ValueError, match=match):
+            ExploreOptions.from_env({name: raw})
+
+    def test_invalid_level_name_rejected(self):
+        with pytest.raises(ValueError):
+            ExploreOptions.from_env({"EXPLORER_LEVELS": "CHAOS MODE"})
+
+
+class TestLegacyEquivalence:
+    def test_legacy_kwargs_emit_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            explore(SPEC, levels=LEVELS, mode="sample", max_schedules=20,
+                    seed=1)
+
+    def test_options_path_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            explore(SPEC, ExploreOptions(levels=LEVELS, mode="sample",
+                                         max_schedules=20, seed=1))
+
+    def test_mixing_options_and_kwargs_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            explore(SPEC, ExploreOptions(), seed=1)
+
+    def test_positional_non_options_raises(self):
+        with pytest.raises(TypeError, match="must be an ExploreOptions"):
+            explore(SPEC, {"seed": 1})
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(TypeError, match="unexpected keyword arguments: "
+                                            "shceduels"):
+            explore(SPEC, shceduels=5)
+
+    @COMMON_SETTINGS
+    @given(
+        mode=st.sampled_from(["auto", "sample"]),
+        max_schedules=st.integers(min_value=5, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**16),
+        chunk_size=st.sampled_from([1, 8, 64]),
+        reduction=st.sampled_from(REDUCTIONS),
+    )
+    def test_fingerprints_byte_equal(self, mode, max_schedules, seed,
+                                     chunk_size, reduction):
+        """The ISSUE 10 equivalence property: both spellings, one stream."""
+        kwargs = dict(levels=LEVELS, mode=mode, max_schedules=max_schedules,
+                      seed=seed, chunk_size=chunk_size, reduction=reduction)
+        via_options = explore(SPEC, ExploreOptions(**kwargs))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_kwargs = explore(SPEC, **kwargs)
+        assert via_options.fingerprint() == via_kwargs.fingerprint()
+        assert via_options.total_schedules() == via_kwargs.total_schedules()
+
+    def test_fingerprints_byte_equal_exhaustive(self):
+        # The property above samples; this pins the exhaustive path (the
+        # workload's full space is 252 interleavings, within budget).
+        kwargs = dict(levels=LEVELS, mode="exhaustive", max_schedules=300)
+        via_options = explore(SPEC, ExploreOptions(**kwargs))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_kwargs = explore(SPEC, **kwargs)
+        assert via_options.fingerprint() == via_kwargs.fingerprint()

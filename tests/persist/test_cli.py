@@ -129,3 +129,86 @@ def test_inspect_json_is_machine_readable(store_path, capsys):
     with pytest.raises(SystemExit):
         main(["inspect", "--store", store_path, "--campaign", "ghost",
               "--json"])
+
+
+def test_inspect_reports_lease_and_quarantine_state(store_path, capsys):
+    """ISSUE 10 satellite: inspect surfaces the durable work-queue state.
+
+    A campaign stalled on poisoned chunks used to summarize exactly like a
+    healthy one; both the JSON and text summaries must now carry per-state
+    lease counts and the quarantined chunk list.
+    """
+    import json
+
+    from repro.persist.records import LeaseRecord
+
+    assert main(RUN + ["--store", store_path]) == 0
+    capsys.readouterr()
+
+    store = SqliteStore(store_path)
+    try:
+        store.put_lease("demo", LeaseRecord(
+            scope="READ COMMITTED", chunk_index=0, state="done", token=3,
+            owner="worker-0", attempts=1))
+        store.put_lease("demo", LeaseRecord(
+            scope="READ COMMITTED", chunk_index=1, state="poisoned", token=5,
+            owner=None, attempts=4))
+        store.put_lease("demo", LeaseRecord(
+            scope="SERIALIZABLE", chunk_index=0, state="leased", token=6,
+            owner="worker-1", attempts=1))
+    finally:
+        store.close()
+
+    assert main(["inspect", "--store", store_path, "--campaign", "demo",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["leases"]["counts"] == {
+        "pending": 0, "leased": 1, "done": 1, "poisoned": 1}
+    assert payload["leases"]["quarantined"] == [
+        {"scope": "READ COMMITTED", "chunk_index": 1, "attempts": 4}]
+
+    assert main(["inspect", "--store", store_path, "--campaign", "demo"]) == 0
+    out = capsys.readouterr().out
+    assert "chunk leases: 0 pending, 1 leased, 1 done, 1 poisoned" in out
+    assert "quarantined: [READ COMMITTED] chunk #1 after 4 attempts" in out
+
+
+def test_inspect_without_leases_omits_the_section(store_path, capsys):
+    import json
+
+    assert main(RUN + ["--store", store_path]) == 0
+    capsys.readouterr()
+    assert main(["inspect", "--store", store_path, "--campaign", "demo",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "leases" not in payload
+
+    assert main(["inspect", "--store", store_path, "--campaign", "demo"]) == 0
+    assert "chunk leases" not in capsys.readouterr().out
+
+
+def test_inspect_counts_service_certificates(store_path, capsys):
+    import json
+
+    from repro.persist.records import CertificateRecord
+
+    assert main(RUN + ["--store", store_path]) == 0
+    capsys.readouterr()
+
+    store = SqliteStore(store_path)
+    try:
+        store.save_certificates("demo", [
+            CertificateRecord(stream="client-0", seq=0, code="P1",
+                              txns=(1, 2), items=("x",), op_index=3,
+                              witness="w1[x] r2[x]"),
+        ])
+    finally:
+        store.close()
+
+    assert main(["inspect", "--store", store_path, "--campaign", "demo",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["certificates"] == 1
+
+    assert main(["inspect", "--store", store_path, "--campaign", "demo"]) == 0
+    assert "anomaly certificates: 1" in capsys.readouterr().out

@@ -70,19 +70,22 @@ def test_schema_v1_store_migrates_in_place(tmp_path):
     store = SqliteStore(path)
     store.open_campaign("c", CONFIG)
     store.close()
-    # Regress the file to schema v1: no leases table, old version stamp.
+    # Regress the file to schema v1: no leases or certificates tables,
+    # old version stamp.
     conn = sqlite3.connect(path)
     conn.execute("DROP TABLE leases")
+    conn.execute("DROP TABLE certificates")
     conn.execute("UPDATE meta SET value = '1' WHERE key = 'schema_version'")
     conn.commit()
     conn.close()
 
     upgraded = SqliteStore(path)                # reopening migrates
     assert upgraded.load_leases("c") == {}
+    assert upgraded.load_certificates("c") == ()
     upgraded.put_lease("c", LeaseRecord("S", 0, "pending", 1))
     [(version,)] = upgraded._conn.execute(
         "SELECT value FROM meta WHERE key = 'schema_version'").fetchall()
-    assert version == "2"
+    assert version == "3"
     assert upgraded.get_campaign("c") is not None   # old data intact
     upgraded.close()
 

@@ -1,0 +1,199 @@
+"""The certifier server's protocol, the load generator, and persistence."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.persist import InMemoryStore
+from repro.service import CertifierServer, LoadConfig, generate_stream, run_load
+from repro.service.loadgen import drain_offline, run_load_tcp
+
+
+async def _session(host, port):
+    reader, writer = await asyncio.open_connection(host, port)
+
+    async def call(payload):
+        writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await writer.drain()
+        return json.loads((await reader.readline()).decode("utf-8"))
+
+    return call, writer
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestProtocol:
+    def test_open_feed_verdict_close(self):
+        async def scenario():
+            server = CertifierServer()
+            await server.start()
+            try:
+                call, writer = await _session(server.host, server.port)
+                assert (await call({"type": "open", "stream": "s"}))["type"] \
+                    == "opened"
+                ack = await call({"type": "ops", "stream": "s",
+                                  "ops": "r1[x] w2[x] w1[x] c1 c2"})
+                assert ack["type"] == "ack" and ack["ops"] == 5
+                codes = [c["code"] for c in ack["certificates"]]
+                assert "P2" in codes and "P4" in codes
+                verdict = await call({"type": "verdict", "stream": "s"})
+                assert verdict["serializable"] is False
+                assert verdict["committed"] == [1, 2]
+                closed = await call({"type": "close", "stream": "s"})
+                assert closed["certificates"] == len(codes)
+                writer.close()
+            finally:
+                await server.stop()
+        _run(scenario())
+
+    def test_errors_keep_the_connection_alive(self):
+        async def scenario():
+            server = CertifierServer()
+            await server.start()
+            try:
+                call, writer = await _session(server.host, server.port)
+                # Unknown request type -> request error.
+                reply = await call({"type": "bogus"})
+                assert reply["type"] == "error" and reply["kind"] == "request"
+                # Ops on an unopened stream -> request error.
+                reply = await call({"type": "ops", "stream": "s", "ops": "c1"})
+                assert reply["type"] == "error"
+                # The connection still works afterwards.
+                assert (await call({"type": "open", "stream": "s"}))["type"] \
+                    == "opened"
+                writer.close()
+            finally:
+                await server.stop()
+        _run(scenario())
+
+    def test_stream_error_poisons_only_that_stream(self):
+        async def scenario():
+            server = CertifierServer()
+            await server.start()
+            try:
+                call, writer = await _session(server.host, server.port)
+                await call({"type": "open", "stream": "bad"})
+                await call({"type": "open", "stream": "good"})
+                reply = await call({"type": "ops", "stream": "bad",
+                                    "ops": "c1 r1[x]"})
+                assert reply["type"] == "error" and reply["kind"] == "stream"
+                # The poisoned stream rejects further traffic...
+                reply = await call({"type": "ops", "stream": "bad",
+                                    "ops": "r2[x]"})
+                assert reply["type"] == "error" and reply["kind"] == "stream"
+                # ...while the other stream is untouched.
+                reply = await call({"type": "ops", "stream": "good",
+                                    "ops": "r1[x] c1"})
+                assert reply["type"] == "ack"
+                closed = await call({"type": "close", "stream": "bad"})
+                assert closed.get("poisoned") is True
+                writer.close()
+            finally:
+                await server.stop()
+        _run(scenario())
+
+    def test_stats_reports_latency_percentiles(self):
+        async def scenario():
+            server = CertifierServer()
+            await server.start()
+            try:
+                call, writer = await _session(server.host, server.port)
+                await call({"type": "open", "stream": "s"})
+                await call({"type": "ops", "stream": "s", "ops": "r1[x] c1"})
+                stats = await call({"type": "stats"})
+                assert stats["ops"] == 2
+                assert stats["p99_classify_us"] >= stats["p50_classify_us"] >= 0
+                writer.close()
+            finally:
+                await server.stop()
+        _run(scenario())
+
+    def test_close_persists_certificates_to_the_store(self):
+        store = InMemoryStore()
+
+        async def scenario():
+            server = CertifierServer(store=store, campaign_id="svc")
+            await server.start()
+            try:
+                call, writer = await _session(server.host, server.port)
+                await call({"type": "open", "stream": "s"})
+                await call({"type": "ops", "stream": "s",
+                            "ops": "r1[x] w2[x] w1[x] c1 c2"})
+                closed = await call({"type": "close", "stream": "s"})
+                assert closed["persisted"] == closed["certificates"] > 0
+                writer.close()
+            finally:
+                await server.stop()
+
+        _run(scenario())
+        stored = store.load_certificates("svc", stream="s")
+        assert [c.code for c in stored].count("CYCLE") == 1
+        assert [c.seq for c in stored] == list(range(len(stored)))
+
+
+class TestLoadgen:
+    def test_streams_are_deterministic(self):
+        config = LoadConfig(clients=3, transactions_per_client=5, seed=9)
+        assert generate_stream(config, 0) == generate_stream(config, 0)
+        assert generate_stream(config, 0) != generate_stream(config, 1)
+        reseeded = LoadConfig(clients=3, transactions_per_client=5, seed=10)
+        assert generate_stream(config, 0) != generate_stream(reseeded, 0)
+
+    def test_transaction_ids_are_disjoint_across_clients(self):
+        config = LoadConfig(clients=2, transactions_per_client=4, seed=1)
+        txns = [set(), set()]
+        for client in (0, 1):
+            for token in generate_stream(config, client):
+                digits = "".join(ch for ch in token.split("[")[0]
+                                 if ch.isdigit())
+                txns[client].add(int(digits))
+        assert not (txns[0] & txns[1])
+
+    def test_run_load_verifies_byte_equality(self):
+        config = LoadConfig(clients=6, transactions_per_client=8, seed=4)
+        report = run_load(config, verify=True)
+        assert report.byte_equal is True
+        assert report.certificates > 0
+        assert report.ops > 0
+        assert report.p99_classify_us >= report.p50_classify_us
+
+    def test_offline_drain_matches_generate_stream(self):
+        config = LoadConfig(clients=1, transactions_per_client=6, seed=2)
+        classification = drain_offline(config, 0)
+        # The generated stream must exercise the interesting region: at
+        # least one committed transaction and at least one phenomenon over
+        # the default config shape.
+        assert classification.committed
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError, match="clients"):
+            LoadConfig(clients=0)
+        with pytest.raises(ValueError, match="burst"):
+            LoadConfig(burst=0)
+
+
+class TestEndToEndLoad:
+    def test_fifty_concurrent_clients_over_tcp(self):
+        """The acceptance shape: >= 50 concurrent TCP clients, certificates
+        produced, and the TCP totals equal to the in-process ground truth."""
+        config = LoadConfig(clients=50, transactions_per_client=4, seed=3)
+        ground = run_load(config, verify=True)
+        assert ground.byte_equal is True
+
+        async def scenario():
+            server = CertifierServer()
+            await server.start()
+            try:
+                return await run_load_tcp(server.host, server.port, config)
+            finally:
+                await server.stop()
+
+        report = _run(scenario())
+        assert report.clients == 50
+        assert report.ops == ground.ops
+        assert report.certificates == ground.certificates > 0

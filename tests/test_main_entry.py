@@ -1,0 +1,51 @@
+"""The unified ``python -m repro`` entry point: dispatch and exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_no_arguments_is_a_usage_error(capsys):
+    assert main([]) == 2
+    assert "usage: python -m repro" in capsys.readouterr().err
+
+
+def test_unknown_command_is_a_usage_error(capsys):
+    assert main(["frobnicate"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown command 'frobnicate'" in err
+    assert "usage: python -m repro" in err
+
+
+@pytest.mark.parametrize("argv", [["-h"], ["--help"], ["help"]])
+def test_help_prints_usage_and_exits_zero(argv, capsys):
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    for command in ("campaign", "distrib", "serve", "bench"):
+        assert command in out
+
+
+def test_campaign_dispatches_to_persist_cli(tmp_path, capsys):
+    store = str(tmp_path / "c.sqlite")
+    assert main(["campaign", "run", "--store", store,
+                 "--program-set", "increments", "--max-schedules", "40",
+                 "--campaign", "entry"]) == 0
+    assert "schedules executed this run" in capsys.readouterr().out
+    assert main(["campaign", "list", "--store", store]) == 0
+    assert "entry" in capsys.readouterr().out
+
+
+def test_campaign_usage_error_exits_two(capsys):
+    # argparse exits 2 on bad flags; the dispatcher must pass that through.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "run", "--no-such-flag"])
+    assert excinfo.value.code == 2
+
+
+def test_bench_runs_in_process(capsys):
+    assert main(["bench", "--clients", "2", "--transactions", "4",
+                 "--in-process"]) == 0
+    out = capsys.readouterr().out
+    assert '"byte_equal": true' in out
